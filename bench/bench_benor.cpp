@@ -1,0 +1,71 @@
+// E13 — randomized consensus cost under a fair adversary.
+//
+// Series reported:
+//   * BenOr_FairRun/n: one seeded random-adversary run to decision for n
+//                      processes (counter: mean steps); randomness makes
+//                      the per-iteration work variable, so read the
+//                      items/sec as an order of magnitude;
+//   * BenOr_SafetyCheck/rounds: exhaustive safety verification cost as the
+//                      round budget (and hence the coin-branching state
+//                      space) grows.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "modelcheck/task_check.h"
+#include "protocols/ben_or.h"
+#include "sim/simulation.h"
+
+namespace {
+
+void BenOr_FairRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+  std::uint64_t seed = 1;
+  std::uint64_t total_steps = 0, runs = 0;
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::BenOrProtocol>(inputs, 64);
+    lbsa::sim::Simulation simulation(protocol);
+    lbsa::sim::RandomAdversary adversary(seed++);
+    const auto result = simulation.run(
+        &adversary, {.max_steps = 1'000'000, .record_history = false});
+    if (!result.all_terminated) {
+      state.SkipWithError("fair run failed to decide within budget");
+      return;
+    }
+    total_steps += result.steps;
+    ++runs;
+  }
+  state.counters["mean_steps"] =
+      runs ? static_cast<double>(total_steps) / static_cast<double>(runs)
+           : 0.0;
+}
+BENCHMARK(BenOr_FairRun)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BenOr_SafetyCheck(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const std::vector<lbsa::Value> inputs{0, 1};
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::BenOrProtocol>(inputs, rounds);
+    lbsa::modelcheck::TaskCheckOptions options;
+    options.max_violations = 16;
+    auto report = lbsa::modelcheck::check_k_agreement_task(protocol, 1,
+                                                           inputs, options);
+    if (!report.is_ok() || report.value().violates("agreement") ||
+        report.value().violates("validity")) {
+      state.SkipWithError("safety check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BenOr_SafetyCheck)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

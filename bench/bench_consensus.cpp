@@ -1,0 +1,97 @@
+// E4 — the n-consensus object (footnote 6).
+//
+// Series reported:
+//   * Consensus_SpecApply/n:       sequential-spec apply cost;
+//   * Consensus_CasPropose/threads: lock-free CAS object under contention
+//                                  (fresh object per round, every thread
+//                                  proposes once — the paper's usage shape);
+//   * Consensus_ModelCheck/n:      exhaustive verification of the one-shot
+//                                  consensus protocol.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "concurrent/cas_consensus.h"
+#include "modelcheck/task_check.h"
+#include "protocols/one_shot.h"
+#include "spec/consensus_type.h"
+
+namespace {
+
+void Consensus_SpecApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbsa::spec::NConsensusType type(n);
+  auto s = type.initial_state();
+  std::vector<lbsa::spec::Outcome> outcomes;
+  lbsa::Value v = 100;
+  for (auto _ : state) {
+    outcomes.clear();
+    type.apply(s, lbsa::spec::make_propose(v++), &outcomes);
+    benchmark::DoNotOptimize(outcomes[0].response);
+    s = std::move(outcomes[0].next_state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Consensus_SpecApply)->Arg(2)->Arg(64);
+
+// Winning-path CAS cost: replace the object every 4096 proposes so the CAS
+// always lands on an unexhausted object (amortized PauseTiming overhead
+// < 0.03%).
+void Consensus_CasProposeWinning(benchmark::State& state) {
+  auto object = std::make_unique<lbsa::concurrent::CasConsensus>(4096);
+  int used = 0;
+  for (auto _ : state) {
+    if (++used > 4096) {
+      state.PauseTiming();
+      object = std::make_unique<lbsa::concurrent::CasConsensus>(4096);
+      used = 1;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(object->propose(100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Consensus_CasProposeWinning);
+
+// Contended steady state: all threads share one object. An n-consensus
+// object is one-shot by nature, so after the first 65535 proposes the
+// measured path is the exhausted check — a contended shared-cache-line
+// load, the long-run cost of leaving such objects in a hot structure.
+std::unique_ptr<lbsa::concurrent::CasConsensus> g_consensus;
+
+void Consensus_CasProposeContended(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_consensus =
+        std::make_unique<lbsa::concurrent::CasConsensus>((1 << 16) - 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_consensus->propose(state.thread_index() + 100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Consensus_CasProposeContended)->Threads(1)->Threads(2)->Threads(4)
+    ->Threads(8)->UseRealTime();
+
+void Consensus_ModelCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto report = lbsa::modelcheck::check_consensus_task(
+        lbsa::protocols::make_consensus_via_n_consensus(inputs), inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("consensus check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(Consensus_ModelCheck)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// E2 — Algorithm 2 (n-DAC from one n-PAC).
+//
+// Series reported:
+//   * Dac_ModelCheck/n:   full exhaustive verification of all n-DAC
+//                         properties (nodes counter = reachable configs);
+//   * Dac_SimRandom/n:    one seeded adversarial simulation run to
+//                         completion;
+//   * Dac_Threaded/n:     n OS threads on a linearizable n-PAC.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "concurrent/spec_backed.h"
+#include "concurrent/threaded_runner.h"
+#include "modelcheck/task_check.h"
+#include "protocols/dac_from_pac.h"
+#include "sim/simulation.h"
+#include "spec/pac_type.h"
+
+namespace {
+
+std::vector<lbsa::Value> iota_inputs(int n) {
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+void Dac_ModelCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto inputs = iota_inputs(n);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+    auto report = lbsa::modelcheck::check_dac_task(protocol, 0, inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("DAC check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(Dac_ModelCheck)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void Dac_SimRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto inputs = iota_inputs(n);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+    lbsa::sim::Simulation simulation(protocol);
+    lbsa::sim::RandomAdversary adversary(seed++);
+    const auto result =
+        simulation.run(&adversary, {.max_steps = 1'000'000,
+                                    .record_history = false});
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(Dac_SimRandom)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void Dac_Threaded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto inputs = iota_inputs(n);
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+    lbsa::concurrent::SpinlockSpecObject pac(
+        std::make_shared<lbsa::spec::PacType>(n));
+    const auto result = lbsa::concurrent::run_threaded(
+        *protocol, {&pac}, {.max_steps_per_process = 1'000'000});
+    benchmark::DoNotOptimize(result.total_steps);
+  }
+}
+BENCHMARK(Dac_Threaded)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,106 @@
+// E11 (extension) — the consensus-hierarchy landscape around the paper's
+// objects: the classic level-2 objects (test&set, queue), the level-∞
+// object (compare&swap), and how the model-checking cost of their canonical
+// consensus protocols compares with the paper's (n,m)-PAC route.
+//
+// Series reported:
+//   * Hierarchy_TasOps / Hierarchy_CasOps: lock-free object op cost under
+//     contention;
+//   * Hierarchy_ConsensusCheck/<family>: exhaustive verification of each
+//     family's canonical consensus protocol (nodes counter shows the state-
+//     space footprint each object family induces).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "concurrent/classic_objects.h"
+#include "modelcheck/task_check.h"
+#include "protocols/classic_consensus.h"
+#include "protocols/one_shot.h"
+
+namespace {
+
+std::vector<lbsa::Value> iota_inputs(int n) {
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+std::unique_ptr<lbsa::concurrent::AtomicTestAndSet> g_tas;
+
+void Hierarchy_TasOps(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_tas = std::make_unique<lbsa::concurrent::AtomicTestAndSet>();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_tas->test_and_set());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Hierarchy_TasOps)->Threads(1)->Threads(4)->UseRealTime();
+
+std::unique_ptr<lbsa::concurrent::AtomicCompareAndSwap> g_cas;
+
+void Hierarchy_CasOps(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_cas = std::make_unique<lbsa::concurrent::AtomicCompareAndSwap>();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_cas->compare_and_swap(lbsa::kNil, state.thread_index()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(Hierarchy_CasOps)->Threads(1)->Threads(4)->UseRealTime();
+
+template <typename Protocol>
+void check_consensus(benchmark::State& state, int n) {
+  const auto inputs = iota_inputs(n);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto protocol = std::make_shared<Protocol>(inputs);
+    auto report = lbsa::modelcheck::check_consensus_task(protocol, inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("consensus check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void Hierarchy_ConsensusCheck_Tas(benchmark::State& state) {
+  check_consensus<lbsa::protocols::TasConsensusProtocol>(state, 2);
+}
+BENCHMARK(Hierarchy_ConsensusCheck_Tas)->Unit(benchmark::kMicrosecond);
+
+void Hierarchy_ConsensusCheck_Queue(benchmark::State& state) {
+  check_consensus<lbsa::protocols::QueueConsensusProtocol>(state, 2);
+}
+BENCHMARK(Hierarchy_ConsensusCheck_Queue)->Unit(benchmark::kMicrosecond);
+
+void Hierarchy_ConsensusCheck_Cas(benchmark::State& state) {
+  check_consensus<lbsa::protocols::CasConsensusProtocol>(
+      state, static_cast<int>(state.range(0)));
+}
+BENCHMARK(Hierarchy_ConsensusCheck_Cas)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void Hierarchy_ConsensusCheck_NmPac(benchmark::State& state) {
+  const auto inputs = iota_inputs(2);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto report = lbsa::modelcheck::check_consensus_task(
+        lbsa::protocols::make_consensus_via_nm_pac(3, 2, inputs), inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("consensus check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(Hierarchy_ConsensusCheck_NmPac)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// E12 (extension) — implementation-checker cost: how expensive is it to
+// verify "X implements Y" exhaustively, as workload width (threads) and
+// program length grow.
+//
+// Series reported (counter `executions` = complete schedules examined):
+//   * ImplCheck_Lemma64/threads:  the Lemma 6.4 bundle under t one-op
+//                                 threads;
+//   * ImplCheck_Routing:          Observation 5.1(a) routing workload;
+//   * ImplCheck_MultiStep:        the double-read register (2 base steps per
+//                                 read: schedules grow combinatorially);
+//   * ImplCheck_RefuteRacy:       time to FIND the racy-counter violation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/implementations.h"
+#include "implcheck/checker.h"
+
+namespace {
+
+using lbsa::implcheck::check_implementation;
+
+void ImplCheck_Lemma64(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto impl = lbsa::core::make_o_prime_from_base_impl(4, 2);
+  std::vector<std::vector<lbsa::spec::Operation>> work;
+  for (int t = 0; t < threads; ++t) {
+    work.push_back({lbsa::spec::make_propose_k(100 + t, 2)});
+  }
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    auto result = check_implementation(*impl, work);
+    if (!result.is_ok() || !result.value().ok) {
+      state.SkipWithError("verification failed");
+      return;
+    }
+    executions = result.value().executions_checked;
+  }
+  state.counters["executions"] = static_cast<double>(executions);
+}
+BENCHMARK(ImplCheck_Lemma64)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void ImplCheck_Routing(benchmark::State& state) {
+  auto impl = lbsa::core::make_nm_pac_from_components(3, 2);
+  const std::vector<std::vector<lbsa::spec::Operation>> work = {
+      {lbsa::spec::make_propose_c(10)},
+      {lbsa::spec::make_propose_c(20)},
+      {lbsa::spec::make_propose_p(30, 1), lbsa::spec::make_decide_p(1)},
+  };
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    auto result = check_implementation(*impl, work);
+    if (!result.is_ok() || !result.value().ok) {
+      state.SkipWithError("verification failed");
+      return;
+    }
+    executions = result.value().executions_checked;
+  }
+  state.counters["executions"] = static_cast<double>(executions);
+}
+BENCHMARK(ImplCheck_Routing)->Unit(benchmark::kMicrosecond);
+
+void ImplCheck_MultiStep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto impl = lbsa::core::make_double_read_register_impl();
+  std::vector<std::vector<lbsa::spec::Operation>> work;
+  for (int t = 0; t < threads; ++t) {
+    work.push_back({t % 2 == 0 ? lbsa::spec::make_write(100 + t)
+                               : lbsa::spec::make_read(),
+                    lbsa::spec::make_read()});
+  }
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    auto result = check_implementation(*impl, work);
+    if (!result.is_ok() || !result.value().ok) {
+      state.SkipWithError("verification failed");
+      return;
+    }
+    executions = result.value().executions_checked;
+  }
+  state.counters["executions"] = static_cast<double>(executions);
+}
+BENCHMARK(ImplCheck_MultiStep)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void ImplCheck_RefuteRacy(benchmark::State& state) {
+  auto impl = lbsa::core::make_racy_counter_impl();
+  const std::vector<std::vector<lbsa::spec::Operation>> work = {
+      {lbsa::spec::make_propose(1)},
+      {lbsa::spec::make_propose(1)},
+  };
+  for (auto _ : state) {
+    auto result = check_implementation(*impl, work);
+    if (!result.is_ok() || result.value().ok) {
+      state.SkipWithError("expected refutation");
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().failing_schedule.size());
+  }
+}
+BENCHMARK(ImplCheck_RefuteRacy)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// E10b — linearizability-checker cost vs history size and overlap.
+//
+// Series reported:
+//   * Lincheck_Sequential/len:   fully sequential register histories (the
+//                                cheap case: one eligible op per step);
+//   * Lincheck_Concurrent/width: histories of `width` fully-overlapping
+//                                consensus proposes (the expensive case:
+//                                width! interleavings, tamed by memoization);
+//   * Lincheck_PacPairs/pairs:   PAC propose/decide pairs with pairwise
+//                                overlap — the Algorithm 2 access shape.
+
+#include <benchmark/benchmark.h>
+
+#include "lincheck/checker.h"
+#include "spec/consensus_type.h"
+#include "spec/pac_type.h"
+#include "spec/register_type.h"
+
+namespace {
+
+using lbsa::lincheck::OpRecord;
+
+OpRecord op(int id, int thread, lbsa::spec::Operation operation,
+            lbsa::Value response, std::uint64_t invoke_ts,
+            std::uint64_t response_ts) {
+  OpRecord r;
+  r.op_id = id;
+  r.thread = thread;
+  r.op = operation;
+  r.response = response;
+  r.invoke_ts = invoke_ts;
+  r.response_ts = response_ts;
+  return r;
+}
+
+void Lincheck_Sequential(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  lbsa::spec::RegisterType reg;
+  std::vector<OpRecord> history;
+  lbsa::Value last = lbsa::kNil;
+  for (int i = 0; i < len; ++i) {
+    if (i % 2 == 0) {
+      history.push_back(op(i, 0, lbsa::spec::make_write(i), lbsa::kDone,
+                           2 * i + 1, 2 * i + 2));
+      last = i;
+    } else {
+      history.push_back(
+          op(i, 0, lbsa::spec::make_read(), last, 2 * i + 1, 2 * i + 2));
+    }
+  }
+  for (auto _ : state) {
+    auto result = lbsa::lincheck::check_linearizable(reg, history);
+    if (!result.is_ok() || !result.value().linearizable) {
+      state.SkipWithError("unexpected verdict");
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().states_explored);
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(Lincheck_Sequential)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void Lincheck_Concurrent(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  lbsa::spec::NConsensusType cons(width);
+  // All proposes overlap; all report the same winner (the first value).
+  std::vector<OpRecord> history;
+  for (int i = 0; i < width; ++i) {
+    history.push_back(op(i, i, lbsa::spec::make_propose(100 + i), 100,
+                         /*invoke=*/1 + i, /*response=*/1000 + i));
+  }
+  // Winner consistency: value 100 must linearize first; the checker has to
+  // discover that among width! candidate orders.
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    auto result = lbsa::lincheck::check_linearizable(cons, history);
+    if (!result.is_ok() || !result.value().linearizable) {
+      state.SkipWithError("unexpected verdict");
+      return;
+    }
+    states = result.value().states_explored;
+  }
+  state.counters["search_states"] = static_cast<double>(states);
+}
+BENCHMARK(Lincheck_Concurrent)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void Lincheck_PacPairs(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  lbsa::spec::PacType pac(pairs);
+  std::vector<OpRecord> history;
+  std::uint64_t ts = 1;
+  // Pair i overlaps pair i+1 (a sliding window of concurrency).
+  for (int i = 0; i < pairs; ++i) {
+    const std::int64_t label = i + 1;
+    const lbsa::Value decided = (i == 0) ? 100 : lbsa::kBottom;
+    history.push_back(op(2 * i, i,
+                         lbsa::spec::make_propose_labeled(100 + i, label),
+                         lbsa::kDone, ts, ts + 3));
+    history.push_back(op(2 * i + 1, i, lbsa::spec::make_decide_labeled(label),
+                         decided, ts + 4, ts + 7));
+    ts += 5;  // next pair's propose overlaps this pair's decide
+  }
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    auto result = lbsa::lincheck::check_linearizable(pac, history);
+    if (!result.is_ok()) {
+      state.SkipWithError("checker error");
+      return;
+    }
+    states = result.value().states_explored;
+    benchmark::DoNotOptimize(result.value().linearizable);
+  }
+  state.counters["search_states"] = static_cast<double>(states);
+}
+BENCHMARK(Lincheck_PacPairs)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

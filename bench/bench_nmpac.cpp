@@ -1,0 +1,88 @@
+// E5 — the (n,m)-PAC combination object (Section 5) and the positive half
+// of Theorem 5.3.
+//
+// Series reported:
+//   * NmPac_Route/<port>:        routing overhead of the combined object vs
+//                                its components (PROPOSEC vs PROPOSEP+DECIDEP);
+//   * NmPac_ConsensusCheck/m:    exhaustive verification that (m+1,m)-PAC
+//                                solves m-consensus (Observation 5.1(c));
+//   * NmPac_UpsetIsolation:      throughput of the consensus port while the
+//                                PAC part is upset (component independence).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "modelcheck/task_check.h"
+#include "protocols/one_shot.h"
+#include "spec/nm_pac_type.h"
+
+namespace {
+
+using lbsa::spec::NmPacType;
+
+void NmPac_RouteProposeC(benchmark::State& state) {
+  NmPacType type(5, 4);
+  auto s = type.initial_state();
+  lbsa::Value v = 100;
+  for (auto _ : state) {
+    auto outcome = type.apply_unique(s, lbsa::spec::make_propose_c(v++));
+    benchmark::DoNotOptimize(outcome.response);
+    s = std::move(outcome.next_state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(NmPac_RouteProposeC);
+
+void NmPac_RoutePacPair(benchmark::State& state) {
+  NmPacType type(5, 4);
+  auto s = type.initial_state();
+  std::int64_t label = 1;
+  for (auto _ : state) {
+    auto p = type.apply_unique(s, lbsa::spec::make_propose_p(7, label));
+    auto d = type.apply_unique(p.next_state,
+                               lbsa::spec::make_decide_p(label));
+    benchmark::DoNotOptimize(d.response);
+    s = std::move(d.next_state);
+    label = (label % 5) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(NmPac_RoutePacPair);
+
+void NmPac_ConsensusCheck(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < m; ++i) inputs.push_back(100 + i);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto report = lbsa::modelcheck::check_consensus_task(
+        lbsa::protocols::make_consensus_via_nm_pac(m + 1, m, inputs), inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("(n,m)-PAC consensus check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(NmPac_ConsensusCheck)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void NmPac_UpsetIsolation(benchmark::State& state) {
+  // Upset the PAC component, then hammer DECIDEP (the ⊥ fast path); the
+  // proofs of Claims 5.2.6-5.2.8 rely on this path conveying nothing.
+  NmPacType type(3, 2);
+  auto s = type.apply_unique(type.initial_state(),
+                             lbsa::spec::make_decide_p(1))
+               .next_state;  // upset
+  for (auto _ : state) {
+    auto outcome = type.apply_unique(s, lbsa::spec::make_decide_p(2));
+    benchmark::DoNotOptimize(outcome.response);
+    s = std::move(outcome.next_state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(NmPac_UpsetIsolation);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// E1 — the n-PAC specification (Algorithm 1).
+//
+// Series reported:
+//   * PacSpec_MatchedPair/n:   cost of one PROPOSE+DECIDE matched pair on an
+//                              n-PAC state (the object's hot path);
+//   * PacSpec_UpsetDecide/n:   cost of a decide on an upset object (the
+//                              early-return path the proofs lean on);
+//   * PacSpec_HistorySweep/len: exhaustive enumeration of all 2-PAC histories
+//                              of the given length (the E1 test workload).
+
+#include <benchmark/benchmark.h>
+
+#include "spec/pac_type.h"
+
+namespace {
+
+using lbsa::spec::Operation;
+using lbsa::spec::Outcome;
+using lbsa::spec::PacType;
+
+void PacSpec_MatchedPair(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PacType pac(n);
+  std::vector<std::int64_t> s = pac.initial_state();
+  std::int64_t label = 1;
+  for (auto _ : state) {
+    Outcome p = pac.apply_unique(s, lbsa::spec::make_propose_labeled(7, label));
+    Outcome d = pac.apply_unique(p.next_state,
+                                 lbsa::spec::make_decide_labeled(label));
+    benchmark::DoNotOptimize(d.response);
+    s = std::move(d.next_state);
+    label = (label % n) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(PacSpec_MatchedPair)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(32)->Arg(128);
+
+void PacSpec_UpsetDecide(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PacType pac(n);
+  // Upset the object with a bare decide.
+  std::vector<std::int64_t> s =
+      pac.apply_unique(pac.initial_state(), lbsa::spec::make_decide_labeled(1))
+          .next_state;
+  for (auto _ : state) {
+    Outcome d = pac.apply_unique(s, lbsa::spec::make_decide_labeled(1));
+    benchmark::DoNotOptimize(d.response);
+    s = std::move(d.next_state);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(PacSpec_UpsetDecide)->Arg(2)->Arg(8)->Arg(128);
+
+// Exhaustive history enumeration (the E1 sweep shape): all histories of
+// length `len` over the 2-PAC alphabet with one value per label.
+void PacSpec_HistorySweep(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  PacType pac(2);
+  const std::vector<Operation> alphabet = {
+      lbsa::spec::make_propose_labeled(7, 1),
+      lbsa::spec::make_propose_labeled(7, 2),
+      lbsa::spec::make_decide_labeled(1),
+      lbsa::spec::make_decide_labeled(2),
+  };
+  std::uint64_t histories = 0;
+  for (auto _ : state) {
+    histories = 0;
+    // Iterative odometer over alphabet^len.
+    std::vector<int> digits(static_cast<size_t>(len), 0);
+    bool done = false;
+    while (!done) {
+      std::vector<std::int64_t> s = pac.initial_state();
+      for (int d : digits) {
+        s = pac.apply_unique(s, alphabet[static_cast<size_t>(d)]).next_state;
+      }
+      ++histories;
+      int pos = len - 1;
+      while (pos >= 0 && ++digits[static_cast<size_t>(pos)] ==
+                             static_cast<int>(alphabet.size())) {
+        digits[static_cast<size_t>(pos)] = 0;
+        --pos;
+      }
+      done = pos < 0;
+    }
+    benchmark::DoNotOptimize(histories);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(histories));
+  state.counters["histories"] = static_cast<double>(histories);
+}
+BENCHMARK(PacSpec_HistorySweep)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace

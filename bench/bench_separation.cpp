@@ -1,0 +1,82 @@
+// E7 — the separation experiments: both sides of the pair driving the same
+// set-agreement tasks, plus the behavioural difference (DAC).
+//
+// Series reported (each iteration is one full exhaustive verification;
+// `nodes` counts reachable configurations):
+//   * Separation_Witness/<family>/{k,n}: k-set agreement witnesses through
+//     n-consensus, O_n, O'_n, and the from-base construction — paper claim:
+//     identical verdicts for O_n and O'_n on every entry;
+//   * Separation_DacSide: the 3-DAC check only O_n's side can pass.
+
+#include <benchmark/benchmark.h>
+
+#include "core/solvability.h"
+#include "modelcheck/task_check.h"
+#include "protocols/dac_from_pac.h"
+
+namespace {
+
+using lbsa::core::ObjectFamily;
+
+void run_witness(benchmark::State& state, ObjectFamily family, int param,
+                 int k, int n) {
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto report = lbsa::core::witness_k_agreement(family, param, k, n);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("witness failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void Separation_Witness_NConsensus_k1(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kNConsensus, 2, 1, 2);
+}
+BENCHMARK(Separation_Witness_NConsensus_k1);
+
+void Separation_Witness_On_k1(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kOn, 2, 1, 2);
+}
+BENCHMARK(Separation_Witness_On_k1);
+
+void Separation_Witness_OPrime_k1(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kOPrime, 2, 1, 2);
+}
+BENCHMARK(Separation_Witness_OPrime_k1);
+
+void Separation_Witness_On_k2(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kOn, 2, 2, 4);
+}
+BENCHMARK(Separation_Witness_On_k2)->Unit(benchmark::kMillisecond);
+
+void Separation_Witness_OPrime_k2(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kOPrime, 2, 2, 4);
+}
+BENCHMARK(Separation_Witness_OPrime_k2)->Unit(benchmark::kMillisecond);
+
+void Separation_Witness_FromBase_k2(benchmark::State& state) {
+  run_witness(state, ObjectFamily::kOPrimeFromBase, 2, 2, 4);
+}
+BENCHMARK(Separation_Witness_FromBase_k2)->Unit(benchmark::kMillisecond);
+
+void Separation_DacSide(benchmark::State& state) {
+  const std::vector<lbsa::Value> inputs{100, 101, 102};
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto protocol =
+        std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+    auto report = lbsa::modelcheck::check_dac_task(protocol, 0, inputs);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("DAC side failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(Separation_DacSide)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// E8 — the strong 2-SA object (Algorithm 3).
+//
+// Series reported:
+//   * TwoSa_SpecApply/<phase>: outcome enumeration cost as STATE fills
+//                              (empty -> 1 value -> 2 values);
+//   * TwoSa_Atomic/threads:    128-bit-CAS object under contention;
+//   * TwoSa_KsaCheck/n:        exhaustive 2-set-agreement verification among
+//                              n processes through one 2-SA object.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "concurrent/atomic_two_sa.h"
+#include "core/solvability.h"
+#include "spec/ksa_type.h"
+
+namespace {
+
+void TwoSa_SpecApplyEmpty(benchmark::State& state) {
+  lbsa::spec::KsaType type = lbsa::spec::make_two_sa_type();
+  const auto initial = type.initial_state();
+  std::vector<lbsa::spec::Outcome> outcomes;
+  for (auto _ : state) {
+    outcomes.clear();
+    type.apply(initial, lbsa::spec::make_propose(10), &outcomes);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TwoSa_SpecApplyEmpty);
+
+void TwoSa_SpecApplyFull(benchmark::State& state) {
+  lbsa::spec::KsaType type = lbsa::spec::make_two_sa_type();
+  auto s = type.initial_state();
+  s = type.apply_unique(s, lbsa::spec::make_propose(10)).next_state;
+  std::vector<lbsa::spec::Outcome> outcomes;
+  type.apply(s, lbsa::spec::make_propose(20), &outcomes);
+  s = outcomes[0].next_state;  // STATE = {10, 20}
+  for (auto _ : state) {
+    outcomes.clear();
+    type.apply(s, lbsa::spec::make_propose(30), &outcomes);
+    benchmark::DoNotOptimize(outcomes.size());  // two outcomes
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TwoSa_SpecApplyFull);
+
+std::unique_ptr<lbsa::concurrent::AtomicTwoSa> g_two_sa;
+
+void TwoSa_Atomic(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_two_sa = std::make_unique<lbsa::concurrent::AtomicTwoSa>();
+  }
+  lbsa::Value v = 100 + state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_two_sa->propose(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(TwoSa_Atomic)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void TwoSa_KsaCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto report = lbsa::core::witness_k_agreement(
+        lbsa::core::ObjectFamily::kTwoSa, 0, 2, n);
+    if (!report.is_ok() || !report.value().ok()) {
+      state.SkipWithError("2-SA check failed");
+      return;
+    }
+    nodes = report.value().node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(TwoSa_KsaCheck)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

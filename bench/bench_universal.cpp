@@ -1,0 +1,120 @@
+// E9 — the universal construction (Herlihy's theorem as a substrate).
+//
+// Series reported:
+//   * Universal_Counter/t:     one iteration = t threads pushing 2048
+//                              fetch-and-adds each through the consensus
+//                              chain (items/s is the end-to-end op rate; the
+//                              chain serializes, so scaling flattens by
+//                              design);
+//   * Universal_DirectCounter: baseline — plain atomic fetch-and-add (what
+//                              the generality costs);
+//   * Universal_PacReplica:    a 4-PAC as the replicated object — the
+//                              paper-relevant case: a proof-device object
+//                              implemented from consensus + registers.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "spec/counter_type.h"
+#include "spec/pac_type.h"
+#include "universal/universal_object.h"
+#include "universal/wait_free_universal.h"
+
+namespace {
+
+constexpr std::size_t kOpsPerThread = 2048;
+
+void Universal_Counter(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lbsa::universal::UniversalObject counter(
+        std::make_shared<lbsa::spec::CounterType>(), threads,
+        static_cast<std::size_t>(threads) * kOpsPerThread + 8);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter, t] {
+        for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+          benchmark::DoNotOptimize(
+              counter.apply_as(t, lbsa::spec::make_propose(1)));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kOpsPerThread) *
+                          state.range(0));
+}
+BENCHMARK(Universal_Counter)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void Universal_DirectCounter(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::int64_t> counter{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter] {
+        for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+          benchmark::DoNotOptimize(
+              counter.fetch_add(1, std::memory_order_acq_rel));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kOpsPerThread) *
+                          state.range(0));
+}
+BENCHMARK(Universal_DirectCounter)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void Universal_WaitFreeCounter(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lbsa::universal::WaitFreeUniversalObject counter(
+        std::make_shared<lbsa::spec::CounterType>(), threads,
+        kOpsPerThread + 1);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter, t] {
+        for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+          benchmark::DoNotOptimize(
+              counter.apply_as(t, lbsa::spec::make_propose(1)));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    state.counters["max_decide_delay"] =
+        static_cast<double>(counter.max_decide_delay());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kOpsPerThread) *
+                          state.range(0));
+}
+BENCHMARK(Universal_WaitFreeCounter)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void Universal_PacReplica(benchmark::State& state) {
+  for (auto _ : state) {
+    lbsa::universal::UniversalObject pac(
+        std::make_shared<lbsa::spec::PacType>(4), 1, 2 * kOpsPerThread + 8);
+    std::int64_t label = 1;
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      benchmark::DoNotOptimize(
+          pac.apply_as(0, lbsa::spec::make_propose_labeled(7, label)));
+      benchmark::DoNotOptimize(
+          pac.apply_as(0, lbsa::spec::make_decide_labeled(label)));
+      label = (label % 4) + 1;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * kOpsPerThread));
+}
+BENCHMARK(Universal_PacReplica)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Implementation clinic: watch the implementation checker verify the
+// paper's constructions and refute broken ones — with the concrete failing
+// schedule printed when it finds a bug.
+//
+//   ./implementation_clinic
+
+#include <cstdio>
+#include <memory>
+
+#include "core/implementations.h"
+#include "implcheck/checker.h"
+
+namespace {
+
+void examine(const lbsa::implcheck::ObjectImplementation& impl,
+             const std::vector<std::vector<lbsa::spec::Operation>>& workload,
+             const char* claim) {
+  std::printf("--- %s\n    claim: %s\n", impl.name().c_str(), claim);
+  auto result = lbsa::implcheck::check_implementation(impl, workload);
+  if (!result.is_ok()) {
+    std::printf("    checker error: %s\n\n",
+                result.status().to_string().c_str());
+    return;
+  }
+  if (result.value().ok) {
+    std::printf("    VERIFIED over %llu complete schedules.\n\n",
+                static_cast<unsigned long long>(
+                    result.value().executions_checked));
+    return;
+  }
+  std::printf("    REFUTED — failing schedule:\n");
+  for (const std::string& line : result.value().failing_schedule) {
+    std::printf("      %s\n", line.c_str());
+  }
+  std::printf("    (%s)\n\n", result.value().detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== implementation clinic ===\n"
+              "Every 'X implements Y' claim is checked by exhausting all\n"
+              "interleavings of the implementation programs and validating\n"
+              "each induced history against Y's sequential spec.\n\n");
+
+  examine(*lbsa::core::make_o_prime_from_base_impl(2, 2),
+          {
+              {lbsa::spec::make_propose_k(10, 1),
+               lbsa::spec::make_propose_k(11, 2)},
+              {lbsa::spec::make_propose_k(20, 1),
+               lbsa::spec::make_propose_k(21, 2)},
+          },
+          "Lemma 6.4 — O'_2 from 2-consensus + 2-SA");
+
+  examine(*lbsa::core::make_nm_pac_from_components(3, 2),
+          {
+              {lbsa::spec::make_propose_c(10)},
+              {lbsa::spec::make_propose_c(20)},
+              {lbsa::spec::make_propose_p(30, 1),
+               lbsa::spec::make_decide_p(1)},
+          },
+          "Observation 5.1(a) — (3,2)-PAC from 3-PAC + 2-consensus");
+
+  examine(*lbsa::core::make_broken_o_prime_impl(2, 2),
+          {
+              {lbsa::spec::make_propose_k(10, 1)},
+              {lbsa::spec::make_propose_k(20, 1)},
+          },
+          "control — O'_2 with its consensus level wrongly backed by a "
+          "2-SA (must be refuted)");
+
+  examine(*lbsa::core::make_racy_counter_impl(),
+          {
+              {lbsa::spec::make_propose(1)},
+              {lbsa::spec::make_propose(1)},
+          },
+          "control — fetch&add as unsynchronized read-then-write (the "
+          "classic lost update; must be refuted)");
+
+  std::printf("The refuted rows are why the paper needs Theorem 4.2's "
+              "machinery: plausible constructions break in exactly one "
+              "adversarial schedule, and only exhaustive checking (or a "
+              "proof) finds it.\n");
+  return 0;
+}

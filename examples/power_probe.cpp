@@ -1,0 +1,74 @@
+// Power probe: print the set agreement power sequences of the library's
+// object families and mechanically witness every feasible entry at small
+// scale with the exhaustive solvability harness.
+//
+//   ./power_probe [k_max]   (default 3)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/power.h"
+#include "core/solvability.h"
+
+namespace {
+
+using lbsa::core::ObjectFamily;
+using lbsa::core::SetAgreementPower;
+
+// Witness budgets: keep exhaustive checks comfortably under a second each.
+constexpr int kMaxProcsToCheck = 5;
+
+void probe(const SetAgreementPower& power, ObjectFamily family, int param) {
+  std::printf("%s\n", power.to_string().c_str());
+  for (int k = 1; k <= power.k_max(); ++k) {
+    const auto& entry = power.entry(k);
+    const long long bound =
+        entry.infinite() ? kMaxProcsToCheck : entry.value;
+    const int n = static_cast<int>(std::min<long long>(bound,
+                                                       kMaxProcsToCheck));
+    if (family == ObjectFamily::kTwoSa && k == 1) {
+      std::printf("    k=%d: n_1 = 1 (trivial; nothing to witness)\n", k);
+      continue;
+    }
+    auto report = lbsa::core::witness_k_agreement(family, param, k, n);
+    if (report.is_ok() && report.value().ok()) {
+      std::printf("    k=%d: witnessed among %d processes "
+                  "(%llu configurations, all schedules)\n",
+                  k, n,
+                  static_cast<unsigned long long>(report.value().node_count));
+    } else if (report.is_ok()) {
+      std::printf("    k=%d: VIOLATION\n%s\n", k,
+                  report.value().to_string().c_str());
+    } else {
+      std::printf("    k=%d: skipped (%s)\n", k,
+                  report.status().to_string().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k_max = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (k_max < 1 || k_max > 6) {
+    std::fprintf(stderr, "usage: power_probe [k_max in 1..6]\n");
+    return 2;
+  }
+
+  std::printf("=== set agreement power sequences ===\n");
+  std::printf("(entry k is n_k, the max processes for k-set agreement; '+' "
+              "marks lower bounds; witnesses are exhaustive model checks "
+              "capped at %d processes)\n\n", kMaxProcsToCheck);
+
+  probe(lbsa::core::power_of_n_consensus(2, k_max),
+        ObjectFamily::kNConsensus, 2);
+  probe(lbsa::core::power_of_two_sa(k_max), ObjectFamily::kTwoSa, 0);
+  probe(lbsa::core::power_of_o_n(2, k_max), ObjectFamily::kOn, 2);
+  probe(lbsa::core::power_of_o_prime_n(2, k_max), ObjectFamily::kOPrime, 2);
+
+  std::printf("note: O_2 and O'_2 print identical sequences — that is the "
+              "premise of Corollary 6.6; run separation_tour for why they "
+              "are nevertheless not equivalent.\n");
+  return 0;
+}

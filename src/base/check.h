@@ -1,0 +1,32 @@
+// Assertion macros for programmer errors (precondition violations).
+//
+// Library policy (DESIGN.md §5): expected failures travel through Status /
+// optional returns; LBSA_CHECK guards contract violations and aborts with a
+// location message. It is always on — the objects here are specification
+// devices and silent state corruption would invalidate every experiment
+// downstream.
+#ifndef LBSA_BASE_CHECK_H_
+#define LBSA_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LBSA_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LBSA_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define LBSA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LBSA_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // LBSA_BASE_CHECK_H_

@@ -1,0 +1,36 @@
+// Hashing utilities for configuration interning in the model checker and
+// the linearizability checker. All hashing here is for in-memory hash
+// tables only (never persisted), so we use a fast mix rather than a
+// cryptographic hash.
+#ifndef LBSA_BASE_HASHING_H_
+#define LBSA_BASE_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lbsa {
+
+// Post-mix from splitmix64; good avalanche for word-sized inputs.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Boost-style combine with a 64-bit golden-ratio constant.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+// Hash of a span of words (state vectors, configuration snapshots).
+inline std::uint64_t hash_words(std::span<const std::int64_t> words,
+                                std::uint64_t seed = 0x243f6a8885a308d3ULL) {
+  std::uint64_t h = hash_combine(seed, static_cast<std::uint64_t>(words.size()));
+  for (std::int64_t w : words) h = hash_combine(h, static_cast<std::uint64_t>(w));
+  return h;
+}
+
+}  // namespace lbsa
+
+#endif  // LBSA_BASE_HASHING_H_

@@ -1,0 +1,68 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// Every randomized component in the library (random adversary schedulers,
+// history generators, stress tests) takes an explicit seed so that any
+// failure reported by the test suite or an experiment is replayable bit for
+// bit. Engines: splitmix64 (seeding / cheap streams) and xoshiro256**
+// (general purpose). Both are tiny, fast, and have well-understood quality;
+// <random> engines are avoided because their streams differ across standard
+// library implementations.
+#ifndef LBSA_BASE_RNG_H_
+#define LBSA_BASE_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace lbsa {
+
+// splitmix64: one multiply-xorshift pipeline per output. Used to expand a
+// single user seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the library's general-purpose engine.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform draw from [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift rejection method (no modulo bias).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform int in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // UniformRandomBitGenerator interface, so std::shuffle works.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace lbsa
+
+#endif  // LBSA_BASE_RNG_H_

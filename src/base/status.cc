@@ -1,0 +1,54 @@
+#include "base/status.h"
+
+namespace lbsa {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status invalid_argument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status failed_precondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status out_of_range(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status resource_exhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status not_found(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace lbsa

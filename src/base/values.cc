@@ -1,0 +1,22 @@
+#include "base/values.h"
+
+namespace lbsa {
+
+std::string value_to_string(Value v) {
+  switch (v) {
+    case kNil:
+      return "NIL";
+    case kBottom:
+      return "⊥";
+    case kDone:
+      return "done";
+    case kAbortSentinel:
+      return "<abort>";
+    case kCrashSentinel:
+      return "<crash>";
+    default:
+      return std::to_string(v);
+  }
+}
+
+}  // namespace lbsa

@@ -1,0 +1,41 @@
+// Value domain shared by every object specification in the library.
+//
+// The paper's objects exchange opaque "values" plus a handful of reserved
+// responses: NIL (unset state variables in Algorithm 1), the special value
+// "bottom" returned by upset PAC objects and exhausted n-consensus objects
+// (footnote 6), and the "done" acknowledgement returned by every PAC propose
+// operation. We model the whole domain as int64_t with reserved sentinels at
+// the very bottom of the range; user proposals must be "ordinary" values
+// (see is_ordinary), matching the paper's footnote 4 assumption that
+// processes never propose NIL or bottom.
+#ifndef LBSA_BASE_VALUES_H_
+#define LBSA_BASE_VALUES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lbsa {
+
+// A proposal, response, or state component.
+using Value = std::int64_t;
+
+// Reserved sentinels. Kept clustered so is_ordinary is a single compare.
+inline constexpr Value kNil = std::numeric_limits<Value>::min();       // unset
+inline constexpr Value kBottom = std::numeric_limits<Value>::min() + 1;  // "⊥"
+inline constexpr Value kDone = std::numeric_limits<Value>::min() + 2;    // PAC propose ack
+inline constexpr Value kAbortSentinel = std::numeric_limits<Value>::min() + 3;
+inline constexpr Value kCrashSentinel = std::numeric_limits<Value>::min() + 4;
+
+// Smallest value a process may legally propose / an object may store as data.
+inline constexpr Value kMinOrdinary = std::numeric_limits<Value>::min() + 16;
+
+// True iff v is a plain data value (not one of the reserved sentinels).
+constexpr bool is_ordinary(Value v) { return v >= kMinOrdinary; }
+
+// Human-readable rendering ("⊥", "NIL", "done", or the number itself).
+std::string value_to_string(Value v);
+
+}  // namespace lbsa
+
+#endif  // LBSA_BASE_VALUES_H_

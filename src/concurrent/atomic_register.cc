@@ -1,0 +1,14 @@
+#include "concurrent/atomic_register.h"
+
+#include "base/check.h"
+
+namespace lbsa::concurrent {
+
+Value AtomicRegister::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_.validate(op).is_ok());
+  if (op.code == spec::OpCode::kRead) return read();
+  write(op.arg0);
+  return kDone;
+}
+
+}  // namespace lbsa::concurrent

@@ -1,0 +1,33 @@
+// Lock-free atomic register: the free base object of the paper's model,
+// realized directly on std::atomic<Value>.
+#ifndef LBSA_CONCURRENT_ATOMIC_REGISTER_H_
+#define LBSA_CONCURRENT_ATOMIC_REGISTER_H_
+
+#include <atomic>
+
+#include "concurrent/concurrent_object.h"
+#include "spec/register_type.h"
+
+namespace lbsa::concurrent {
+
+class AtomicRegister final : public ConcurrentObject {
+ public:
+  explicit AtomicRegister(Value initial_value = kNil)
+      : type_(initial_value), value_(initial_value) {}
+
+  const spec::ObjectType& type() const override { return type_; }
+
+  Value apply(const spec::Operation& op) override;
+
+  // Direct typed accessors for non-generic callers.
+  Value read() const { return value_.load(std::memory_order_acquire); }
+  void write(Value v) { value_.store(v, std::memory_order_release); }
+
+ private:
+  spec::RegisterType type_;
+  std::atomic<Value> value_;
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_ATOMIC_REGISTER_H_

@@ -1,0 +1,90 @@
+#include "concurrent/atomic_two_sa.h"
+
+#include "base/check.h"
+#include "base/hashing.h"
+
+namespace lbsa::concurrent {
+namespace {
+
+constexpr std::uint64_t kBias = 1ULL << 31;
+
+struct Unpacked {
+  std::uint32_t count;
+  std::uint32_t size;
+  Value v0;
+  Value v1;
+};
+
+__uint128_t pack(const Unpacked& u) {
+  const std::uint64_t hi =
+      (static_cast<std::uint64_t>(u.count) << 32) | u.size;
+  const std::uint64_t lo =
+      ((static_cast<std::uint64_t>(u.v1) + kBias) << 32) |
+      ((static_cast<std::uint64_t>(u.v0) + kBias) & 0xffffffffULL);
+  return (static_cast<__uint128_t>(hi) << 64) | lo;
+}
+
+Unpacked unpack(__uint128_t word) {
+  const auto hi = static_cast<std::uint64_t>(word >> 64);
+  const auto lo = static_cast<std::uint64_t>(word);
+  Unpacked u;
+  u.count = static_cast<std::uint32_t>(hi >> 32);
+  u.size = static_cast<std::uint32_t>(hi & 0xffffffffULL);
+  u.v1 = static_cast<Value>((lo >> 32) - kBias);
+  u.v0 = static_cast<Value>((lo & 0xffffffffULL) - kBias);
+  return u;
+}
+
+}  // namespace
+
+AtomicTwoSa::AtomicTwoSa(int port_bound, TwoSaSelection selection)
+    : type_(port_bound, 2),
+      selection_(selection),
+      word_(pack(Unpacked{0, 0, 0, 0})) {}
+
+Value AtomicTwoSa::propose(Value v) {
+  LBSA_CHECK_MSG(v >= kMinValue && v <= kMaxValue,
+                 "value outside AtomicTwoSa packed range");
+  __uint128_t observed = word_.load(std::memory_order_acquire);
+  while (true) {
+    Unpacked u = unpack(observed);
+    if (!type_.unbounded() &&
+        u.count >= static_cast<std::uint32_t>(type_.port_bound())) {
+      return kBottom;
+    }
+    ++u.count;
+    // STATE <- STATE ∪ {v} if |STATE| < 2 (set semantics).
+    if (u.size == 0) {
+      u.v0 = v;
+      u.size = 1;
+    } else if (u.size == 1 && u.v0 != v) {
+      u.v1 = v;
+      u.size = 2;
+    }
+    if (word_.compare_exchange_weak(observed, pack(u),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      // Return an arbitrarily selected member of STATE, per the policy.
+      if (u.size == 1) return u.v0;
+      switch (selection_) {
+        case TwoSaSelection::kFirst:
+          return u.v0;
+        case TwoSaSelection::kSecond:
+          return u.v1;
+        case TwoSaSelection::kMixed: {
+          const std::uint64_t tick =
+              selection_clock_.fetch_add(1, std::memory_order_relaxed);
+          return (mix64(tick) & 1) ? u.v1 : u.v0;
+        }
+      }
+      return u.v0;
+    }
+  }
+}
+
+Value AtomicTwoSa::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_.validate(op).is_ok());
+  return propose(op.arg0);
+}
+
+}  // namespace lbsa::concurrent

@@ -1,0 +1,51 @@
+// Lock-free strong 2-SA / (n,2)-SA object on a single 128-bit CAS.
+//
+// Layout (one __uint128_t): [count : 32][size : 32][v1+bias : 32][v0+bias : 32].
+// STATE (at most two 31-bit values), its size, and the propose count must
+// move together atomically; on x86-64 the compare_exchange compiles to
+// cmpxchg16b (and falls back to a libatomic lock elsewhere — still
+// linearizable, just slower).
+//
+// Nondeterminism: Algorithm 3 returns an "arbitrarily selected" member of
+// STATE. The selection policy is explicit so tests can pin the adversary:
+// kFirst / kSecond pick a fixed slot, kMixed varies the choice per call
+// (deterministically, from a mixed call counter) — the concurrent stand-in
+// for the paper's adversarial object.
+#ifndef LBSA_CONCURRENT_ATOMIC_TWO_SA_H_
+#define LBSA_CONCURRENT_ATOMIC_TWO_SA_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "concurrent/concurrent_object.h"
+#include "spec/ksa_type.h"
+
+namespace lbsa::concurrent {
+
+enum class TwoSaSelection { kFirst, kSecond, kMixed };
+
+class AtomicTwoSa final : public ConcurrentObject {
+ public:
+  // Inclusive range of proposable values in the packed representation.
+  static constexpr Value kMinValue = -(1LL << 30);
+  static constexpr Value kMaxValue = (1LL << 30) - 1;
+
+  explicit AtomicTwoSa(int port_bound = spec::kUnboundedPorts,
+                       TwoSaSelection selection = TwoSaSelection::kMixed);
+
+  const spec::ObjectType& type() const override { return type_; }
+  Value apply(const spec::Operation& op) override;
+
+  // Typed fast path.
+  Value propose(Value v);
+
+ private:
+  spec::KsaType type_;
+  TwoSaSelection selection_;
+  std::atomic<__uint128_t> word_;
+  std::atomic<std::uint64_t> selection_clock_{0};
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_ATOMIC_TWO_SA_H_

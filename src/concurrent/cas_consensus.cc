@@ -1,0 +1,56 @@
+#include "concurrent/cas_consensus.h"
+
+#include "base/check.h"
+
+namespace lbsa::concurrent {
+
+namespace {
+constexpr std::uint64_t kValueMask = (1ULL << 48) - 1;
+// Bias shifts the signed 47-bit value range into [0, 2^48).
+constexpr std::uint64_t kBias = 1ULL << 47;
+}  // namespace
+
+CasConsensus::CasConsensus(int n) : type_(n), word_(pack(0, 0)) {
+  LBSA_CHECK(n >= 1 && n < (1 << 16));
+}
+
+std::uint64_t CasConsensus::pack(std::uint32_t count, Value winner) {
+  const std::uint64_t biased =
+      static_cast<std::uint64_t>(winner) + kBias;  // wraps into [0, 2^48)
+  return (static_cast<std::uint64_t>(count) << 48) | (biased & kValueMask);
+}
+
+std::uint32_t CasConsensus::unpack_count(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word >> 48);
+}
+
+Value CasConsensus::unpack_winner(std::uint64_t word) {
+  return static_cast<Value>((word & kValueMask) - kBias);
+}
+
+Value CasConsensus::propose(Value v) {
+  LBSA_CHECK_MSG(v >= kMinValue && v <= kMaxValue,
+                 "value outside CasConsensus packed range");
+  std::uint64_t observed = word_.load(std::memory_order_acquire);
+  while (true) {
+    const std::uint32_t count = unpack_count(observed);
+    if (count >= static_cast<std::uint32_t>(type_.n())) return kBottom;
+    const Value winner = (count == 0) ? v : unpack_winner(observed);
+    const std::uint64_t desired = pack(count + 1, winner);
+    if (word_.compare_exchange_weak(observed, desired,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return winner;
+    }
+    // observed refreshed by the failed CAS; retry. Bounded retries: each
+    // failure means another proposer advanced the count, which can happen
+    // at most n times, so the loop is wait-free in the paper's sense.
+  }
+}
+
+Value CasConsensus::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_.validate(op).is_ok());
+  return propose(op.arg0);
+}
+
+}  // namespace lbsa::concurrent

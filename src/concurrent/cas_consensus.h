@@ -1,0 +1,45 @@
+// Lock-free n-consensus object (footnote 6 semantics) built on a single
+// 64-bit CAS word.
+//
+// Layout: the word packs [proposal_count : 16][winner+bias : 48]. The count
+// and the winner must move together atomically or a reader could observe an
+// incremented count with a stale winner, which breaks linearizability; that
+// is why both live in one word. Consequence: concurrent consensus values
+// must fit in 47 bits (checked). n is capped at 2^16 - 1.
+#ifndef LBSA_CONCURRENT_CAS_CONSENSUS_H_
+#define LBSA_CONCURRENT_CAS_CONSENSUS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "concurrent/concurrent_object.h"
+#include "spec/consensus_type.h"
+
+namespace lbsa::concurrent {
+
+class CasConsensus final : public ConcurrentObject {
+ public:
+  // Inclusive range of proposable values in the packed representation.
+  static constexpr Value kMinValue = -(1LL << 46);
+  static constexpr Value kMaxValue = (1LL << 46) - 1;
+
+  explicit CasConsensus(int n);
+
+  const spec::ObjectType& type() const override { return type_; }
+  Value apply(const spec::Operation& op) override;
+
+  // Typed fast path: proposes v, returns the winner or kBottom.
+  Value propose(Value v);
+
+ private:
+  static std::uint64_t pack(std::uint32_t count, Value winner);
+  static std::uint32_t unpack_count(std::uint64_t word);
+  static Value unpack_winner(std::uint64_t word);
+
+  spec::NConsensusType type_;
+  std::atomic<std::uint64_t> word_;
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_CAS_CONSENSUS_H_

@@ -1,0 +1,31 @@
+#include "concurrent/classic_objects.h"
+
+#include "base/check.h"
+
+namespace lbsa::concurrent {
+
+Value AtomicTestAndSet::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_.validate(op).is_ok());
+  return test_and_set();
+}
+
+Value AtomicCompareAndSwap::compare_and_swap(Value expected, Value desired) {
+  Value observed = cell_.load(std::memory_order_acquire);
+  while (observed == expected) {
+    if (cell_.compare_exchange_weak(observed, desired,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return expected;  // the pre-operation value
+    }
+    // observed refreshed; loop re-tests the expected match.
+  }
+  return observed;
+}
+
+Value AtomicCompareAndSwap::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_.validate(op).is_ok());
+  if (op.code == spec::OpCode::kRead) return read();
+  return compare_and_swap(op.arg0, op.arg1);
+}
+
+}  // namespace lbsa::concurrent

@@ -1,0 +1,52 @@
+// Lock-free realizations of the classic hierarchy objects: test&set on
+// atomic exchange and compare&swap on the hardware primitive itself.
+// (The FIFO queue's concurrent realization goes through SpinlockSpecObject
+// or the universal construction — which is itself the point Herlihy makes
+// about queues.)
+#ifndef LBSA_CONCURRENT_CLASSIC_OBJECTS_H_
+#define LBSA_CONCURRENT_CLASSIC_OBJECTS_H_
+
+#include <atomic>
+
+#include "concurrent/concurrent_object.h"
+#include "spec/classic_types.h"
+
+namespace lbsa::concurrent {
+
+class AtomicTestAndSet final : public ConcurrentObject {
+ public:
+  AtomicTestAndSet() = default;
+
+  const spec::ObjectType& type() const override { return type_; }
+  Value apply(const spec::Operation& op) override;
+
+  // Typed fast path: 0 iff this call set the bit.
+  Value test_and_set() {
+    return bit_.exchange(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  spec::TestAndSetType type_;
+  std::atomic<std::int64_t> bit_{0};
+};
+
+class AtomicCompareAndSwap final : public ConcurrentObject {
+ public:
+  explicit AtomicCompareAndSwap(Value initial_value = kNil)
+      : type_(initial_value), cell_(initial_value) {}
+
+  const spec::ObjectType& type() const override { return type_; }
+  Value apply(const spec::Operation& op) override;
+
+  // Typed fast path: returns the pre-operation value.
+  Value compare_and_swap(Value expected, Value desired);
+  Value read() const { return cell_.load(std::memory_order_acquire); }
+
+ private:
+  spec::CompareAndSwapType type_;
+  std::atomic<Value> cell_;
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_CLASSIC_OBJECTS_H_

@@ -1,0 +1,38 @@
+// The concurrent realm: linearizable shared objects usable from real
+// threads, each tied to the sequential specification (src/spec) it
+// implements. The linearizability checker (src/lincheck) validates recorded
+// histories of these objects against their specs — that is the bridge
+// between the runnable library and the paper's proof devices.
+#ifndef LBSA_CONCURRENT_CONCURRENT_OBJECT_H_
+#define LBSA_CONCURRENT_CONCURRENT_OBJECT_H_
+
+#include <memory>
+
+#include "base/values.h"
+#include "spec/object_type.h"
+
+namespace lbsa::concurrent {
+
+class ConcurrentObject {
+ public:
+  virtual ~ConcurrentObject() = default;
+
+  // The sequential specification this object implements.
+  virtual const spec::ObjectType& type() const = 0;
+
+  // Applies op atomically and returns the response. Thread-safe; op must
+  // validate against type(). The call linearizes at some point between its
+  // invocation and its return.
+  virtual Value apply(const spec::Operation& op) = 0;
+
+  // Applies op on behalf of a specific thread id. Most objects are
+  // caller-agnostic and ignore the id; objects with per-thread structure
+  // (the universal construction's replicas) override this.
+  virtual Value apply_as(int /*thread*/, const spec::Operation& op) {
+    return apply(op);
+  }
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_CONCURRENT_OBJECT_H_

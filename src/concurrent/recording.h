@@ -1,0 +1,40 @@
+// RecordingObject: wraps any ConcurrentObject and logs every operation's
+// invocation/response interval into a lincheck::HistoryLog, so real-thread
+// runs can be validated against the sequential specification afterwards.
+#ifndef LBSA_CONCURRENT_RECORDING_H_
+#define LBSA_CONCURRENT_RECORDING_H_
+
+#include "concurrent/concurrent_object.h"
+#include "lincheck/history_log.h"
+
+namespace lbsa::concurrent {
+
+class RecordingObject final : public ConcurrentObject {
+ public:
+  // Does not own inner or log; both must outlive this wrapper.
+  RecordingObject(ConcurrentObject* inner, lincheck::HistoryLog* log)
+      : inner_(inner), log_(log) {}
+
+  const spec::ObjectType& type() const override { return inner_->type(); }
+
+  Value apply(const spec::Operation& op) override {
+    return apply_as(/*thread=*/-1, op);
+  }
+
+  // Same as apply but tags the record with the calling thread's id and
+  // forwards it to the inner object (per-thread objects need it).
+  Value apply_as(int thread, const spec::Operation& op) override {
+    const int op_id = log_->begin_op(thread, op);
+    const Value response = inner_->apply_as(thread, op);
+    log_->end_op(op_id, response);
+    return response;
+  }
+
+ private:
+  ConcurrentObject* inner_;
+  lincheck::HistoryLog* log_;
+};
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_RECORDING_H_

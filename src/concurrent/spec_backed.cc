@@ -1,0 +1,50 @@
+#include "concurrent/spec_backed.h"
+
+#include "base/check.h"
+
+namespace lbsa::concurrent {
+
+SpinlockSpecObject::SpinlockSpecObject(
+    std::shared_ptr<const spec::ObjectType> type, OutcomePolicy policy,
+    std::uint64_t seed)
+    : type_(std::move(type)), policy_(policy), rng_(seed) {
+  LBSA_CHECK(type_ != nullptr);
+  state_ = type_->initial_state();
+}
+
+void SpinlockSpecObject::lock() {
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void SpinlockSpecObject::unlock() {
+  lock_.clear(std::memory_order_release);
+}
+
+Value SpinlockSpecObject::apply(const spec::Operation& op) {
+  LBSA_CHECK(type_->validate(op).is_ok());
+  std::vector<spec::Outcome> outcomes;
+  lock();
+  type_->apply(state_, op, &outcomes);
+  LBSA_CHECK(!outcomes.empty());
+  const std::size_t choice =
+      (policy_ == OutcomePolicy::kFirst || outcomes.size() == 1)
+          ? 0
+          : static_cast<std::size_t>(rng_.next_below(outcomes.size()));
+  state_ = std::move(outcomes[choice].next_state);
+  const Value response = outcomes[choice].response;
+  unlock();
+  return response;
+}
+
+std::vector<std::int64_t> SpinlockSpecObject::state_snapshot() {
+  lock();
+  std::vector<std::int64_t> snapshot = state_;
+  unlock();
+  return snapshot;
+}
+
+}  // namespace lbsa::concurrent

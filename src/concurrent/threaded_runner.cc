@@ -1,0 +1,76 @@
+#include "concurrent/threaded_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "base/check.h"
+
+namespace lbsa::concurrent {
+
+bool ThreadedRunResult::all_terminated() const {
+  return std::all_of(final_states.begin(), final_states.end(),
+                     [](const sim::ProcessState& ps) { return !ps.running(); });
+}
+
+std::vector<Value> ThreadedRunResult::distinct_decisions() const {
+  std::vector<Value> out;
+  for (const sim::ProcessState& ps : final_states) {
+    if (ps.decided()) out.push_back(ps.decision);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ThreadedRunResult run_threaded(const sim::Protocol& protocol,
+                               const std::vector<ConcurrentObject*>& objects,
+                               const ThreadedRunOptions& options) {
+  const int n = protocol.process_count();
+  LBSA_CHECK(objects.size() == protocol.objects().size());
+
+  ThreadedRunResult result;
+  result.final_states.resize(static_cast<size_t>(n));
+  std::atomic<std::uint64_t> total_steps{0};
+
+  auto worker = [&](int pid) {
+    sim::ProcessState state;
+    state.locals = protocol.initial_locals(pid);
+    std::uint64_t steps = 0;
+    while (state.running()) {
+      if (steps >= options.max_steps_per_process) {
+        state.status = sim::ProcStatus::kCrashed;
+        break;
+      }
+      const sim::Action action = protocol.next_action(pid, state);
+      ++steps;
+      switch (action.kind) {
+        case sim::Action::Kind::kDecide:
+          state.status = sim::ProcStatus::kDecided;
+          state.decision = action.decision;
+          break;
+        case sim::Action::Kind::kAbort:
+          state.status = sim::ProcStatus::kAborted;
+          break;
+        case sim::Action::Kind::kInvoke: {
+          ConcurrentObject* object =
+              objects[static_cast<size_t>(action.object_index)];
+          const Value response = object->apply_as(pid, action.op);
+          protocol.on_response(pid, &state, response);
+          break;
+        }
+      }
+    }
+    total_steps.fetch_add(steps, std::memory_order_relaxed);
+    result.final_states[static_cast<size_t>(pid)] = std::move(state);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int pid = 0; pid < n; ++pid) threads.emplace_back(worker, pid);
+  for (std::thread& t : threads) t.join();
+  result.total_steps = total_steps.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace lbsa::concurrent

@@ -1,0 +1,42 @@
+// ThreadedRunner: executes a sim::Protocol on real OS threads against
+// concurrent objects — the same automata that the simulator and model
+// checker drive, now scheduled by the operating system instead of an
+// explicit adversary. This closes the loop of experiment E2: Algorithm 2
+// model-checked under all schedules for small n, then run on hardware for
+// larger n.
+#ifndef LBSA_CONCURRENT_THREADED_RUNNER_H_
+#define LBSA_CONCURRENT_THREADED_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "concurrent/concurrent_object.h"
+#include "sim/protocol.h"
+
+namespace lbsa::concurrent {
+
+struct ThreadedRunOptions {
+  // Per-process cap on invoke steps; a process exceeding it is marked
+  // crashed (guards against genuinely non-terminating protocols).
+  std::uint64_t max_steps_per_process = 1'000'000;
+};
+
+struct ThreadedRunResult {
+  std::vector<sim::ProcessState> final_states;
+  std::uint64_t total_steps = 0;
+
+  bool all_terminated() const;
+  // Distinct decided values, sorted.
+  std::vector<Value> distinct_decisions() const;
+};
+
+// objects[i] realizes protocol.objects()[i] and must implement a spec with
+// the same operation interface. Runs one thread per process, joins them all.
+ThreadedRunResult run_threaded(const sim::Protocol& protocol,
+                               const std::vector<ConcurrentObject*>& objects,
+                               const ThreadedRunOptions& options = {});
+
+}  // namespace lbsa::concurrent
+
+#endif  // LBSA_CONCURRENT_THREADED_RUNNER_H_

@@ -1,0 +1,50 @@
+#include "core/hierarchy.h"
+
+#include "base/check.h"
+#include "core/knowledge.h"
+
+namespace lbsa::core {
+
+std::vector<HierarchyEntry> hierarchy_catalog(int n, int k_max) {
+  LBSA_CHECK(n >= 2 && k_max >= 1);
+  std::vector<HierarchyEntry> catalog;
+  catalog.push_back({"register", "register", 1,
+                     "Herlihy [10]", power_of_register(k_max)});
+  catalog.push_back({"2-SA", "2-SA", 1,
+                     "own-value adversary + FLP [8]", power_of_two_sa(k_max)});
+  catalog.push_back({"test&set", "test&set", 2, "Herlihy [10]",
+                     power_of_test_and_set(k_max)});
+  catalog.push_back(
+      {"queue", "queue", 2, "Herlihy [10]", power_of_queue(k_max)});
+  catalog.push_back({"n-consensus", name_n_consensus(n),
+                     static_cast<std::int64_t>(n), "footnote 6",
+                     power_of_n_consensus(n, k_max)});
+  catalog.push_back({"O_n", name_o_n(n), static_cast<std::int64_t>(n),
+                     "Theorem 5.3 / Observation 6.2",
+                     power_of_o_n(n, k_max)});
+  catalog.push_back({"O'_n", name_o_prime_n(n), static_cast<std::int64_t>(n),
+                     "same power sequence as O_n (Section 6)",
+                     power_of_o_prime_n(n, k_max)});
+  catalog.push_back({"compare&swap", "compare&swap", kLevelInfinity,
+                     "Herlihy [10]", power_of_compare_and_swap(k_max)});
+  return catalog;
+}
+
+std::vector<HierarchyEntry> entries_at_level(int n, int k_max,
+                                             std::int64_t level) {
+  std::vector<HierarchyEntry> out;
+  for (HierarchyEntry& entry : hierarchy_catalog(n, k_max)) {
+    if (entry.level == level) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::optional<HierarchyEntry> find_family(int n, int k_max,
+                                          const std::string& family) {
+  for (HierarchyEntry& entry : hierarchy_catalog(n, k_max)) {
+    if (entry.family == family) return std::move(entry);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lbsa::core

@@ -1,0 +1,42 @@
+// The consensus hierarchy as a queryable catalog: every object family the
+// library ships, its hierarchy level (consensus number), and its power
+// sequence factory — the atlas behind examples/hierarchy_atlas.cpp and the
+// comparison surface for the paper's O_n / O'_n pair.
+#ifndef LBSA_CORE_HIERARCHY_H_
+#define LBSA_CORE_HIERARCHY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/power.h"
+
+namespace lbsa::core {
+
+// Hierarchy level; kLevelInfinity for universal objects.
+inline constexpr std::int64_t kLevelInfinity = -1;
+
+struct HierarchyEntry {
+  std::string family;          // e.g. "n-PAC", "O_n", "test&set"
+  std::string instance;        // concrete rendering at the given parameter
+  std::int64_t level = 1;      // consensus number (kLevelInfinity = ∞)
+  std::string level_source;    // theorem / citation for the level
+  SetAgreementPower power;     // power-sequence prefix
+};
+
+// The catalog at parameter n (>= 2), power prefixes up to k_max (>= 1).
+// Families included: register, 2-SA, test&set, queue, n-consensus, O_n,
+// O'_n, compare&swap.
+std::vector<HierarchyEntry> hierarchy_catalog(int n, int k_max);
+
+// Entries of the catalog at exactly `level` (kLevelInfinity for ∞).
+std::vector<HierarchyEntry> entries_at_level(int n, int k_max,
+                                             std::int64_t level);
+
+// Looks up a family by name in hierarchy_catalog(n, k_max).
+std::optional<HierarchyEntry> find_family(int n, int k_max,
+                                          const std::string& family);
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_HIERARCHY_H_

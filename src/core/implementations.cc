@@ -1,0 +1,215 @@
+#include "core/implementations.h"
+
+#include "base/check.h"
+#include "core/power.h"
+#include "core/separation.h"
+#include "spec/consensus_type.h"
+#include "spec/counter_type.h"
+#include "spec/ksa_type.h"
+#include "spec/nm_pac_type.h"
+#include "spec/pac_type.h"
+#include "spec/register_type.h"
+
+namespace lbsa::core {
+namespace {
+
+using implcheck::DirectRoutingImplementation;
+using implcheck::ImplAction;
+using implcheck::ObjectImplementation;
+using implcheck::OpExecState;
+
+// --------------------------------------------------------------------------
+// Multi-step control implementations.
+// --------------------------------------------------------------------------
+
+// fetch-and-add(delta) = { old <- READ(R); WRITE(R, old + delta); return old }
+// — the classic lost-update bug.
+class RacyCounterImpl final : public ObjectImplementation {
+ public:
+  RacyCounterImpl()
+      : target_(std::make_shared<spec::CounterType>()),
+        bases_{std::make_shared<spec::RegisterType>(0)} {}
+
+  std::string name() const override { return "racy-counter-from-register"; }
+  const spec::ObjectType& target_type() const override { return *target_; }
+  const std::vector<std::shared_ptr<const spec::ObjectType>>& base_objects()
+      const override {
+    return bases_;
+  }
+
+  OpExecState begin(const spec::Operation& /*op*/) const override {
+    return OpExecState{0, {kNil}};
+  }
+
+  ImplAction next_action(const spec::Operation& op,
+                         const OpExecState& state) const override {
+    if (op.code == spec::OpCode::kRead) {
+      if (state.pc == 0) return ImplAction::base(0, spec::make_read());
+      return ImplAction::ret(state.locals[0]);
+    }
+    LBSA_CHECK(op.code == spec::OpCode::kPropose);  // fetch-and-add
+    switch (state.pc) {
+      case 0:
+        return ImplAction::base(0, spec::make_read());
+      case 1:
+        return ImplAction::base(
+            0, spec::make_write(state.locals[0] + op.arg0));
+      default:
+        return ImplAction::ret(state.locals[0]);
+    }
+  }
+
+  void on_response(const spec::Operation& /*op*/, OpExecState* state,
+                   Value response) const override {
+    if (state->pc == 0) state->locals[0] = response;  // the read
+    ++state->pc;
+  }
+
+ private:
+  std::shared_ptr<const spec::ObjectType> target_;
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases_;
+};
+
+// read = { READ(R); v <- READ(R); return v }; write = { WRITE(R, v) }.
+class DoubleReadRegisterImpl final : public ObjectImplementation {
+ public:
+  DoubleReadRegisterImpl()
+      : target_(std::make_shared<spec::RegisterType>()),
+        bases_{std::make_shared<spec::RegisterType>()} {}
+
+  std::string name() const override { return "double-read-register"; }
+  const spec::ObjectType& target_type() const override { return *target_; }
+  const std::vector<std::shared_ptr<const spec::ObjectType>>& base_objects()
+      const override {
+    return bases_;
+  }
+
+  OpExecState begin(const spec::Operation& /*op*/) const override {
+    return OpExecState{0, {kNil}};
+  }
+
+  ImplAction next_action(const spec::Operation& op,
+                         const OpExecState& state) const override {
+    if (op.code == spec::OpCode::kWrite) {
+      if (state.pc == 0) return ImplAction::base(0, op);
+      return ImplAction::ret(kDone);
+    }
+    LBSA_CHECK(op.code == spec::OpCode::kRead);
+    if (state.pc <= 1) return ImplAction::base(0, spec::make_read());
+    return ImplAction::ret(state.locals[0]);
+  }
+
+  void on_response(const spec::Operation& op, OpExecState* state,
+                   Value response) const override {
+    if (op.code == spec::OpCode::kRead && state->pc == 1) {
+      state->locals[0] = response;  // keep the second read
+    }
+    ++state->pc;
+  }
+
+ private:
+  std::shared_ptr<const spec::ObjectType> target_;
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases_;
+};
+
+}  // namespace
+
+std::unique_ptr<implcheck::ObjectImplementation> make_nm_pac_from_components(
+    int n, int m) {
+  auto target = std::make_shared<spec::NmPacType>(n, m);
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases = {
+      std::make_shared<spec::PacType>(n),
+      std::make_shared<spec::NConsensusType>(m)};
+  return std::make_unique<DirectRoutingImplementation>(
+      "(n,m)-PAC-from-components", target, std::move(bases),
+      [](const spec::Operation& op) -> std::pair<int, spec::Operation> {
+        switch (op.code) {
+          case spec::OpCode::kProposeC:
+            return {1, spec::make_propose(op.arg0)};
+          case spec::OpCode::kProposeP:
+            return {0, spec::make_propose_labeled(op.arg0, op.arg1)};
+          case spec::OpCode::kDecideP:
+            return {0, spec::make_decide_labeled(op.arg0)};
+          default:
+            LBSA_CHECK_MSG(false, "not an (n,m)-PAC op");
+            return {0, op};
+        }
+      });
+}
+
+std::unique_ptr<implcheck::ObjectImplementation> make_pac_from_nm_pac(int n,
+                                                                      int m) {
+  auto target = std::make_shared<spec::PacType>(n);
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases = {
+      std::make_shared<spec::NmPacType>(n, m)};
+  return std::make_unique<DirectRoutingImplementation>(
+      "n-PAC-from-(n,m)-PAC", target, std::move(bases),
+      [](const spec::Operation& op) -> std::pair<int, spec::Operation> {
+        if (op.code == spec::OpCode::kProposeLabeled) {
+          return {0, spec::make_propose_p(op.arg0, op.arg1)};
+        }
+        LBSA_CHECK(op.code == spec::OpCode::kDecideLabeled);
+        return {0, spec::make_decide_p(op.arg0)};
+      });
+}
+
+std::unique_ptr<implcheck::ObjectImplementation> make_consensus_from_nm_pac(
+    int n, int m) {
+  auto target = std::make_shared<spec::NConsensusType>(m);
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases = {
+      std::make_shared<spec::NmPacType>(n, m)};
+  return std::make_unique<DirectRoutingImplementation>(
+      "m-consensus-from-(n,m)-PAC", target, std::move(bases),
+      [](const spec::Operation& op) -> std::pair<int, spec::Operation> {
+        LBSA_CHECK(op.code == spec::OpCode::kPropose);
+        return {0, spec::make_propose_c(op.arg0)};
+      });
+}
+
+std::unique_ptr<implcheck::ObjectImplementation> make_o_prime_from_base_impl(
+    int n, int k_max) {
+  auto target = make_o_prime_n(n, k_max);
+  const std::vector<int> bounds = power_of_o_n(n, k_max).port_bounds();
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases;
+  bases.push_back(std::make_shared<spec::NConsensusType>(bounds[0]));
+  for (int k = 2; k <= k_max; ++k) {
+    bases.push_back(std::make_shared<spec::KsaType>(
+        bounds[static_cast<size_t>(k - 1)], 2));
+  }
+  return std::make_unique<DirectRoutingImplementation>(
+      "O'-from-base (Lemma 6.4)", target, std::move(bases),
+      [](const spec::Operation& op) -> std::pair<int, spec::Operation> {
+        LBSA_CHECK(op.code == spec::OpCode::kProposeK);
+        return {static_cast<int>(op.arg1) - 1, spec::make_propose(op.arg0)};
+      });
+}
+
+std::unique_ptr<implcheck::ObjectImplementation> make_broken_o_prime_impl(
+    int n, int k_max) {
+  auto target = make_o_prime_n(n, k_max);
+  const std::vector<int> bounds = power_of_o_n(n, k_max).port_bounds();
+  std::vector<std::shared_ptr<const spec::ObjectType>> bases;
+  // Level 1 wrongly backed by a 2-SA (consensus needs... consensus).
+  bases.push_back(std::make_shared<spec::KsaType>(bounds[0], 2));
+  for (int k = 2; k <= k_max; ++k) {
+    bases.push_back(std::make_shared<spec::KsaType>(
+        bounds[static_cast<size_t>(k - 1)], 2));
+  }
+  return std::make_unique<DirectRoutingImplementation>(
+      "broken-O'-from-base", target, std::move(bases),
+      [](const spec::Operation& op) -> std::pair<int, spec::Operation> {
+        LBSA_CHECK(op.code == spec::OpCode::kProposeK);
+        return {static_cast<int>(op.arg1) - 1, spec::make_propose(op.arg0)};
+      });
+}
+
+std::unique_ptr<implcheck::ObjectImplementation> make_racy_counter_impl() {
+  return std::make_unique<RacyCounterImpl>();
+}
+
+std::unique_ptr<implcheck::ObjectImplementation>
+make_double_read_register_impl() {
+  return std::make_unique<DoubleReadRegisterImpl>();
+}
+
+}  // namespace lbsa::core

@@ -1,0 +1,51 @@
+// The paper's constructive implementation claims as checkable
+// implcheck::ObjectImplementation instances, plus control cases that prove
+// the checker has teeth (a deliberately broken bundle and a racy read-
+// modify-write that must fail).
+#ifndef LBSA_CORE_IMPLEMENTATIONS_H_
+#define LBSA_CORE_IMPLEMENTATIONS_H_
+
+#include <memory>
+
+#include "implcheck/implementation.h"
+
+namespace lbsa::core {
+
+// Observation 5.1(a): an (n,m)-PAC from one n-PAC and one m-consensus
+// object (pure routing).
+std::unique_ptr<implcheck::ObjectImplementation> make_nm_pac_from_components(
+    int n, int m);
+
+// Observation 5.1(b): an n-PAC from one (n,m)-PAC (PROPOSEP/DECIDEP ports).
+std::unique_ptr<implcheck::ObjectImplementation> make_pac_from_nm_pac(int n,
+                                                                      int m);
+
+// Observation 5.1(c): an m-consensus object from one (n,m)-PAC (PROPOSEC).
+std::unique_ptr<implcheck::ObjectImplementation> make_consensus_from_nm_pac(
+    int n, int m);
+
+// Lemma 6.4: the O'_n bundle (truncated at k_max) from one n-consensus
+// object and one port-bounded 2-SA object per level k >= 2.
+std::unique_ptr<implcheck::ObjectImplementation> make_o_prime_from_base_impl(
+    int n, int k_max);
+
+// Control case: the Lemma 6.4 construction with level 1 WRONGLY routed to a
+// 2-SA object. Claims to implement the same O'_n spec; the checker must
+// refute it (two level-1 proposers can receive different values).
+std::unique_ptr<implcheck::ObjectImplementation> make_broken_o_prime_impl(
+    int n, int k_max);
+
+// Control case: fetch-and-add implemented as an unsynchronized
+// read-then-write on a register. Correct sequentially; loses updates under
+// concurrency, so the checker must refute it.
+std::unique_ptr<implcheck::ObjectImplementation> make_racy_counter_impl();
+
+// Multi-step positive case: a register whose read performs TWO base reads
+// and returns the second. Still linearizable (the second read is the
+// linearization point).
+std::unique_ptr<implcheck::ObjectImplementation>
+make_double_read_register_impl();
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_IMPLEMENTATIONS_H_

@@ -1,0 +1,83 @@
+#include "core/knowledge.h"
+
+#include "base/check.h"
+
+namespace lbsa::core {
+
+std::string name_o_n(int n) { return "O_" + std::to_string(n); }
+std::string name_o_prime_n(int n) { return "O'_" + std::to_string(n); }
+std::string name_n_consensus(int n) {
+  return std::to_string(n) + "-consensus";
+}
+std::string name_n_pac(int n) { return std::to_string(n) + "-PAC"; }
+std::string name_nm_pac(int n, int m) {
+  return "(" + std::to_string(n) + "," + std::to_string(m) + ")-PAC";
+}
+
+std::vector<ImplementabilityFact> paper_facts(int n) {
+  LBSA_CHECK(n >= 2);
+  std::vector<ImplementabilityFact> facts;
+
+  // Theorem 4.1 (via Algorithm 2): one (n+1)-PAC solves (n+1)-DAC.
+  facts.push_back({"(n+1)-DAC solution [" + std::to_string(n + 1) + "-DAC]",
+                   name_n_pac(n + 1), Verdict::kImplementable,
+                   "Theorem 4.1 / Algorithm 2",
+                   "protocols::DacFromPacProtocol"});
+
+  // Theorem 4.2: no (n+1)-DAC from n-consensus + registers + 2-SA.
+  facts.push_back({"(n+1)-DAC solution [" + std::to_string(n + 1) + "-DAC]",
+                   name_n_consensus(n) + " + " + name_two_sa(),
+                   Verdict::kNotImplementable, "Theorem 4.2", ""});
+
+  // Theorem 4.3: (n+1)-PAC not implementable from the same base.
+  facts.push_back({name_n_pac(n + 1),
+                   name_n_consensus(n) + " + " + name_two_sa(),
+                   Verdict::kNotImplementable, "Theorem 4.3", ""});
+
+  // Observation 5.1(a): (n+1,n)-PAC from (n+1)-PAC + n-consensus.
+  facts.push_back({name_nm_pac(n + 1, n),
+                   name_n_pac(n + 1) + " + " + name_n_consensus(n),
+                   Verdict::kImplementable, "Observation 5.1(a)",
+                   "spec::NmPacType (direct composition)"});
+
+  // Observation 5.1(b,c): the components from the combination.
+  facts.push_back({name_n_pac(n + 1), name_nm_pac(n + 1, n),
+                   Verdict::kImplementable, "Observation 5.1(b)",
+                   "PROPOSEP/DECIDEP ports of spec::NmPacType"});
+  facts.push_back({name_n_consensus(n), name_nm_pac(n + 1, n),
+                   Verdict::kImplementable, "Observation 5.1(c)",
+                   "PROPOSEC port of spec::NmPacType"});
+
+  // Observation 6.3 (from Thm 4.3 + Obs 5.1(b)).
+  facts.push_back({name_o_n(n), name_n_consensus(n) + " + " + name_two_sa(),
+                   Verdict::kNotImplementable, "Observation 6.3", ""});
+
+  // Lemma 6.4: O'_n from n-consensus + 2-SA.
+  facts.push_back({name_o_prime_n(n),
+                   name_n_consensus(n) + " + " + name_two_sa(),
+                   Verdict::kImplementable, "Lemma 6.4",
+                   "core::make_o_prime_from_base / core::OPrimeFromBaseObject"});
+
+  // Theorem 6.5: O_n not from O'_n (the separation).
+  facts.push_back({name_o_n(n), name_o_prime_n(n),
+                   Verdict::kNotImplementable, "Theorem 6.5", ""});
+
+  // Theorem 7.1 (with m := n, any bound b >= n+1 on the consensus objects):
+  // the (b+1, n)-PAC at level n is not implementable from b-consensus.
+  facts.push_back({name_nm_pac(n + 2, n), name_n_consensus(n + 1),
+                   Verdict::kNotImplementable, "Theorem 7.1 (m=n, b=n+1)",
+                   ""});
+
+  return facts;
+}
+
+std::optional<ImplementabilityFact> lookup_fact(int n,
+                                                const std::string& target,
+                                                const std::string& base) {
+  for (ImplementabilityFact& fact : paper_facts(n)) {
+    if (fact.target == target && fact.base == base) return fact;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lbsa::core

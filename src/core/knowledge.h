@@ -1,0 +1,50 @@
+// The paper's implementability results as a queryable knowledge base.
+//
+// Impossibility theorems quantify over all algorithms and cannot be
+// established by running code; what a library CAN do is expose the proved
+// facts in machine-readable form, each tagged with its theorem, its kind
+// (constructive facts additionally point at the module that realizes them),
+// and the level-n instantiation it concerns. Tests assert internal
+// consistency (e.g. no pair is both implementable and not, the separation
+// corollary follows from its two premises being present).
+#ifndef LBSA_CORE_KNOWLEDGE_H_
+#define LBSA_CORE_KNOWLEDGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lbsa::core {
+
+enum class Verdict {
+  kImplementable,     // constructive: the library contains the construction
+  kNotImplementable,  // proved impossible in the paper
+};
+
+struct ImplementabilityFact {
+  std::string target;       // what is (not) being implemented
+  std::string base;         // from what (always "+ registers" implicitly)
+  Verdict verdict = Verdict::kImplementable;
+  std::string source;       // theorem / lemma in the paper
+  std::string realization;  // for constructive facts: module realizing it
+};
+
+// The paper's facts instantiated at hierarchy level n (n >= 2).
+std::vector<ImplementabilityFact> paper_facts(int n);
+
+// Looks up the verdict for (target, base) among paper_facts(n).
+std::optional<ImplementabilityFact> lookup_fact(int n,
+                                                const std::string& target,
+                                                const std::string& base);
+
+// Canonical object names used in the fact table, for programmatic queries.
+std::string name_o_n(int n);               // "O_n" instantiated
+std::string name_o_prime_n(int n);         // "O'_n"
+std::string name_n_consensus(int n);       // "n-consensus"
+std::string name_n_pac(int n);             // "n-PAC"
+std::string name_nm_pac(int n, int m);     // "(n,m)-PAC"
+inline std::string name_two_sa() { return "2-SA"; }
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_KNOWLEDGE_H_

@@ -1,0 +1,172 @@
+#include "core/power.h"
+
+#include "base/check.h"
+#include "spec/ksa_type.h"
+
+namespace lbsa::core {
+
+SetAgreementPower::SetAgreementPower(std::string object_name,
+                                     std::vector<PowerEntry> prefix)
+    : object_name_(std::move(object_name)), entries_(std::move(prefix)) {
+  LBSA_CHECK(!entries_.empty());
+  for (const PowerEntry& e : entries_) {
+    LBSA_CHECK(e.value == kInfinitePower || e.value >= 1);
+  }
+}
+
+const PowerEntry& SetAgreementPower::entry(int k) const {
+  LBSA_CHECK(k >= 1 && k <= k_max());
+  return entries_[static_cast<size_t>(k - 1)];
+}
+
+std::int64_t SetAgreementPower::consensus_number() const {
+  const PowerEntry& e = entry(1);
+  LBSA_CHECK_MSG(e.provenance == PowerEntry::Provenance::kExact,
+                 "consensus number entry is not exact");
+  return e.value;
+}
+
+bool SetAgreementPower::values_equal(const SetAgreementPower& other) const {
+  const int shared = std::min(k_max(), other.k_max());
+  for (int k = 1; k <= shared; ++k) {
+    if (entry(k).value != other.entry(k).value) return false;
+  }
+  return true;
+}
+
+std::vector<int> SetAgreementPower::port_bounds() const {
+  std::vector<int> bounds;
+  bounds.reserve(entries_.size());
+  for (const PowerEntry& e : entries_) {
+    bounds.push_back(e.infinite() ? spec::kUnboundedPorts
+                                  : static_cast<int>(e.value));
+  }
+  return bounds;
+}
+
+std::string SetAgreementPower::to_string() const {
+  std::string out = object_name_ + ": (";
+  for (int k = 1; k <= k_max(); ++k) {
+    if (k > 1) out += ", ";
+    const PowerEntry& e = entry(k);
+    out += e.infinite() ? "∞" : std::to_string(e.value);
+    if (e.provenance == PowerEntry::Provenance::kLowerBound) out += "+";
+  }
+  out += ", ...)";
+  return out;
+}
+
+namespace {
+
+PowerEntry exact(std::int64_t value, std::string source) {
+  return PowerEntry{value, PowerEntry::Provenance::kExact, std::move(source)};
+}
+
+PowerEntry lower_bound(std::int64_t value, std::string source) {
+  return PowerEntry{value, PowerEntry::Provenance::kLowerBound,
+                    std::move(source)};
+}
+
+}  // namespace
+
+SetAgreementPower power_of_register(int k_max) {
+  LBSA_CHECK(k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(1, "Herlihy [10]: registers have consensus number 1"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(exact(
+        k, "wait-free k-set agreement among k is trivial, among k+1 "
+           "impossible [BG93/HS99/SZ00]"));
+  }
+  return SetAgreementPower("register", std::move(entries));
+}
+
+SetAgreementPower power_of_n_consensus(int m, int k_max) {
+  LBSA_CHECK(m >= 1 && k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(m, "footnote 6: the m-consensus object"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(exact(
+        static_cast<std::int64_t>(k) * m,
+        "partition protocol gives k*m; tight by Chaudhuri-Reiners [6]"));
+  }
+  return SetAgreementPower(std::to_string(m) + "-consensus",
+                           std::move(entries));
+}
+
+SetAgreementPower power_of_two_sa(int k_max) {
+  LBSA_CHECK(k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(
+      1, "an own-value adversary makes 2-SA useless for 2-process consensus; "
+         "register-only consensus is impossible [8]"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(exact(
+        kInfinitePower,
+        "Algorithm 3 solves k-set agreement among any finite number"));
+  }
+  return SetAgreementPower("2-SA", std::move(entries));
+}
+
+SetAgreementPower power_of_o_n(int n, int k_max) {
+  LBSA_CHECK(n >= 2 && k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(
+      exact(n, "Theorem 5.3 / Observation 6.2: O_n is at level n"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(lower_bound(
+        static_cast<std::int64_t>(k) * n,
+        "partition protocol over O_n's n-consensus port; exact value not "
+        "computed in the paper"));
+  }
+  return SetAgreementPower("O_" + std::to_string(n), std::move(entries));
+}
+
+SetAgreementPower power_of_test_and_set(int k_max) {
+  LBSA_CHECK(k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(2, "Herlihy [10]: test&set has consensus number 2"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(exact(
+        2LL * k,
+        "test&set is equivalent to a 2-consensus object, whose n_k = 2k "
+        "is tight by Chaudhuri-Reiners [6]"));
+  }
+  return SetAgreementPower("test&set", std::move(entries));
+}
+
+SetAgreementPower power_of_queue(int k_max) {
+  LBSA_CHECK(k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(2, "Herlihy [10]: FIFO queues have consensus "
+                             "number 2"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(lower_bound(
+        2LL * k, "partition protocol with queue-based 2-consensus groups"));
+  }
+  return SetAgreementPower("queue", std::move(entries));
+}
+
+SetAgreementPower power_of_compare_and_swap(int k_max) {
+  LBSA_CHECK(k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(kInfinitePower,
+                          "Herlihy [10]: compare&swap is universal"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(exact(kInfinitePower, "dominated by n_1 = ∞"));
+  }
+  return SetAgreementPower("compare&swap", std::move(entries));
+}
+
+SetAgreementPower power_of_o_prime_n(int n, int k_max) {
+  SetAgreementPower base = power_of_o_n(n, k_max);
+  std::vector<PowerEntry> entries;
+  for (int k = 1; k <= base.k_max(); ++k) {
+    PowerEntry e = base.entry(k);
+    e.source = "by construction, O'_n embodies the power of O_n (Section 6)";
+    entries.push_back(std::move(e));
+  }
+  return SetAgreementPower("O'_" + std::to_string(n), std::move(entries));
+}
+
+}  // namespace lbsa::core

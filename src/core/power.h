@@ -1,0 +1,104 @@
+// Set agreement power sequences (Section 1): for an object O, the sequence
+// (n_1, n_2, ..., n_k, ...) where n_k is the largest number of processes for
+// which instances of O and registers solve k-set agreement (kInfinitePower
+// if unbounded). n_1 is the consensus number.
+//
+// Honesty discipline: every entry carries a provenance. kExact entries are
+// backed by a tight theorem (cited in `source`); kLowerBound entries record
+// only what a constructive protocol witnesses (the library can mechanically
+// verify those lower bounds through core/solvability.h). The paper never
+// computes the full sequence of O_n — its argument only needs n_1 and the
+// fact that O'_n is built to match — and this type is designed so that gap
+// stays visible instead of being papered over.
+#ifndef LBSA_CORE_POWER_H_
+#define LBSA_CORE_POWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbsa::core {
+
+// n_k value meaning "any finite number of processes".
+inline constexpr std::int64_t kInfinitePower = -1;
+
+struct PowerEntry {
+  std::int64_t value = 0;  // n_k, or kInfinitePower
+  enum class Provenance { kExact, kLowerBound } provenance =
+      Provenance::kExact;
+  std::string source;  // theorem / reasoning backing the entry
+
+  bool infinite() const { return value == kInfinitePower; }
+};
+
+class SetAgreementPower {
+ public:
+  // prefix[k-1] is the entry for k; must be nonempty.
+  explicit SetAgreementPower(std::string object_name,
+                             std::vector<PowerEntry> prefix);
+
+  const std::string& object_name() const { return object_name_; }
+  int k_max() const { return static_cast<int>(entries_.size()); }
+  const PowerEntry& entry(int k) const;  // k in [1, k_max]
+
+  // The consensus number n_1. LBSA_CHECKs that the entry is exact.
+  std::int64_t consensus_number() const;
+
+  // True iff the two sequences have the same values over the shared prefix
+  // (provenances aside) — the sense in which O_n and O'_n "have the same set
+  // agreement power".
+  bool values_equal(const SetAgreementPower& other) const;
+
+  // The port-bound vector for building an O'-style bundle realizing this
+  // power (spec::OPrimeType's constructor argument).
+  std::vector<int> port_bounds() const;
+
+  std::string to_string() const;
+
+ private:
+  std::string object_name_;
+  std::vector<PowerEntry> entries_;
+};
+
+// --- Power sequences of the paper's object families (prefix up to k_max) ---
+
+// Registers: n_1 = 1 [Herlihy 10]; n_k = k for k >= 2 (wait-free k-set
+// agreement among k processes is trivial, among k+1 impossible
+// [Borowsky-Gafni / Herlihy-Shavit / Saks-Zaharoglou]).
+SetAgreementPower power_of_register(int k_max);
+
+// m-consensus objects: n_k = k*m (partition construction gives >=; tightness
+// by Chaudhuri-Reiners [6]).
+SetAgreementPower power_of_n_consensus(int m, int k_max);
+
+// Strong 2-SA: n_1 = 1 (an adversary that always returns the proposer's own
+// value reduces every 2-SA to a no-op among 2 processes, collapsing to the
+// register-only case, where consensus is impossible [FLP 8 / LAA]);
+// n_k = infinite for k >= 2 (Algorithm 3 serves any number of processes).
+SetAgreementPower power_of_two_sa(int k_max);
+
+// O_n = (n+1, n)-PAC: n_1 = n exact (Theorem 5.3 / Observation 6.2);
+// n_k >= k*n for k >= 2 via the object's n-consensus port (lower bound only
+// — the paper does not compute these entries).
+SetAgreementPower power_of_o_n(int n, int k_max);
+
+// O'_n is *constructed* to embody the power of O_n, so its sequence is the
+// same by definition (Section 6).
+SetAgreementPower power_of_o_prime_n(int n, int k_max);
+
+// --- Classic hierarchy objects (Herlihy [10]), for landscape comparison ---
+
+// test&set: consensus number 2; equivalent to a 2-consensus object (each
+// implements the other with registers), so n_k = 2k by [6].
+SetAgreementPower power_of_test_and_set(int k_max);
+
+// FIFO queue: consensus number 2 [10]; n_k >= 2k via queue-based group
+// consensus (lower bound; the library does not cite a tightness proof).
+SetAgreementPower power_of_queue(int k_max);
+
+// compare&swap: consensus number ∞ [10], hence n_k = ∞ for every k.
+SetAgreementPower power_of_compare_and_swap(int k_max);
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_POWER_H_

@@ -1,0 +1,49 @@
+#include "core/separation.h"
+
+#include "base/check.h"
+
+namespace lbsa::core {
+
+std::shared_ptr<const spec::NmPacType> make_o_n(int n) {
+  LBSA_CHECK(n >= 2);
+  return std::make_shared<spec::NmPacType>(n + 1, n);
+}
+
+std::shared_ptr<const spec::OPrimeType> make_o_prime_n(int n, int k_max) {
+  return std::make_shared<spec::OPrimeType>(
+      power_of_o_n(n, k_max).port_bounds());
+}
+
+std::shared_ptr<const spec::OPrimeType> make_o_prime_from_base(int n,
+                                                               int k_max) {
+  const std::vector<int> bounds = power_of_o_n(n, k_max).port_bounds();
+  std::vector<spec::KsaType> members;
+  members.emplace_back(bounds[0], 1);  // (n_1,1)-SA == n-consensus
+  for (int k = 2; k <= k_max; ++k) {
+    // A 2-SA object, port-bounded to n_k: stronger than the (n_k,k)-SA spec
+    // member (it returns at most 2 distinct values instead of k), so every
+    // history is spec-legal.
+    members.emplace_back(bounds[static_cast<size_t>(k - 1)], 2);
+  }
+  return std::make_shared<spec::OPrimeType>(std::move(members));
+}
+
+OPrimeFromBaseObject::OPrimeFromBaseObject(
+    int n, int k_max, concurrent::TwoSaSelection selection)
+    : spec_(make_o_prime_n(n, k_max)),
+      level1_(static_cast<int>(power_of_o_n(n, k_max).entry(1).value)) {
+  const std::vector<int> bounds = power_of_o_n(n, k_max).port_bounds();
+  for (int k = 2; k <= k_max; ++k) {
+    higher_levels_.push_back(std::make_unique<concurrent::AtomicTwoSa>(
+        bounds[static_cast<size_t>(k - 1)], selection));
+  }
+}
+
+Value OPrimeFromBaseObject::apply(const spec::Operation& op) {
+  LBSA_CHECK(spec_->validate(op).is_ok());
+  const int level = static_cast<int>(op.arg1);
+  if (level == 1) return level1_.propose(op.arg0);
+  return higher_levels_[static_cast<size_t>(level - 2)]->propose(op.arg0);
+}
+
+}  // namespace lbsa::core

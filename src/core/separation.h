@@ -1,0 +1,62 @@
+// The paper's headline pair: O_n and O'_n (Section 6), plus the Lemma 6.4
+// construction of O'_n from n-consensus and 2-SA objects, in both realms
+// (sequential specification and concurrent implementation).
+//
+// Truncation note (DESIGN.md substitution): the paper's O'_n carries one
+// (n_k, k)-SA member for every k >= 1; a concrete object must truncate to a
+// finite prefix k <= k_max. The port bounds used are the entries of
+// power_of_o_n(n, k_max) — exact for k = 1 (Theorem 5.3) and the
+// mechanically-witnessed k*n lower bounds for k >= 2 (the paper never
+// computes those entries; see core/power.h).
+#ifndef LBSA_CORE_SEPARATION_H_
+#define LBSA_CORE_SEPARATION_H_
+
+#include <memory>
+
+#include "concurrent/atomic_two_sa.h"
+#include "concurrent/cas_consensus.h"
+#include "concurrent/concurrent_object.h"
+#include "core/power.h"
+#include "spec/nm_pac_type.h"
+#include "spec/oprime_type.h"
+
+namespace lbsa::core {
+
+// O_n = (n+1, n)-PAC (Definition 6.1). n >= 2.
+std::shared_ptr<const spec::NmPacType> make_o_n(int n);
+
+// The O'_n specification: the (n_k, k)-SA bundle for this library's
+// realization of O_n's power sequence, truncated at k_max.
+std::shared_ptr<const spec::OPrimeType> make_o_prime_n(int n, int k_max);
+
+// The Lemma 6.4 construction as a sequential object: the same PROPOSE(v, k)
+// interface, but level 1 is backed by an n-consensus object ((n_1,1)-SA) and
+// every level k >= 2 by a port-bounded 2-SA object ((n_k,2)-SA). Every
+// history of this object (with per-level propose counts within bounds) is
+// linearizable with respect to make_o_prime_n(n, k_max) — the checkable
+// content of "O'_n can be implemented by n-consensus objects and 2-SA
+// objects".
+std::shared_ptr<const spec::OPrimeType> make_o_prime_from_base(int n,
+                                                               int k_max);
+
+// Concurrent Lemma 6.4 construction: lock-free all the way down (CAS
+// consensus for level 1, 128-bit-CAS 2-SA for levels >= 2). Implements the
+// make_o_prime_n(n, k_max) specification.
+class OPrimeFromBaseObject final : public concurrent::ConcurrentObject {
+ public:
+  OPrimeFromBaseObject(int n, int k_max,
+                       concurrent::TwoSaSelection selection =
+                           concurrent::TwoSaSelection::kMixed);
+
+  const spec::ObjectType& type() const override { return *spec_; }
+  Value apply(const spec::Operation& op) override;
+
+ private:
+  std::shared_ptr<const spec::OPrimeType> spec_;
+  concurrent::CasConsensus level1_;
+  std::vector<std::unique_ptr<concurrent::AtomicTwoSa>> higher_levels_;
+};
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_SEPARATION_H_

@@ -1,0 +1,118 @@
+#include "core/solvability.h"
+
+#include "base/check.h"
+#include "core/separation.h"
+#include "protocols/partition_propose.h"
+#include "spec/consensus_type.h"
+#include "spec/ksa_type.h"
+
+namespace lbsa::core {
+namespace {
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(1000 + i);
+  return inputs;
+}
+
+}  // namespace
+
+const char* object_family_name(ObjectFamily family) {
+  switch (family) {
+    case ObjectFamily::kNConsensus:
+      return "n-consensus";
+    case ObjectFamily::kTwoSa:
+      return "2-SA";
+    case ObjectFamily::kOn:
+      return "O_n";
+    case ObjectFamily::kOPrime:
+      return "O'_n";
+    case ObjectFamily::kOPrimeFromBase:
+      return "O'_n-from-base";
+  }
+  return "unknown";
+}
+
+StatusOr<modelcheck::TaskReport> witness_k_agreement(
+    ObjectFamily family, int param, int k, int num_procs,
+    const modelcheck::TaskCheckOptions& options) {
+  LBSA_CHECK(k >= 1 && num_procs >= 1);
+  const std::vector<Value> inputs = iota_inputs(num_procs);
+
+  std::vector<std::shared_ptr<const spec::ObjectType>> objects;
+  std::vector<int> group_of(static_cast<size_t>(num_procs), 0);
+  std::vector<spec::Operation> ops;
+
+  switch (family) {
+    case ObjectFamily::kNConsensus: {
+      if (num_procs > k * param) {
+        return invalid_argument(
+            "partition witness needs num_procs <= k * m");
+      }
+      const int groups = (num_procs + param - 1) / param;
+      for (int g = 0; g < groups; ++g) {
+        objects.push_back(std::make_shared<spec::NConsensusType>(param));
+      }
+      for (int pid = 0; pid < num_procs; ++pid) {
+        group_of[static_cast<size_t>(pid)] = pid / param;
+        ops.push_back(spec::make_propose(inputs[static_cast<size_t>(pid)]));
+      }
+      break;
+    }
+    case ObjectFamily::kTwoSa: {
+      if (k < 2) {
+        return invalid_argument("2-SA witnesses only k >= 2");
+      }
+      objects.push_back(
+          std::make_shared<spec::KsaType>(spec::kUnboundedPorts, 2));
+      for (int pid = 0; pid < num_procs; ++pid) {
+        ops.push_back(spec::make_propose(inputs[static_cast<size_t>(pid)]));
+      }
+      break;
+    }
+    case ObjectFamily::kOn: {
+      // k-set agreement among k*n via the n-consensus (PROPOSEC) port of k
+      // O_n instances.
+      if (num_procs > k * param) {
+        return invalid_argument(
+            "partition witness needs num_procs <= k * n");
+      }
+      const int groups = (num_procs + param - 1) / param;
+      for (int g = 0; g < groups; ++g) {
+        objects.push_back(make_o_n(param));
+      }
+      for (int pid = 0; pid < num_procs; ++pid) {
+        group_of[static_cast<size_t>(pid)] = pid / param;
+        ops.push_back(
+            spec::make_propose_c(inputs[static_cast<size_t>(pid)]));
+      }
+      break;
+    }
+    case ObjectFamily::kOPrime:
+    case ObjectFamily::kOPrimeFromBase: {
+      // One bundle object; everyone proposes at level k. The level's port
+      // bound is k * param (power_of_o_n's witnessed entry).
+      if (num_procs > k * param) {
+        return invalid_argument("O' level-k witness needs num_procs <= n_k");
+      }
+      objects.push_back(family == ObjectFamily::kOPrime
+                            ? std::static_pointer_cast<const spec::ObjectType>(
+                                  make_o_prime_n(param, k))
+                            : std::static_pointer_cast<const spec::ObjectType>(
+                                  make_o_prime_from_base(param, k)));
+      for (int pid = 0; pid < num_procs; ++pid) {
+        ops.push_back(
+            spec::make_propose_k(inputs[static_cast<size_t>(pid)], k));
+      }
+      break;
+    }
+  }
+
+  auto protocol = std::make_shared<protocols::PartitionProposeProtocol>(
+      std::string("witness-") + object_family_name(family) + "-k" +
+          std::to_string(k) + "-n" + std::to_string(num_procs),
+      std::move(objects), std::move(group_of), std::move(ops));
+  return modelcheck::check_k_agreement_task(protocol, k, inputs, options);
+}
+
+}  // namespace lbsa::core

@@ -1,0 +1,39 @@
+// Empirical solvability harness: mechanically witnesses set-agreement-power
+// lower bounds by building the canonical partition protocol for an object
+// family and model-checking it over ALL schedules and adversarial object
+// responses (experiments E4, E5, E7, E8).
+//
+// A passing report is a machine-checked proof that the family solves k-set
+// agreement among `num_procs` processes *for this instance size*; a failing
+// report carries a counterexample trace. It cannot witness upper bounds
+// (impossibility); those live in core/knowledge.h with their theorem tags.
+#ifndef LBSA_CORE_SOLVABILITY_H_
+#define LBSA_CORE_SOLVABILITY_H_
+
+#include "base/status.h"
+#include "modelcheck/task_check.h"
+
+namespace lbsa::core {
+
+enum class ObjectFamily {
+  kNConsensus,      // param m: m-consensus objects, one per group of m
+  kTwoSa,           // param ignored: one strong 2-SA object
+  kOn,              // param n: O_n objects, PROPOSEC port, one per group of n
+  kOPrime,          // param n: one O'_n object, level-k port
+  kOPrimeFromBase,  // param n: the Lemma 6.4 construction, level-k port
+};
+
+const char* object_family_name(ObjectFamily family);
+
+// Builds the canonical protocol solving k-set agreement among num_procs
+// processes with the given family and checks it exhaustively. num_procs must
+// not exceed the family's witnessable bound for (param, k) — the partition
+// shape requires num_procs <= k * param for consensus-based families; the
+// 2-SA family accepts any num_procs when k >= 2.
+StatusOr<modelcheck::TaskReport> witness_k_agreement(
+    ObjectFamily family, int param, int k, int num_procs,
+    const modelcheck::TaskCheckOptions& options = {});
+
+}  // namespace lbsa::core
+
+#endif  // LBSA_CORE_SOLVABILITY_H_

@@ -1,0 +1,192 @@
+#include "implcheck/checker.h"
+
+#include <optional>
+
+#include "base/check.h"
+
+namespace lbsa::implcheck {
+namespace {
+
+// Per-thread execution cursor.
+struct ThreadCursor {
+  size_t next_op = 0;               // index into its op sequence
+  std::optional<OpExecState> exec;  // in-flight program state
+  int current_record = -1;          // index into the history being built
+
+  bool done(const std::vector<spec::Operation>& ops) const {
+    return !exec.has_value() && next_op >= ops.size();
+  }
+};
+
+// The branching search passes its whole state by value: executions are tiny
+// (<= 64 operations, each a handful of base steps), so copying is cheap and
+// makes backtracking trivially correct.
+struct SearchState {
+  std::vector<std::vector<std::int64_t>> base_states;
+  std::vector<ThreadCursor> cursors;
+  std::vector<lincheck::OpRecord> history;
+  std::uint64_t clock = 0;
+};
+
+class Search {
+ public:
+  Search(const ObjectImplementation& impl,
+         const std::vector<std::vector<spec::Operation>>& workload,
+         const ImplCheckOptions& options)
+      : impl_(impl), workload_(workload), options_(options) {}
+
+  StatusOr<ImplCheckResult> run() {
+    SearchState state;
+    for (const auto& type : impl_.base_objects()) {
+      state.base_states.push_back(type->initial_state());
+    }
+    state.cursors.resize(workload_.size());
+    Status status = dfs(std::move(state));
+    if (!status.is_ok()) return status;
+    ImplCheckResult result;
+    result.ok = !failed_;
+    result.executions_checked = executions_;
+    result.failing_schedule = failing_schedule_;
+    result.detail = detail_;
+    return result;
+  }
+
+ private:
+  // Completes thread t's current operation with `response`.
+  static void complete_op(SearchState* state, size_t t, Value response) {
+    ThreadCursor& cursor = state->cursors[t];
+    lincheck::OpRecord& record =
+        state->history[static_cast<size_t>(cursor.current_record)];
+    record.response = response;
+    record.response_ts = ++state->clock;
+    cursor.exec.reset();
+    cursor.current_record = -1;
+    ++cursor.next_op;
+  }
+
+  // Non-OK only on resource exhaustion; verification failures set failed_.
+  Status dfs(SearchState state) {
+    if (failed_) return Status::ok();
+
+    bool any_runnable = false;
+    for (size_t t = 0; t < state.cursors.size(); ++t) {
+      if (state.cursors[t].done(workload_[t])) continue;
+      any_runnable = true;
+
+      // Branch state: begin the op lazily if needed.
+      SearchState begun = state;
+      ThreadCursor& cursor = begun.cursors[t];
+      if (!cursor.exec.has_value()) {
+        const spec::Operation& op = workload_[t][cursor.next_op];
+        cursor.exec = impl_.begin(op);
+        lincheck::OpRecord record;
+        record.op_id = static_cast<int>(begun.history.size());
+        record.thread = static_cast<int>(t);
+        record.op = op;
+        record.invoke_ts = ++begun.clock;
+        begun.history.push_back(record);
+        cursor.current_record = record.op_id;
+      }
+
+      const spec::Operation& op = workload_[t][cursor.next_op];
+      const ImplAction action = impl_.next_action(op, *cursor.exec);
+
+      if (action.kind == ImplAction::Kind::kReturn) {
+        // A program returning without touching a base object.
+        SearchState next = begun;
+        complete_op(&next, t, action.response);
+        schedule_.push_back("t" + std::to_string(t) + ": return " +
+                            value_to_string(action.response));
+        Status s = dfs(std::move(next));
+        schedule_.pop_back();
+        if (!s.is_ok()) return s;
+        continue;
+      }
+
+      // One base step; branch over nondeterministic outcomes.
+      const auto& base_type =
+          *impl_.base_objects()[static_cast<size_t>(action.object_index)];
+      const Status valid = base_type.validate(action.base_op);
+      LBSA_CHECK_MSG(valid.is_ok(), valid.to_string().c_str());
+      std::vector<spec::Outcome> outcomes;
+      base_type.apply(
+          begun.base_states[static_cast<size_t>(action.object_index)],
+          action.base_op, &outcomes);
+
+      for (const spec::Outcome& outcome : outcomes) {
+        SearchState next = begun;
+        next.base_states[static_cast<size_t>(action.object_index)] =
+            outcome.next_state;
+        impl_.on_response(op, &*next.cursors[t].exec, outcome.response);
+
+        schedule_.push_back(
+            "t" + std::to_string(t) + ": " + base_type.name() + "#" +
+            std::to_string(action.object_index) + "." +
+            base_type.operation_to_string(action.base_op) + " -> " +
+            value_to_string(outcome.response));
+
+        // Returns are local steps: fold a trailing kReturn into this step.
+        const ImplAction after = impl_.next_action(op, *next.cursors[t].exec);
+        if (after.kind == ImplAction::Kind::kReturn) {
+          complete_op(&next, t, after.response);
+        }
+
+        Status s = dfs(std::move(next));
+        schedule_.pop_back();
+        if (!s.is_ok()) return s;
+        if (failed_) return Status::ok();
+      }
+    }
+
+    if (!any_runnable) {
+      // Complete execution: validate the induced target-level history.
+      if (++executions_ > options_.max_executions) {
+        return resource_exhausted("implcheck: execution budget exceeded");
+      }
+      auto result = lincheck::check_linearizable(
+          impl_.target_type(), state.history, options_.lincheck);
+      if (!result.is_ok()) return result.status();
+      if (!result.value().linearizable) {
+        failed_ = true;
+        failing_schedule_ = schedule_;
+        detail_ = result.value().detail;
+      }
+    }
+    return Status::ok();
+  }
+
+  const ObjectImplementation& impl_;
+  const std::vector<std::vector<spec::Operation>>& workload_;
+  const ImplCheckOptions& options_;
+  std::vector<std::string> schedule_;
+  std::uint64_t executions_ = 0;
+  bool failed_ = false;
+  std::vector<std::string> failing_schedule_;
+  std::string detail_;
+};
+
+}  // namespace
+
+StatusOr<ImplCheckResult> check_implementation(
+    const ObjectImplementation& impl,
+    const std::vector<std::vector<spec::Operation>>& per_thread_ops,
+    const ImplCheckOptions& options) {
+  if (per_thread_ops.empty()) {
+    return invalid_argument("implcheck: empty workload");
+  }
+  size_t total_ops = 0;
+  for (const auto& ops : per_thread_ops) {
+    total_ops += ops.size();
+    for (const spec::Operation& op : ops) {
+      const Status s = impl.target_type().validate(op);
+      if (!s.is_ok()) return s;
+    }
+  }
+  if (total_ops > 64) {
+    return invalid_argument("implcheck: at most 64 operations per workload");
+  }
+  Search search(impl, per_thread_ops, options);
+  return search.run();
+}
+
+}  // namespace lbsa::implcheck

@@ -1,0 +1,48 @@
+// Exhaustive implementation checker.
+//
+// Given an ObjectImplementation and a workload (per-thread sequences of
+// target operations), explores EVERY schedule — all interleavings of the
+// programs' base-object steps and all nondeterministic base-object outcomes
+// — and, for each complete execution, validates the induced target-level
+// history against the target specification with the Wing-Gong checker.
+//
+// Timestamps follow the standard reduction: a target operation's
+// linearization interval spans from just before its first base step to just
+// after its last, so real-time order between non-overlapping operations is
+// preserved exactly.
+#ifndef LBSA_IMPLCHECK_CHECKER_H_
+#define LBSA_IMPLCHECK_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "implcheck/implementation.h"
+#include "lincheck/checker.h"
+
+namespace lbsa::implcheck {
+
+struct ImplCheckOptions {
+  // Budget on complete executions (maximal schedules) examined.
+  std::uint64_t max_executions = 1'000'000;
+  lbsa::lincheck::LincheckOptions lincheck;
+};
+
+struct ImplCheckResult {
+  bool ok = false;
+  std::uint64_t executions_checked = 0;
+  // On failure: the schedule (formatted steps) and checker detail.
+  std::vector<std::string> failing_schedule;
+  std::string detail;
+};
+
+// per_thread_ops[t] is the sequence of target operations thread t invokes,
+// in order. Every operation must validate against the target type.
+StatusOr<ImplCheckResult> check_implementation(
+    const ObjectImplementation& impl,
+    const std::vector<std::vector<spec::Operation>>& per_thread_ops,
+    const ImplCheckOptions& options = {});
+
+}  // namespace lbsa::implcheck
+
+#endif  // LBSA_IMPLCHECK_CHECKER_H_

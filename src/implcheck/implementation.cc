@@ -1,0 +1,44 @@
+#include "implcheck/implementation.h"
+
+#include "base/check.h"
+
+namespace lbsa::implcheck {
+
+DirectRoutingImplementation::DirectRoutingImplementation(
+    std::string name, std::shared_ptr<const spec::ObjectType> target,
+    std::vector<std::shared_ptr<const spec::ObjectType>> bases, Router router)
+    : name_(std::move(name)),
+      target_(std::move(target)),
+      bases_(std::move(bases)),
+      router_(std::move(router)) {
+  LBSA_CHECK(target_ != nullptr);
+  LBSA_CHECK(!bases_.empty());
+  LBSA_CHECK(router_ != nullptr);
+}
+
+OpExecState DirectRoutingImplementation::begin(
+    const spec::Operation& /*op*/) const {
+  return OpExecState{0, {kNil}};
+}
+
+ImplAction DirectRoutingImplementation::next_action(
+    const spec::Operation& op, const OpExecState& state) const {
+  if (state.pc == 0) {
+    auto [object_index, base_op] = router_(op);
+    LBSA_CHECK(object_index >= 0 &&
+               static_cast<size_t>(object_index) < bases_.size());
+    return ImplAction::base(object_index, base_op);
+  }
+  LBSA_CHECK(state.pc == 1);
+  return ImplAction::ret(state.locals[0]);
+}
+
+void DirectRoutingImplementation::on_response(const spec::Operation& /*op*/,
+                                              OpExecState* state,
+                                              Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  state->locals[0] = response;
+  state->pc = 1;
+}
+
+}  // namespace lbsa::implcheck

@@ -1,0 +1,52 @@
+// Wing-Gong linearizability checker with Lowe-style memoized pruning.
+//
+// Given a recorded concurrent history over ONE object and the object's
+// sequential specification, decides whether there is a linearization: a
+// total order of the operations that (a) respects real-time precedence
+// (op A before op B whenever A responded before B was invoked), and (b) is a
+// legal sequential history of the specification in which every completed
+// operation receives exactly its recorded response.
+//
+// Nondeterministic specifications ((n,k)-SA objects) are handled by
+// accepting any spec outcome whose response matches the recorded one.
+// Pending operations (invoked, never responded — crashed threads) may be
+// linearized with any legal response, or dropped entirely, per the standard
+// completion rule of [Herlihy & Wing].
+//
+// The search is exponential in the worst case; states (linearized-set,
+// object-state) are memoized, and histories are capped at 64 operations per
+// check (split longer runs into windows or check per-object).
+#ifndef LBSA_LINCHECK_CHECKER_H_
+#define LBSA_LINCHECK_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "lincheck/history_log.h"
+#include "spec/object_type.h"
+
+namespace lbsa::lincheck {
+
+struct LincheckOptions {
+  // Budget on distinct memoized search states.
+  std::uint64_t max_states = 10'000'000;
+};
+
+struct LincheckResult {
+  bool linearizable = false;
+  // If linearizable: op ids in linearization order (pending ops that were
+  // dropped do not appear).
+  std::vector<int> witness;
+  // If not: a human-readable explanation of the first blocking frontier.
+  std::string detail;
+  std::uint64_t states_explored = 0;
+};
+
+StatusOr<LincheckResult> check_linearizable(
+    const spec::ObjectType& type, const std::vector<OpRecord>& history,
+    const LincheckOptions& options = {});
+
+}  // namespace lbsa::lincheck
+
+#endif  // LBSA_LINCHECK_CHECKER_H_

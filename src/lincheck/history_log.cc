@@ -1,0 +1,44 @@
+#include "lincheck/history_log.h"
+
+#include "base/check.h"
+
+namespace lbsa::lincheck {
+
+HistoryLog::HistoryLog(std::size_t capacity) : slots_(capacity) {}
+
+int HistoryLog::begin_op(int thread, const spec::Operation& op) {
+  const std::uint64_t slot =
+      cursor_.fetch_add(1, std::memory_order_acq_rel);
+  LBSA_CHECK_MSG(slot < slots_.size(), "HistoryLog capacity exceeded");
+  OpRecord& record = slots_[slot];
+  record.op_id = static_cast<int>(slot);
+  record.thread = thread;
+  record.op = op;
+  record.response = kNil;
+  record.response_ts = kPendingTs;
+  // The invocation timestamp is drawn *after* the slot is claimed so that
+  // two operations' [invoke, response] intervals reflect real-time order.
+  record.invoke_ts = clock_.fetch_add(1, std::memory_order_acq_rel);
+  return record.op_id;
+}
+
+void HistoryLog::end_op(int op_id, Value response) {
+  LBSA_CHECK(op_id >= 0 &&
+             static_cast<std::size_t>(op_id) <
+                 cursor_.load(std::memory_order_acquire));
+  OpRecord& record = slots_[static_cast<std::size_t>(op_id)];
+  record.response = response;
+  record.response_ts = clock_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<OpRecord> HistoryLog::snapshot() const {
+  const std::uint64_t n = cursor_.load(std::memory_order_acquire);
+  return {slots_.begin(), slots_.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+void HistoryLog::reset() {
+  cursor_.store(0, std::memory_order_release);
+  clock_.store(1, std::memory_order_release);
+}
+
+}  // namespace lbsa::lincheck

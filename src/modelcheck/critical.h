@@ -1,0 +1,58 @@
+// Structural analysis of critical configurations — the mechanized form of
+// the proofs' pivotal combinatorial step.
+//
+// Claims 4.2.7 and 5.2.3 argue that at a critical configuration (bivalent,
+// every successor univalent), the pending steps of the relevant processes
+// must all be operations ON THE SAME OBJECT — otherwise steps on different
+// objects would commute and valence could not flip. The subsequent claims
+// (4.2.8-4.2.10, 5.2.4-5.2.8) then interrogate that object's TYPE.
+//
+// This analyzer extracts, for each critical configuration of an explored
+// graph: which object each enabled process is about to access, whether they
+// coincide, and the type of the common object. Tests assert the claim's
+// shape on concrete protocols (e.g. for one-shot consensus via an
+// n-consensus object, the unique critical configuration has every process
+// poised on the consensus object).
+#ifndef LBSA_MODELCHECK_CRITICAL_H_
+#define LBSA_MODELCHECK_CRITICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "modelcheck/explorer.h"
+#include "modelcheck/valence.h"
+
+namespace lbsa::modelcheck {
+
+struct PendingStep {
+  int pid = -1;
+  // Object the process is about to operate on, or -1 for a local
+  // (decide/abort) step.
+  int object_index = -1;
+  std::string description;  // formatted action
+};
+
+struct CriticalInfo {
+  std::uint32_t node = 0;
+  std::vector<PendingStep> pending;
+  // True iff every enabled process's next step is an operation on one common
+  // shared object (the Claim 4.2.7 / 5.2.3 shape).
+  bool all_on_same_object = false;
+  int common_object = -1;                // valid iff all_on_same_object
+  std::string common_object_type;       // type name, iff all_on_same_object
+};
+
+// Analyzes one node (need not be critical; callers usually pass
+// ValenceAnalyzer::critical_nodes()).
+CriticalInfo analyze_pending_steps(const sim::Protocol& protocol,
+                                   const ConfigGraph& graph,
+                                   std::uint32_t node);
+
+// Convenience: full analysis of every critical configuration.
+std::vector<CriticalInfo> analyze_critical_configurations(
+    const sim::Protocol& protocol, const ConfigGraph& graph,
+    const ValenceAnalyzer& analyzer);
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_CRITICAL_H_

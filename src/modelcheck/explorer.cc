@@ -1,0 +1,106 @@
+#include "modelcheck/explorer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+#include "base/hashing.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& key) const {
+    return static_cast<std::size_t>(hash_words(key));
+  }
+};
+
+}  // namespace
+
+std::vector<sim::Step> ConfigGraph::path_to(std::uint32_t id) const {
+  std::vector<sim::Step> steps;
+  std::uint32_t cur = id;
+  while (cur != root()) {
+    const auto& [parent, step] = parents_[cur];
+    steps.push_back(step);
+    cur = parent;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
+
+StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
+                                        FlagFn flag_fn,
+                                        std::int64_t initial_flag) const {
+  ConfigGraph graph;
+  std::unordered_map<std::vector<std::int64_t>, std::uint32_t, KeyHash> index;
+
+  auto key_of = [](const sim::Config& config, std::int64_t flag) {
+    std::vector<std::int64_t> key = config.encode();
+    key.push_back(flag);
+    return key;
+  };
+
+  auto intern = [&](sim::Config config, std::int64_t flag,
+                    std::uint32_t parent, const sim::Step& step,
+                    std::uint32_t depth) -> std::pair<std::uint32_t, bool> {
+    auto key = key_of(config, flag);
+    auto [it, inserted] =
+        index.try_emplace(std::move(key),
+                          static_cast<std::uint32_t>(graph.nodes_.size()));
+    if (inserted) {
+      graph.nodes_.push_back(Node{std::move(config), flag, depth});
+      graph.edges_.emplace_back();
+      graph.parents_.emplace_back(parent, step);
+    }
+    return {it->second, inserted};
+  };
+
+  sim::Config init = sim::initial_config(*protocol_);
+  intern(std::move(init), initial_flag, 0, sim::Step{}, 0);
+
+  std::deque<std::uint32_t> frontier;
+  frontier.push_back(0);
+
+  std::vector<sim::Successor> successors;
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    // Copy what we need: intern() may reallocate nodes_.
+    const sim::Config config = graph.nodes_[id].config;
+    const std::int64_t flag = graph.nodes_[id].flag;
+    const std::uint32_t depth = graph.nodes_[id].depth;
+
+    const int n = static_cast<int>(config.procs.size());
+    for (int pid = 0; pid < n; ++pid) {
+      if (!config.enabled(pid)) continue;
+      successors.clear();
+      sim::enumerate_successors(*protocol_, config, pid, &successors);
+      for (sim::Successor& succ : successors) {
+        const std::int64_t next_flag =
+            flag_fn ? flag_fn(flag, succ.step) : flag;
+        auto [to, inserted] = intern(std::move(succ.config), next_flag, id,
+                                     succ.step, depth + 1);
+        graph.edges_[id].push_back(
+            Edge{to, pid, succ.step.action.kind});
+        ++graph.transition_count_;
+        if (inserted) {
+          if (graph.nodes_.size() > options.max_nodes) {
+            if (!options.allow_truncation) {
+              return resource_exhausted(
+                  "explore: node budget exceeded (" +
+                  std::to_string(options.max_nodes) + ")");
+            }
+            // Keep the node (edges stay consistent) but stop expanding it.
+            graph.truncated_ = true;
+            continue;
+          }
+          frontier.push_back(to);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace lbsa::modelcheck

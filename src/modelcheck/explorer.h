@@ -1,0 +1,104 @@
+// Exhaustive reachability analysis over protocol configurations.
+//
+// The Explorer enumerates *every* configuration reachable from the initial
+// one — over all interleavings of process steps and all nondeterministic
+// object outcomes — and materializes the transition graph. This is the
+// machine-checkable counterpart of the paper's proof language: "configuration
+// C reachable from I", "history H applicable to C", "step e_p of p".
+//
+// Optionally, exploration can be *augmented* with a path flag: a small
+// integer folded along every path (e.g. "has any process other than p taken
+// a step yet?"), in which case graph nodes are (configuration, flag) pairs.
+// The DAC Nontriviality property needs exactly this, since it constrains the
+// history that leads to a configuration, not the configuration itself.
+#ifndef LBSA_MODELCHECK_EXPLORER_H_
+#define LBSA_MODELCHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "sim/config.h"
+#include "sim/protocol.h"
+
+namespace lbsa::modelcheck {
+
+struct ExploreOptions {
+  // Hard cap on distinct (config, flag) nodes; exceeding it returns
+  // RESOURCE_EXHAUSTED — unless allow_truncation is set, in which case a
+  // partial graph is returned with ConfigGraph::truncated() == true.
+  std::uint64_t max_nodes = 5'000'000;
+  // Opt-in partial exploration for instances beyond exhaustive reach.
+  // Soundness note: on a truncated graph, property VIOLATIONS found are
+  // real (every node is reachable), but their absence certifies only the
+  // explored region; valence analysis is likewise a lower bound on
+  // reachable decisions.
+  bool allow_truncation = false;
+};
+
+// One directed edge of the configuration graph.
+struct Edge {
+  std::uint32_t to = 0;   // target node id
+  std::int32_t pid = -1;  // process that stepped
+  sim::Action::Kind kind = sim::Action::Kind::kInvoke;
+};
+
+// A node: a reachable configuration (plus the optional path flag).
+struct Node {
+  sim::Config config;
+  std::int64_t flag = 0;
+  std::uint32_t depth = 0;  // BFS depth (shortest history length)
+};
+
+// The fully-materialized reachable graph.
+class ConfigGraph {
+ public:
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::vector<Edge>>& edges() const { return edges_; }
+  std::uint32_t root() const { return 0; }
+  std::uint64_t transition_count() const { return transition_count_; }
+  // True iff exploration stopped at the node budget (allow_truncation).
+  bool truncated() const { return truncated_; }
+
+  // Reconstructs one shortest step sequence from the root to node id
+  // (for counterexample reporting).
+  std::vector<sim::Step> path_to(std::uint32_t id) const;
+
+ private:
+  friend class Explorer;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<Edge>> edges_;
+  // Parent pointers for path reconstruction: (parent id, step taken).
+  std::vector<std::pair<std::uint32_t, sim::Step>> parents_;
+  std::uint64_t transition_count_ = 0;
+  bool truncated_ = false;
+};
+
+class Explorer {
+ public:
+  // Folds a step into the path flag (must be monotone for the graph to be
+  // meaningful: nodes reached with different flags are distinct nodes).
+  using FlagFn =
+      std::function<std::int64_t(std::int64_t flag, const sim::Step& step)>;
+
+  explicit Explorer(std::shared_ptr<const sim::Protocol> protocol)
+      : protocol_(std::move(protocol)) {}
+
+  // BFS from the initial configuration. On success the graph is complete:
+  // every reachable (config, flag) node and every transition is present.
+  StatusOr<ConfigGraph> explore(const ExploreOptions& options = {},
+                                FlagFn flag_fn = nullptr,
+                                std::int64_t initial_flag = 0) const;
+
+  const sim::Protocol& protocol() const { return *protocol_; }
+
+ private:
+  std::shared_ptr<const sim::Protocol> protocol_;
+};
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_EXPLORER_H_

@@ -1,0 +1,30 @@
+// Graphviz (DOT) export of configuration graphs, with optional valence
+// coloring — turns the bivalency proofs' pictures into actual pictures.
+// Multivalent nodes render amber, univalent nodes take per-value hues,
+// decision-free nodes grey; critical configurations get a bold border.
+#ifndef LBSA_MODELCHECK_EXPORT_H_
+#define LBSA_MODELCHECK_EXPORT_H_
+
+#include <string>
+
+#include "modelcheck/explorer.h"
+#include "modelcheck/valence.h"
+
+namespace lbsa::modelcheck {
+
+struct DotOptions {
+  // Nodes beyond this count are elided with a summary note (DOT files above
+  // a few thousand nodes stop being look-at-able).
+  std::size_t max_nodes = 2000;
+  bool include_step_labels = true;
+};
+
+// Renders graph (optionally valence-annotated; pass nullptr to skip the
+// analysis coloring) as a DOT digraph.
+std::string to_dot(const sim::Protocol& protocol, const ConfigGraph& graph,
+                   const ValenceAnalyzer* analyzer,
+                   const DotOptions& options = {});
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_EXPORT_H_

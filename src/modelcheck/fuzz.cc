@@ -1,0 +1,170 @@
+#include "modelcheck/fuzz.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+// Uniform adversary with geometric bursts: with probability (1 - 1/8) it
+// re-picks the process it scheduled last, producing long solo stretches.
+class BurstAdversary final : public sim::Adversary {
+ public:
+  explicit BurstAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  int pick_process(const sim::Config& config,
+                   std::uint64_t /*step_index*/) override {
+    if (last_ >= 0 && config.enabled(last_) && !rng_.next_bool(0.125)) {
+      return last_;
+    }
+    std::vector<int> enabled;
+    for (int pid = 0; pid < static_cast<int>(config.procs.size()); ++pid) {
+      if (config.enabled(pid)) enabled.push_back(pid);
+    }
+    if (enabled.empty()) return kStop;
+    last_ = enabled[rng_.next_below(enabled.size())];
+    return last_;
+  }
+
+  int pick_outcome(int outcome_count, std::uint64_t /*step_index*/) override {
+    if (outcome_count <= 1) return 0;
+    return static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(outcome_count)));
+  }
+
+ private:
+  Xoshiro256 rng_;
+  int last_ = -1;
+};
+
+// Per-step safety evaluation shared by both fuzzers. Returns the violated
+// property ("" if none).
+struct SafetyJudge {
+  int k = 1;                     // agreement bound
+  std::set<Value> input_set;
+  std::vector<Value> inputs;     // per-pid (for DAC validity)
+  int distinguished_pid = -1;    // -1 = k-set-agreement mode
+
+  std::pair<std::string, std::string> judge(const sim::Config& config) const {
+    std::vector<Value> decided;
+    for (const auto& ps : config.procs) {
+      if (ps.decided()) decided.push_back(ps.decision);
+    }
+    std::sort(decided.begin(), decided.end());
+    decided.erase(std::unique(decided.begin(), decided.end()),
+                  decided.end());
+    if (static_cast<int>(decided.size()) > k) {
+      return {"agreement",
+              std::to_string(decided.size()) + " distinct decisions"};
+    }
+    for (Value v : decided) {
+      if (distinguished_pid < 0) {
+        if (!input_set.contains(v)) {
+          return {"validity",
+                  "decided " + value_to_string(v) + " never proposed"};
+        }
+      } else {
+        bool witnessed = false;
+        for (size_t pid = 0; pid < config.procs.size(); ++pid) {
+          if (inputs[pid] == v && !config.procs[pid].aborted()) {
+            witnessed = true;
+          }
+        }
+        if (!witnessed) {
+          return {"validity", "decided " + value_to_string(v) +
+                                  " has no non-aborting proposer"};
+        }
+      }
+    }
+    for (size_t pid = 0; pid < config.procs.size(); ++pid) {
+      if (config.procs[pid].aborted() &&
+          static_cast<int>(pid) != distinguished_pid) {
+        return {"only-p-aborts",
+                "p" + std::to_string(pid) + " aborted"};
+      }
+    }
+    return {"", ""};
+  }
+};
+
+FuzzReport fuzz(std::shared_ptr<const sim::Protocol> protocol,
+                const SafetyJudge& judge, const FuzzOptions& options) {
+  FuzzReport report;
+  Xoshiro256 meta(options.seed);
+  for (std::uint64_t run = 0; run < options.runs; ++run) {
+    const std::uint64_t run_seed = meta.next();
+    const bool burst = meta.next_bool(options.burst_fraction);
+    sim::Simulation simulation(protocol);
+    sim::RandomAdversary uniform(run_seed);
+    BurstAdversary bursty(run_seed);
+    sim::Adversary& adversary =
+        burst ? static_cast<sim::Adversary&>(bursty)
+              : static_cast<sim::Adversary&>(uniform);
+
+    ++report.runs_executed;
+    bool violated = false;
+    for (std::uint64_t step = 0;
+         step < options.max_steps_per_run && !simulation.config().halted();
+         ++step) {
+      const int pid = adversary.pick_process(simulation.config(), step);
+      if (pid == sim::Adversary::kStop) break;
+      const int outcomes =
+          sim::outcome_count(*protocol, simulation.config(), pid);
+      simulation.step(pid, adversary.pick_outcome(outcomes, step));
+      const auto [property, detail] = judge.judge(simulation.config());
+      if (!property.empty()) {
+        report.violations.push_back(FuzzViolation{
+            property, detail, run_seed,
+            sim::schedule_to_string(*protocol, simulation.history())});
+        violated = true;
+        break;
+      }
+    }
+    if (!violated && simulation.config().halted()) {
+      ++report.runs_terminated;
+    }
+    if (static_cast<int>(report.violations.size()) >=
+        options.max_violations) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+bool FuzzReport::violates(const std::string& property) const {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&](const FuzzViolation& v) { return v.property == property; });
+}
+
+FuzzReport fuzz_k_agreement(std::shared_ptr<const sim::Protocol> protocol,
+                            int k, const std::vector<Value>& inputs,
+                            const FuzzOptions& options) {
+  LBSA_CHECK(k >= 1);
+  SafetyJudge judge;
+  judge.k = k;
+  judge.input_set = {inputs.begin(), inputs.end()};
+  judge.inputs = inputs;
+  judge.distinguished_pid = -1;
+  return fuzz(std::move(protocol), judge, options);
+}
+
+FuzzReport fuzz_dac(std::shared_ptr<const sim::Protocol> protocol,
+                    int distinguished_pid, const std::vector<Value>& inputs,
+                    const FuzzOptions& options) {
+  SafetyJudge judge;
+  judge.k = 1;
+  judge.input_set = {inputs.begin(), inputs.end()};
+  judge.inputs = inputs;
+  judge.distinguished_pid = distinguished_pid;
+  return fuzz(std::move(protocol), judge, options);
+}
+
+}  // namespace lbsa::modelcheck

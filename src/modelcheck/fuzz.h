@@ -1,0 +1,66 @@
+// Randomized schedule fuzzing: safety checking for instances beyond
+// exhaustive reach. Runs many seeded adversarial executions (uniform and
+// burst-biased scheduling), evaluates the task's safety predicates after
+// every step, and reports each violation with a REPLAYABLE schedule (the
+// sim/trace.h text format) — so a fuzz finding becomes a deterministic
+// regression test.
+//
+// Complements the exhaustive checker: violations found are real; a clean
+// fuzz report is evidence, not proof (use check_*_task for proofs at small
+// sizes).
+#ifndef LBSA_MODELCHECK_FUZZ_H_
+#define LBSA_MODELCHECK_FUZZ_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "sim/protocol.h"
+
+namespace lbsa::modelcheck {
+
+struct FuzzOptions {
+  std::uint64_t runs = 1000;
+  std::uint64_t max_steps_per_run = 100'000;
+  std::uint64_t seed = 1;
+  // Probability that a run uses the burst adversary (keeps scheduling the
+  // same process for a geometric burst) instead of uniform — bursts find
+  // solo-dependent violations that uniform schedules rarely hit.
+  double burst_fraction = 0.5;
+  // Stop after this many violations.
+  int max_violations = 4;
+};
+
+struct FuzzViolation {
+  std::string property;          // "agreement" | "validity" | "only-p-aborts"
+  std::string detail;
+  std::uint64_t run_seed = 0;
+  std::string schedule;          // sim/trace.h format; replayable
+};
+
+struct FuzzReport {
+  std::vector<FuzzViolation> violations;
+  std::uint64_t runs_executed = 0;
+  std::uint64_t runs_terminated = 0;  // all processes terminated in budget
+
+  bool ok() const { return violations.empty(); }
+  bool violates(const std::string& property) const;
+};
+
+// Fuzzes the safety half of k-set agreement (agreement, validity, no
+// aborts). Termination is NOT judged (randomized runs can time out
+// legitimately); runs_terminated reports how many finished.
+FuzzReport fuzz_k_agreement(std::shared_ptr<const sim::Protocol> protocol,
+                            int k, const std::vector<Value>& inputs,
+                            const FuzzOptions& options = {});
+
+// Fuzzes the safety half of n-DAC (agreement, validity w.r.t. non-aborting
+// proposers, only-p-aborts).
+FuzzReport fuzz_dac(std::shared_ptr<const sim::Protocol> protocol,
+                    int distinguished_pid, const std::vector<Value>& inputs,
+                    const FuzzOptions& options = {});
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_FUZZ_H_

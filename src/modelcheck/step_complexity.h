@@ -1,0 +1,28 @@
+// Exact worst-case step complexity over the configuration graph: the most
+// own-steps a process can take before terminating, across ALL schedules and
+// adversarial object responses. Infinite iff the process is not wait-free
+// (a cycle with its steps exists) — the quantitative companion of the
+// wait-freedom check.
+#ifndef LBSA_MODELCHECK_STEP_COMPLEXITY_H_
+#define LBSA_MODELCHECK_STEP_COMPLEXITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "modelcheck/explorer.h"
+
+namespace lbsa::modelcheck {
+
+// Worst-case number of pid-steps from the initial configuration until pid
+// terminates (decides/aborts), maximized over schedules; std::nullopt if
+// unbounded (pid can step infinitely often — not wait-free).
+std::optional<std::uint64_t> worst_case_own_steps(const ConfigGraph& graph,
+                                                  int pid);
+
+// Per-process results for the whole protocol.
+std::vector<std::optional<std::uint64_t>> worst_case_own_steps_all(
+    const ConfigGraph& graph, int process_count);
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_STEP_COMPLEXITY_H_

@@ -1,0 +1,414 @@
+#include "modelcheck/task_check.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hashing.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& key) const {
+    return static_cast<std::size_t>(hash_words(key));
+  }
+};
+
+std::vector<std::string> format_path(const sim::Protocol& protocol,
+                                     const ConfigGraph& graph,
+                                     std::uint32_t id) {
+  std::vector<std::string> out;
+  for (const sim::Step& step : graph.path_to(id)) {
+    out.push_back(step.to_string(protocol));
+  }
+  return out;
+}
+
+// Collects the distinct decided values in a configuration.
+std::vector<Value> decided_values(const sim::Config& config) {
+  std::vector<Value> out;
+  for (const sim::ProcessState& ps : config.procs) {
+    if (ps.decided()) out.push_back(ps.decision);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Solo-run termination: from `config`, process pid runs alone; over every
+// nondeterministic object outcome it must reach kDecided (or kAborted when
+// allow_abort) without revisiting a configuration. Memoized per pid across
+// all start configurations.
+// ---------------------------------------------------------------------------
+
+class SoloChecker {
+ public:
+  SoloChecker(const sim::Protocol& protocol, int pid, bool allow_abort,
+              std::uint64_t node_bound)
+      : protocol_(protocol),
+        pid_(pid),
+        allow_abort_(allow_abort),
+        node_bound_(node_bound) {}
+
+  // Returns true iff every solo continuation of pid from `config`
+  // terminates acceptably. On failure fills *detail.
+  bool terminates(const sim::Config& config, std::string* detail) {
+    nodes_visited_ = 0;
+    return dfs(config, detail);
+  }
+
+ private:
+  enum class Memo : char { kInProgress, kGood };
+
+  bool dfs(const sim::Config& config, std::string* detail) {
+    const sim::ProcessState& ps = config.procs[static_cast<size_t>(pid_)];
+    if (ps.decided()) return true;
+    if (ps.aborted()) {
+      if (allow_abort_) return true;
+      *detail = "process p" + std::to_string(pid_) +
+                " aborted in a solo run where only decide is allowed";
+      return false;
+    }
+    if (ps.crashed()) {
+      *detail = "process p" + std::to_string(pid_) + " crashed mid-check";
+      return false;
+    }
+    if (++nodes_visited_ > node_bound_) {
+      *detail = "solo-run node budget exceeded for p" + std::to_string(pid_);
+      return false;
+    }
+
+    const auto key = config.encode();
+    auto [it, inserted] = memo_.try_emplace(key, Memo::kInProgress);
+    if (!inserted) {
+      if (it->second == Memo::kGood) return true;
+      // Revisiting an in-progress configuration: pid can cycle solo forever.
+      *detail = "process p" + std::to_string(pid_) +
+                " can take infinitely many solo steps without terminating";
+      return false;
+    }
+
+    std::vector<sim::Successor> succs;
+    sim::enumerate_successors(protocol_, config, pid_, &succs);
+    for (const sim::Successor& succ : succs) {
+      if (!dfs(succ.config, detail)) {
+        // Leave the entry as kInProgress-erased so other paths re-examine.
+        memo_.erase(key);
+        return false;
+      }
+    }
+    memo_[key] = Memo::kGood;
+    return true;
+  }
+
+  const sim::Protocol& protocol_;
+  int pid_;
+  bool allow_abort_;
+  std::uint64_t node_bound_;
+  std::uint64_t nodes_visited_ = 0;
+  std::unordered_map<std::vector<std::int64_t>, Memo, KeyHash> memo_;
+};
+
+// ---------------------------------------------------------------------------
+// Wait-freedom: process pid violates wait-freedom iff the configuration
+// graph, restricted to nodes where pid is still running, contains a cycle
+// with at least one pid-step on it — i.e. pid can take infinitely many steps
+// without deciding. Detected via iterative Tarjan SCC.
+// ---------------------------------------------------------------------------
+
+class WaitFreedomChecker {
+ public:
+  WaitFreedomChecker(const ConfigGraph& graph, int pid)
+      : graph_(graph), pid_(pid) {}
+
+  // Returns a node on a violating cycle, or nodes().size() if none.
+  std::uint32_t find_violation() {
+    const size_t n = graph_.nodes().size();
+    index_.assign(n, kUnvisited);
+    lowlink_.assign(n, 0);
+    on_stack_.assign(n, 0);
+    scc_id_.assign(n, kUnvisited);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (in_subgraph(v) && index_[v] == kUnvisited) tarjan(v);
+    }
+    // A pid-edge inside one SCC witnesses the cycle.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (!in_subgraph(u)) continue;
+      for (const Edge& e : graph_.edges()[u]) {
+        if (e.pid != pid_ || !in_subgraph(e.to)) continue;
+        if (scc_id_[u] == scc_id_[e.to] &&
+            (u != e.to || true /* self-loop is a cycle */)) {
+          // Single-node SCC without self-loop: scc equal but no cycle.
+          if (u == e.to || scc_size_[scc_id_[u]] > 1) return u;
+        }
+      }
+    }
+    return static_cast<std::uint32_t>(n);
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = ~0u;
+
+  bool in_subgraph(std::uint32_t v) const {
+    return graph_.nodes()[v].config.procs[static_cast<size_t>(pid_)].running();
+  }
+
+  void tarjan(std::uint32_t root) {
+    struct Frame {
+      std::uint32_t v;
+      size_t edge_pos;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    begin_node(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = graph_.edges()[f.v];
+      bool descended = false;
+      while (f.edge_pos < edges.size()) {
+        const Edge& e = edges[f.edge_pos++];
+        if (!in_subgraph(e.to)) continue;
+        if (index_[e.to] == kUnvisited) {
+          begin_node(e.to);
+          frames.push_back({e.to, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[e.to]) {
+          lowlink_[f.v] = std::min(lowlink_[f.v], index_[e.to]);
+        }
+      }
+      if (descended) continue;
+      // f.v is finished.
+      const std::uint32_t v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink_[frames.back().v] =
+            std::min(lowlink_[frames.back().v], lowlink_[v]);
+      }
+      if (lowlink_[v] == index_[v]) {
+        const std::uint32_t id = static_cast<std::uint32_t>(scc_size_.size());
+        scc_size_.push_back(0);
+        std::uint32_t w;
+        do {
+          w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = 0;
+          scc_id_[w] = id;
+          ++scc_size_[id];
+        } while (w != v);
+      }
+    }
+  }
+
+  void begin_node(std::uint32_t v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = 1;
+  }
+
+  const ConfigGraph& graph_;
+  int pid_;
+  std::uint32_t next_index_ = 0;
+  std::vector<std::uint32_t> index_, lowlink_, scc_id_;
+  std::vector<std::uint32_t> scc_size_;
+  std::vector<char> on_stack_;
+  std::vector<std::uint32_t> stack_;
+};
+
+void add_violation(TaskReport* report, const TaskCheckOptions& options,
+                   std::string property, std::string detail,
+                   std::vector<std::string> trace) {
+  if (static_cast<int>(report->violations.size()) >= options.max_violations) {
+    return;
+  }
+  report->violations.push_back(PropertyViolation{
+      std::move(property), std::move(detail), std::move(trace)});
+}
+
+bool report_full(const TaskReport& report, const TaskCheckOptions& options) {
+  return static_cast<int>(report.violations.size()) >= options.max_violations;
+}
+
+}  // namespace
+
+bool TaskReport::violates(const std::string& property) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const PropertyViolation& v) {
+                       return v.property == property;
+                     });
+}
+
+std::string TaskReport::to_string() const {
+  std::string out = "nodes=" + std::to_string(node_count) +
+                    " transitions=" + std::to_string(transition_count);
+  if (partial) out += " (PARTIAL exploration)";
+  if (ok()) return out + " — all properties hold";
+  for (const PropertyViolation& v : violations) {
+    out += "\nVIOLATION [" + v.property + "]: " + v.detail;
+    for (const std::string& s : v.trace) out += "\n    " + s;
+  }
+  return out;
+}
+
+StatusOr<TaskReport> check_k_agreement_task(
+    std::shared_ptr<const sim::Protocol> protocol, int k,
+    const std::vector<Value>& inputs, const TaskCheckOptions& options) {
+  LBSA_CHECK(k >= 1);
+  LBSA_CHECK(static_cast<int>(inputs.size()) == protocol->process_count());
+
+  Explorer explorer(protocol);
+  StatusOr<ConfigGraph> graph_or = explorer.explore(options.explore);
+  if (!graph_or.is_ok()) return graph_or.status();
+  const ConfigGraph& graph = graph_or.value();
+
+  TaskReport report;
+  report.node_count = graph.nodes().size();
+  report.transition_count = graph.transition_count();
+  report.partial = graph.truncated();
+
+  const std::set<Value> input_set(inputs.begin(), inputs.end());
+
+  for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {
+    const sim::Config& config = graph.nodes()[id].config;
+    const std::vector<Value> decided = decided_values(config);
+    if (static_cast<int>(decided.size()) > k) {
+      add_violation(&report, options, "agreement",
+                    std::to_string(decided.size()) +
+                        " distinct decisions with k=" + std::to_string(k),
+                    format_path(*protocol, graph, id));
+    }
+    for (Value v : decided) {
+      if (!input_set.contains(v)) {
+        add_violation(&report, options, "validity",
+                      "decided value " + value_to_string(v) +
+                          " was never proposed",
+                      format_path(*protocol, graph, id));
+        break;
+      }
+    }
+    for (size_t pid = 0; pid < config.procs.size(); ++pid) {
+      if (config.procs[pid].aborted()) {
+        add_violation(&report, options, "no-abort",
+                      "process p" + std::to_string(pid) +
+                          " aborted in a k-set-agreement task",
+                      format_path(*protocol, graph, id));
+      }
+    }
+    if (report_full(report, options)) return report;
+  }
+
+  for (int pid = 0; pid < protocol->process_count(); ++pid) {
+    WaitFreedomChecker checker(graph, pid);
+    const std::uint32_t bad = checker.find_violation();
+    if (bad < graph.nodes().size()) {
+      add_violation(
+          &report, options, "termination",
+          "process p" + std::to_string(pid) +
+              " can take infinitely many steps without deciding",
+          format_path(*protocol, graph, bad));
+      if (report_full(report, options)) return report;
+    }
+  }
+  return report;
+}
+
+StatusOr<TaskReport> check_dac_task(
+    std::shared_ptr<const sim::Protocol> protocol, int distinguished_pid,
+    const std::vector<Value>& inputs, const TaskCheckOptions& options) {
+  const int n = protocol->process_count();
+  LBSA_CHECK(static_cast<int>(inputs.size()) == n);
+  LBSA_CHECK(distinguished_pid >= 0 && distinguished_pid < n);
+
+  // Path flag: has any process other than p taken a step yet?
+  Explorer explorer(protocol);
+  auto flag_fn = [distinguished_pid](std::int64_t flag,
+                                     const sim::Step& step) -> std::int64_t {
+    return (step.pid != distinguished_pid) ? 1 : flag;
+  };
+  StatusOr<ConfigGraph> graph_or =
+      explorer.explore(options.explore, flag_fn, /*initial_flag=*/0);
+  if (!graph_or.is_ok()) return graph_or.status();
+  const ConfigGraph& graph = graph_or.value();
+
+  TaskReport report;
+  report.node_count = graph.nodes().size();
+  report.transition_count = graph.transition_count();
+  report.partial = graph.truncated();
+
+  for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {
+    const Node& node = graph.nodes()[id];
+    const sim::Config& config = node.config;
+    const std::vector<Value> decided = decided_values(config);
+
+    // Agreement: at most one distinct decision.
+    if (decided.size() > 1) {
+      add_violation(&report, options, "agreement",
+                    "two distinct decisions",
+                    format_path(*protocol, graph, id));
+    }
+
+    // Validity: every decided value is the input of a process that has not
+    // aborted (abort is irrevocable, and decisions persist, so checking
+    // every reachable configuration is equivalent to the per-execution
+    // statement).
+    for (Value v : decided) {
+      bool witnessed = false;
+      for (size_t pid = 0; pid < config.procs.size(); ++pid) {
+        if (inputs[pid] == v && !config.procs[pid].aborted()) {
+          witnessed = true;
+          break;
+        }
+      }
+      if (!witnessed) {
+        add_violation(&report, options, "validity",
+                      "decided value " + value_to_string(v) +
+                          " has no non-aborting proposer",
+                      format_path(*protocol, graph, id));
+      }
+    }
+
+    // Only the distinguished process may abort.
+    for (size_t pid = 0; pid < config.procs.size(); ++pid) {
+      if (config.procs[pid].aborted() &&
+          static_cast<int>(pid) != distinguished_pid) {
+        add_violation(&report, options, "only-p-aborts",
+                      "process p" + std::to_string(pid) +
+                          " aborted but is not distinguished",
+                      format_path(*protocol, graph, id));
+      }
+    }
+
+    // Nontriviality: p aborted although no other process ever took a step.
+    if (config.procs[static_cast<size_t>(distinguished_pid)].aborted() &&
+        node.flag == 0) {
+      add_violation(&report, options, "nontriviality",
+                    "p aborted in a run where no other process took a step",
+                    format_path(*protocol, graph, id));
+    }
+    if (report_full(report, options)) return report;
+  }
+
+  // Termination (a): from every reachable configuration, p running solo
+  // decides or aborts. Termination (b): every q != p running solo decides.
+  for (int pid = 0; pid < n; ++pid) {
+    const bool is_p = (pid == distinguished_pid);
+    SoloChecker solo(*protocol, pid, /*allow_abort=*/is_p,
+                     options.solo_node_bound);
+    for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {
+      std::string detail;
+      if (!solo.terminates(graph.nodes()[id].config, &detail)) {
+        add_violation(&report, options,
+                      is_p ? "termination(a)" : "termination(b)", detail,
+                      format_path(*protocol, graph, id));
+        break;  // one witness per process suffices
+      }
+    }
+    if (report_full(report, options)) return report;
+  }
+  return report;
+}
+
+}  // namespace lbsa::modelcheck

@@ -1,0 +1,77 @@
+// Machine checkers for the decision tasks of the paper: k-set agreement
+// (consensus = 1-set agreement) and the n-DAC problem of Section 4. Each
+// checker explores the protocol's full configuration graph and verifies the
+// task's properties over *all* schedules and all nondeterministic object
+// behaviours, reporting a concrete counterexample trace on failure.
+//
+// Property glossary (paper, Sections 1 and 4):
+//   k-set agreement: Agreement (at most k distinct decisions), Validity
+//   (decisions were proposed), Wait-free termination (no process can take
+//   infinitely many steps without deciding).
+//   n-DAC: Agreement, Validity (a decided value is the input of some process
+//   that does not abort), Termination (a): the distinguished process p
+//   running forever decides or aborts; Termination (b): any q != p running
+//   solo decides; Nontriviality: p aborts only if some q != p took a step.
+#ifndef LBSA_MODELCHECK_TASK_CHECK_H_
+#define LBSA_MODELCHECK_TASK_CHECK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "modelcheck/explorer.h"
+
+namespace lbsa::modelcheck {
+
+struct TaskCheckOptions {
+  ExploreOptions explore;
+  // Node budget for each solo-run termination check.
+  std::uint64_t solo_node_bound = 100'000;
+  // Stop after this many violations (>=1; keeps reports readable).
+  int max_violations = 8;
+};
+
+struct PropertyViolation {
+  std::string property;  // e.g. "agreement", "termination(b)"
+  std::string detail;
+  std::vector<std::string> trace;  // formatted steps from the initial config
+};
+
+struct TaskReport {
+  std::vector<PropertyViolation> violations;
+  std::uint64_t node_count = 0;
+  std::uint64_t transition_count = 0;
+  // True iff the underlying exploration was truncated (see
+  // ExploreOptions::allow_truncation): violations are real, but a clean
+  // report certifies only the explored region.
+  bool partial = false;
+
+  bool ok() const { return violations.empty(); }
+  // True iff some violation is for `property`.
+  bool violates(const std::string& property) const;
+  std::string to_string() const;
+};
+
+// Checks Agreement(k), Validity, wait-free Termination, and absence of
+// aborts for a k-set-agreement protocol whose process inputs are `inputs`
+// (inputs.size() == process_count).
+StatusOr<TaskReport> check_k_agreement_task(
+    std::shared_ptr<const sim::Protocol> protocol, int k,
+    const std::vector<Value>& inputs, const TaskCheckOptions& options = {});
+
+// Consensus is 1-set agreement.
+inline StatusOr<TaskReport> check_consensus_task(
+    std::shared_ptr<const sim::Protocol> protocol,
+    const std::vector<Value>& inputs, const TaskCheckOptions& options = {}) {
+  return check_k_agreement_task(std::move(protocol), 1, inputs, options);
+}
+
+// Checks the n-DAC properties with `distinguished_pid` as the process p.
+StatusOr<TaskReport> check_dac_task(
+    std::shared_ptr<const sim::Protocol> protocol, int distinguished_pid,
+    const std::vector<Value>& inputs, const TaskCheckOptions& options = {});
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_TASK_CHECK_H_

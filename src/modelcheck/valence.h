@@ -1,0 +1,63 @@
+// Valence analysis — the mechanized core of the paper's impossibility
+// arguments (Theorems 4.2 and 5.2, after FLP [8] and Herlihy [10]).
+//
+// For every node of a ConfigGraph we compute the set of decision values that
+// appear in some configuration reachable from it (as a bitmask over the
+// observed decision universe). In the paper's terminology, for a binary
+// task, a configuration C is
+//   * v-valent    if only v is reachable           (mask == {v}),
+//   * univalent   if it is 0-valent or 1-valent,
+//   * bivalent    if both 0 and 1 are reachable.
+// A *critical* configuration is a bivalent one all of whose successors are
+// univalent — the configurations Claims 4.2.5 / 5.2.2 hunt for.
+#ifndef LBSA_MODELCHECK_VALENCE_H_
+#define LBSA_MODELCHECK_VALENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "modelcheck/explorer.h"
+
+namespace lbsa::modelcheck {
+
+class ValenceAnalyzer {
+ public:
+  // Builds the analysis for `graph` (kept by reference; must outlive this).
+  // Supports up to 64 distinct decision values.
+  explicit ValenceAnalyzer(const ConfigGraph& graph);
+
+  // The distinct decision values observed anywhere, in first-seen order;
+  // bit i of every mask refers to universe()[i].
+  const std::vector<Value>& universe() const { return universe_; }
+
+  // Bitmask of decision values reachable from node id (including values
+  // already decided in id itself).
+  std::uint64_t reachable_mask(std::uint32_t id) const {
+    return masks_[id];
+  }
+
+  // Number of distinct reachable decision values from id.
+  int reachable_count(std::uint32_t id) const;
+
+  bool is_univalent(std::uint32_t id) const { return reachable_count(id) == 1; }
+  bool is_multivalent(std::uint32_t id) const {
+    return reachable_count(id) >= 2;
+  }
+  // The unique reachable decision value of a univalent node.
+  Value univalent_value(std::uint32_t id) const;
+
+  // All multivalent nodes whose successors are every one univalent.
+  std::vector<std::uint32_t> critical_nodes() const;
+
+  // All multivalent nodes.
+  std::vector<std::uint32_t> multivalent_nodes() const;
+
+ private:
+  const ConfigGraph& graph_;
+  std::vector<Value> universe_;
+  std::vector<std::uint64_t> masks_;
+};
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_VALENCE_H_

@@ -1,0 +1,172 @@
+#include "protocols/ben_or.h"
+
+#include "base/check.h"
+#include "spec/coin_type.h"
+#include "spec/register_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+// pc states.
+constexpr std::int64_t kWriteA = 0;
+constexpr std::int64_t kReadA = 1;   // iterate peers with locals[kPeer]
+constexpr std::int64_t kWriteB = 2;
+constexpr std::int64_t kReadB = 3;
+constexpr std::int64_t kDecide = 4;  // terminal local step
+constexpr std::int64_t kFlip = 5;
+constexpr std::int64_t kSpin = 6;    // rounds exhausted (adversarial coins)
+
+std::vector<std::shared_ptr<const spec::ObjectType>> make_objects(
+    int n, int rounds) {
+  std::vector<std::shared_ptr<const spec::ObjectType>> objects;
+  objects.reserve(static_cast<size_t>(2 * n * rounds) + 1);
+  for (int i = 0; i < 2 * n * rounds; ++i) {
+    objects.push_back(std::make_shared<spec::RegisterType>());
+  }
+  objects.push_back(std::make_shared<spec::CoinType>());
+  return objects;
+}
+
+}  // namespace
+
+BenOrProtocol::BenOrProtocol(std::vector<Value> inputs, int max_rounds)
+    : ProtocolBase("ben-or-" + std::to_string(inputs.size()) + "p-" +
+                       std::to_string(max_rounds) + "r",
+                   static_cast<int>(inputs.size()),
+                   make_objects(static_cast<int>(inputs.size()), max_rounds)),
+      inputs_(std::move(inputs)),
+      max_rounds_(max_rounds) {
+  LBSA_CHECK(inputs_.size() >= 2);
+  LBSA_CHECK(max_rounds >= 1);
+  for (Value v : inputs_) LBSA_CHECK(v == 0 || v == 1);
+}
+
+int BenOrProtocol::a_index(std::int64_t round, int pid) const {
+  const int n = process_count();
+  return static_cast<int>(round) * 2 * n + pid;
+}
+
+int BenOrProtocol::b_index(std::int64_t round, int pid) const {
+  const int n = process_count();
+  return static_cast<int>(round) * 2 * n + n + pid;
+}
+
+int BenOrProtocol::coin_index() const {
+  return 2 * process_count() * max_rounds_;
+}
+
+std::vector<std::int64_t> BenOrProtocol::initial_locals(int pid) const {
+  // [v, round, peer, prop, commit_ok, adopt]
+  return {inputs_[static_cast<size_t>(pid)], 0, 0, kNil, 1, kNil};
+}
+
+sim::Action BenOrProtocol::next_action(int pid,
+                                       const sim::ProcessState& state) const {
+  const auto& l = state.locals;
+  switch (state.pc) {
+    case kWriteA:
+      return sim::Action::invoke(a_index(l[kRound], pid),
+                                 spec::make_write(l[kV]));
+    case kReadA:
+      return sim::Action::invoke(
+          a_index(l[kRound], static_cast<int>(l[kPeer])), spec::make_read());
+    case kWriteB:
+      return sim::Action::invoke(b_index(l[kRound], pid),
+                                 spec::make_write(l[kProp]));
+    case kReadB:
+      return sim::Action::invoke(
+          b_index(l[kRound], static_cast<int>(l[kPeer])), spec::make_read());
+    case kDecide:
+      return sim::Action::decide(l[kProp]);
+    case kFlip:
+      return sim::Action::invoke(coin_index(), spec::make_flip());
+    case kSpin:
+      // Rounds exhausted: loop forever (reachable only under adversarial
+      // coin/schedule choices — the probability-0 branch).
+      return sim::Action::invoke(a_index(0, pid), spec::make_read());
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void BenOrProtocol::on_response(int pid, sim::ProcessState* state,
+                                Value response) const {
+  auto& l = state->locals;
+  const int n = process_count();
+
+  // Advances the peer cursor past the caller's own index; returns true when
+  // all peers have been visited.
+  auto advance_peer = [&]() {
+    ++l[kPeer];
+    if (l[kPeer] == pid) ++l[kPeer];
+    return l[kPeer] >= n;
+  };
+  auto begin_peers = [&]() {
+    l[kPeer] = (pid == 0) ? 1 : 0;
+    return l[kPeer] >= n;  // true only for n == 1 (excluded by ctor)
+  };
+
+  switch (state->pc) {
+    case kWriteA:
+      LBSA_CHECK(response == kDone);
+      l[kProp] = l[kV];
+      begin_peers();
+      state->pc = kReadA;
+      return;
+
+    case kReadA:
+      if (response != kNil && response != l[kV]) l[kProp] = kConflict;
+      if (advance_peer()) {
+        state->pc = kWriteB;
+      }
+      return;
+
+    case kWriteB:
+      LBSA_CHECK(response == kDone);
+      l[kCommitOk] = 1;
+      l[kAdopt] = kNil;
+      begin_peers();
+      state->pc = kReadB;
+      return;
+
+    case kReadB: {
+      if (response != kNil) {
+        if (response != l[kProp]) l[kCommitOk] = 0;
+        if (response != kConflict) l[kAdopt] = response;
+      }
+      if (!advance_peer()) return;
+      // Phase 2 complete: resolve the round.
+      if (l[kProp] != kConflict && l[kCommitOk] == 1) {
+        state->pc = kDecide;
+        return;
+      }
+      if (l[kProp] != kConflict) {
+        l[kV] = l[kProp];
+      } else if (l[kAdopt] != kNil) {
+        l[kV] = l[kAdopt];
+      } else {
+        state->pc = kFlip;
+        return;
+      }
+      ++l[kRound];
+      state->pc = (l[kRound] >= max_rounds_) ? kSpin : kWriteA;
+      return;
+    }
+
+    case kFlip:
+      LBSA_CHECK(response == 0 || response == 1);
+      l[kV] = response;
+      ++l[kRound];
+      state->pc = (l[kRound] >= max_rounds_) ? kSpin : kWriteA;
+      return;
+
+    case kSpin:
+      return;  // keep spinning
+
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,70 @@
+// Randomized binary consensus from registers and a coin — the "life beyond
+// FLP" extension. The paper's impossibility engine (the bivalency argument
+// of Theorems 4.2/5.2, inherited from FLP [8]) only forbids DETERMINISTIC
+// wait-free consensus; this Ben-Or-style protocol shows the exact boundary:
+//
+//   round r (adopt-commit + coin):
+//     phase 1: write my value to A[r][me]; read every A[r][j];
+//              prop <- my value if no different value seen, else CONFLICT
+//     phase 2: write prop to B[r][me]; read every B[r][j];
+//       * prop != CONFLICT and every non-NIL B value == prop  -> DECIDE prop
+//       * prop != CONFLICT                                    -> keep prop
+//       * some non-NIL, non-CONFLICT B value w seen           -> adopt w
+//       * otherwise                                           -> value <- coin
+//
+// Safety (Agreement, Validity) holds under EVERY schedule and EVERY coin
+// outcome — the model checker verifies this exhaustively. Termination holds
+// only with probability 1 under a fair coin: an adversary controlling coin
+// outcomes and scheduling forces conflicts forever, and the checker
+// mechanically exhibits that non-terminating run. Rounds are preallocated;
+// a process that exhausts them spins (the honest rendering of "the
+// adversary wins" — it can only happen with adversarial coins).
+#ifndef LBSA_PROTOCOLS_BEN_OR_H_
+#define LBSA_PROTOCOLS_BEN_OR_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class BenOrProtocol final : public sim::ProtocolBase {
+ public:
+  // inputs must be binary (0/1). max_rounds bounds the preallocated
+  // register arrays (and hence the reachable state space).
+  BenOrProtocol(std::vector<Value> inputs, int max_rounds);
+
+  int max_rounds() const { return max_rounds_; }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  // Object indices: A[r][i] at r*2n + i, B[r][i] at r*2n + n + i, the coin
+  // last.
+  int a_index(std::int64_t round, int pid) const;
+  int b_index(std::int64_t round, int pid) const;
+  int coin_index() const;
+
+  // locals layout.
+  static constexpr std::int64_t kV = 0;          // current value
+  static constexpr std::int64_t kRound = 1;
+  static constexpr std::int64_t kPeer = 2;       // peer cursor during reads
+  static constexpr std::int64_t kProp = 3;       // phase-2 proposal
+  static constexpr std::int64_t kCommitOk = 4;   // all B reads == prop so far
+  static constexpr std::int64_t kAdopt = 5;      // non-conflict B value seen
+
+  // The phase-1 conflict marker (distinct from binary values).
+  static constexpr Value kConflict = 777;
+
+  std::vector<Value> inputs_;
+  int max_rounds_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_BEN_OR_H_

@@ -1,0 +1,184 @@
+#include "protocols/classic_consensus.h"
+
+#include "base/check.h"
+#include "spec/classic_types.h"
+#include "spec/register_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+// Objects for the register-announce pattern: one register per process,
+// followed by the decision object at the last index.
+std::vector<std::shared_ptr<const spec::ObjectType>> announce_objects(
+    size_t n, std::shared_ptr<const spec::ObjectType> decider) {
+  std::vector<std::shared_ptr<const spec::ObjectType>> objects;
+  for (size_t i = 0; i < n; ++i) {
+    objects.push_back(std::make_shared<spec::RegisterType>());
+  }
+  objects.push_back(std::move(decider));
+  return objects;
+}
+
+constexpr std::int64_t kInput = 0;
+constexpr std::int64_t kResult = 1;
+
+}  // namespace
+
+// ----------------------------- test&set -----------------------------------
+
+TasConsensusProtocol::TasConsensusProtocol(std::vector<Value> inputs)
+    : ProtocolBase("consensus-via-test&set",
+                   static_cast<int>(inputs.size()),
+                   announce_objects(inputs.size(),
+                                    std::make_shared<spec::TestAndSetType>())),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 2);
+}
+
+std::vector<std::int64_t> TasConsensusProtocol::initial_locals(int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action TasConsensusProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  const int tas_index = process_count();
+  switch (state.pc) {
+    case 0:  // announce input
+      return sim::Action::invoke(pid, spec::make_write(state.locals[kInput]));
+    case 1:  // race for the bit
+      return sim::Action::invoke(tas_index, spec::make_test_and_set());
+    case 2:  // lost: read the other process's register (2-process form:
+             // "the other" is pid 1 - pid; with more processes this guess
+             // is wrong, which is the point of the negative tests)
+      return sim::Action::invoke((pid + 1) % process_count(),
+                                 spec::make_read());
+    case 3:
+      return sim::Action::decide(state.locals[kResult]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void TasConsensusProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                       Value response) const {
+  switch (state->pc) {
+    case 0:
+      state->pc = 1;
+      return;
+    case 1:
+      if (response == 0) {  // won the bit: decide own input
+        state->locals[kResult] = state->locals[kInput];
+        state->pc = 3;
+      } else {
+        state->pc = 2;
+      }
+      return;
+    case 2:
+      state->locals[kResult] = response;
+      state->pc = 3;
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+// ------------------------------- queue ------------------------------------
+
+QueueConsensusProtocol::QueueConsensusProtocol(std::vector<Value> inputs)
+    : ProtocolBase(
+          "consensus-via-queue",
+          static_cast<int>(inputs.size()),
+          announce_objects(inputs.size(),
+                           std::make_shared<spec::QueueType>(
+                               /*capacity=*/1,
+                               std::vector<Value>{/*token=*/1}))),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 2);
+}
+
+std::vector<std::int64_t> QueueConsensusProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action QueueConsensusProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  const int queue_index = process_count();
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(pid, spec::make_write(state.locals[kInput]));
+    case 1:
+      return sim::Action::invoke(queue_index, spec::make_dequeue());
+    case 2:
+      return sim::Action::invoke((pid + 1) % process_count(),
+                                 spec::make_read());
+    case 3:
+      return sim::Action::decide(state.locals[kResult]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void QueueConsensusProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                         Value response) const {
+  switch (state->pc) {
+    case 0:
+      state->pc = 1;
+      return;
+    case 1:
+      if (response != kNil) {  // got the token
+        state->locals[kResult] = state->locals[kInput];
+        state->pc = 3;
+      } else {
+        state->pc = 2;
+      }
+      return;
+    case 2:
+      state->locals[kResult] = response;
+      state->pc = 3;
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+// ------------------------------ compare&swap ------------------------------
+
+CasConsensusProtocol::CasConsensusProtocol(std::vector<Value> inputs)
+    : ProtocolBase("consensus-via-compare&swap",
+                   static_cast<int>(inputs.size()),
+                   {std::make_shared<spec::CompareAndSwapType>()}),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(!inputs_.empty());
+}
+
+std::vector<std::int64_t> CasConsensusProtocol::initial_locals(int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action CasConsensusProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(
+          0, spec::make_compare_and_swap(kNil, state.locals[kInput]));
+    case 1:
+      return sim::Action::decide(state.locals[kResult]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void CasConsensusProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                       Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  // Pre-operation value: NIL means our CAS installed our input.
+  state->locals[kResult] =
+      (response == kNil) ? state->locals[kInput] : response;
+  state->pc = 1;
+}
+
+}  // namespace lbsa::protocols

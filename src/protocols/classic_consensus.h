@@ -1,0 +1,78 @@
+// Herlihy's classic consensus protocols [10] from the hierarchy's canonical
+// objects — the landscape the paper's O_n / O'_n separation lives in:
+//
+//   * TasConsensusProtocol:   2-process consensus from one test&set bit and
+//                             two registers (level 2 of the hierarchy);
+//   * QueueConsensusProtocol: 2-process consensus from a FIFO queue holding
+//                             one token, plus two registers (level 2);
+//   * CasConsensusProtocol:   n-process consensus from one compare&swap cell
+//                             (level ∞).
+//
+// Each also has a deliberately overloaded variant (3 processes on the
+// 2-process constructions) used by the tests to show the checker exhibiting
+// the classic failure — the executable face of "consensus number 2".
+#ifndef LBSA_PROTOCOLS_CLASSIC_CONSENSUS_H_
+#define LBSA_PROTOCOLS_CLASSIC_CONSENSUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+// Two (or, for the negative demonstration, more) processes: write input to
+// own register; TAS(); winner decides own input, each loser decides the
+// value of the register owned by the winner-candidate it blames — for the
+// 2-process case, "the other process", which is exactly Herlihy's protocol.
+// With >2 processes losers cannot identify the winner and the protocol
+// breaks (as it must).
+class TasConsensusProtocol final : public sim::ProtocolBase {
+ public:
+  explicit TasConsensusProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+// Queue variant: the queue initially holds one token; whoever dequeues the
+// token wins.
+class QueueConsensusProtocol final : public sim::ProtocolBase {
+ public:
+  explicit QueueConsensusProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+// CAS(NIL -> input); the response is the pre-operation value: NIL means "I
+// installed mine", anything else is the winner's input. Works for any n.
+class CasConsensusProtocol final : public sim::ProtocolBase {
+ public:
+  explicit CasConsensusProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_CLASSIC_CONSENSUS_H_

@@ -1,0 +1,57 @@
+#include "protocols/flp_race.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "spec/register_type.h"
+
+namespace lbsa::protocols {
+
+FlpRaceProtocol::FlpRaceProtocol(Value input0, Value input1)
+    : ProtocolBase("flp-race", 2,
+                   {std::make_shared<spec::RegisterType>(),
+                    std::make_shared<spec::RegisterType>()}),
+      inputs_{input0, input1} {
+  LBSA_CHECK(is_ordinary(input0) && is_ordinary(input1));
+}
+
+std::vector<std::int64_t> FlpRaceProtocol::initial_locals(int pid) const {
+  return {inputs_[pid]};  // [preference]
+}
+
+sim::Action FlpRaceProtocol::next_action(int pid,
+                                         const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:  // publish preference
+      return sim::Action::invoke(pid, spec::make_write(state.locals[0]));
+    case 1:  // read the other process's register
+      return sim::Action::invoke(1 - pid, spec::make_read());
+    case 2:
+      return sim::Action::decide(state.locals[0]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void FlpRaceProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                  Value response) const {
+  switch (state->pc) {
+    case 0:
+      LBSA_CHECK(response == kDone);
+      state->pc = 1;
+      return;
+    case 1:
+      if (response == kNil || response == state->locals[0]) {
+        state->pc = 2;  // alone, or agreement observed: decide preference
+      } else {
+        state->locals[0] = std::min<Value>(state->locals[0], response);
+        state->pc = 0;  // adopt the smaller value and retry
+      }
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,42 @@
+// A register-only consensus attempt for two processes — the demonstration
+// subject for the bivalency machinery the paper inherits from FLP [8] and
+// Herlihy [10].
+//
+// Each process keeps a preference (initially its input) and loops:
+//   write preference to its own register; read the other register;
+//   if the other register is NIL          -> decide own preference;
+//   if the other preference equals ours   -> decide it;
+//   otherwise adopt min(ours, theirs) and retry.
+//
+// FLP says no such protocol can be correct; this one fails Termination (the
+// process holding the smaller value can spin forever against a decided
+// peer). The model checker exhibits the non-terminating cycle, and the
+// valence analyzer shows the bivalent initial configuration — exactly the
+// artifacts Claims 4.2.4 / 5.2.1 reason with.
+#ifndef LBSA_PROTOCOLS_FLP_RACE_H_
+#define LBSA_PROTOCOLS_FLP_RACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class FlpRaceProtocol final : public sim::ProtocolBase {
+ public:
+  FlpRaceProtocol(Value input0, Value input1);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  Value inputs_[2];
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_FLP_RACE_H_

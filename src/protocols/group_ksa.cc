@@ -1,0 +1,61 @@
+#include "protocols/group_ksa.h"
+
+#include "base/check.h"
+#include "spec/consensus_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+std::vector<std::shared_ptr<const spec::ObjectType>> make_objects(int k,
+                                                                  int m) {
+  std::vector<std::shared_ptr<const spec::ObjectType>> objects;
+  for (int g = 0; g < k; ++g) {
+    objects.push_back(std::make_shared<spec::NConsensusType>(m));
+  }
+  return objects;
+}
+
+}  // namespace
+
+GroupKsaProtocol::GroupKsaProtocol(int k, int m, std::vector<Value> inputs)
+    : ProtocolBase(std::to_string(k) + "-set-agreement-via-" +
+                       std::to_string(k) + "x" + std::to_string(m) +
+                       "-consensus",
+                   static_cast<int>(inputs.size()), make_objects(k, m)),
+      k_(k),
+      m_(m),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(k >= 1 && m >= 1);
+  LBSA_CHECK(static_cast<int>(inputs_.size()) <= k * m);
+  for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
+}
+
+std::vector<std::int64_t> GroupKsaProtocol::initial_locals(int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action GroupKsaProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(pid / m_,
+                                 spec::make_propose(state.locals[0]));
+    case 1:
+      return sim::Action::decide(state.locals[1]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void GroupKsaProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                   Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  // Each group has at most m members, so the m-consensus object never
+  // answers ⊥ here.
+  LBSA_CHECK(response != kBottom);
+  state->locals[1] = response;
+  state->pc = 1;
+}
+
+}  // namespace lbsa::protocols

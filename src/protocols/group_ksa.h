@@ -1,0 +1,44 @@
+// The classic "partition" lower bound for set agreement from consensus
+// objects (Chaudhuri-Reiners [6], Borowsky-Gafni [2]): k-set agreement among
+// k*m processes using k independent m-consensus objects. Process pid joins
+// group pid / m and runs consensus within its group; since every group
+// decides one value and there are k groups, at most k distinct values are
+// decided.
+//
+// This protocol realizes every finite lower-bound entry of the set agreement
+// power sequences discussed in Section 6: an object with consensus number m
+// yields n_k >= k*m.
+#ifndef LBSA_PROTOCOLS_GROUP_KSA_H_
+#define LBSA_PROTOCOLS_GROUP_KSA_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class GroupKsaProtocol final : public sim::ProtocolBase {
+ public:
+  // inputs.size() must be <= k*m; process pid proposes to consensus object
+  // pid / m (groups may be ragged if inputs.size() < k*m).
+  GroupKsaProtocol(int k, int m, std::vector<Value> inputs);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  int k_;
+  int m_;
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_GROUP_KSA_H_

@@ -1,0 +1,91 @@
+#include "protocols/one_shot.h"
+
+#include "base/check.h"
+#include "spec/consensus_type.h"
+#include "spec/ksa_type.h"
+#include "spec/nm_pac_type.h"
+#include "spec/oprime_type.h"
+
+namespace lbsa::protocols {
+
+OneShotProposeProtocol::OneShotProposeProtocol(
+    std::string name, std::shared_ptr<const spec::ObjectType> object,
+    std::vector<spec::Operation> per_pid_ops)
+    : ProtocolBase(std::move(name), static_cast<int>(per_pid_ops.size()),
+                   {std::move(object)}),
+      ops_(std::move(per_pid_ops)) {
+  LBSA_CHECK(!ops_.empty());
+  for (const spec::Operation& op : ops_) {
+    const Status s = objects()[0]->validate(op);
+    LBSA_CHECK_MSG(s.is_ok(), s.to_string().c_str());
+  }
+}
+
+std::vector<std::int64_t> OneShotProposeProtocol::initial_locals(
+    int /*pid*/) const {
+  return {kNil};  // [response]
+}
+
+sim::Action OneShotProposeProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(0, ops_[static_cast<size_t>(pid)]);
+    case 1:
+      return sim::Action::decide(state.locals[0]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void OneShotProposeProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                         Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  state->locals[0] = response;
+  state->pc = 1;
+}
+
+std::shared_ptr<OneShotProposeProtocol> make_consensus_via_n_consensus(
+    const std::vector<Value>& inputs) {
+  const int n = static_cast<int>(inputs.size());
+  std::vector<spec::Operation> ops;
+  for (Value v : inputs) ops.push_back(spec::make_propose(v));
+  return std::make_shared<OneShotProposeProtocol>(
+      "consensus-via-" + std::to_string(n) + "-consensus",
+      std::make_shared<spec::NConsensusType>(n), std::move(ops));
+}
+
+std::shared_ptr<OneShotProposeProtocol> make_consensus_via_nm_pac(
+    int n, int m, const std::vector<Value>& inputs) {
+  LBSA_CHECK(static_cast<int>(inputs.size()) <= m);
+  std::vector<spec::Operation> ops;
+  for (Value v : inputs) ops.push_back(spec::make_propose_c(v));
+  return std::make_shared<OneShotProposeProtocol>(
+      "consensus-via-(" + std::to_string(n) + "," + std::to_string(m) +
+          ")-PAC",
+      std::make_shared<spec::NmPacType>(n, m), std::move(ops));
+}
+
+std::shared_ptr<OneShotProposeProtocol> make_ksa_via_two_sa(
+    const std::vector<Value>& inputs) {
+  std::vector<spec::Operation> ops;
+  for (Value v : inputs) ops.push_back(spec::make_propose(v));
+  return std::make_shared<OneShotProposeProtocol>(
+      "ksa-via-2-SA",
+      std::make_shared<spec::KsaType>(spec::kUnboundedPorts, 2),
+      std::move(ops));
+}
+
+std::shared_ptr<OneShotProposeProtocol> make_ksa_via_oprime(
+    std::vector<int> port_bounds, int level,
+    const std::vector<Value>& inputs) {
+  std::vector<spec::Operation> ops;
+  for (Value v : inputs) ops.push_back(spec::make_propose_k(v, level));
+  return std::make_shared<OneShotProposeProtocol>(
+      "ksa-via-O'(level " + std::to_string(level) + ")",
+      std::make_shared<spec::OPrimeType>(std::move(port_bounds)),
+      std::move(ops));
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,61 @@
+// One-shot propose protocols: every process applies a single prepared
+// operation to a single shared object and decides the response.
+//
+// This tiny shape covers a surprising amount of the paper:
+//   * consensus among n processes via one n-consensus object (footnote 6);
+//   * m-consensus via the PROPOSEC port of an (n,m)-PAC object
+//     (Observation 5.1(c), the positive half of Theorem 5.3);
+//   * k-set agreement among n_k processes via O'_n's PROPOSE(v, k)
+//     (Section 6, "O'_n has the same set agreement power as O_n");
+//   * k-set agreement among any number of processes via one 2-SA object.
+#ifndef LBSA_PROTOCOLS_ONE_SHOT_H_
+#define LBSA_PROTOCOLS_ONE_SHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class OneShotProposeProtocol final : public sim::ProtocolBase {
+ public:
+  // per_pid_ops[pid] is the operation process pid applies to `object`.
+  OneShotProposeProtocol(std::string name,
+                         std::shared_ptr<const spec::ObjectType> object,
+                         std::vector<spec::Operation> per_pid_ops);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<spec::Operation> ops_;
+};
+
+// Consensus among n processes through one n-consensus object.
+std::shared_ptr<OneShotProposeProtocol> make_consensus_via_n_consensus(
+    const std::vector<Value>& inputs);
+
+// Consensus among m processes through the PROPOSEC port of an (n,m)-PAC.
+std::shared_ptr<OneShotProposeProtocol> make_consensus_via_nm_pac(
+    int n, int m, const std::vector<Value>& inputs);
+
+// k-set agreement among inputs.size() processes through one strong 2-SA
+// object (k >= 2 always satisfied; the object never returns more than two
+// distinct values).
+std::shared_ptr<OneShotProposeProtocol> make_ksa_via_two_sa(
+    const std::vector<Value>& inputs);
+
+// k-set agreement among inputs.size() <= n_k processes through an O' bundle
+// (PROPOSE(v, level)). port_bounds parameterizes the bundle (see
+// spec::OPrimeType).
+std::shared_ptr<OneShotProposeProtocol> make_ksa_via_oprime(
+    std::vector<int> port_bounds, int level, const std::vector<Value>& inputs);
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_ONE_SHOT_H_

@@ -1,0 +1,53 @@
+#include "protocols/partition_propose.h"
+
+#include "base/check.h"
+
+namespace lbsa::protocols {
+
+PartitionProposeProtocol::PartitionProposeProtocol(
+    std::string name,
+    std::vector<std::shared_ptr<const spec::ObjectType>> objects,
+    std::vector<int> group_of, std::vector<spec::Operation> per_pid_ops)
+    : ProtocolBase(std::move(name), static_cast<int>(group_of.size()),
+                   std::move(objects)),
+      group_of_(std::move(group_of)),
+      ops_(std::move(per_pid_ops)) {
+  LBSA_CHECK(!group_of_.empty());
+  LBSA_CHECK(group_of_.size() == ops_.size());
+  for (size_t pid = 0; pid < group_of_.size(); ++pid) {
+    const int g = group_of_[pid];
+    LBSA_CHECK(g >= 0 && static_cast<size_t>(g) < this->objects().size());
+    const Status s = this->objects()[static_cast<size_t>(g)]->validate(
+        ops_[pid]);
+    LBSA_CHECK_MSG(s.is_ok(), s.to_string().c_str());
+  }
+}
+
+std::vector<std::int64_t> PartitionProposeProtocol::initial_locals(
+    int /*pid*/) const {
+  return {kNil};  // [response]
+}
+
+sim::Action PartitionProposeProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(group_of_[static_cast<size_t>(pid)],
+                                 ops_[static_cast<size_t>(pid)]);
+    case 1:
+      return sim::Action::decide(state.locals[0]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void PartitionProposeProtocol::on_response(int /*pid*/,
+                                           sim::ProcessState* state,
+                                           Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  state->locals[0] = response;
+  state->pc = 1;
+}
+
+}  // namespace lbsa::protocols

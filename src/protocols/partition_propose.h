@@ -1,0 +1,40 @@
+// PartitionProposeProtocol: the general "partition into groups, one shared
+// object per group, decide the response" shape. Generalizes both the
+// one-shot protocols (one group) and GroupKsaProtocol (k groups of
+// m-consensus) to arbitrary object types and per-process operations — the
+// form the core solvability harness uses to witness set-agreement-power
+// lower bounds with O_n and O'_n objects themselves (experiment E7).
+#ifndef LBSA_PROTOCOLS_PARTITION_PROPOSE_H_
+#define LBSA_PROTOCOLS_PARTITION_PROPOSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class PartitionProposeProtocol final : public sim::ProtocolBase {
+ public:
+  // group_of[pid] indexes into `objects`; per_pid_ops[pid] is the operation
+  // pid applies to its group's object. Both sized to the process count.
+  PartitionProposeProtocol(
+      std::string name,
+      std::vector<std::shared_ptr<const spec::ObjectType>> objects,
+      std::vector<int> group_of, std::vector<spec::Operation> per_pid_ops);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<int> group_of_;
+  std::vector<spec::Operation> ops_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_PARTITION_PROPOSE_H_

@@ -1,0 +1,134 @@
+#include "protocols/straw_dac.h"
+
+#include "base/check.h"
+#include "spec/consensus_type.h"
+#include "spec/ksa_type.h"
+#include "spec/register_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+constexpr std::int64_t kInput = 0;
+constexpr std::int64_t kResult = 1;
+
+}  // namespace
+
+// --------------------------- StrawDacFallbackProtocol ----------------------
+
+StrawDacFallbackProtocol::StrawDacFallbackProtocol(std::vector<Value> inputs)
+    : ProtocolBase(
+          "straw-DAC-fallback",
+          static_cast<int>(inputs.size()),
+          {std::make_shared<spec::NConsensusType>(
+               static_cast<int>(inputs.size()) - 1),
+           std::make_shared<spec::KsaType>(spec::kUnboundedPorts, 2)}),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 3);  // n >= 2, so n+1 >= 3 processes
+}
+
+std::vector<std::int64_t> StrawDacFallbackProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action StrawDacFallbackProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:  // propose input to the n-consensus object X
+      return sim::Action::invoke(0, spec::make_propose(state.locals[kInput]));
+    case 1:  // overflow: propose input to the 2-SA object S
+      return sim::Action::invoke(1, spec::make_propose(state.locals[kInput]));
+    case 2:
+      return sim::Action::decide(state.locals[kResult]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void StrawDacFallbackProtocol::on_response(int /*pid*/,
+                                           sim::ProcessState* state,
+                                           Value response) const {
+  switch (state->pc) {
+    case 0:
+      if (response == kBottom) {
+        state->pc = 1;  // lost the race for X's n ports
+      } else {
+        state->locals[kResult] = response;
+        state->pc = 2;
+      }
+      return;
+    case 1:
+      state->locals[kResult] = response;
+      state->pc = 2;
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+// --------------------------- StrawDacAnnounceProtocol ----------------------
+
+StrawDacAnnounceProtocol::StrawDacAnnounceProtocol(std::vector<Value> inputs)
+    : ProtocolBase(
+          "straw-DAC-announce",
+          static_cast<int>(inputs.size()),
+          {std::make_shared<spec::NConsensusType>(
+               static_cast<int>(inputs.size()) - 1),
+           std::make_shared<spec::RegisterType>()}),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 3);
+}
+
+std::vector<std::int64_t> StrawDacAnnounceProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action StrawDacAnnounceProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:  // propose input to X
+      return sim::Action::invoke(0, spec::make_propose(state.locals[kInput]));
+    case 1:  // announce the won value in register A
+      return sim::Action::invoke(1, spec::make_write(state.locals[kResult]));
+    case 2:
+      return sim::Action::decide(state.locals[kResult]);
+    case 3:  // spin on A until someone announces
+      return sim::Action::invoke(1, spec::make_read());
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void StrawDacAnnounceProtocol::on_response(int /*pid*/,
+                                           sim::ProcessState* state,
+                                           Value response) const {
+  switch (state->pc) {
+    case 0:
+      if (response == kBottom) {
+        state->pc = 3;
+      } else {
+        state->locals[kResult] = response;
+        state->pc = 1;
+      }
+      return;
+    case 1:
+      LBSA_CHECK(response == kDone);
+      state->pc = 2;
+      return;
+    case 3:
+      if (response == kNil) {
+        state->pc = 3;  // keep spinning
+      } else {
+        state->locals[kResult] = response;
+        state->pc = 2;
+      }
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+}  // namespace lbsa::protocols

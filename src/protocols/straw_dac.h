@@ -1,0 +1,60 @@
+// Straw-man candidates for the (n+1)-DAC problem built from exactly the
+// object families Theorem 4.2 rules out: n-consensus objects, registers, and
+// strong 2-SA objects.
+//
+// Theorem 4.2 quantifies over all algorithms, so no finite set of candidates
+// can prove it; these protocols serve the complementary, checkable purpose
+// (experiment E3 in DESIGN.md): each is a natural attempt, and the model
+// checker mechanically exhibits the failure mode the proof predicts —
+// agreement breaks when the overflow proposer falls back to a 2-SA object,
+// and termination breaks when it waits for an announcement instead.
+// Contrast with DacFromPacProtocol (Algorithm 2), which passes every check.
+#ifndef LBSA_PROTOCOLS_STRAW_DAC_H_
+#define LBSA_PROTOCOLS_STRAW_DAC_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+// Candidate 1 — "fall back to 2-SA": all n+1 processes propose to one
+// n-consensus object X; whoever receives ⊥ (the (n+1)-th proposer) proposes
+// to a 2-SA object S instead and decides S's response. Fails Agreement: S
+// may return a value different from X's winner.
+class StrawDacFallbackProtocol final : public sim::ProtocolBase {
+ public:
+  explicit StrawDacFallbackProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+// Candidate 2 — "wait for an announcement": all n+1 processes propose to X;
+// winners write their decision to an announce register A before deciding;
+// the ⊥-receiver spins reading A until it is non-NIL. Fails Termination:
+// the ⊥-receiver running solo spins forever.
+class StrawDacAnnounceProtocol final : public sim::ProtocolBase {
+ public:
+  explicit StrawDacAnnounceProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_STRAW_DAC_H_

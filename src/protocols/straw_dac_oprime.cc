@@ -1,0 +1,68 @@
+#include "protocols/straw_dac_oprime.h"
+
+#include "base/check.h"
+#include "spec/oprime_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+std::vector<std::shared_ptr<const spec::ObjectType>> make_objects(int n) {
+  // O'_n truncated at k_max = 2 with the library's power entries:
+  // n_1 = n, n_2 = 2n.
+  return {std::make_shared<spec::OPrimeType>(std::vector<int>{n, 2 * n})};
+}
+
+}  // namespace
+
+StrawDacOPrimeProtocol::StrawDacOPrimeProtocol(std::vector<Value> inputs)
+    : ProtocolBase("straw-DAC-via-O'",
+                   static_cast<int>(inputs.size()),
+                   make_objects(static_cast<int>(inputs.size()) - 1)),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 3);
+}
+
+std::vector<std::int64_t> StrawDacOPrimeProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action StrawDacOPrimeProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:  // race the level-1 (consensus) member
+      return sim::Action::invoke(0,
+                                 spec::make_propose_k(state.locals[0], 1));
+    case 1:  // lost: ask the level-2 (2-set-agreement) member
+      return sim::Action::invoke(0,
+                                 spec::make_propose_k(state.locals[0], 2));
+    case 2:
+      return sim::Action::decide(state.locals[1]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void StrawDacOPrimeProtocol::on_response(int /*pid*/,
+                                         sim::ProcessState* state,
+                                         Value response) const {
+  switch (state->pc) {
+    case 0:
+      if (response == kBottom) {
+        state->pc = 1;
+      } else {
+        state->locals[1] = response;
+        state->pc = 2;
+      }
+      return;
+    case 1:
+      state->locals[1] = response;
+      state->pc = 2;
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,37 @@
+// Straw-man (n+1)-DAC candidate over one O'_n object and registers — the
+// combination Theorem 6.5 proves cannot work ("O_n cannot be implemented by
+// O'_n objects and registers"; if O'_n could drive (n+1)-DAC, composing
+// with Lemma 6.4 would contradict Theorem 4.2).
+//
+// The natural attempt mirrors StrawDacFallbackProtocol, but every object
+// access goes through the O' interface: race the level-1 member
+// ((n,1)-SA = n-consensus); the overflow proposer falls back to the level-2
+// member ((n_2,2)-SA). The model checker exhibits the agreement violation.
+#ifndef LBSA_PROTOCOLS_STRAW_DAC_OPRIME_H_
+#define LBSA_PROTOCOLS_STRAW_DAC_OPRIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class StrawDacOPrimeProtocol final : public sim::ProtocolBase {
+ public:
+  // inputs.size() == n + 1 processes over one O'_n object (k_max = 2).
+  explicit StrawDacOPrimeProtocol(std::vector<Value> inputs);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_STRAW_DAC_OPRIME_H_

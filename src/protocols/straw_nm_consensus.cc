@@ -1,0 +1,69 @@
+#include "protocols/straw_nm_consensus.h"
+
+#include "base/check.h"
+#include "spec/nm_pac_type.h"
+
+namespace lbsa::protocols {
+
+StrawNmConsensusProtocol::StrawNmConsensusProtocol(std::vector<Value> inputs,
+                                                   int n)
+    : ProtocolBase("straw-(m+1)-consensus-from-(n,m)-PAC",
+                   static_cast<int>(inputs.size()),
+                   {std::make_shared<spec::NmPacType>(
+                       n, static_cast<int>(inputs.size()) - 1)}),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(inputs_.size() >= 3);  // m >= 2, so m + 1 >= 3
+}
+
+std::vector<std::int64_t> StrawNmConsensusProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action StrawNmConsensusProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:  // race the consensus port
+      return sim::Action::invoke(0, spec::make_propose_c(state.locals[0]));
+    case 1:  // lost the race: fall back to the PAC, label 1
+      return sim::Action::invoke(0, spec::make_propose_p(state.locals[0], 1));
+    case 2:
+      return sim::Action::invoke(0, spec::make_decide_p(1));
+    case 3:
+      return sim::Action::decide(state.locals[1]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void StrawNmConsensusProtocol::on_response(int /*pid*/,
+                                           sim::ProcessState* state,
+                                           Value response) const {
+  switch (state->pc) {
+    case 0:
+      if (response == kBottom) {
+        state->pc = 1;
+      } else {
+        state->locals[1] = response;
+        state->pc = 3;
+      }
+      return;
+    case 1:
+      LBSA_CHECK(response == kDone);
+      state->pc = 2;
+      return;
+    case 2:
+      if (response == kBottom) {
+        state->pc = 1;  // retry the PAC pair
+      } else {
+        state->locals[1] = response;
+        state->pc = 3;
+      }
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,38 @@
+// Straw-man candidate for (m+1)-consensus from a single (n,m)-PAC object —
+// the algorithm family Theorem 5.2 proves cannot exist. The natural
+// attempt: everyone races the PROPOSEC port; the loser (the (m+1)-th
+// proposer, who receives ⊥) falls back to the PAC ports, proposing and
+// deciding on its own label.
+//
+// The model checker exhibits the failure the proof predicts: a solo run of
+// the loser sees no interference, so its PAC decide returns its own value —
+// disagreeing with the consensus winner (experiment E3's sibling for
+// Section 5).
+#ifndef LBSA_PROTOCOLS_STRAW_NM_CONSENSUS_H_
+#define LBSA_PROTOCOLS_STRAW_NM_CONSENSUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class StrawNmConsensusProtocol final : public sim::ProtocolBase {
+ public:
+  // inputs.size() == m + 1 processes racing an (n, m)-PAC with n >= 1.
+  StrawNmConsensusProtocol(std::vector<Value> inputs, int n);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_STRAW_NM_CONSENSUS_H_

@@ -1,0 +1,45 @@
+// The three kinds of step a process can take: apply one operation to one
+// shared object (the only kind the bivalency proofs count), decide, or abort.
+#ifndef LBSA_SIM_ACTION_H_
+#define LBSA_SIM_ACTION_H_
+
+#include <string>
+
+#include "base/values.h"
+#include "spec/object_type.h"
+
+namespace lbsa::sim {
+
+struct Action {
+  enum class Kind : std::int8_t { kInvoke = 0, kDecide, kAbort };
+
+  Kind kind = Kind::kInvoke;
+  int object_index = -1;    // kInvoke: which shared object
+  spec::Operation op;       // kInvoke: the operation to apply
+  Value decision = kNil;    // kDecide: the decision value
+
+  static Action invoke(int object_index, spec::Operation op) {
+    Action a;
+    a.kind = Kind::kInvoke;
+    a.object_index = object_index;
+    a.op = op;
+    return a;
+  }
+  static Action decide(Value v) {
+    Action a;
+    a.kind = Kind::kDecide;
+    a.decision = v;
+    return a;
+  }
+  static Action abort() {
+    Action a;
+    a.kind = Kind::kAbort;
+    return a;
+  }
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_ACTION_H_

@@ -1,0 +1,145 @@
+#include "sim/config.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "base/hashing.h"
+
+namespace lbsa::sim {
+
+std::vector<std::int64_t> Config::encode() const {
+  std::vector<std::int64_t> out;
+  out.reserve(16 * (procs.size() + objects.size()));
+  out.push_back(static_cast<std::int64_t>(procs.size()));
+  for (const ProcessState& ps : procs) ps.encode(&out);
+  out.push_back(static_cast<std::int64_t>(objects.size()));
+  for (const auto& obj : objects) {
+    out.push_back(static_cast<std::int64_t>(obj.size()));
+    out.insert(out.end(), obj.begin(), obj.end());
+  }
+  return out;
+}
+
+std::uint64_t Config::hash() const {
+  const auto words = encode();
+  return hash_words(words);
+}
+
+int Config::enabled_count() const {
+  int count = 0;
+  for (const ProcessState& ps : procs) {
+    if (ps.running()) ++count;
+  }
+  return count;
+}
+
+Config initial_config(const Protocol& protocol) {
+  Config config;
+  const int n = protocol.process_count();
+  config.procs.resize(static_cast<size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    config.procs[static_cast<size_t>(pid)].locals =
+        protocol.initial_locals(pid);
+  }
+  for (const auto& type : protocol.objects()) {
+    config.objects.push_back(type->initial_state());
+  }
+  return config;
+}
+
+std::string Step::to_string(const Protocol& protocol) const {
+  std::string out = "p" + std::to_string(pid) + ": ";
+  switch (action.kind) {
+    case Action::Kind::kDecide:
+      return out + "decide(" + value_to_string(action.decision) + ")";
+    case Action::Kind::kAbort:
+      return out + "abort";
+    case Action::Kind::kInvoke: {
+      const auto& type =
+          *protocol.objects()[static_cast<size_t>(action.object_index)];
+      out += type.name() + "#" + std::to_string(action.object_index) + "." +
+             type.operation_to_string(action.op) + " -> " +
+             value_to_string(response);
+      if (outcome_choice != 0) {
+        out += " [choice " + std::to_string(outcome_choice) + "]";
+      }
+      return out;
+    }
+  }
+  return out + "?";
+}
+
+namespace {
+
+// Shared core: enumerate the outcomes of pid's next action from `config`.
+// For each outcome, `emit` is called with the resulting (response, step).
+void expand(const Protocol& protocol, const Config& config, int pid,
+            std::vector<Successor>* out) {
+  LBSA_CHECK_MSG(config.enabled(pid), "stepping a non-running process");
+  const ProcessState& ps = config.procs[static_cast<size_t>(pid)];
+  const Action action = protocol.next_action(pid, ps);
+
+  if (action.kind == Action::Kind::kDecide ||
+      action.kind == Action::Kind::kAbort) {
+    Successor succ{config, Step{pid, action, kNil, 0}};
+    ProcessState& nps = succ.config.procs[static_cast<size_t>(pid)];
+    if (action.kind == Action::Kind::kDecide) {
+      nps.status = ProcStatus::kDecided;
+      nps.decision = action.decision;
+    } else {
+      nps.status = ProcStatus::kAborted;
+    }
+    out->push_back(std::move(succ));
+    return;
+  }
+
+  LBSA_CHECK(action.object_index >= 0 &&
+             static_cast<size_t>(action.object_index) <
+                 config.objects.size());
+  const spec::ObjectType& type =
+      *protocol.objects()[static_cast<size_t>(action.object_index)];
+  const Status valid = type.validate(action.op);
+  LBSA_CHECK_MSG(valid.is_ok(), valid.to_string().c_str());
+
+  std::vector<spec::Outcome> outcomes;
+  type.apply(config.objects[static_cast<size_t>(action.object_index)],
+             action.op, &outcomes);
+  LBSA_CHECK(!outcomes.empty());
+
+  for (size_t choice = 0; choice < outcomes.size(); ++choice) {
+    Successor succ{config,
+                   Step{pid, action, outcomes[choice].response,
+                        static_cast<int>(choice)}};
+    succ.config.objects[static_cast<size_t>(action.object_index)] =
+        std::move(outcomes[choice].next_state);
+    protocol.on_response(pid, &succ.config.procs[static_cast<size_t>(pid)],
+                         outcomes[choice].response);
+    out->push_back(std::move(succ));
+  }
+}
+
+}  // namespace
+
+void enumerate_successors(const Protocol& protocol, const Config& config,
+                          int pid, std::vector<Successor>* out) {
+  expand(protocol, config, pid, out);
+}
+
+Step apply_step(const Protocol& protocol, Config* config, int pid,
+                int outcome_choice) {
+  std::vector<Successor> succs;
+  expand(protocol, *config, pid, &succs);
+  LBSA_CHECK_MSG(outcome_choice >= 0 &&
+                     static_cast<size_t>(outcome_choice) < succs.size(),
+                 "outcome_choice out of range");
+  *config = std::move(succs[static_cast<size_t>(outcome_choice)].config);
+  return succs[static_cast<size_t>(outcome_choice)].step;
+}
+
+int outcome_count(const Protocol& protocol, const Config& config, int pid) {
+  std::vector<Successor> succs;
+  expand(protocol, config, pid, &succs);
+  return static_cast<int>(succs.size());
+}
+
+}  // namespace lbsa::sim

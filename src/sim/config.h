@@ -1,0 +1,80 @@
+// Configurations and the one-step transition relation — the exact objects
+// the paper's proofs reason about ("configuration C", "step e_p", "history H
+// applicable to C"). Both the interactive Simulation and the exhaustive
+// model checker are built on these functional semantics.
+#ifndef LBSA_SIM_CONFIG_H_
+#define LBSA_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/action.h"
+#include "sim/process_state.h"
+#include "sim/protocol.h"
+
+namespace lbsa::sim {
+
+// A global configuration: every process automaton state plus every object
+// state. Value-semantic: copies are cheap enough for model checking at the
+// paper-relevant scales (n <= 5 processes).
+struct Config {
+  std::vector<ProcessState> procs;
+  std::vector<std::vector<std::int64_t>> objects;
+
+  friend bool operator==(const Config&, const Config&) = default;
+
+  // Canonical word encoding, for hashing/interning.
+  std::vector<std::int64_t> encode() const;
+  std::uint64_t hash() const;
+
+  // True iff pid can take a step (running, not crashed/terminated).
+  bool enabled(int pid) const {
+    return procs[static_cast<size_t>(pid)].running();
+  }
+  // Count of enabled processes.
+  int enabled_count() const;
+  // True iff no process is enabled.
+  bool halted() const { return enabled_count() == 0; }
+};
+
+// The configuration in which every process is at its initial state and
+// every object at its initial state.
+Config initial_config(const Protocol& protocol);
+
+// One recorded step: process pid performed `action` and (for invokes)
+// received `response` as the outcome_choice-th outcome.
+struct Step {
+  int pid = -1;
+  Action action;
+  Value response = kNil;
+  int outcome_choice = 0;
+
+  std::string to_string(const Protocol& protocol) const;
+};
+
+// A successor configuration together with the step that produced it.
+struct Successor {
+  Config config;
+  Step step;
+};
+
+// Enumerates every successor of `config` by one step of process pid
+// (one per nondeterministic outcome; exactly one for deterministic objects
+// and for decide/abort steps). pid must be enabled. The protocol's
+// operations are validated on first use per call.
+void enumerate_successors(const Protocol& protocol, const Config& config,
+                          int pid, std::vector<Successor>* out);
+
+// Applies one specific step choice: pid steps, and if the object is
+// nondeterministic, outcome_choice in [0, #outcomes) selects the response.
+// Returns the step taken. config is updated in place.
+Step apply_step(const Protocol& protocol, Config* config, int pid,
+                int outcome_choice);
+
+// Number of distinct outcomes if pid were to step now (>= 1).
+int outcome_count(const Protocol& protocol, const Config& config, int pid);
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_CONFIG_H_

@@ -1,0 +1,41 @@
+#include "sim/process_state.h"
+
+namespace lbsa::sim {
+
+const char* proc_status_name(ProcStatus status) {
+  switch (status) {
+    case ProcStatus::kRunning:
+      return "running";
+    case ProcStatus::kDecided:
+      return "decided";
+    case ProcStatus::kAborted:
+      return "aborted";
+    case ProcStatus::kCrashed:
+      return "crashed";
+  }
+  return "unknown";
+}
+
+void ProcessState::encode(std::vector<std::int64_t>* out) const {
+  out->push_back(static_cast<std::int64_t>(status));
+  out->push_back(decision);
+  out->push_back(pc);
+  out->push_back(static_cast<std::int64_t>(locals.size()));
+  out->insert(out->end(), locals.begin(), locals.end());
+}
+
+std::string ProcessState::to_string() const {
+  std::string out = "{";
+  out += proc_status_name(status);
+  if (decided()) out += " -> " + value_to_string(decision);
+  out += ", pc=" + std::to_string(pc);
+  out += ", locals=[";
+  for (size_t i = 0; i < locals.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += value_to_string(locals[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lbsa::sim

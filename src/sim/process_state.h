@@ -1,0 +1,49 @@
+// Per-process state in the paper's asynchronous shared-memory model.
+//
+// A process is a deterministic automaton: its entire state is a program
+// counter plus a vector of local variables (which includes its input), and a
+// terminal status. This flattened representation is what the bivalency
+// arguments of Sections 4 and 5 quantify over ("p has the same state in C as
+// in C'"), so we keep it explicitly comparable and hashable.
+#ifndef LBSA_SIM_PROCESS_STATE_H_
+#define LBSA_SIM_PROCESS_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/values.h"
+
+namespace lbsa::sim {
+
+enum class ProcStatus : std::int8_t {
+  kRunning = 0,
+  kDecided,
+  kAborted,  // only the distinguished process of a DAC task ever aborts
+  kCrashed,
+};
+
+const char* proc_status_name(ProcStatus status);
+
+struct ProcessState {
+  ProcStatus status = ProcStatus::kRunning;
+  Value decision = kNil;  // meaningful iff status == kDecided
+  std::int64_t pc = 0;
+  std::vector<std::int64_t> locals;
+
+  bool running() const { return status == ProcStatus::kRunning; }
+  bool decided() const { return status == ProcStatus::kDecided; }
+  bool aborted() const { return status == ProcStatus::kAborted; }
+  bool crashed() const { return status == ProcStatus::kCrashed; }
+
+  // Appends a canonical word encoding (for configuration hashing).
+  void encode(std::vector<std::int64_t>* out) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const ProcessState&, const ProcessState&) = default;
+};
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_PROCESS_STATE_H_

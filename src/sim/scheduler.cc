@@ -1,0 +1,90 @@
+#include "sim/scheduler.h"
+
+namespace lbsa::sim {
+
+int Adversary::pick_outcome(int /*outcome_count*/, std::uint64_t /*step*/) {
+  return 0;
+}
+
+std::vector<int> Adversary::crashes(const Config& /*config*/,
+                                    std::uint64_t /*step_index*/) {
+  return {};
+}
+
+int RoundRobinAdversary::pick_process(const Config& config,
+                                      std::uint64_t /*step_index*/) {
+  const int n = static_cast<int>(config.procs.size());
+  for (int tried = 0; tried < n; ++tried) {
+    const int pid = (cursor_ + tried) % n;
+    if (config.enabled(pid)) {
+      cursor_ = (pid + 1) % n;
+      return pid;
+    }
+  }
+  return kStop;
+}
+
+int RandomAdversary::pick_process(const Config& config,
+                                  std::uint64_t /*step_index*/) {
+  std::vector<int> enabled;
+  for (int pid = 0; pid < static_cast<int>(config.procs.size()); ++pid) {
+    if (config.enabled(pid)) enabled.push_back(pid);
+  }
+  if (enabled.empty()) return kStop;
+  return enabled[rng_.next_below(enabled.size())];
+}
+
+int RandomAdversary::pick_outcome(int outcome_count,
+                                  std::uint64_t /*step_index*/) {
+  if (outcome_count <= 1) return 0;
+  return static_cast<int>(
+      rng_.next_below(static_cast<std::uint64_t>(outcome_count)));
+}
+
+int SoloAdversary::pick_process(const Config& config,
+                                std::uint64_t /*step_index*/) {
+  return config.enabled(pid_) ? pid_ : kStop;
+}
+
+int SoloAdversary::pick_outcome(int outcome_count, std::uint64_t /*step*/) {
+  return outcome_choice_ < outcome_count ? outcome_choice_ : 0;
+}
+
+int ScriptedAdversary::pick_process(const Config& config,
+                                    std::uint64_t /*step_index*/) {
+  while (cursor_ < script_.size()) {
+    const int pid = script_[cursor_].pid;
+    if (config.enabled(pid)) return pid;
+    ++cursor_;  // skip steps of already-terminated processes
+  }
+  return kStop;
+}
+
+int ScriptedAdversary::pick_outcome(int outcome_count,
+                                    std::uint64_t /*step_index*/) {
+  const int choice =
+      cursor_ < script_.size() ? script_[cursor_].outcome : 0;
+  ++cursor_;
+  return choice < outcome_count ? choice : 0;
+}
+
+int CrashingAdversary::pick_process(const Config& config,
+                                    std::uint64_t step_index) {
+  return inner_->pick_process(config, step_index);
+}
+
+int CrashingAdversary::pick_outcome(int outcome_count,
+                                    std::uint64_t step_index) {
+  return inner_->pick_outcome(outcome_count, step_index);
+}
+
+std::vector<int> CrashingAdversary::crashes(const Config& /*config*/,
+                                            std::uint64_t step_index) {
+  std::vector<int> out;
+  for (const CrashEvent& e : events_) {
+    if (e.step_index == step_index) out.push_back(e.pid);
+  }
+  return out;
+}
+
+}  // namespace lbsa::sim

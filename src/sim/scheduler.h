@@ -1,0 +1,110 @@
+// Adversaries (schedulers) for the asynchronous model. The adversary owns
+// *all* nondeterminism of a run: which enabled process steps next, which
+// outcome a nondeterministic object returns (the "arbitrarily selected"
+// member of a 2-SA STATE), and which processes crash.
+#ifndef LBSA_SIM_SCHEDULER_H_
+#define LBSA_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "sim/config.h"
+
+namespace lbsa::sim {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  // Picks the next process to step, among enabled ones; returns kStop to end
+  // the run. step_index counts steps taken so far.
+  static constexpr int kStop = -1;
+  virtual int pick_process(const Config& config, std::uint64_t step_index) = 0;
+
+  // Picks among outcome_count possible outcomes of the chosen step.
+  // Default: the first (deterministic objects have exactly one).
+  virtual int pick_outcome(int outcome_count, std::uint64_t step_index);
+
+  // Processes to crash *before* the step at step_index (default: none).
+  virtual std::vector<int> crashes(const Config& config,
+                                   std::uint64_t step_index);
+};
+
+// Cycles over processes in pid order, skipping non-enabled ones.
+class RoundRobinAdversary : public Adversary {
+ public:
+  int pick_process(const Config& config, std::uint64_t step_index) override;
+
+ private:
+  int cursor_ = 0;
+};
+
+// Uniformly random process and outcome choices, fully determined by seed.
+class RandomAdversary : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  int pick_process(const Config& config, std::uint64_t step_index) override;
+  int pick_outcome(int outcome_count, std::uint64_t step_index) override;
+
+ private:
+  Xoshiro256 rng_;
+};
+
+// Runs a single process solo (Termination(a)/(b)-style runs). Stops when
+// that process terminates.
+class SoloAdversary : public Adversary {
+ public:
+  explicit SoloAdversary(int pid, int outcome_choice = 0)
+      : pid_(pid), outcome_choice_(outcome_choice) {}
+
+  int pick_process(const Config& config, std::uint64_t step_index) override;
+  int pick_outcome(int outcome_count, std::uint64_t step_index) override;
+
+ private:
+  int pid_;
+  int outcome_choice_;
+};
+
+// Replays an explicit schedule of (pid, outcome) pairs, then stops.
+class ScriptedAdversary : public Adversary {
+ public:
+  struct Choice {
+    int pid;
+    int outcome = 0;
+  };
+  explicit ScriptedAdversary(std::vector<Choice> script)
+      : script_(std::move(script)) {}
+
+  int pick_process(const Config& config, std::uint64_t step_index) override;
+  int pick_outcome(int outcome_count, std::uint64_t step_index) override;
+
+ private:
+  std::vector<Choice> script_;
+  size_t cursor_ = 0;
+};
+
+// Wraps another adversary and injects crashes: crash_at[i] = (step, pid).
+class CrashingAdversary : public Adversary {
+ public:
+  struct CrashEvent {
+    std::uint64_t step_index;
+    int pid;
+  };
+  CrashingAdversary(Adversary* inner, std::vector<CrashEvent> events)
+      : inner_(inner), events_(std::move(events)) {}
+
+  int pick_process(const Config& config, std::uint64_t step_index) override;
+  int pick_outcome(int outcome_count, std::uint64_t step_index) override;
+  std::vector<int> crashes(const Config& config,
+                           std::uint64_t step_index) override;
+
+ private:
+  Adversary* inner_;  // not owned
+  std::vector<CrashEvent> events_;
+};
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_SCHEDULER_H_

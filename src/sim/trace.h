@@ -1,0 +1,43 @@
+// Trace serialization: schedules (the (pid, outcome) choice sequences that
+// drive a Simulation) round-trip through a compact text format, so that any
+// counterexample or interesting run can be saved, shared, and replayed
+// exactly.
+//
+// Format: one step per line, `pid[:outcome]` (outcome omitted when 0);
+// blank lines and lines starting with '#' are ignored.
+//
+//   # 3-DAC agreement counterexample
+//   0
+//   1:1
+//   2
+#ifndef LBSA_SIM_TRACE_H_
+#define LBSA_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+
+namespace lbsa::sim {
+
+// Serializes recorded steps as a replayable schedule (with a human-readable
+// comment per step describing the action taken).
+std::string schedule_to_string(const Protocol& protocol,
+                               const std::vector<Step>& steps);
+
+// Parses a schedule. Rejects malformed lines with INVALID_ARGUMENT.
+StatusOr<std::vector<ScriptedAdversary::Choice>> parse_schedule(
+    const std::string& text);
+
+// Replays a schedule on a fresh simulation of `protocol`. Fails with
+// FAILED_PRECONDITION if the schedule names a halted process or an
+// out-of-range outcome at any point.
+StatusOr<Simulation> replay_schedule(
+    std::shared_ptr<const Protocol> protocol,
+    const std::vector<ScriptedAdversary::Choice>& schedule);
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_TRACE_H_

@@ -1,0 +1,145 @@
+#include "spec/classic_types.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+// ------------------------------- test&set ---------------------------------
+
+Status TestAndSetType::validate(const Operation& op) const {
+  if (op.code != OpCode::kTestAndSet) {
+    return invalid_argument("test&set accepts only TAS()");
+  }
+  if (op.arg0 != kNil || op.arg1 != kNil) {
+    return invalid_argument("TAS takes no arguments");
+  }
+  return Status::ok();
+}
+
+void TestAndSetType::apply(std::span<const std::int64_t> state,
+                           const Operation& op,
+                           std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 1);
+  LBSA_CHECK(op.code == OpCode::kTestAndSet);
+  outcomes->push_back(Outcome{state[0], {1}});
+}
+
+// ----------------------------- compare&swap -------------------------------
+
+CompareAndSwapType::CompareAndSwapType(Value initial_value)
+    : initial_value_(initial_value) {
+  LBSA_CHECK(initial_value == kNil || is_ordinary(initial_value));
+}
+
+std::vector<std::int64_t> CompareAndSwapType::initial_state() const {
+  return {initial_value_};
+}
+
+Status CompareAndSwapType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kRead:
+      if (op.arg0 != kNil || op.arg1 != kNil) {
+        return invalid_argument("READ takes no arguments");
+      }
+      return Status::ok();
+    case OpCode::kCompareAndSwap:
+      if (op.arg0 != kNil && !is_ordinary(op.arg0)) {
+        return invalid_argument("CAS expected value must be ordinary or NIL");
+      }
+      if (!is_ordinary(op.arg1)) {
+        return invalid_argument("CAS desired value must be ordinary");
+      }
+      return Status::ok();
+    default:
+      return invalid_argument("compare&swap accepts only READ / CAS");
+  }
+}
+
+void CompareAndSwapType::apply(std::span<const std::int64_t> state,
+                               const Operation& op,
+                               std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 1);
+  const Value current = state[0];
+  if (op.code == OpCode::kRead) {
+    outcomes->push_back(Outcome{current, {current}});
+    return;
+  }
+  LBSA_CHECK(op.code == OpCode::kCompareAndSwap);
+  const Value next = (current == op.arg0) ? op.arg1 : current;
+  outcomes->push_back(Outcome{current, {next}});
+}
+
+// --------------------------------- queue ----------------------------------
+
+QueueType::QueueType(int capacity, std::vector<Value> initial_items)
+    : capacity_(capacity), initial_items_(std::move(initial_items)) {
+  LBSA_CHECK(capacity >= 1);
+  LBSA_CHECK(static_cast<int>(initial_items_.size()) <= capacity);
+  for (Value v : initial_items_) LBSA_CHECK(is_ordinary(v));
+}
+
+std::string QueueType::name() const {
+  return "queue<" + std::to_string(capacity_) + ">";
+}
+
+std::vector<std::int64_t> QueueType::initial_state() const {
+  std::vector<std::int64_t> state(1 + static_cast<size_t>(capacity_), kNil);
+  state[0] = static_cast<std::int64_t>(initial_items_.size());
+  for (size_t i = 0; i < initial_items_.size(); ++i) {
+    state[1 + i] = initial_items_[i];
+  }
+  return state;
+}
+
+Status QueueType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kEnqueue:
+      if (!is_ordinary(op.arg0)) {
+        return invalid_argument("ENQUEUE requires an ordinary value");
+      }
+      if (op.arg1 != kNil) return invalid_argument("ENQUEUE takes one arg");
+      return Status::ok();
+    case OpCode::kDequeue:
+      if (op.arg0 != kNil || op.arg1 != kNil) {
+        return invalid_argument("DEQUEUE takes no arguments");
+      }
+      return Status::ok();
+    default:
+      return invalid_argument("queue accepts only ENQUEUE / DEQUEUE");
+  }
+}
+
+void QueueType::apply(std::span<const std::int64_t> state,
+                      const Operation& op,
+                      std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 1 + static_cast<size_t>(capacity_));
+  const std::int64_t count = state[0];
+  if (op.code == OpCode::kEnqueue) {
+    if (count >= capacity_) {
+      outcomes->push_back(
+          Outcome{kBottom, {state.begin(), state.end()}});
+      return;
+    }
+    std::vector<std::int64_t> next(state.begin(), state.end());
+    next[0] = count + 1;
+    next[1 + static_cast<size_t>(count)] = op.arg0;
+    outcomes->push_back(Outcome{kDone, std::move(next)});
+    return;
+  }
+  LBSA_CHECK(op.code == OpCode::kDequeue);
+  if (count == 0) {
+    outcomes->push_back(Outcome{kNil, {state.begin(), state.end()}});
+    return;
+  }
+  std::vector<std::int64_t> next(state.begin(), state.end());
+  const Value head = next[1];
+  // Shift the remaining items toward the head; clear the tail slot.
+  for (std::int64_t i = 1; i < count; ++i) {
+    next[static_cast<size_t>(i)] = next[static_cast<size_t>(i) + 1];
+  }
+  next[static_cast<size_t>(count)] = kNil;
+  next[0] = count - 1;
+  outcomes->push_back(Outcome{head, std::move(next)});
+}
+
+}  // namespace lbsa::spec

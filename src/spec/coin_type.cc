@@ -1,0 +1,23 @@
+#include "spec/coin_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+Status CoinType::validate(const Operation& op) const {
+  if (op.code != OpCode::kRead || op.arg0 != kNil || op.arg1 != kNil) {
+    return invalid_argument("coin accepts only FLIP()");
+  }
+  return Status::ok();
+}
+
+void CoinType::apply(std::span<const std::int64_t> state,
+                     const Operation& op,
+                     std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.empty());
+  LBSA_CHECK(op.code == OpCode::kRead);
+  outcomes->push_back(Outcome{0, {}});
+  outcomes->push_back(Outcome{1, {}});
+}
+
+}  // namespace lbsa::spec

@@ -1,0 +1,37 @@
+// A coin-flip object: FLIP() returns 0 or 1, chosen nondeterministically,
+// with no state. In the simulation realm the adversary picks the outcome —
+// the standard "adversarial coin" of randomized-consensus lower bounds; a
+// random scheduler realizes the fair coin.
+//
+// This object exists for the randomized-consensus extension (the Ben-Or
+// style protocol in protocols/ben_or.h): FLP-style impossibility — the
+// engine of the paper's Theorems 4.2/5.2 — only rules out DETERMINISTIC
+// termination, and the coin is the minimal object that shows the boundary:
+// safety holds under every coin outcome, termination only with probability
+// 1. A coin conveys no information between processes (responses are
+// independent of everything), so it adds no consensus power of its own.
+#ifndef LBSA_SPEC_COIN_TYPE_H_
+#define LBSA_SPEC_COIN_TYPE_H_
+
+#include "spec/object_type.h"
+
+namespace lbsa::spec {
+
+class CoinType final : public ObjectType {
+ public:
+  CoinType() = default;
+
+  std::string name() const override { return "coin"; }
+  std::vector<std::int64_t> initial_state() const override { return {}; }
+  Status validate(const Operation& op) const override;
+  void apply(std::span<const std::int64_t> state, const Operation& op,
+             std::vector<Outcome>* outcomes) const override;
+  bool deterministic() const override { return false; }
+};
+
+// FLIP is encoded as a READ (the coin has no arguments and no state).
+inline Operation make_flip() { return make_read(); }
+
+}  // namespace lbsa::spec
+
+#endif  // LBSA_SPEC_COIN_TYPE_H_

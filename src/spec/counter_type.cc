@@ -1,0 +1,44 @@
+#include "spec/counter_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+CounterType::CounterType(Value initial_value)
+    : initial_value_(initial_value) {
+  LBSA_CHECK(is_ordinary(initial_value));
+}
+
+std::string CounterType::name() const { return "counter"; }
+
+std::vector<std::int64_t> CounterType::initial_state() const {
+  return {initial_value_};
+}
+
+Status CounterType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kRead:
+      return Status::ok();
+    case OpCode::kPropose:  // fetch-and-add(delta)
+      if (!is_ordinary(op.arg0)) {
+        return invalid_argument("fetch-and-add delta must be ordinary");
+      }
+      return Status::ok();
+    default:
+      return invalid_argument("counter accepts only READ / PROPOSE(delta)");
+  }
+}
+
+void CounterType::apply(std::span<const std::int64_t> state,
+                        const Operation& op,
+                        std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 1);
+  if (op.code == OpCode::kRead) {
+    outcomes->push_back(Outcome{state[0], {state[0]}});
+    return;
+  }
+  LBSA_CHECK(op.code == OpCode::kPropose);
+  outcomes->push_back(Outcome{state[0], {state[0] + op.arg0}});
+}
+
+}  // namespace lbsa::spec

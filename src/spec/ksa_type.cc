@@ -1,0 +1,75 @@
+#include "spec/ksa_type.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+KsaType::KsaType(int port_bound, int k) : port_bound_(port_bound), k_(k) {
+  LBSA_CHECK(port_bound == kUnboundedPorts || port_bound >= 1);
+  LBSA_CHECK(k >= 1);
+}
+
+std::string KsaType::name() const {
+  if (unbounded() && k_ == 2) return "2-SA";
+  const std::string ports = unbounded() ? "∞" : std::to_string(port_bound_);
+  return "(" + ports + "," + std::to_string(k_) + ")-SA";
+}
+
+std::vector<std::int64_t> KsaType::initial_state() const {
+  std::vector<std::int64_t> state(2 + static_cast<size_t>(k_), kNil);
+  state[0] = 0;  // propose_count
+  state[1] = 0;  // set_size
+  return state;
+}
+
+Status KsaType::validate(const Operation& op) const {
+  if (op.code != OpCode::kPropose) {
+    return invalid_argument("(n,k)-SA accepts only PROPOSE(v)");
+  }
+  if (!is_ordinary(op.arg0)) {
+    return invalid_argument("PROPOSE requires an ordinary value");
+  }
+  if (op.arg1 != kNil) return invalid_argument("PROPOSE takes one argument");
+  return Status::ok();
+}
+
+void KsaType::apply(std::span<const std::int64_t> state, const Operation& op,
+                    std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 2 + static_cast<size_t>(k_));
+  LBSA_CHECK(op.code == OpCode::kPropose);
+  const std::int64_t count = state[0];
+  std::int64_t size = state[1];
+
+  if (!unbounded() && count >= port_bound_) {
+    // Port budget exhausted: the object serves at most port_bound processes.
+    std::vector<std::int64_t> unchanged(state.begin(), state.end());
+    outcomes->push_back(Outcome{kBottom, std::move(unchanged)});
+    return;
+  }
+
+  std::vector<std::int64_t> next(state.begin(), state.end());
+  next[0] = count + 1;
+
+  // STATE <- STATE ∪ {v} if |STATE| < k (set semantics: no duplicates).
+  const auto slots = std::span<const std::int64_t>(state).subspan(2);
+  const bool already_present =
+      std::find(slots.begin(), slots.begin() + size, op.arg0) !=
+      slots.begin() + size;
+  if (size < k_ && !already_present) {
+    next[2 + static_cast<size_t>(size)] = op.arg0;
+    ++size;
+    next[1] = size;
+  }
+
+  // Return an arbitrarily selected member of STATE: one outcome per member.
+  // (STATE is nonempty here: either it already was, or we just inserted v.)
+  LBSA_CHECK(size >= 1);
+  for (std::int64_t j = 0; j < size; ++j) {
+    outcomes->push_back(
+        Outcome{next[2 + static_cast<size_t>(j)], next});
+  }
+}
+
+}  // namespace lbsa::spec

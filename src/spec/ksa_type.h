@@ -1,0 +1,70 @@
+// The (n,k)-SA family of set-agreement objects.
+//
+// Two of the paper's objects live here:
+//
+//  * The strong 2-set-agreement object 2-SA (Algorithm 3): STATE is a set,
+//    initially empty; PROPOSE(v) adds v if |STATE| < 2 and returns an
+//    *arbitrarily selected* member of STATE. It serves any finite number of
+//    processes. In our encoding: KsaType(kUnboundedPorts, 2).
+//
+//  * The (n,k)-SA objects of Section 6 (after Borowsky-Gafni [2] and
+//    Chaudhuri-Reiners [6]), which let up to n processes solve k-set
+//    agreement. We give them the same strong semantics, generalized: STATE
+//    keeps the first k distinct proposals; the first n PROPOSE operations
+//    return an arbitrary member of STATE, and — because the object only
+//    "allows up to n processes" — every operation after the n-th returns ⊥.
+//    With k = 1 this degenerates to exactly the n-consensus object of
+//    footnote 6, which is the identity Lemma 6.4 uses ((n_1,1)-SA is
+//    implemented by an n-consensus object).
+//
+// Nondeterminism: for k >= 2 a propose may return any current member of
+// STATE; apply() enumerates each distinct member as a separate Outcome.
+#ifndef LBSA_SPEC_KSA_TYPE_H_
+#define LBSA_SPEC_KSA_TYPE_H_
+
+#include "spec/object_type.h"
+
+namespace lbsa::spec {
+
+// Port bound meaning "any finite number of processes".
+inline constexpr int kUnboundedPorts = -1;
+
+class KsaType final : public ObjectType {
+ public:
+  // port_bound: max number of PROPOSE operations served before the object
+  // shuts off (kUnboundedPorts for no limit). k: agreement parameter, >= 1.
+  KsaType(int port_bound, int k);
+
+  int port_bound() const { return port_bound_; }
+  int k() const { return k_; }
+  bool unbounded() const { return port_bound_ == kUnboundedPorts; }
+
+  std::string name() const override;
+  std::vector<std::int64_t> initial_state() const override;
+  Status validate(const Operation& op) const override;
+  void apply(std::span<const std::int64_t> state, const Operation& op,
+             std::vector<Outcome>* outcomes) const override;
+  bool deterministic() const override { return k_ == 1; }
+
+  // State layout: [propose_count, set_size, slot_0, ..., slot_{k-1}].
+  static std::int64_t propose_count(std::span<const std::int64_t> state) {
+    return state[0];
+  }
+  static std::int64_t set_size(std::span<const std::int64_t> state) {
+    return state[1];
+  }
+  static Value slot(std::span<const std::int64_t> state, int j) {
+    return state[2 + static_cast<size_t>(j)];
+  }
+
+ private:
+  int port_bound_;
+  int k_;
+};
+
+// Convenience factory for the paper's strong 2-SA object.
+inline KsaType make_two_sa_type() { return KsaType(kUnboundedPorts, 2); }
+
+}  // namespace lbsa::spec
+
+#endif  // LBSA_SPEC_KSA_TYPE_H_

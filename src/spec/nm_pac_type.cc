@@ -1,0 +1,83 @@
+#include "spec/nm_pac_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+namespace {
+
+// Rewrites an (n,m)-PAC opcode into the component object's opcode.
+Operation to_component_op(const Operation& op) {
+  switch (op.code) {
+    case OpCode::kProposeC:
+      return Operation{OpCode::kPropose, op.arg0, kNil};
+    case OpCode::kProposeP:
+      return Operation{OpCode::kProposeLabeled, op.arg0, op.arg1};
+    case OpCode::kDecideP:
+      return Operation{OpCode::kDecideLabeled, op.arg0, kNil};
+    default:
+      LBSA_CHECK_MSG(false, "not an (n,m)-PAC opcode");
+      return op;
+  }
+}
+
+}  // namespace
+
+NmPacType::NmPacType(int n, int m) : pac_(n), consensus_(m) {}
+
+std::string NmPacType::name() const {
+  return "(" + std::to_string(n()) + "," + std::to_string(m()) + ")-PAC";
+}
+
+std::vector<std::int64_t> NmPacType::initial_state() const {
+  std::vector<std::int64_t> state = pac_.initial_state();
+  const std::vector<std::int64_t> cons = consensus_.initial_state();
+  state.insert(state.end(), cons.begin(), cons.end());
+  return state;
+}
+
+Status NmPacType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kProposeC:
+      return consensus_.validate(to_component_op(op));
+    case OpCode::kProposeP:
+    case OpCode::kDecideP:
+      return pac_.validate(to_component_op(op));
+    default:
+      return invalid_argument(
+          "(n,m)-PAC accepts only PROPOSEC / PROPOSEP / DECIDEP");
+  }
+}
+
+void NmPacType::apply(std::span<const std::int64_t> state, const Operation& op,
+                      std::vector<Outcome>* outcomes) const {
+  const size_t pac_size = PacType::state_size(pac_.n());
+  LBSA_CHECK(state.size() == pac_size + 2);
+  const Operation component_op = to_component_op(op);
+
+  std::vector<Outcome> sub;
+  if (op.code == OpCode::kProposeC) {
+    consensus_.apply(consensus_part(state), component_op, &sub);
+  } else {
+    pac_.apply(pac_part(state), component_op, &sub);
+  }
+  LBSA_CHECK(sub.size() == 1);  // both components are deterministic
+
+  // Reassemble the composite state around the updated component.
+  std::vector<std::int64_t> next(state.begin(), state.end());
+  if (op.code == OpCode::kProposeC) {
+    std::copy(sub[0].next_state.begin(), sub[0].next_state.end(),
+              next.begin() + static_cast<std::ptrdiff_t>(pac_size));
+  } else {
+    std::copy(sub[0].next_state.begin(), sub[0].next_state.end(),
+              next.begin());
+  }
+  outcomes->push_back(Outcome{sub[0].response, std::move(next)});
+}
+
+std::string NmPacType::state_to_string(
+    std::span<const std::int64_t> state) const {
+  return "{P=" + pac_.state_to_string(pac_part(state)) +
+         ", C=" + consensus_.state_to_string(consensus_part(state)) + "}";
+}
+
+}  // namespace lbsa::spec

@@ -1,0 +1,99 @@
+#include "spec/object_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+const char* op_code_name(OpCode code) {
+  switch (code) {
+    case OpCode::kRead:
+      return "READ";
+    case OpCode::kWrite:
+      return "WRITE";
+    case OpCode::kPropose:
+      return "PROPOSE";
+    case OpCode::kProposeLabeled:
+      return "PROPOSE_L";
+    case OpCode::kDecideLabeled:
+      return "DECIDE_L";
+    case OpCode::kProposeC:
+      return "PROPOSEC";
+    case OpCode::kProposeP:
+      return "PROPOSEP";
+    case OpCode::kDecideP:
+      return "DECIDEP";
+    case OpCode::kProposeK:
+      return "PROPOSE_K";
+    case OpCode::kTestAndSet:
+      return "TAS";
+    case OpCode::kCompareAndSwap:
+      return "CAS";
+    case OpCode::kEnqueue:
+      return "ENQUEUE";
+    case OpCode::kDequeue:
+      return "DEQUEUE";
+  }
+  return "UNKNOWN";
+}
+
+Operation make_read() { return Operation{OpCode::kRead, kNil, kNil}; }
+Operation make_write(Value v) { return Operation{OpCode::kWrite, v, kNil}; }
+Operation make_propose(Value v) { return Operation{OpCode::kPropose, v, kNil}; }
+Operation make_propose_labeled(Value v, std::int64_t label) {
+  return Operation{OpCode::kProposeLabeled, v, label};
+}
+Operation make_decide_labeled(std::int64_t label) {
+  return Operation{OpCode::kDecideLabeled, label, kNil};
+}
+Operation make_propose_c(Value v) { return Operation{OpCode::kProposeC, v, kNil}; }
+Operation make_propose_p(Value v, std::int64_t label) {
+  return Operation{OpCode::kProposeP, v, label};
+}
+Operation make_decide_p(std::int64_t label) {
+  return Operation{OpCode::kDecideP, label, kNil};
+}
+Operation make_propose_k(Value v, std::int64_t level) {
+  return Operation{OpCode::kProposeK, v, level};
+}
+Operation make_test_and_set() {
+  return Operation{OpCode::kTestAndSet, kNil, kNil};
+}
+Operation make_compare_and_swap(Value expected, Value desired) {
+  return Operation{OpCode::kCompareAndSwap, expected, desired};
+}
+Operation make_enqueue(Value v) { return Operation{OpCode::kEnqueue, v, kNil}; }
+Operation make_dequeue() { return Operation{OpCode::kDequeue, kNil, kNil}; }
+
+std::string ObjectType::operation_to_string(const Operation& op) const {
+  std::string out = op_code_name(op.code);
+  out += "(";
+  if (op.arg0 != kNil) out += value_to_string(op.arg0);
+  if (op.arg1 != kNil) {
+    out += ", ";
+    out += value_to_string(op.arg1);
+  }
+  out += ")";
+  return out;
+}
+
+std::string ObjectType::state_to_string(
+    std::span<const std::int64_t> state) const {
+  std::string out = "[";
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += value_to_string(state[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Outcome ObjectType::apply_unique(std::span<const std::int64_t> state,
+                                 const Operation& op) const {
+  std::vector<Outcome> outcomes;
+  apply(state, op, &outcomes);
+  LBSA_CHECK_MSG(outcomes.size() == 1,
+                 "apply_unique on a nondeterministic (state, op)");
+  return std::move(outcomes.front());
+}
+
+}  // namespace lbsa::spec

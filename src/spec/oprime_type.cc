@@ -1,0 +1,118 @@
+#include "spec/oprime_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+namespace {
+
+std::vector<KsaType> canonical_members(const std::vector<int>& port_bounds) {
+  std::vector<KsaType> members;
+  members.reserve(port_bounds.size());
+  for (size_t idx = 0; idx < port_bounds.size(); ++idx) {
+    members.emplace_back(port_bounds[idx], static_cast<int>(idx) + 1);
+  }
+  return members;
+}
+
+}  // namespace
+
+OPrimeType::OPrimeType(std::vector<int> port_bounds)
+    : OPrimeType(canonical_members(port_bounds)) {}
+
+OPrimeType::OPrimeType(std::vector<KsaType> members)
+    : members_(std::move(members)) {
+  LBSA_CHECK_MSG(!members_.empty(), "O' needs at least one member");
+  offsets_.reserve(members_.size());
+  for (const KsaType& member : members_) {
+    offsets_.push_back(total_state_size_);
+    total_state_size_ += member.initial_state().size();
+  }
+}
+
+const KsaType& OPrimeType::member(int k) const {
+  LBSA_CHECK(k >= 1 && k <= k_max());
+  return members_[static_cast<size_t>(k - 1)];
+}
+
+std::string OPrimeType::name() const {
+  std::string out = "O'{";
+  for (int k = 1; k <= k_max(); ++k) {
+    if (k > 1) out += ", ";
+    out += member(k).name();
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<std::int64_t> OPrimeType::initial_state() const {
+  std::vector<std::int64_t> state;
+  state.reserve(total_state_size_);
+  for (const KsaType& m : members_) {
+    const auto sub = m.initial_state();
+    state.insert(state.end(), sub.begin(), sub.end());
+  }
+  return state;
+}
+
+Status OPrimeType::validate(const Operation& op) const {
+  if (op.code != OpCode::kProposeK) {
+    return invalid_argument("O' accepts only PROPOSE(v, k)");
+  }
+  if (!is_ordinary(op.arg0)) {
+    return invalid_argument("PROPOSE requires an ordinary value");
+  }
+  if (op.arg1 < 1 || op.arg1 > k_max()) {
+    return out_of_range("PROPOSE(v, k) level outside [1..k_max]");
+  }
+  return Status::ok();
+}
+
+std::span<const std::int64_t> OPrimeType::member_state(
+    std::span<const std::int64_t> state, int k) const {
+  LBSA_CHECK(k >= 1 && k <= k_max());
+  const size_t offset = offsets_[static_cast<size_t>(k - 1)];
+  const size_t size = 2 + static_cast<size_t>(member(k).k());
+  return state.subspan(offset, size);
+}
+
+void OPrimeType::apply(std::span<const std::int64_t> state,
+                       const Operation& op,
+                       std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == total_state_size_);
+  LBSA_CHECK(op.code == OpCode::kProposeK);
+  const int k = static_cast<int>(op.arg1);
+  const Operation member_op = make_propose(op.arg0);
+
+  std::vector<Outcome> sub;
+  member(k).apply(member_state(state, k), member_op, &sub);
+
+  const size_t offset = offsets_[static_cast<size_t>(k - 1)];
+  for (Outcome& o : sub) {
+    std::vector<std::int64_t> next(state.begin(), state.end());
+    std::copy(o.next_state.begin(), o.next_state.end(),
+              next.begin() + static_cast<std::ptrdiff_t>(offset));
+    outcomes->push_back(Outcome{o.response, std::move(next)});
+  }
+}
+
+bool OPrimeType::deterministic() const {
+  for (const KsaType& m : members_) {
+    if (!m.deterministic()) return false;
+  }
+  return true;
+}
+
+std::string OPrimeType::state_to_string(
+    std::span<const std::int64_t> state) const {
+  std::string out = "{";
+  for (int k = 1; k <= k_max(); ++k) {
+    if (k > 1) out += ", ";
+    out += member(k).name() + "=" +
+           member(k).ObjectType::state_to_string(member_state(state, k));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lbsa::spec

@@ -1,0 +1,55 @@
+// The object O'_n of Section 6: a bundle that "embodies the set agreement
+// power" of O_n. If (n_1, n_2, ..., n_k, ...) is the set agreement power of
+// O_n, then O'_n combines the collection C_n = ∪_{k>=1} {(n_k, k)-SA}:
+//
+//   PROPOSE(v, k)  redirects PROPOSE(v) to the (n_k, k)-SA member and
+//                  returns its response.
+//
+// The paper's O'_n carries one member per k >= 1; any concrete realization
+// must truncate to a finite prefix, so OPrimeType takes the explicit list of
+// port bounds (n_1 .. n_{k_max}), with spec::kUnboundedPorts meaning
+// n_k = ∞. Levels beyond k_max are rejected by validate(). Nondeterministic
+// whenever any member with k >= 2 exists.
+#ifndef LBSA_SPEC_OPRIME_TYPE_H_
+#define LBSA_SPEC_OPRIME_TYPE_H_
+
+#include "spec/ksa_type.h"
+
+namespace lbsa::spec {
+
+class OPrimeType final : public ObjectType {
+ public:
+  // port_bounds[k-1] is n_k. Must be nonempty; entries are >= 1 or
+  // kUnboundedPorts. Builds the paper's bundle: member k is (n_k, k)-SA.
+  explicit OPrimeType(std::vector<int> port_bounds);
+
+  // General bundle: member k is members[k-1], with arbitrary agreement
+  // parameters. This is how the Lemma 6.4 *implementation* is expressed —
+  // level 1 backed by an (n_1,1)-SA (= n_1-consensus) and every level k >= 2
+  // backed by a port-bounded 2-SA, i.e. an (n_k,2)-SA.
+  explicit OPrimeType(std::vector<KsaType> members);
+
+  int k_max() const { return static_cast<int>(members_.size()); }
+  const KsaType& member(int k) const;  // k in [1..k_max]
+
+  std::string name() const override;
+  std::vector<std::int64_t> initial_state() const override;
+  Status validate(const Operation& op) const override;
+  void apply(std::span<const std::int64_t> state, const Operation& op,
+             std::vector<Outcome>* outcomes) const override;
+  bool deterministic() const override;
+  std::string state_to_string(std::span<const std::int64_t> state) const override;
+
+  // The slice of `state` belonging to member k.
+  std::span<const std::int64_t> member_state(
+      std::span<const std::int64_t> state, int k) const;
+
+ private:
+  std::vector<KsaType> members_;   // members_[k-1] = (n_k, k)-SA
+  std::vector<size_t> offsets_;    // offsets_[k-1] = start of member k's state
+  size_t total_state_size_ = 0;
+};
+
+}  // namespace lbsa::spec
+
+#endif  // LBSA_SPEC_OPRIME_TYPE_H_

@@ -1,0 +1,110 @@
+#include "spec/pac_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+PacType::PacType(int n) : n_(n) { LBSA_CHECK(n >= 1); }
+
+std::string PacType::name() const { return std::to_string(n_) + "-PAC"; }
+
+std::vector<std::int64_t> PacType::initial_state() const {
+  // upset = false, L = NIL, val = NIL, V[1..n] = NIL.
+  std::vector<std::int64_t> state(state_size(n_), kNil);
+  state[0] = 0;
+  return state;
+}
+
+Status PacType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kProposeLabeled: {
+      if (!is_ordinary(op.arg0)) {
+        return invalid_argument("PROPOSE(v, i) requires an ordinary value");
+      }
+      if (op.arg1 < 1 || op.arg1 > n_) {
+        return out_of_range("PROPOSE(v, i) label outside [1..n]");
+      }
+      return Status::ok();
+    }
+    case OpCode::kDecideLabeled: {
+      if (op.arg0 < 1 || op.arg0 > n_) {
+        return out_of_range("DECIDE(i) label outside [1..n]");
+      }
+      if (op.arg1 != kNil) return invalid_argument("DECIDE takes one argument");
+      return Status::ok();
+    }
+    default:
+      return invalid_argument("n-PAC accepts only PROPOSE(v, i) / DECIDE(i)");
+  }
+}
+
+void PacType::apply(std::span<const std::int64_t> state, const Operation& op,
+                    std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == state_size(n_));
+  std::vector<std::int64_t> next(state.begin(), state.end());
+  bool is_upset = next[0] != 0;
+
+  if (op.code == OpCode::kProposeLabeled) {
+    // Algorithm 1, PROPOSE(v, i):
+    //   if V[i] != NIL then upset <- true
+    //   if upset = false then L <- i; V[i] <- v
+    //   return done
+    const Value v = op.arg0;
+    const std::int64_t i = op.arg1;
+    const size_t vi = 2 + static_cast<size_t>(i);
+    if (next[vi] != kNil) {
+      is_upset = true;
+      next[0] = 1;
+    }
+    if (!is_upset) {
+      next[1] = i;   // L <- i
+      next[vi] = v;  // V[i] <- v
+    }
+    outcomes->push_back(Outcome{kDone, std::move(next)});
+    return;
+  }
+
+  LBSA_CHECK(op.code == OpCode::kDecideLabeled);
+  // Algorithm 1, DECIDE(i):
+  //   if V[i] = NIL then upset <- true
+  //   if upset = true then return ⊥            (early return: L, V untouched)
+  //   if L != i then temp <- ⊥
+  //   else { if val = NIL then val <- V[i]; temp <- val }
+  //   L <- NIL; V[i] <- NIL
+  //   return temp
+  const std::int64_t i = op.arg0;
+  const size_t vi = 2 + static_cast<size_t>(i);
+  if (next[vi] == kNil) {
+    is_upset = true;
+    next[0] = 1;
+  }
+  if (is_upset) {
+    outcomes->push_back(Outcome{kBottom, std::move(next)});
+    return;
+  }
+  Value temp = kBottom;
+  if (next[1] == i) {  // L == i: no operation intervened since the propose
+    if (next[2] == kNil) next[2] = next[vi];  // val <- V[i]
+    temp = next[2];
+  }
+  next[1] = kNil;   // L <- NIL
+  next[vi] = kNil;  // V[i] <- NIL
+  outcomes->push_back(Outcome{temp, std::move(next)});
+}
+
+std::string PacType::state_to_string(
+    std::span<const std::int64_t> state) const {
+  std::string out = "{upset=";
+  out += state[0] != 0 ? "true" : "false";
+  out += ", L=" + value_to_string(state[1]);
+  out += ", val=" + value_to_string(state[2]);
+  out += ", V=[";
+  for (int i = 1; i <= n_; ++i) {
+    if (i > 1) out += ", ";
+    out += value_to_string(v_slot(state, i));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lbsa::spec

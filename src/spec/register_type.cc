@@ -1,0 +1,48 @@
+#include "spec/register_type.h"
+
+#include "base/check.h"
+
+namespace lbsa::spec {
+
+RegisterType::RegisterType(Value initial_value)
+    : initial_value_(initial_value) {
+  LBSA_CHECK(initial_value == kNil || is_ordinary(initial_value));
+}
+
+std::string RegisterType::name() const { return "register"; }
+
+std::vector<std::int64_t> RegisterType::initial_state() const {
+  return {initial_value_};
+}
+
+Status RegisterType::validate(const Operation& op) const {
+  switch (op.code) {
+    case OpCode::kRead:
+      if (op.arg0 != kNil || op.arg1 != kNil) {
+        return invalid_argument("READ takes no arguments");
+      }
+      return Status::ok();
+    case OpCode::kWrite:
+      if (!is_ordinary(op.arg0)) {
+        return invalid_argument("WRITE requires an ordinary value");
+      }
+      if (op.arg1 != kNil) return invalid_argument("WRITE takes one argument");
+      return Status::ok();
+    default:
+      return invalid_argument("register accepts only READ/WRITE");
+  }
+}
+
+void RegisterType::apply(std::span<const std::int64_t> state,
+                         const Operation& op,
+                         std::vector<Outcome>* outcomes) const {
+  LBSA_CHECK(state.size() == 1);
+  if (op.code == OpCode::kRead) {
+    outcomes->push_back(Outcome{state[0], {state[0]}});
+  } else {
+    LBSA_CHECK(op.code == OpCode::kWrite);
+    outcomes->push_back(Outcome{kDone, {op.arg0}});
+  }
+}
+
+}  // namespace lbsa::spec

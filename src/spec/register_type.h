@@ -1,0 +1,28 @@
+// Atomic read/write register — the free base object of the paper's model
+// ("instances of O *and registers*"). Deterministic; state is one word.
+#ifndef LBSA_SPEC_REGISTER_TYPE_H_
+#define LBSA_SPEC_REGISTER_TYPE_H_
+
+#include "spec/object_type.h"
+
+namespace lbsa::spec {
+
+class RegisterType final : public ObjectType {
+ public:
+  // initial_value must be an ordinary value or kNil (uninitialized).
+  explicit RegisterType(Value initial_value = kNil);
+
+  std::string name() const override;
+  std::vector<std::int64_t> initial_state() const override;
+  Status validate(const Operation& op) const override;
+  void apply(std::span<const std::int64_t> state, const Operation& op,
+             std::vector<Outcome>* outcomes) const override;
+  bool deterministic() const override { return true; }
+
+ private:
+  Value initial_value_;
+};
+
+}  // namespace lbsa::spec
+
+#endif  // LBSA_SPEC_REGISTER_TYPE_H_

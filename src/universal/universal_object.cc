@@ -1,0 +1,74 @@
+#include "universal/universal_object.h"
+
+#include "base/check.h"
+
+namespace lbsa::universal {
+
+UniversalObject::UniversalObject(
+    std::shared_ptr<const spec::ObjectType> replica_type, int num_threads,
+    std::size_t max_ops)
+    : replica_type_(std::move(replica_type)),
+      num_threads_(num_threads),
+      slots_(max_ops),
+      replicas_(static_cast<std::size_t>(num_threads)) {
+  LBSA_CHECK(replica_type_ != nullptr);
+  LBSA_CHECK_MSG(replica_type_->deterministic(),
+                 "universal construction requires a deterministic replica");
+  LBSA_CHECK(num_threads >= 1);
+  LBSA_CHECK(max_ops >= 1);
+  cells_.reserve(max_ops);
+  for (std::size_t i = 0; i < max_ops; ++i) {
+    cells_.push_back(
+        std::make_unique<concurrent::CasConsensus>(num_threads));
+  }
+  for (Replica& replica : replicas_) {
+    replica.state = replica_type_->initial_state();
+  }
+}
+
+Value UniversalObject::apply_as(int thread, const spec::Operation& op) {
+  LBSA_CHECK(thread >= 0 && thread < num_threads_);
+  LBSA_CHECK(replica_type_->validate(op).is_ok());
+
+  // Announce: claim a slot, write the descriptor, publish.
+  const std::uint64_t my_slot =
+      slot_cursor_.fetch_add(1, std::memory_order_acq_rel);
+  LBSA_CHECK_MSG(my_slot < slots_.size(),
+                 "UniversalObject operation budget exceeded");
+  slots_[my_slot].op = op;
+  slots_[my_slot].published.store(true, std::memory_order_release);
+
+  // Thread the consensus chain until a cell decides our slot.
+  Replica& replica = replicas_[static_cast<std::size_t>(thread)];
+  while (true) {
+    LBSA_CHECK_MSG(replica.next_cell < cells_.size(),
+                   "UniversalObject cell budget exceeded");
+    const Value winner =
+        cells_[replica.next_cell]->propose(static_cast<Value>(my_slot));
+    // Each thread proposes at most once per cell, so the n-consensus cell
+    // can never be exhausted here.
+    LBSA_CHECK(winner != kBottom);
+    const auto winner_slot = static_cast<std::size_t>(winner);
+    while (!slots_[winner_slot].published.load(std::memory_order_acquire)) {
+      // The winner's descriptor is published before its propose; this spin
+      // is unreachable in practice and exists as a memory-order backstop.
+    }
+    const spec::Outcome outcome =
+        replica_type_->apply_unique(replica.state, slots_[winner_slot].op);
+    replica.state = outcome.next_state;
+    ++replica.next_cell;
+    if (winner_slot == my_slot) return outcome.response;
+  }
+}
+
+std::size_t UniversalObject::applied_count() const {
+  // The shared sequence length is the highest cell index any replica has
+  // consumed; replicas only advance past decided cells.
+  std::size_t max_applied = 0;
+  for (const Replica& replica : replicas_) {
+    max_applied = std::max(max_applied, replica.next_cell);
+  }
+  return max_applied;
+}
+
+}  // namespace lbsa::universal

@@ -1,0 +1,129 @@
+#include "universal/wait_free_universal.h"
+
+#include "base/check.h"
+
+namespace lbsa::universal {
+
+WaitFreeUniversalObject::WaitFreeUniversalObject(
+    std::shared_ptr<const spec::ObjectType> replica_type, int num_threads,
+    std::size_t max_ops_per_thread)
+    : replica_type_(std::move(replica_type)),
+      num_threads_(num_threads),
+      lanes_(static_cast<std::size_t>(num_threads)),
+      replicas_(static_cast<std::size_t>(num_threads)) {
+  LBSA_CHECK(replica_type_ != nullptr);
+  LBSA_CHECK_MSG(replica_type_->deterministic(),
+                 "universal construction requires a deterministic replica");
+  LBSA_CHECK(num_threads >= 1 && num_threads < (1 << 15));
+  LBSA_CHECK(max_ops_per_thread >= 1 &&
+             max_ops_per_thread < static_cast<std::size_t>(kTicketSpan));
+
+  const std::size_t total_ops =
+      static_cast<std::size_t>(num_threads) * max_ops_per_thread;
+  for (Lane& lane : lanes_) {
+    lane.log.resize(max_ops_per_thread);
+  }
+  for (Replica& replica : replicas_) {
+    replica.state = replica_type_->initial_state();
+    replica.applied.assign(static_cast<std::size_t>(num_threads), 0);
+  }
+  cells_.reserve(total_ops);
+  for (std::size_t i = 0; i < total_ops; ++i) {
+    cells_.push_back(std::make_unique<concurrent::CasConsensus>(num_threads));
+  }
+}
+
+Value WaitFreeUniversalObject::apply_as(int thread, const spec::Operation& op) {
+  LBSA_CHECK(thread >= 0 && thread < num_threads_);
+  LBSA_CHECK(replica_type_->validate(op).is_ok());
+  Replica& replica = replicas_[static_cast<std::size_t>(thread)];
+  Lane& lane = lanes_[static_cast<std::size_t>(thread)];
+
+  // Announce: write-once slot, then publish the ticket.
+  const std::int64_t my_ticket = replica.own_ticket;
+  LBSA_CHECK_MSG(static_cast<std::size_t>(my_ticket) < lane.log.size(),
+                 "WaitFreeUniversalObject per-thread op budget exceeded");
+  lane.log[static_cast<std::size_t>(my_ticket)] = op;
+  lane.published.store(my_ticket, std::memory_order_release);
+  const std::int64_t frontier_at_publish =
+      decided_frontier_.load(std::memory_order_acquire);
+
+  Value my_response = kNil;
+  bool applied_mine = false;
+  std::size_t cells_this_op = 0;
+  while (!applied_mine) {
+    LBSA_CHECK_MSG(replica.next_cell < cells_.size(),
+                   "WaitFreeUniversalObject cell budget exceeded");
+    const std::size_t j = replica.next_cell;
+    ++cells_this_op;
+
+    // Helping: prefer the designated thread's pending operation.
+    const int help = static_cast<int>(j) % num_threads_;
+    Value proposal = encode_pair(thread, my_ticket);
+    const std::int64_t help_published =
+        lanes_[static_cast<std::size_t>(help)].published.load(
+            std::memory_order_acquire);
+    const std::int64_t help_applied =
+        replica.applied[static_cast<std::size_t>(help)];
+    if (help_published >= help_applied) {
+      proposal = encode_pair(help, help_applied);
+    }
+
+    const Value winner = cells_[j]->propose(proposal);
+    LBSA_CHECK(winner != kBottom);  // each thread proposes once per cell
+    const int wt = pair_thread(winner);
+    const std::int64_t wtk = pair_ticket(winner);
+    // The winner's descriptor was published before any proposal naming it;
+    // the cell's CAS gives the happens-before edge that makes it visible.
+    const spec::Operation& winner_op =
+        lanes_[static_cast<std::size_t>(wt)].log[static_cast<std::size_t>(wtk)];
+
+    const spec::Outcome outcome =
+        replica_type_->apply_unique(replica.state, winner_op);
+    replica.state = outcome.next_state;
+    ++replica.applied[static_cast<std::size_t>(wt)];
+    ++replica.next_cell;
+
+    // Advance the decided-frontier hint (CAS-max).
+    std::int64_t hint = decided_frontier_.load(std::memory_order_relaxed);
+    const auto processed = static_cast<std::int64_t>(replica.next_cell);
+    while (hint < processed &&
+           !decided_frontier_.compare_exchange_weak(
+               hint, processed, std::memory_order_acq_rel,
+               std::memory_order_relaxed)) {
+    }
+
+    if (wt == thread && wtk == my_ticket) {
+      my_response = outcome.response;
+      applied_mine = true;
+      const std::int64_t delay =
+          static_cast<std::int64_t>(j) - frontier_at_publish;
+      replica.max_decide_delay = std::max(
+          replica.max_decide_delay,
+          static_cast<std::size_t>(std::max<std::int64_t>(delay, 0)));
+    }
+  }
+
+  replica.max_cells_per_op =
+      std::max(replica.max_cells_per_op, cells_this_op);
+  ++replica.own_ticket;
+  return my_response;
+}
+
+std::size_t WaitFreeUniversalObject::max_decide_delay() const {
+  std::size_t max_delay = 0;
+  for (const Replica& replica : replicas_) {
+    max_delay = std::max(max_delay, replica.max_decide_delay);
+  }
+  return max_delay;
+}
+
+std::size_t WaitFreeUniversalObject::max_cells_per_op() const {
+  std::size_t max_cells = 0;
+  for (const Replica& replica : replicas_) {
+    max_cells = std::max(max_cells, replica.max_cells_per_op);
+  }
+  return max_cells;
+}
+
+}  // namespace lbsa::universal

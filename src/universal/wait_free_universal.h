@@ -1,0 +1,107 @@
+// Wait-free universal construction with Herlihy-style helping [10].
+//
+// UniversalObject (universal_object.h) is lock-free: a thread's proposal can
+// keep losing cells while others make progress. Herlihy's theorem, which
+// the paper's Section 1 builds on, promises a WAIT-FREE implementation; the
+// missing ingredient is helping, added here:
+//
+//   * every thread t publishes its pending operation in a write-once
+//     per-thread log (lanes[t].log[ticket]) before competing, and exposes
+//     the highest published ticket;
+//   * when competing for consensus cell j, a thread first checks whether
+//     thread h = j mod n has a published-but-unapplied operation; if so it
+//     proposes h's pair (h, ticket) instead of its own.
+//
+// Consequence: once thread t publishes ticket k, every thread reaching the
+// first t-slot cell past the announce-time frontier sees (t, k) pending and
+// proposes it — so the pair is decided within ~2n cells of that frontier.
+// (The C++ memory model permits a helper's published-ticket load to race
+// the announce; the load is adjacent to the cell propose, so the window is
+// a few instructions, and the instrumented tests assert the observed delay
+// stays <= 3n, the extra n covering frontier-publication lag.) A thread's
+// own traversal additionally replays whatever backlog of decided cells its
+// replica is behind by — amortized one visit per cell per thread, which is
+// the standard cost of replica-replay universality.
+//
+// Identity of decided pairs: a pair (h, k) is proposed at cell j only by
+// threads whose replica has applied exactly k operations of h in the
+// decided prefix of j; since all replicas replay the same decided sequence,
+// a pair decided at cell j is never proposed at any later cell, so no
+// operation is applied twice.
+//
+// Same restrictions as the lock-free version: deterministic replica type,
+// preallocated operation budget, thread ids in [0, num_threads).
+#ifndef LBSA_UNIVERSAL_WAIT_FREE_UNIVERSAL_H_
+#define LBSA_UNIVERSAL_WAIT_FREE_UNIVERSAL_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "concurrent/cas_consensus.h"
+#include "concurrent/concurrent_object.h"
+
+namespace lbsa::universal {
+
+class WaitFreeUniversalObject final : public concurrent::ConcurrentObject {
+ public:
+  WaitFreeUniversalObject(std::shared_ptr<const spec::ObjectType> replica_type,
+                          int num_threads, std::size_t max_ops_per_thread);
+
+  const spec::ObjectType& type() const override { return *replica_type_; }
+
+  Value apply(const spec::Operation& op) override { return apply_as(0, op); }
+  Value apply_as(int thread, const spec::Operation& op) override;
+
+  // Instrumentation (call at quiescence).
+  //
+  // max_cells_per_op: highest number of cells one operation's replica
+  // traversal covered. This includes catching up on cells other threads
+  // decided in the meantime, so it is bounded only by the total operation
+  // count (amortized, each thread replays each cell exactly once).
+  std::size_t max_cells_per_op() const;
+
+  // max_decide_delay: the helping guarantee itself — the largest observed
+  // distance between the decided frontier at an operation's announce time
+  // and the cell where that operation was decided. The helping argument
+  // bounds it by ~2 * threads (plus at most `threads` frontier-publication
+  // lag), which the tests assert as <= 3 * threads.
+  std::size_t max_decide_delay() const;
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<spec::Operation> log;     // write-once slots, one per ticket
+    std::atomic<std::int64_t> published{-1};  // highest published ticket
+  };
+
+  struct alignas(64) Replica {
+    std::vector<std::int64_t> state;
+    std::vector<std::int64_t> applied;  // per thread: #ops applied
+    std::size_t next_cell = 0;
+    std::int64_t own_ticket = 0;        // #own ops completed
+    std::size_t max_cells_per_op = 0;
+    std::size_t max_decide_delay = 0;
+  };
+
+  static constexpr std::int64_t kTicketSpan = 1LL << 31;
+
+  static Value encode_pair(int thread, std::int64_t ticket) {
+    return static_cast<Value>(thread) * kTicketSpan + ticket;
+  }
+  static int pair_thread(Value v) { return static_cast<int>(v / kTicketSpan); }
+  static std::int64_t pair_ticket(Value v) { return v % kTicketSpan; }
+
+  std::shared_ptr<const spec::ObjectType> replica_type_;
+  int num_threads_;
+  std::vector<Lane> lanes_;
+  std::vector<Replica> replicas_;
+  std::vector<std::unique_ptr<concurrent::CasConsensus>> cells_;
+  // Monotone hint: every cell below this index is decided (each thread
+  // CAS-maxes it after applying a cell). Lags true decisions by at most one
+  // in-flight cell per thread.
+  std::atomic<std::int64_t> decided_frontier_{0};
+};
+
+}  // namespace lbsa::universal
+
+#endif  // LBSA_UNIVERSAL_WAIT_FREE_UNIVERSAL_H_

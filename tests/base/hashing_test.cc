@@ -1,0 +1,51 @@
+#include "base/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lbsa {
+namespace {
+
+TEST(Hashing, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hashing, HashWordsDistinguishesLengths) {
+  const std::vector<std::int64_t> a{1, 2, 3};
+  const std::vector<std::int64_t> b{1, 2, 3, 0};
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(Hashing, HashWordsDistinguishesOrder) {
+  const std::vector<std::int64_t> a{1, 2};
+  const std::vector<std::int64_t> b{2, 1};
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(Hashing, EmptySpanHashes) {
+  const std::vector<std::int64_t> empty;
+  EXPECT_EQ(hash_words(empty), hash_words(empty));
+}
+
+TEST(Hashing, LowCollisionOnDenseInputs) {
+  // Neighbouring state vectors (the common case in model checking) must not
+  // collide: sweep a small grid and count distinct hashes.
+  std::set<std::uint64_t> hashes;
+  int total = 0;
+  for (std::int64_t a = -8; a <= 8; ++a) {
+    for (std::int64_t b = -8; b <= 8; ++b) {
+      for (std::int64_t c = -8; c <= 8; ++c) {
+        const std::vector<std::int64_t> v{a, b, c};
+        hashes.insert(hash_words(v));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(hashes.size()), total);
+}
+
+}  // namespace
+}  // namespace lbsa

@@ -1,0 +1,39 @@
+#include "base/values.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa {
+namespace {
+
+TEST(Values, SentinelsAreNotOrdinary) {
+  EXPECT_FALSE(is_ordinary(kNil));
+  EXPECT_FALSE(is_ordinary(kBottom));
+  EXPECT_FALSE(is_ordinary(kDone));
+  EXPECT_FALSE(is_ordinary(kAbortSentinel));
+  EXPECT_FALSE(is_ordinary(kCrashSentinel));
+}
+
+TEST(Values, OrdinaryRangeCoversUsefulValues) {
+  EXPECT_TRUE(is_ordinary(0));
+  EXPECT_TRUE(is_ordinary(1));
+  EXPECT_TRUE(is_ordinary(-1));
+  EXPECT_TRUE(is_ordinary(kMinOrdinary));
+  EXPECT_FALSE(is_ordinary(kMinOrdinary - 1));
+}
+
+TEST(Values, SentinelsAreDistinct) {
+  EXPECT_NE(kNil, kBottom);
+  EXPECT_NE(kNil, kDone);
+  EXPECT_NE(kBottom, kDone);
+}
+
+TEST(Values, ToStringRendersSentinels) {
+  EXPECT_EQ(value_to_string(kNil), "NIL");
+  EXPECT_EQ(value_to_string(kBottom), "⊥");
+  EXPECT_EQ(value_to_string(kDone), "done");
+  EXPECT_EQ(value_to_string(42), "42");
+  EXPECT_EQ(value_to_string(-7), "-7");
+}
+
+}  // namespace
+}  // namespace lbsa

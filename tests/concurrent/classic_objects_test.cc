@@ -1,0 +1,137 @@
+// Lock-free classic objects: sequential semantics plus lincheck-validated
+// concurrent rounds, plus the canonical use: consensus on real threads.
+#include "concurrent/classic_objects.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "concurrent/atomic_register.h"
+#include "concurrent/recording.h"
+#include "concurrent/threaded_runner.h"
+#include "lincheck/checker.h"
+#include "protocols/classic_consensus.h"
+
+namespace lbsa::concurrent {
+namespace {
+
+TEST(AtomicTestAndSet, FirstWinsSequentially) {
+  AtomicTestAndSet tas;
+  EXPECT_EQ(tas.apply(spec::make_test_and_set()), 0);
+  EXPECT_EQ(tas.apply(spec::make_test_and_set()), 1);
+  EXPECT_EQ(tas.apply(spec::make_test_and_set()), 1);
+}
+
+TEST(AtomicTestAndSet, ExactlyOneWinnerUnderContention) {
+  for (int round = 0; round < 50; ++round) {
+    AtomicTestAndSet tas;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&tas, &winners] {
+        if (tas.test_and_set() == 0) winners.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+TEST(AtomicCompareAndSwap, MatchesSpecSequentially) {
+  AtomicCompareAndSwap cas;
+  EXPECT_EQ(cas.compare_and_swap(kNil, 7), kNil);  // won
+  EXPECT_EQ(cas.read(), 7);
+  EXPECT_EQ(cas.compare_and_swap(kNil, 9), 7);  // lost
+  EXPECT_EQ(cas.read(), 7);
+  EXPECT_EQ(cas.compare_and_swap(7, 9), 7);  // chained success
+  EXPECT_EQ(cas.read(), 9);
+}
+
+TEST(AtomicCompareAndSwap, ExactlyOneInstallerUnderContention) {
+  for (int round = 0; round < 50; ++round) {
+    AtomicCompareAndSwap cas;
+    std::atomic<int> installers{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&cas, &installers, t] {
+        if (cas.compare_and_swap(kNil, 100 + t) == kNil) {
+          installers.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(installers.load(), 1) << "round " << round;
+  }
+}
+
+TEST(AtomicTestAndSet, HistoriesLinearize) {
+  for (int round = 0; round < 30; ++round) {
+    AtomicTestAndSet tas;
+    lincheck::HistoryLog log;
+    RecordingObject recorder(&tas, &log);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&recorder, t] {
+        for (int i = 0; i < 3; ++i) {
+          recorder.apply_as(t, spec::make_test_and_set());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    auto result = lincheck::check_linearizable(tas.type(), log.snapshot());
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_TRUE(result.value().linearizable) << result.value().detail;
+  }
+}
+
+TEST(AtomicCompareAndSwap, HistoriesLinearize) {
+  for (int round = 0; round < 30; ++round) {
+    AtomicCompareAndSwap cas;
+    lincheck::HistoryLog log;
+    RecordingObject recorder(&cas, &log);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&recorder, t] {
+        recorder.apply_as(t, spec::make_compare_and_swap(kNil, 100 + t));
+        recorder.apply_as(t, spec::make_read());
+        recorder.apply_as(t,
+                          spec::make_compare_and_swap(100 + t, 200 + t));
+      });
+    }
+    for (auto& t : threads) t.join();
+    auto result = lincheck::check_linearizable(cas.type(), log.snapshot());
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_TRUE(result.value().linearizable) << result.value().detail;
+  }
+}
+
+TEST(ClassicThreaded, CasConsensusOnRealThreads) {
+  for (int n : {2, 4, 8}) {
+    std::vector<Value> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+    auto protocol =
+        std::make_shared<protocols::CasConsensusProtocol>(inputs);
+    AtomicCompareAndSwap cas;
+    const auto result = run_threaded(*protocol, {&cas});
+    ASSERT_TRUE(result.all_terminated());
+    EXPECT_EQ(result.distinct_decisions().size(), 1u) << "n=" << n;
+  }
+}
+
+TEST(ClassicThreaded, TasConsensusOnRealThreads) {
+  for (int round = 0; round < 30; ++round) {
+    const std::vector<Value> inputs{100, 101};
+    auto protocol =
+        std::make_shared<protocols::TasConsensusProtocol>(inputs);
+    AtomicRegister r0, r1;
+    AtomicTestAndSet tas;
+    const auto result = run_threaded(*protocol, {&r0, &r1, &tas});
+    ASSERT_TRUE(result.all_terminated());
+    const auto decisions = result.distinct_decisions();
+    ASSERT_EQ(decisions.size(), 1u) << "round " << round;
+    EXPECT_TRUE(decisions[0] == 100 || decisions[0] == 101);
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::concurrent

@@ -1,0 +1,135 @@
+// Single-threaded semantics tests for the concurrent objects (they must
+// match their sequential specs exactly), plus packed-representation edge
+// cases.
+#include <gtest/gtest.h>
+
+#include "concurrent/atomic_register.h"
+#include "concurrent/atomic_two_sa.h"
+#include "concurrent/cas_consensus.h"
+#include "concurrent/spec_backed.h"
+#include "spec/nm_pac_type.h"
+#include "spec/pac_type.h"
+
+namespace lbsa::concurrent {
+namespace {
+
+TEST(AtomicRegister, ReadWriteSemantics) {
+  AtomicRegister reg;
+  EXPECT_EQ(reg.apply(spec::make_read()), kNil);
+  EXPECT_EQ(reg.apply(spec::make_write(7)), kDone);
+  EXPECT_EQ(reg.apply(spec::make_read()), 7);
+  EXPECT_EQ(reg.type().name(), "register");
+}
+
+TEST(CasConsensus, MatchesSpecSequentially) {
+  CasConsensus cons(2);
+  EXPECT_EQ(cons.propose(10), 10);
+  EXPECT_EQ(cons.propose(20), 10);
+  EXPECT_EQ(cons.propose(30), kBottom);
+  EXPECT_EQ(cons.type().name(), "2-consensus");
+}
+
+TEST(CasConsensus, NegativeValuesSurvivePacking) {
+  CasConsensus cons(3);
+  EXPECT_EQ(cons.propose(-12345), -12345);
+  EXPECT_EQ(cons.propose(99), -12345);
+}
+
+TEST(CasConsensus, PackedRangeBoundaries) {
+  CasConsensus a(2);
+  EXPECT_EQ(a.propose(CasConsensus::kMaxValue), CasConsensus::kMaxValue);
+  CasConsensus b(2);
+  EXPECT_EQ(b.propose(CasConsensus::kMinValue), CasConsensus::kMinValue);
+  EXPECT_EQ(b.propose(0), CasConsensus::kMinValue);
+}
+
+TEST(AtomicTwoSa, FirstProposeGetsItself) {
+  AtomicTwoSa sa;
+  EXPECT_EQ(sa.propose(10), 10);
+}
+
+TEST(AtomicTwoSa, ResponsesStayInFirstTwoValues) {
+  AtomicTwoSa sa;
+  sa.propose(10);
+  sa.propose(20);
+  for (int i = 0; i < 100; ++i) {
+    const Value r = sa.propose(30 + i);
+    EXPECT_TRUE(r == 10 || r == 20) << r;
+  }
+}
+
+TEST(AtomicTwoSa, SelectionPoliciesArePinned) {
+  AtomicTwoSa first(spec::kUnboundedPorts, TwoSaSelection::kFirst);
+  first.propose(10);
+  first.propose(20);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(first.propose(99), 10);
+
+  AtomicTwoSa second(spec::kUnboundedPorts, TwoSaSelection::kSecond);
+  second.propose(10);
+  second.propose(20);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(second.propose(99), 20);
+}
+
+TEST(AtomicTwoSa, MixedSelectionReturnsBothEventually) {
+  AtomicTwoSa sa(spec::kUnboundedPorts, TwoSaSelection::kMixed);
+  sa.propose(10);
+  sa.propose(20);
+  bool saw10 = false, saw20 = false;
+  for (int i = 0; i < 200 && !(saw10 && saw20); ++i) {
+    const Value r = sa.propose(99);
+    saw10 |= (r == 10);
+    saw20 |= (r == 20);
+  }
+  EXPECT_TRUE(saw10);
+  EXPECT_TRUE(saw20);
+}
+
+TEST(AtomicTwoSa, PortBoundEnforced) {
+  AtomicTwoSa sa(2, TwoSaSelection::kFirst);
+  EXPECT_EQ(sa.propose(10), 10);
+  EXPECT_NE(sa.propose(20), kBottom);
+  EXPECT_EQ(sa.propose(30), kBottom);
+}
+
+TEST(AtomicTwoSa, DuplicateProposalKeepsSetSmall) {
+  AtomicTwoSa sa(spec::kUnboundedPorts, TwoSaSelection::kSecond);
+  sa.propose(10);
+  sa.propose(10);
+  sa.propose(20);
+  // STATE = {10, 20}: "second" slot is 20, not a duplicate of 10.
+  EXPECT_EQ(sa.propose(10), 20);
+}
+
+TEST(SpinlockSpecObject, RealizesPacSpec) {
+  SpinlockSpecObject pac(std::make_shared<spec::PacType>(2));
+  EXPECT_EQ(pac.apply(spec::make_propose_labeled(10, 1)), kDone);
+  EXPECT_EQ(pac.apply(spec::make_decide_labeled(1)), 10);
+  EXPECT_EQ(pac.apply(spec::make_propose_labeled(20, 2)), kDone);
+  EXPECT_EQ(pac.apply(spec::make_decide_labeled(2)), 10);
+  const auto state = pac.state_snapshot();
+  EXPECT_FALSE(spec::PacType::upset(state));
+}
+
+TEST(SpinlockSpecObject, RealizesNmPacSpec) {
+  SpinlockSpecObject o_n(std::make_shared<spec::NmPacType>(3, 2));
+  EXPECT_EQ(o_n.apply(spec::make_propose_c(5)), 5);
+  EXPECT_EQ(o_n.apply(spec::make_propose_p(7, 3)), kDone);
+  EXPECT_EQ(o_n.apply(spec::make_decide_p(3)), 7);
+}
+
+TEST(SpinlockSpecObject, SeededRandomPolicyIsDeterministic) {
+  auto make = [] {
+    auto sa = std::make_shared<spec::KsaType>(spec::make_two_sa_type());
+    return std::make_unique<SpinlockSpecObject>(sa, OutcomePolicy::kSeededRandom,
+                                                /*seed=*/77);
+  };
+  auto a = make();
+  auto b = make();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->apply(spec::make_propose(i % 3)),
+              b->apply(spec::make_propose(i % 3)));
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::concurrent

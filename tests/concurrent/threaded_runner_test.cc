@@ -1,0 +1,99 @@
+// Real-thread protocol execution: Algorithm 2 and the one-shot protocols on
+// OS scheduling (the large-n half of experiment E2).
+#include "concurrent/threaded_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "concurrent/cas_consensus.h"
+#include "concurrent/spec_backed.h"
+#include "protocols/dac_from_pac.h"
+#include "protocols/group_ksa.h"
+#include "protocols/one_shot.h"
+#include "spec/pac_type.h"
+
+namespace lbsa::concurrent {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::GroupKsaProtocol;
+using protocols::make_consensus_via_n_consensus;
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+TEST(ThreadedRunner, OneShotConsensusAgrees) {
+  for (int n : {2, 4, 8}) {
+    auto protocol = make_consensus_via_n_consensus(iota_inputs(n));
+    CasConsensus cons(n);
+    const auto result = run_threaded(*protocol, {&cons});
+    ASSERT_TRUE(result.all_terminated());
+    const auto decisions = result.distinct_decisions();
+    ASSERT_EQ(decisions.size(), 1u) << "n=" << n;
+    EXPECT_GE(decisions[0], 100);
+    EXPECT_LT(decisions[0], 100 + n);
+  }
+}
+
+TEST(ThreadedRunner, DacFromPacSafetyAcrossRuns) {
+  // Theorem 4.1 on hardware: 50 runs with up to 8 threads; every run must
+  // satisfy the n-DAC safety properties. (Termination is not guaranteed
+  // under arbitrary schedules — the step cap marks livelocked processes
+  // crashed, and we assert safety only, as the task demands.)
+  for (int run = 0; run < 50; ++run) {
+    const int n = 2 + run % 7;
+    const auto inputs = iota_inputs(n);
+    auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+    SpinlockSpecObject pac(std::make_shared<spec::PacType>(n));
+    const auto result =
+        run_threaded(*protocol, {&pac}, {.max_steps_per_process = 200'000});
+    const auto decisions = result.distinct_decisions();
+    ASSERT_LE(decisions.size(), 1u) << "agreement, run " << run;
+    for (int pid = 1; pid < n; ++pid) {
+      ASSERT_FALSE(result.final_states[static_cast<size_t>(pid)].aborted())
+          << "only p may abort, run " << run;
+    }
+    if (!decisions.empty()) {
+      bool valid = false;
+      for (int pid = 0; pid < n; ++pid) {
+        if (inputs[static_cast<size_t>(pid)] == decisions[0] &&
+            !result.final_states[static_cast<size_t>(pid)].aborted()) {
+          valid = true;
+        }
+      }
+      ASSERT_TRUE(valid) << "validity, run " << run;
+    }
+  }
+}
+
+TEST(ThreadedRunner, GroupKsaBoundsDecisions) {
+  for (int run = 0; run < 20; ++run) {
+    const int k = 2, m = 4;
+    const auto inputs = iota_inputs(k * m);
+    auto protocol = std::make_shared<GroupKsaProtocol>(k, m, inputs);
+    CasConsensus g0(m), g1(m);
+    const auto result = run_threaded(*protocol, {&g0, &g1});
+    ASSERT_TRUE(result.all_terminated());
+    EXPECT_LE(result.distinct_decisions().size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(ThreadedRunner, StepCapMarksLivelockedProcesses) {
+  // A 2-thread DAC under a tiny step cap may fail to terminate; the runner
+  // must mark such processes crashed instead of hanging.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  SpinlockSpecObject pac(std::make_shared<spec::PacType>(2));
+  const auto result =
+      run_threaded(*protocol, {&pac}, {.max_steps_per_process = 4});
+  for (const auto& ps : result.final_states) {
+    EXPECT_FALSE(ps.running());
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::concurrent

@@ -1,0 +1,63 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::core {
+namespace {
+
+TEST(Hierarchy, CatalogHasAllFamilies) {
+  const auto catalog = hierarchy_catalog(2, 4);
+  EXPECT_EQ(catalog.size(), 8u);
+  for (const auto& entry : catalog) {
+    EXPECT_FALSE(entry.family.empty());
+    EXPECT_FALSE(entry.level_source.empty());
+    EXPECT_TRUE(entry.level == kLevelInfinity || entry.level >= 1);
+  }
+}
+
+TEST(Hierarchy, LevelsMatchPowerSequences) {
+  // The catalog's level must equal the power sequence's consensus number
+  // (finite levels) — internal consistency between the two views.
+  for (int n = 2; n <= 4; ++n) {
+    for (const auto& entry : hierarchy_catalog(n, 3)) {
+      if (entry.level == kLevelInfinity) {
+        EXPECT_TRUE(entry.power.entry(1).infinite()) << entry.family;
+      } else {
+        EXPECT_EQ(entry.power.consensus_number(), entry.level)
+            << entry.family;
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, LevelTwoContainsTheClassicPair) {
+  const auto level2 = entries_at_level(2, 3, 2);
+  // At n = 2: test&set, queue, 2-consensus, O_2, O'_2 all sit at level 2.
+  EXPECT_EQ(level2.size(), 5u);
+}
+
+TEST(Hierarchy, SeparationPairSharesLevelAndPower) {
+  for (int n = 2; n <= 4; ++n) {
+    auto o_n = find_family(n, 4, "O_n");
+    auto o_prime = find_family(n, 4, "O'_n");
+    ASSERT_TRUE(o_n.has_value());
+    ASSERT_TRUE(o_prime.has_value());
+    EXPECT_EQ(o_n->level, o_prime->level);
+    EXPECT_TRUE(o_n->power.values_equal(o_prime->power));
+  }
+}
+
+TEST(Hierarchy, FindFamilyMiss) {
+  EXPECT_FALSE(find_family(2, 3, "semaphore").has_value());
+}
+
+TEST(Hierarchy, InfinityOnlyForCas) {
+  for (const auto& entry : hierarchy_catalog(3, 3)) {
+    if (entry.level == kLevelInfinity) {
+      EXPECT_EQ(entry.family, "compare&swap");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::core

@@ -1,0 +1,80 @@
+// Consistency tests over the paper-results knowledge base.
+#include "core/knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lbsa::core {
+namespace {
+
+TEST(Knowledge, FactsExistForEveryLevel) {
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_GE(paper_facts(n).size(), 8u) << "n=" << n;
+  }
+}
+
+TEST(Knowledge, NoContradictoryVerdicts) {
+  for (int n = 2; n <= 6; ++n) {
+    std::set<std::pair<std::string, std::string>> implementable, not_impl;
+    for (const auto& fact : paper_facts(n)) {
+      auto key = std::make_pair(fact.target, fact.base);
+      if (fact.verdict == Verdict::kImplementable) {
+        implementable.insert(key);
+      } else {
+        not_impl.insert(key);
+      }
+    }
+    for (const auto& key : implementable) {
+      EXPECT_FALSE(not_impl.contains(key))
+          << key.first << " from " << key.second;
+    }
+  }
+}
+
+TEST(Knowledge, ConstructiveFactsNameTheirRealization) {
+  for (const auto& fact : paper_facts(3)) {
+    if (fact.verdict == Verdict::kImplementable) {
+      EXPECT_FALSE(fact.realization.empty()) << fact.target;
+    } else {
+      EXPECT_TRUE(fact.realization.empty()) << fact.target;
+    }
+    EXPECT_FALSE(fact.source.empty());
+  }
+}
+
+TEST(Knowledge, SeparationCorollaryPremisesPresent) {
+  // Corollary 6.6 rests on: Lemma 6.4 (O' implementable from the base) and
+  // Observation 6.3 (O_n not implementable from the same base), combining
+  // into Theorem 6.5 (O_n not from O'). All three must be in the table.
+  for (int n = 2; n <= 4; ++n) {
+    const std::string base = name_n_consensus(n) + " + " + name_two_sa();
+    auto lemma = lookup_fact(n, name_o_prime_n(n), base);
+    ASSERT_TRUE(lemma.has_value());
+    EXPECT_EQ(lemma->verdict, Verdict::kImplementable);
+
+    auto obs = lookup_fact(n, name_o_n(n), base);
+    ASSERT_TRUE(obs.has_value());
+    EXPECT_EQ(obs->verdict, Verdict::kNotImplementable);
+
+    auto separation = lookup_fact(n, name_o_n(n), name_o_prime_n(n));
+    ASSERT_TRUE(separation.has_value());
+    EXPECT_EQ(separation->verdict, Verdict::kNotImplementable);
+    EXPECT_NE(separation->source.find("6.5"), std::string::npos);
+  }
+}
+
+TEST(Knowledge, LookupMissReturnsNullopt) {
+  EXPECT_FALSE(lookup_fact(2, "no-such-object", "nothing").has_value());
+}
+
+TEST(Knowledge, NamesRenderConventionally) {
+  EXPECT_EQ(name_o_n(3), "O_3");
+  EXPECT_EQ(name_o_prime_n(3), "O'_3");
+  EXPECT_EQ(name_n_consensus(4), "4-consensus");
+  EXPECT_EQ(name_n_pac(5), "5-PAC");
+  EXPECT_EQ(name_nm_pac(4, 3), "(4,3)-PAC");
+}
+
+}  // namespace
+}  // namespace lbsa::core

@@ -1,0 +1,122 @@
+// Set agreement power sequences: values, provenances, and the paper's key
+// identity — O_n and O'_n have the SAME power sequence (the premise of
+// Corollary 6.6).
+#include "core/power.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::core {
+namespace {
+
+TEST(Power, RegisterSequence) {
+  const SetAgreementPower p = power_of_register(5);
+  EXPECT_EQ(p.consensus_number(), 1);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_EQ(p.entry(k).value, k);
+    EXPECT_EQ(p.entry(k).provenance, PowerEntry::Provenance::kExact);
+  }
+}
+
+TEST(Power, NConsensusSequence) {
+  const SetAgreementPower p = power_of_n_consensus(3, 4);
+  EXPECT_EQ(p.consensus_number(), 3);
+  EXPECT_EQ(p.entry(2).value, 6);
+  EXPECT_EQ(p.entry(3).value, 9);
+  EXPECT_EQ(p.entry(4).value, 12);
+}
+
+TEST(Power, TwoSaSequence) {
+  const SetAgreementPower p = power_of_two_sa(4);
+  EXPECT_EQ(p.consensus_number(), 1);
+  for (int k = 2; k <= 4; ++k) {
+    EXPECT_TRUE(p.entry(k).infinite());
+  }
+}
+
+TEST(Power, OnSequenceShape) {
+  for (int n = 2; n <= 5; ++n) {
+    const SetAgreementPower p = power_of_o_n(n, 4);
+    EXPECT_EQ(p.consensus_number(), n);
+    EXPECT_EQ(p.entry(1).provenance, PowerEntry::Provenance::kExact);
+    for (int k = 2; k <= 4; ++k) {
+      EXPECT_EQ(p.entry(k).value, static_cast<std::int64_t>(k) * n);
+      // Honesty: beyond k=1 the paper does not compute the sequence.
+      EXPECT_EQ(p.entry(k).provenance, PowerEntry::Provenance::kLowerBound);
+    }
+  }
+}
+
+TEST(Power, OnAndOPrimeHaveSamePower) {
+  // The premise of Corollary 6.6: same set agreement power.
+  for (int n = 2; n <= 6; ++n) {
+    const SetAgreementPower on = power_of_o_n(n, 6);
+    const SetAgreementPower oprime = power_of_o_prime_n(n, 6);
+    EXPECT_TRUE(on.values_equal(oprime)) << "n=" << n;
+    EXPECT_TRUE(oprime.values_equal(on)) << "n=" << n;
+    EXPECT_EQ(on.consensus_number(), oprime.consensus_number());
+  }
+}
+
+TEST(Power, DifferentLevelsDiffer) {
+  EXPECT_FALSE(power_of_o_n(2, 4).values_equal(power_of_o_n(3, 4)));
+  EXPECT_FALSE(
+      power_of_n_consensus(2, 4).values_equal(power_of_two_sa(4)));
+}
+
+TEST(Power, ValuesEqualComparesSharedPrefix) {
+  EXPECT_TRUE(power_of_o_n(2, 3).values_equal(power_of_o_n(2, 6)));
+}
+
+TEST(Power, PortBoundsMatchSpecEncoding) {
+  const auto bounds = power_of_two_sa(3).port_bounds();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0], 1);
+  EXPECT_EQ(bounds[1], -1);  // spec::kUnboundedPorts
+  EXPECT_EQ(bounds[2], -1);
+}
+
+TEST(Power, ClassicFamilies) {
+  const SetAgreementPower tas = power_of_test_and_set(4);
+  EXPECT_EQ(tas.consensus_number(), 2);
+  EXPECT_EQ(tas.entry(3).value, 6);
+  EXPECT_EQ(tas.entry(3).provenance, PowerEntry::Provenance::kExact);
+
+  const SetAgreementPower queue = power_of_queue(4);
+  EXPECT_EQ(queue.consensus_number(), 2);
+  EXPECT_EQ(queue.entry(2).value, 4);
+  EXPECT_EQ(queue.entry(2).provenance, PowerEntry::Provenance::kLowerBound);
+
+  const SetAgreementPower cas = power_of_compare_and_swap(4);
+  EXPECT_TRUE(cas.entry(1).infinite());
+  EXPECT_TRUE(cas.entry(4).infinite());
+}
+
+TEST(Power, TasEqualsTwoConsensusValues) {
+  // test&set and 2-consensus are interimplementable, so the sequences must
+  // coincide.
+  EXPECT_TRUE(
+      power_of_test_and_set(5).values_equal(power_of_n_consensus(2, 5)));
+}
+
+TEST(Power, OTwoDiffersFromTasBeyondConsensusNumber) {
+  // O_2 also has consensus number 2 — but the library only claims lower
+  // bounds beyond k=1, and the interesting fact (Corollary 6.6) is that
+  // equal power values would STILL not imply equivalence.
+  const SetAgreementPower o2 = power_of_o_n(2, 4);
+  const SetAgreementPower tas = power_of_test_and_set(4);
+  EXPECT_EQ(o2.consensus_number(), tas.consensus_number());
+  EXPECT_TRUE(o2.values_equal(tas));  // same known values...
+  // ...with different provenance: O_2's tail is only a lower bound.
+  EXPECT_EQ(tas.entry(2).provenance, PowerEntry::Provenance::kExact);
+  EXPECT_EQ(o2.entry(2).provenance, PowerEntry::Provenance::kLowerBound);
+}
+
+TEST(Power, ToStringMarksLowerBounds) {
+  const std::string s = power_of_o_n(2, 3).to_string();
+  EXPECT_NE(s.find("O_2"), std::string::npos);
+  EXPECT_NE(s.find("4+"), std::string::npos);  // lower-bound marker
+  EXPECT_NE(s.find("(2, "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsa::core

@@ -1,0 +1,91 @@
+// Workload fuzzing for the implementation checker: randomized (seeded)
+// workloads against the paper's constructions must always verify, and
+// against the racy counter must be refuted whenever two fetch-and-adds can
+// overlap. Complements the fixed-workload tests with breadth.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/implementations.h"
+#include "implcheck/checker.h"
+
+namespace lbsa::implcheck {
+namespace {
+
+class ImplFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImplFuzz, Lemma64AlwaysVerifies) {
+  Xoshiro256 rng(GetParam() * 9176 + 5);
+  auto impl = lbsa::core::make_o_prime_from_base_impl(3, 2);
+  for (int round = 0; round < 4; ++round) {
+    // 2-3 threads, 1-2 ops each, random levels/values — within the port
+    // bounds (n_1 = 3, n_2 = 6, and at most 6 ops total here).
+    const int threads = 2 + static_cast<int>(rng.next_below(2));
+    std::vector<std::vector<spec::Operation>> work(
+        static_cast<size_t>(threads));
+    for (auto& ops : work) {
+      const int count = 1 + static_cast<int>(rng.next_below(2));
+      for (int i = 0; i < count; ++i) {
+        const int level = 1 + static_cast<int>(rng.next_below(2));
+        ops.push_back(spec::make_propose_k(
+            100 + rng.next_in_range(0, 3), level));
+      }
+    }
+    auto result = check_implementation(*impl, work);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    ASSERT_TRUE(result.value().ok)
+        << "seed " << GetParam() << " round " << round << ": "
+        << result.value().detail;
+  }
+}
+
+TEST_P(ImplFuzz, RoutingCompositionsAlwaysVerify) {
+  Xoshiro256 rng(GetParam() * 5923 + 11);
+  auto impl = lbsa::core::make_nm_pac_from_components(2, 2);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::vector<spec::Operation>> work(2);
+    for (auto& ops : work) {
+      const int count = 1 + static_cast<int>(rng.next_below(2));
+      for (int i = 0; i < count; ++i) {
+        switch (rng.next_below(3)) {
+          case 0:
+            ops.push_back(spec::make_propose_c(100 + rng.next_in_range(0, 2)));
+            break;
+          case 1:
+            ops.push_back(spec::make_propose_p(
+                100 + rng.next_in_range(0, 2),
+                1 + static_cast<std::int64_t>(rng.next_below(2))));
+            break;
+          default:
+            ops.push_back(spec::make_decide_p(
+                1 + static_cast<std::int64_t>(rng.next_below(2))));
+        }
+      }
+    }
+    auto result = check_implementation(*impl, work);
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_TRUE(result.value().ok)
+        << "seed " << GetParam() << " round " << round << ": "
+        << result.value().detail;
+  }
+}
+
+TEST_P(ImplFuzz, RacyCounterRefutedWheneverWritesCanOverlap) {
+  Xoshiro256 rng(GetParam() * 31 + 17);
+  auto impl = lbsa::core::make_racy_counter_impl();
+  // Two threads, 1-2 fetch-and-adds each: any workload with at least one
+  // fetch-and-add per thread admits the lost-update schedule.
+  const int a = 1 + static_cast<int>(rng.next_below(2));
+  const int b = 1 + static_cast<int>(rng.next_below(2));
+  std::vector<std::vector<spec::Operation>> work(2);
+  for (int i = 0; i < a; ++i) work[0].push_back(spec::make_propose(1));
+  for (int i = 0; i < b; ++i) work[1].push_back(spec::make_propose(1));
+  auto result = check_implementation(*impl, work);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().ok) << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lbsa::implcheck

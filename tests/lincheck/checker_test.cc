@@ -1,0 +1,237 @@
+// Linearizability checker tests over hand-built histories with known
+// verdicts, covering sequential acceptance, real-time order enforcement,
+// nondeterministic specs, and pending-operation completion rules.
+#include "lincheck/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/consensus_type.h"
+#include "spec/ksa_type.h"
+#include "spec/pac_type.h"
+#include "spec/register_type.h"
+
+namespace lbsa::lincheck {
+namespace {
+
+// History construction helper: intervals given explicitly.
+OpRecord op(int id, int thread, spec::Operation operation, Value response,
+            std::uint64_t invoke_ts, std::uint64_t response_ts) {
+  OpRecord r;
+  r.op_id = id;
+  r.thread = thread;
+  r.op = operation;
+  r.response = response;
+  r.invoke_ts = invoke_ts;
+  r.response_ts = response_ts;
+  return r;
+}
+
+OpRecord pending(int id, int thread, spec::Operation operation,
+                 std::uint64_t invoke_ts) {
+  OpRecord r;
+  r.op_id = id;
+  r.thread = thread;
+  r.op = operation;
+  r.invoke_ts = invoke_ts;
+  return r;
+}
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  spec::RegisterType reg;
+  auto result = check_linearizable(reg, {});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, SequentialRegisterHistoryAccepted) {
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_write(5), kDone, 1, 2),
+      op(1, 1, spec::make_read(), 5, 3, 4),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+  EXPECT_EQ(result.value().witness, (std::vector<int>{0, 1}));
+}
+
+TEST(Checker, StaleSequentialReadRejected) {
+  // write(5) completed before read began, yet read returned the old value.
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_write(5), kDone, 1, 2),
+      op(1, 1, spec::make_read(), kNil, 3, 4),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().linearizable);
+}
+
+TEST(Checker, ConcurrentReadMayMissOverlappingWrite) {
+  // The read overlaps the write, so either response order linearizes.
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_write(5), kDone, 1, 4),
+      op(1, 1, spec::make_read(), kNil, 2, 3),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+  // read must linearize before the write.
+  EXPECT_EQ(result.value().witness, (std::vector<int>{1, 0}));
+}
+
+TEST(Checker, ConsensusHistoryRespectsFirstWinner) {
+  spec::NConsensusType cons(2);
+  // Two concurrent proposes, both reporting 20 as winner: legal iff the
+  // propose(20) linearizes first.
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose(10), 20, 1, 10),
+      op(1, 1, spec::make_propose(20), 20, 2, 9),
+  };
+  auto result = check_linearizable(cons, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+  EXPECT_EQ(result.value().witness, (std::vector<int>{1, 0}));
+}
+
+TEST(Checker, ConsensusConflictingWinnersRejected) {
+  spec::NConsensusType cons(2);
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose(10), 10, 1, 10),
+      op(1, 1, spec::make_propose(20), 20, 2, 9),
+  };
+  auto result = check_linearizable(cons, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().linearizable);
+}
+
+TEST(Checker, ConsensusSequentialBottomAfterExhaustion) {
+  spec::NConsensusType cons(1);
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose(10), 10, 1, 2),
+      op(1, 1, spec::make_propose(20), kBottom, 3, 4),
+  };
+  auto result = check_linearizable(cons, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, TwoSaNondeterminismAccepted) {
+  // Concurrent proposes 10 and 20 where both get told "20": fine — STATE
+  // can be {10,20} (or the 20-propose linearizes first and... still needs
+  // 10's propose to see 20 in STATE, i.e. 20 first).
+  spec::KsaType two_sa = spec::make_two_sa_type();
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose(10), 20, 1, 10),
+      op(1, 1, spec::make_propose(20), 20, 2, 9),
+  };
+  auto result = check_linearizable(two_sa, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, TwoSaThirdValueResponseRejected) {
+  // Three sequential proposes 10, 20, 30: the third may answer 10 or 20 but
+  // never 30 (STATE keeps only the first two distinct values).
+  spec::KsaType two_sa = spec::make_two_sa_type();
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose(10), 10, 1, 2),
+      op(1, 0, spec::make_propose(20), 10, 3, 4),
+      op(2, 0, spec::make_propose(30), 30, 5, 6),
+  };
+  auto result = check_linearizable(two_sa, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().linearizable);
+}
+
+TEST(Checker, PacSequentialHistoryAccepted) {
+  spec::PacType pac(2);
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose_labeled(10, 1), kDone, 1, 2),
+      op(1, 0, spec::make_decide_labeled(1), 10, 3, 4),
+      op(2, 1, spec::make_propose_labeled(20, 2), kDone, 5, 6),
+      op(3, 1, spec::make_decide_labeled(2), 10, 7, 8),
+  };
+  auto result = check_linearizable(pac, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, PacOverlappingPairsMustObserveConcurrency) {
+  // Both pairs fully overlap and both decides return real values — but at
+  // most one pair can be uninterrupted; some interleaving would have to
+  // return ⊥, so claiming 10 and then 20 as two successful decides of
+  // different values is not linearizable.
+  spec::PacType pac(2);
+  const std::vector<OpRecord> history{
+      op(0, 0, spec::make_propose_labeled(10, 1), kDone, 1, 10),
+      op(1, 0, spec::make_decide_labeled(1), 10, 11, 20),
+      op(2, 1, spec::make_propose_labeled(20, 2), kDone, 2, 9),
+      op(3, 1, spec::make_decide_labeled(2), 20, 12, 19),
+  };
+  auto result = check_linearizable(pac, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().linearizable);  // agreement inside the object
+}
+
+TEST(Checker, PendingOpMayBeDropped) {
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      pending(0, 0, spec::make_write(5), 1),
+      op(1, 1, spec::make_read(), kNil, 2, 3),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, PendingOpMayTakeEffect) {
+  // The read sees 5 although write(5) never returned: legal, the write
+  // linearized before the crash.
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      pending(0, 0, spec::make_write(5), 1),
+      op(1, 1, spec::make_read(), 5, 2, 3),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().linearizable);
+}
+
+TEST(Checker, PendingCannotRewriteRealTimeOrder) {
+  // read completed before the pending write was invoked, yet saw its value.
+  spec::RegisterType reg;
+  const std::vector<OpRecord> history{
+      op(0, 1, spec::make_read(), 5, 1, 2),
+      pending(1, 0, spec::make_write(5), 3),
+  };
+  auto result = check_linearizable(reg, history);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().linearizable);
+}
+
+TEST(Checker, RejectsOversizedHistories) {
+  spec::RegisterType reg;
+  std::vector<OpRecord> history;
+  for (int i = 0; i < 65; ++i) {
+    history.push_back(op(i, 0, spec::make_write(1), kDone, 2 * i + 1,
+                         2 * i + 2));
+  }
+  auto result = check_linearizable(reg, history);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Checker, RejectsMalformedRecords) {
+  spec::RegisterType reg;
+  auto bad_ts = check_linearizable(
+      reg, {op(0, 0, spec::make_write(1), kDone, 5, 5)});
+  EXPECT_FALSE(bad_ts.is_ok());
+  auto bad_op = check_linearizable(
+      reg, {op(0, 0, spec::make_propose(1), 1, 1, 2)});
+  EXPECT_FALSE(bad_op.is_ok());
+}
+
+}  // namespace
+}  // namespace lbsa::lincheck

@@ -1,0 +1,83 @@
+#include "lincheck/history_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "spec/object_type.h"
+
+namespace lbsa::lincheck {
+namespace {
+
+TEST(HistoryLog, RecordsInvokeAndResponse) {
+  HistoryLog log;
+  const int id = log.begin_op(3, spec::make_propose(7));
+  log.end_op(id, 7);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].thread, 3);
+  EXPECT_EQ(records[0].op.arg0, 7);
+  EXPECT_EQ(records[0].response, 7);
+  EXPECT_TRUE(records[0].completed());
+  EXPECT_LT(records[0].invoke_ts, records[0].response_ts);
+}
+
+TEST(HistoryLog, PendingOpHasNoResponse) {
+  HistoryLog log;
+  log.begin_op(0, spec::make_read());
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].completed());
+}
+
+TEST(HistoryLog, SequentialOpsHaveDisjointIntervals) {
+  HistoryLog log;
+  const int a = log.begin_op(0, spec::make_propose(1));
+  log.end_op(a, 1);
+  const int b = log.begin_op(0, spec::make_propose(2));
+  log.end_op(b, 1);
+  const auto records = log.snapshot();
+  EXPECT_TRUE(records[0].precedes(records[1]));
+  EXPECT_FALSE(records[1].precedes(records[0]));
+}
+
+TEST(HistoryLog, ResetClearsLog) {
+  HistoryLog log;
+  log.end_op(log.begin_op(0, spec::make_read()), kNil);
+  log.reset();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(HistoryLog, ConcurrentRecordingIsLossless) {
+  HistoryLog log(1 << 12);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int id = log.begin_op(t, spec::make_propose(t * 1000 + i));
+        log.end_op(id, t * 1000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(),
+            static_cast<size_t>(kThreads * kOpsPerThread));
+  // Every record is complete, well-formed, and tagged with its thread.
+  std::vector<int> per_thread(kThreads, 0);
+  for (const OpRecord& r : records) {
+    EXPECT_TRUE(r.completed());
+    EXPECT_LT(r.invoke_ts, r.response_ts);
+    ASSERT_GE(r.thread, 0);
+    ASSERT_LT(r.thread, kThreads);
+    ++per_thread[static_cast<size_t>(r.thread)];
+  }
+  for (int count : per_thread) EXPECT_EQ(count, kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace lbsa::lincheck

@@ -1,0 +1,107 @@
+// Schedule-fuzzer tests: correct protocols stay clean at sizes beyond the
+// exhaustive checker's comfort; broken protocols are caught quickly, and
+// every finding replays deterministically through sim/trace.h.
+#include "modelcheck/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/ben_or.h"
+#include "protocols/dac_from_pac.h"
+#include "protocols/group_ksa.h"
+#include "protocols/straw_dac.h"
+#include "sim/trace.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+using protocols::BenOrProtocol;
+using protocols::DacFromPacProtocol;
+using protocols::GroupKsaProtocol;
+using protocols::StrawDacFallbackProtocol;
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+TEST(Fuzz, AlgorithmTwoCleanAtLargeSizes) {
+  // 8-process DAC — far beyond exhaustive reach; 300 fuzzed schedules must
+  // find no safety violation.
+  const auto inputs = iota_inputs(8);
+  auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+  FuzzOptions options;
+  options.runs = 300;
+  options.max_steps_per_run = 50'000;
+  const FuzzReport report = fuzz_dac(protocol, 0, inputs, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs_executed, 300u);
+  EXPECT_GT(report.runs_terminated, 0u);
+}
+
+TEST(Fuzz, GroupKsaCleanAtLargeSizes) {
+  const auto inputs = iota_inputs(12);  // 3 groups of 4
+  auto protocol = std::make_shared<GroupKsaProtocol>(3, 4, inputs);
+  FuzzOptions options;
+  options.runs = 300;
+  const FuzzReport report = fuzz_k_agreement(protocol, 3, inputs, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs_terminated, report.runs_executed);
+}
+
+TEST(Fuzz, BenOrSafetyCleanWithFairCoins) {
+  const std::vector<Value> inputs{0, 1, 0, 1, 1};
+  auto protocol = std::make_shared<BenOrProtocol>(inputs, 40);
+  FuzzOptions options;
+  options.runs = 200;
+  const FuzzReport report = fuzz_k_agreement(protocol, 1, inputs, options);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Fuzz, StrawDacViolationFoundAndReplayable) {
+  // 5-process straw-man: fuzzing must find the agreement violation, and the
+  // reported schedule must replay to a violating configuration.
+  const auto inputs = iota_inputs(5);
+  auto protocol = std::make_shared<StrawDacFallbackProtocol>(inputs);
+  FuzzOptions options;
+  options.runs = 2000;
+  const FuzzReport report = fuzz_dac(protocol, 0, inputs, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.violates("agreement"));
+
+  const FuzzViolation& finding = report.violations.front();
+  auto schedule = sim::parse_schedule(finding.schedule);
+  ASSERT_TRUE(schedule.is_ok());
+  auto replayed = sim::replay_schedule(protocol, schedule.value());
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  EXPECT_GE(replayed.value().distinct_decisions().size(), 2u);
+}
+
+TEST(Fuzz, ViolationBudgetStopsEarly) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<StrawDacFallbackProtocol>(inputs);
+  FuzzOptions options;
+  options.runs = 100'000;
+  options.max_violations = 2;
+  const FuzzReport report = fuzz_dac(protocol, 0, inputs, options);
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_LT(report.runs_executed, 100'000u);
+}
+
+TEST(Fuzz, DeterministicForSeed) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<StrawDacFallbackProtocol>(inputs);
+  FuzzOptions options;
+  options.runs = 500;
+  options.seed = 42;
+  const FuzzReport a = fuzz_dac(protocol, 0, inputs, options);
+  const FuzzReport b = fuzz_dac(protocol, 0, inputs, options);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].schedule, b.violations[i].schedule);
+    EXPECT_EQ(a.violations[i].run_seed, b.violations[i].run_seed);
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

@@ -1,0 +1,99 @@
+// Exact step-complexity results for the library's protocols: one-shot
+// consensus costs exactly 2 own-steps; Algorithm 2's retry loop is bounded
+// because interference is bounded; the FLP race and the straw-men are
+// unbounded exactly where the wait-freedom checker says so.
+#include "modelcheck/step_complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/flp_race.h"
+#include "protocols/one_shot.h"
+#include "protocols/straw_dac.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::FlpRaceProtocol;
+using protocols::StrawDacAnnounceProtocol;
+using protocols::make_consensus_via_n_consensus;
+using protocols::make_ksa_via_two_sa;
+
+ConfigGraph explore(std::shared_ptr<const sim::Protocol> protocol) {
+  Explorer explorer(std::move(protocol));
+  return std::move(explorer.explore()).value();
+}
+
+TEST(StepComplexity, OneShotConsensusIsTwoSteps) {
+  const ConfigGraph graph =
+      explore(make_consensus_via_n_consensus({10, 20, 30}));
+  for (int pid = 0; pid < 3; ++pid) {
+    const auto steps = worst_case_own_steps(graph, pid);
+    ASSERT_TRUE(steps.has_value());
+    EXPECT_EQ(*steps, 2u) << "pid " << pid;  // propose + local decide
+  }
+}
+
+TEST(StepComplexity, TwoSaOneShotIsTwoSteps) {
+  const ConfigGraph graph = explore(make_ksa_via_two_sa({10, 20}));
+  for (int pid = 0; pid < 2; ++pid) {
+    EXPECT_EQ(worst_case_own_steps(graph, pid), 2u);
+  }
+}
+
+TEST(StepComplexity, AlgorithmTwoIsBoundedAndInterferenceLimited) {
+  // Every process of Algorithm 2 is wait-free with a small exact bound:
+  // each ⊥ retry consumes one interfering operation by someone else, and
+  // interference is finite.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  const ConfigGraph graph = explore(protocol);
+  const auto all = worst_case_own_steps_all(graph, 2);
+  ASSERT_TRUE(all[0].has_value());
+  ASSERT_TRUE(all[1].has_value());
+  // p: propose, decide, terminal step.
+  EXPECT_EQ(*all[0], 3u);
+  // q may be forced through retries by p's two operations, but no further.
+  EXPECT_GE(*all[1], 3u);
+  EXPECT_LE(*all[1], 9u);
+}
+
+TEST(StepComplexity, AlgorithmTwoWithThreeProcesses) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  const ConfigGraph graph = explore(protocol);
+  // Two non-distinguished processes can interfere with EACH OTHER forever
+  // (the lockstep livelock the simulation test documents): their own-step
+  // counts are unbounded, while p's stays bounded.
+  const auto all = worst_case_own_steps_all(graph, 3);
+  ASSERT_TRUE(all[0].has_value());
+  EXPECT_EQ(*all[0], 3u);
+  EXPECT_FALSE(all[1].has_value());
+  EXPECT_FALSE(all[2].has_value());
+}
+
+TEST(StepComplexity, FlpRaceLoserIsUnbounded) {
+  const ConfigGraph graph =
+      explore(std::make_shared<FlpRaceProtocol>(5, 3));
+  // The process holding the larger value can decide early; the other can
+  // spin forever against it.
+  const auto p0 = worst_case_own_steps(graph, 0);
+  const auto p1 = worst_case_own_steps(graph, 1);
+  EXPECT_FALSE(p1.has_value());  // p1 holds the smaller value (3)
+  EXPECT_TRUE(!p0.has_value() || *p0 >= 3u);
+}
+
+TEST(StepComplexity, StrawAnnounceSpinnerIsUnbounded) {
+  const ConfigGraph graph = explore(
+      std::make_shared<StrawDacAnnounceProtocol>(std::vector<Value>{10, 20,
+                                                                    30}));
+  bool some_unbounded = false;
+  for (int pid = 0; pid < 3; ++pid) {
+    if (!worst_case_own_steps(graph, pid).has_value()) some_unbounded = true;
+  }
+  EXPECT_TRUE(some_unbounded);
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

@@ -1,0 +1,250 @@
+// Task-checker tests, covering both directions:
+//   * positive (E2, E4, E5): Algorithm 2 solves n-DAC for all schedules;
+//     one-shot consensus via n-consensus / (n,m)-PAC passes all properties;
+//   * negative (E3): the straw-man DAC candidates built from n-consensus +
+//     registers + 2-SA fail exactly as Theorem 4.2 predicts, and the FLP
+//     race fails termination.
+#include "modelcheck/task_check.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/flp_race.h"
+#include "protocols/group_ksa.h"
+#include "protocols/one_shot.h"
+#include "protocols/straw_dac.h"
+#include "protocols/straw_dac_oprime.h"
+#include "protocols/straw_nm_consensus.h"
+#include "spec/ksa_type.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::FlpRaceProtocol;
+using protocols::GroupKsaProtocol;
+using protocols::StrawDacAnnounceProtocol;
+using protocols::StrawDacFallbackProtocol;
+using protocols::make_consensus_via_n_consensus;
+using protocols::make_consensus_via_nm_pac;
+using protocols::make_ksa_via_oprime;
+using protocols::make_ksa_via_two_sa;
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+// ----------------------------- positive checks -----------------------------
+
+TEST(TaskCheck, ConsensusViaNConsensusPasses) {
+  for (int n = 1; n <= 4; ++n) {
+    auto report_or =
+        check_consensus_task(make_consensus_via_n_consensus(iota_inputs(n)),
+                             iota_inputs(n));
+    ASSERT_TRUE(report_or.is_ok());
+    EXPECT_TRUE(report_or.value().ok())
+        << "n=" << n << "\n"
+        << report_or.value().to_string();
+  }
+}
+
+TEST(TaskCheck, ConsensusViaNmPacPasses) {
+  // Observation 5.1(c) / positive half of Theorem 5.3: (n,m)-PAC solves
+  // m-consensus.
+  for (const auto& [n, m] : {std::pair{3, 2}, std::pair{4, 3},
+                             std::pair{2, 2}}) {
+    auto report_or = check_consensus_task(
+        make_consensus_via_nm_pac(n, m, iota_inputs(m)), iota_inputs(m));
+    ASSERT_TRUE(report_or.is_ok());
+    EXPECT_TRUE(report_or.value().ok())
+        << "(n,m)=(" << n << "," << m << ")\n"
+        << report_or.value().to_string();
+  }
+}
+
+TEST(TaskCheck, KsaViaTwoSaPasses) {
+  // 2-SA solves 2-set agreement among any number of processes (here 2..4,
+  // exhaustively over all schedules and all nondeterministic responses).
+  for (int n = 2; n <= 4; ++n) {
+    auto report_or = check_k_agreement_task(
+        make_ksa_via_two_sa(iota_inputs(n)), 2, iota_inputs(n));
+    ASSERT_TRUE(report_or.is_ok());
+    EXPECT_TRUE(report_or.value().ok())
+        << "n=" << n << "\n"
+        << report_or.value().to_string();
+  }
+}
+
+TEST(TaskCheck, TwoSaDoesNotSolveConsensusAmongTwo) {
+  // The same protocol checked against k=1 fails agreement: the 2-SA object
+  // may return different members to the two proposers.
+  auto report_or = check_k_agreement_task(make_ksa_via_two_sa(iota_inputs(2)),
+                                          1, iota_inputs(2));
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  EXPECT_TRUE(report_or.value().violates("agreement"));
+}
+
+TEST(TaskCheck, GroupKsaPasses) {
+  // k-set agreement among k*m processes from k m-consensus objects
+  // (Chaudhuri-Reiners partition protocol) — the lower-bound construction
+  // behind every set-agreement-power entry.
+  for (const auto& [k, m] : {std::pair{2, 2}, std::pair{3, 1},
+                             std::pair{2, 1}}) {
+    const auto inputs = iota_inputs(k * m);
+    auto protocol = std::make_shared<GroupKsaProtocol>(k, m, inputs);
+    auto report_or = check_k_agreement_task(protocol, k, inputs);
+    ASSERT_TRUE(report_or.is_ok());
+    EXPECT_TRUE(report_or.value().ok())
+        << "(k,m)=(" << k << "," << m << ")\n"
+        << report_or.value().to_string();
+  }
+}
+
+TEST(TaskCheck, GroupKsaIsTightAtKMinusOne) {
+  // The same protocol does NOT solve (k-1)-set agreement: groups decide
+  // independent values.
+  const auto inputs = iota_inputs(4);
+  auto protocol = std::make_shared<GroupKsaProtocol>(2, 2, inputs);
+  auto report_or = check_k_agreement_task(protocol, 1, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_TRUE(report_or.value().violates("agreement"));
+}
+
+TEST(TaskCheck, KsaViaOPrimePasses) {
+  // O' bundle: level k solves k-set agreement among n_k processes. Here
+  // n = (2, ∞): level 1 = 2-consensus, level 2 = 2-SA.
+  auto report_or = check_k_agreement_task(
+      make_ksa_via_oprime({2, spec::kUnboundedPorts}, 2, iota_inputs(3)), 2,
+      iota_inputs(3));
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_TRUE(report_or.value().ok()) << report_or.value().to_string();
+
+  auto report1_or = check_consensus_task(
+      make_ksa_via_oprime({2, spec::kUnboundedPorts}, 1, iota_inputs(2)),
+      iota_inputs(2));
+  ASSERT_TRUE(report1_or.is_ok());
+  EXPECT_TRUE(report1_or.value().ok()) << report1_or.value().to_string();
+}
+
+class DacExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(DacExhaustive, AlgorithmTwoSolvesNDac) {
+  // Theorem 4.1, machine-checked over all schedules: Algorithm 2 on one
+  // n-PAC object satisfies every n-DAC property.
+  const int n = GetParam();
+  const auto inputs = iota_inputs(n);
+  auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+  auto report_or = check_dac_task(protocol, /*distinguished_pid=*/0, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_TRUE(report_or.value().ok()) << report_or.value().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DacExhaustive, ::testing::Values(2, 3, 4));
+
+TEST(TaskCheck, AlgorithmTwoWithOtherDistinguishedPid) {
+  // The distinguished process need not be pid 0.
+  const auto inputs = iota_inputs(3);
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(inputs, /*distinguished_pid=*/2);
+  auto report_or = check_dac_task(protocol, 2, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_TRUE(report_or.value().ok()) << report_or.value().to_string();
+}
+
+TEST(TaskCheck, BinaryInputsDac) {
+  // The paper states n-DAC with *binary* inputs; check 0/1 inputs including
+  // the Theorem 4.2 initial configuration (p has 1, everyone else 0).
+  const std::vector<Value> inputs{1, 0, 0};
+  auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+  auto report_or = check_dac_task(protocol, 0, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_TRUE(report_or.value().ok()) << report_or.value().to_string();
+}
+
+// ----------------------------- negative checks -----------------------------
+
+TEST(TaskCheck, StrawDacFallbackViolatesAgreement) {
+  const auto inputs = iota_inputs(3);  // n = 2, n+1 = 3 processes
+  auto protocol = std::make_shared<StrawDacFallbackProtocol>(inputs);
+  auto report_or = check_dac_task(protocol, 0, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  EXPECT_TRUE(report_or.value().violates("agreement"))
+      << report_or.value().to_string();
+}
+
+TEST(TaskCheck, StrawDacAnnounceViolatesTermination) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<StrawDacAnnounceProtocol>(inputs);
+  auto report_or = check_dac_task(protocol, 0, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  // The ⊥-receiver spinning on the announce register violates solo
+  // termination — for p it is Termination(a), for q Termination(b).
+  EXPECT_TRUE(report_or.value().violates("termination(a)") ||
+              report_or.value().violates("termination(b)"))
+      << report_or.value().to_string();
+}
+
+TEST(TaskCheck, StrawDacViaOPrimeViolatesAgreement) {
+  // Theorem 6.5's predicted failure mode: driving (n+1)-DAC through an
+  // actual O'_n object breaks agreement when the overflow proposer falls
+  // back to the level-2 set-agreement member.
+  const auto inputs = iota_inputs(3);  // n = 2
+  auto protocol =
+      std::make_shared<protocols::StrawDacOPrimeProtocol>(inputs);
+  auto report_or = check_dac_task(protocol, 0, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  EXPECT_TRUE(report_or.value().violates("agreement"))
+      << report_or.value().to_string();
+}
+
+TEST(TaskCheck, StrawNmConsensusViolatesAgreement) {
+  // Theorem 5.2's predicted failure mode on the natural (m+1)-consensus
+  // candidate over one (n,m)-PAC: the ⊥-receiver's PAC fallback decides its
+  // own value against the PROPOSEC winner.
+  const auto inputs = iota_inputs(3);  // m = 2, m+1 = 3 processes
+  auto protocol =
+      std::make_shared<protocols::StrawNmConsensusProtocol>(inputs, 3);
+  auto report_or = check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  EXPECT_TRUE(report_or.value().violates("agreement"))
+      << report_or.value().to_string();
+}
+
+TEST(TaskCheck, FlpRaceViolatesTermination) {
+  auto protocol = std::make_shared<FlpRaceProtocol>(5, 3);
+  auto report_or = check_consensus_task(protocol, {5, 3});
+  ASSERT_TRUE(report_or.is_ok());
+  EXPECT_FALSE(report_or.value().ok());
+  EXPECT_TRUE(report_or.value().violates("termination"))
+      << report_or.value().to_string();
+}
+
+TEST(TaskCheck, ViolationReportCarriesTrace) {
+  auto protocol = std::make_shared<StrawDacFallbackProtocol>(iota_inputs(3));
+  auto report_or = check_dac_task(protocol, 0, iota_inputs(3));
+  ASSERT_TRUE(report_or.is_ok());
+  ASSERT_FALSE(report_or.value().ok());
+  const auto& violation = report_or.value().violations.front();
+  EXPECT_FALSE(violation.trace.empty());
+  EXPECT_NE(report_or.value().to_string().find("VIOLATION"),
+            std::string::npos);
+}
+
+TEST(TaskCheck, BudgetExhaustionSurfacesAsStatus) {
+  auto protocol = std::make_shared<DacFromPacProtocol>(iota_inputs(3));
+  TaskCheckOptions options;
+  options.explore.max_nodes = 3;
+  auto report_or = check_dac_task(protocol, 0, iota_inputs(3), options);
+  EXPECT_FALSE(report_or.is_ok());
+  EXPECT_EQ(report_or.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

@@ -1,0 +1,118 @@
+// Randomized consensus (Ben-Or style) tests — the FLP boundary, mechanized:
+//   * safety (Agreement, Validity) holds over ALL schedules and ALL coin
+//     outcomes (exhaustive model check);
+//   * deterministic termination FAILS — the checker exhibits the adversarial
+//     coin/schedule run, exactly the FLP prediction;
+//   * under a fair coin (random adversary), every seeded run terminates.
+#include "protocols/ben_or.h"
+
+#include <gtest/gtest.h>
+
+#include "modelcheck/task_check.h"
+#include "sim/simulation.h"
+#include "spec/coin_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+TEST(CoinType, FlipsBothWays) {
+  spec::CoinType coin;
+  std::vector<spec::Outcome> outcomes;
+  coin.apply(coin.initial_state(), spec::make_flip(), &outcomes);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].response, 0);
+  EXPECT_EQ(outcomes[1].response, 1);
+  EXPECT_TRUE(outcomes[0].next_state.empty());
+  EXPECT_FALSE(coin.deterministic());
+}
+
+TEST(BenOr, UnanimousInputsDecideWithoutCoin) {
+  // All-zero inputs: conflict is impossible, every process commits in round
+  // 0 — the protocol passes the FULL consensus check, termination included.
+  const std::vector<Value> inputs{0, 0};
+  auto protocol = std::make_shared<BenOrProtocol>(inputs, /*max_rounds=*/2);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().ok()) << report.value().to_string();
+}
+
+TEST(BenOr, SafetyHoldsUnderAllSchedulesAndCoins) {
+  // Mixed inputs: agreement and validity must hold over every schedule and
+  // every coin outcome; only termination may fail (and does, under the
+  // adversarial coin — the FLP-consistent part).
+  const std::vector<Value> inputs{0, 1};
+  auto protocol = std::make_shared<BenOrProtocol>(inputs, /*max_rounds=*/2);
+  modelcheck::TaskCheckOptions options;
+  options.max_violations = 16;
+  auto report = modelcheck::check_k_agreement_task(protocol, 1, inputs,
+                                                   options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_FALSE(report.value().violates("agreement"))
+      << report.value().to_string();
+  EXPECT_FALSE(report.value().violates("validity"))
+      << report.value().to_string();
+  EXPECT_FALSE(report.value().violates("no-abort"));
+  // The adversary really can prevent termination forever.
+  EXPECT_TRUE(report.value().violates("termination"))
+      << report.value().to_string();
+}
+
+TEST(BenOr, FairCoinTerminatesEmpirically) {
+  // With a uniformly random scheduler+coin, every seeded run decides well
+  // within the round budget, and agreement/validity hold.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const std::vector<Value> inputs{0, 1, 1};
+    auto protocol = std::make_shared<BenOrProtocol>(inputs,
+                                                    /*max_rounds=*/30);
+    sim::Simulation simulation(protocol);
+    sim::RandomAdversary adversary(seed);
+    const auto result = simulation.run(&adversary, {.max_steps = 100'000});
+    ASSERT_TRUE(result.all_terminated) << "seed " << seed;
+    const auto decisions = simulation.distinct_decisions();
+    ASSERT_EQ(decisions.size(), 1u) << "seed " << seed;
+    ASSERT_TRUE(decisions[0] == 0 || decisions[0] == 1) << "seed " << seed;
+  }
+}
+
+TEST(BenOr, UnanimousFairRunsDecideTheInput) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const std::vector<Value> inputs{1, 1, 1};
+    auto protocol = std::make_shared<BenOrProtocol>(inputs, 10);
+    sim::Simulation simulation(protocol);
+    sim::RandomAdversary adversary(seed);
+    simulation.run(&adversary, {.max_steps = 100'000});
+    const auto decisions = simulation.distinct_decisions();
+    ASSERT_EQ(decisions.size(), 1u) << "seed " << seed;
+    EXPECT_EQ(decisions[0], 1) << "seed " << seed;
+  }
+}
+
+TEST(BenOr, SoloRunDecidesOwnInputInRoundZero) {
+  const std::vector<Value> inputs{1, 0};
+  auto protocol = std::make_shared<BenOrProtocol>(inputs, 3);
+  sim::Simulation simulation(protocol);
+  sim::SoloAdversary solo(0);
+  simulation.run(&solo, {.max_steps = 100});
+  EXPECT_EQ(simulation.decision_of(0), 1);
+}
+
+TEST(BenOr, CrashToleranceIsWaitFreeStyle) {
+  // Crash all but one process mid-round: the survivor still decides under
+  // a fair coin (wait-free progress, modulo randomness).
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const std::vector<Value> inputs{0, 1};
+    auto protocol = std::make_shared<BenOrProtocol>(inputs, 30);
+    sim::Simulation simulation(protocol);
+    sim::RandomAdversary warmup(seed);
+    simulation.run(&warmup, {.max_steps = 1 + seed % 9});
+    simulation.crash(1);
+    if (!simulation.config().enabled(0)) continue;
+    sim::RandomAdversary rest(seed + 1000);
+    const auto result = simulation.run(&rest, {.max_steps = 100'000});
+    ASSERT_TRUE(result.all_terminated) << "seed " << seed;
+    ASSERT_TRUE(simulation.config().procs[0].decided()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::protocols

@@ -1,0 +1,104 @@
+// The hierarchy landscape, machine-checked: test&set and queue solve
+// 2-consensus (level 2), compare&swap solves n-consensus for every tested n
+// (level ∞) — and the 2-process constructions demonstrably break with a
+// third process, the executable face of "consensus number exactly 2".
+#include "protocols/classic_consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "modelcheck/critical.h"
+#include "modelcheck/task_check.h"
+
+namespace lbsa::protocols {
+namespace {
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+TEST(ClassicConsensus, TasSolvesTwoConsensus) {
+  const auto inputs = iota_inputs(2);
+  auto protocol = std::make_shared<TasConsensusProtocol>(inputs);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().to_string();
+}
+
+TEST(ClassicConsensus, TasBreaksWithThreeProcesses) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<TasConsensusProtocol>(inputs);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().ok());
+  EXPECT_TRUE(report.value().violates("agreement") ||
+              report.value().violates("validity"))
+      << report.value().to_string();
+}
+
+TEST(ClassicConsensus, QueueSolvesTwoConsensus) {
+  const auto inputs = iota_inputs(2);
+  auto protocol = std::make_shared<QueueConsensusProtocol>(inputs);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().to_string();
+}
+
+TEST(ClassicConsensus, QueueBreaksWithThreeProcesses) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<QueueConsensusProtocol>(inputs);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().ok());
+}
+
+class CasConsensusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CasConsensusSweep, CasSolvesNConsensus) {
+  const int n = GetParam();
+  const auto inputs = iota_inputs(n);
+  auto protocol = std::make_shared<CasConsensusProtocol>(inputs);
+  auto report = modelcheck::check_consensus_task(protocol, inputs);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().ok()) << "n=" << n << "\n"
+                                   << report.value().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CasConsensusSweep,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(ClassicConsensus, TasCriticalConfigIsOnTheTasBit) {
+  // Claim 5.2.3's shape on the classic protocol: the pivotal object of the
+  // 2-process test&set protocol is the test&set bit itself.
+  const auto inputs = iota_inputs(2);
+  auto protocol = std::make_shared<TasConsensusProtocol>(inputs);
+  modelcheck::Explorer explorer(protocol);
+  auto graph = std::move(explorer.explore()).value();
+  modelcheck::ValenceAnalyzer analyzer(graph);
+  const auto critical =
+      modelcheck::analyze_critical_configurations(*protocol, graph, analyzer);
+  ASSERT_FALSE(critical.empty());
+  for (const auto& info : critical) {
+    EXPECT_TRUE(info.all_on_same_object);
+    EXPECT_EQ(info.common_object_type, "test&set");
+  }
+}
+
+TEST(ClassicConsensus, CasCriticalConfigIsOnTheCasCell) {
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<CasConsensusProtocol>(inputs);
+  modelcheck::Explorer explorer(protocol);
+  auto graph = std::move(explorer.explore()).value();
+  modelcheck::ValenceAnalyzer analyzer(graph);
+  const auto critical =
+      modelcheck::analyze_critical_configurations(*protocol, graph, analyzer);
+  ASSERT_FALSE(critical.empty());
+  for (const auto& info : critical) {
+    EXPECT_TRUE(info.all_on_same_object);
+    EXPECT_EQ(info.common_object_type, "compare&swap");
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::protocols

@@ -1,0 +1,125 @@
+// Direct unit tests for the protocol automata (construction contracts,
+// action shapes, deterministic transitions). Task-level behaviour is
+// covered by tests/modelcheck/task_check_test.cc.
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/flp_race.h"
+#include "protocols/group_ksa.h"
+#include "protocols/one_shot.h"
+#include "protocols/straw_dac.h"
+#include "sim/config.h"
+#include "sim/simulation.h"
+
+namespace lbsa::protocols {
+namespace {
+
+TEST(DacFromPacProtocol, MetadataAndObjects) {
+  DacFromPacProtocol protocol({10, 20, 30}, 1);
+  EXPECT_EQ(protocol.process_count(), 3);
+  EXPECT_EQ(protocol.distinguished_pid(), 1);
+  ASSERT_EQ(protocol.objects().size(), 1u);
+  EXPECT_EQ(protocol.objects()[0]->name(), "3-PAC");
+  EXPECT_EQ(protocol.name(), "DAC-from-3-PAC");
+}
+
+TEST(DacFromPacProtocol, FirstActionIsLabeledPropose) {
+  DacFromPacProtocol protocol({10, 20});
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(1);
+  const sim::Action action = protocol.next_action(1, ps);
+  EXPECT_EQ(action.kind, sim::Action::Kind::kInvoke);
+  EXPECT_EQ(action.object_index, 0);
+  EXPECT_EQ(action.op.code, spec::OpCode::kProposeLabeled);
+  EXPECT_EQ(action.op.arg0, 20);
+  EXPECT_EQ(action.op.arg1, 2);  // label = pid + 1
+}
+
+TEST(DacFromPacProtocol, DistinguishedAbortsOnBottom) {
+  DacFromPacProtocol protocol({10, 20});
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(0);
+  ps.pc = 1;
+  protocol.on_response(0, &ps, kBottom);
+  EXPECT_EQ(ps.pc, 2);
+  const sim::Action action = protocol.next_action(0, ps);
+  EXPECT_EQ(action.kind, sim::Action::Kind::kAbort);
+}
+
+TEST(DacFromPacProtocol, NonDistinguishedRetriesOnBottom) {
+  DacFromPacProtocol protocol({10, 20});
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(1);
+  ps.pc = 1;
+  protocol.on_response(1, &ps, kBottom);
+  EXPECT_EQ(ps.pc, 0);  // back to the propose
+}
+
+TEST(OneShotProposeProtocol, DecidesTheResponse) {
+  auto protocol = make_consensus_via_n_consensus({10, 20, 30});
+  sim::Config config = initial_config(*protocol);
+  sim::apply_step(*protocol, &config, 2, 0);  // p2 proposes first, wins
+  sim::apply_step(*protocol, &config, 2, 0);  // p2 decides
+  EXPECT_EQ(config.procs[2].decision, 30);
+  sim::apply_step(*protocol, &config, 0, 0);
+  sim::apply_step(*protocol, &config, 0, 0);
+  EXPECT_EQ(config.procs[0].decision, 30);
+}
+
+TEST(GroupKsaProtocol, RoutesToGroupObjects) {
+  GroupKsaProtocol protocol(2, 2, {10, 20, 30, 40});
+  EXPECT_EQ(protocol.objects().size(), 2u);
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(3);
+  const sim::Action action = protocol.next_action(3, ps);
+  EXPECT_EQ(action.object_index, 1);  // pid 3 / m=2 -> group 1
+}
+
+TEST(GroupKsaProtocol, RaggedGroupsAllowed) {
+  // 3 processes over k=2 groups of m=2: group 1 has a single member.
+  sim::RoundRobinAdversary adv;
+  sim::Simulation simulation(
+      std::make_shared<GroupKsaProtocol>(2, 2,
+                                         std::vector<Value>{10, 20, 30}));
+  simulation.run(&adv, {.max_steps = 100});
+  EXPECT_TRUE(simulation.config().halted());
+  EXPECT_LE(simulation.distinct_decisions().size(), 2u);
+}
+
+TEST(StrawDacProtocols, UseOnlyTheoremFourTwoObjects) {
+  // The point of the straw-men: they must be built from exactly the object
+  // families Theorem 4.2 quantifies over.
+  StrawDacFallbackProtocol fallback({10, 20, 30});
+  ASSERT_EQ(fallback.objects().size(), 2u);
+  EXPECT_EQ(fallback.objects()[0]->name(), "2-consensus");
+  EXPECT_EQ(fallback.objects()[1]->name(), "2-SA");
+
+  StrawDacAnnounceProtocol announce({10, 20, 30});
+  ASSERT_EQ(announce.objects().size(), 2u);
+  EXPECT_EQ(announce.objects()[0]->name(), "2-consensus");
+  EXPECT_EQ(announce.objects()[1]->name(), "register");
+}
+
+TEST(FlpRaceProtocol, AdoptsSmallerPreference) {
+  FlpRaceProtocol protocol(5, 3);
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(0);
+  ps.pc = 1;                       // just read the other register
+  protocol.on_response(0, &ps, 3);  // other preference is smaller
+  EXPECT_EQ(ps.locals[0], 3);
+  EXPECT_EQ(ps.pc, 0);  // retry
+}
+
+TEST(FlpRaceProtocol, DecidesWhenAlone) {
+  FlpRaceProtocol protocol(5, 3);
+  sim::ProcessState ps;
+  ps.locals = protocol.initial_locals(0);
+  ps.pc = 1;
+  protocol.on_response(0, &ps, kNil);  // other register unwritten
+  EXPECT_EQ(ps.pc, 2);
+  EXPECT_EQ(protocol.next_action(0, ps).kind, sim::Action::Kind::kDecide);
+  EXPECT_EQ(protocol.next_action(0, ps).decision, 5);
+}
+
+}  // namespace
+}  // namespace lbsa::protocols

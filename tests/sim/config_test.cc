@@ -1,0 +1,99 @@
+// Tests for the configuration semantics: initial configs, step application,
+// successor enumeration, encoding/hashing.
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/one_shot.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::make_consensus_via_n_consensus;
+using protocols::make_ksa_via_two_sa;
+
+TEST(Config, InitialConfigShape) {
+  auto protocol = std::make_shared<DacFromPacProtocol>(
+      std::vector<Value>{10, 20, 30});
+  const Config config = initial_config(*protocol);
+  ASSERT_EQ(config.procs.size(), 3u);
+  ASSERT_EQ(config.objects.size(), 1u);
+  for (const ProcessState& ps : config.procs) {
+    EXPECT_TRUE(ps.running());
+    EXPECT_EQ(ps.pc, 0);
+  }
+  EXPECT_EQ(config.procs[0].locals[0], 10);
+  EXPECT_EQ(config.procs[2].locals[0], 30);
+  EXPECT_EQ(config.enabled_count(), 3);
+  EXPECT_FALSE(config.halted());
+}
+
+TEST(Config, EncodeDistinguishesConfigs) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Config a = initial_config(*protocol);
+  Config b = a;
+  EXPECT_EQ(a.encode(), b.encode());
+  EXPECT_EQ(a.hash(), b.hash());
+  apply_step(*protocol, &b, 0, 0);
+  EXPECT_NE(a.encode(), b.encode());
+  EXPECT_NE(a, b);
+}
+
+TEST(Config, ApplyStepAdvancesOneProcessOnly) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Config config = initial_config(*protocol);
+  const Step step = apply_step(*protocol, &config, 1, 0);
+  EXPECT_EQ(step.pid, 1);
+  EXPECT_EQ(step.response, 20);  // first propose wins with its own value
+  EXPECT_EQ(config.procs[0].pc, 0);
+  EXPECT_EQ(config.procs[1].pc, 1);
+}
+
+TEST(Config, DecideStepTerminatesProcess) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Config config = initial_config(*protocol);
+  apply_step(*protocol, &config, 0, 0);  // propose
+  const Step step = apply_step(*protocol, &config, 0, 0);  // local decide
+  EXPECT_EQ(step.action.kind, Action::Kind::kDecide);
+  EXPECT_TRUE(config.procs[0].decided());
+  EXPECT_EQ(config.procs[0].decision, 10);
+  EXPECT_FALSE(config.enabled(0));
+}
+
+TEST(Config, SuccessorsOfDeterministicStepIsSingleton) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  const Config config = initial_config(*protocol);
+  std::vector<Successor> succs;
+  enumerate_successors(*protocol, config, 0, &succs);
+  EXPECT_EQ(succs.size(), 1u);
+  EXPECT_EQ(outcome_count(*protocol, config, 0), 1);
+}
+
+TEST(Config, SuccessorsEnumerateKsaNondeterminism) {
+  auto protocol = make_ksa_via_two_sa({10, 20, 30});
+  Config config = initial_config(*protocol);
+  apply_step(*protocol, &config, 0, 0);  // STATE = {10}
+  // Second proposer: STATE = {10, 20}, response may be either member.
+  std::vector<Successor> succs;
+  enumerate_successors(*protocol, config, 1, &succs);
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(outcome_count(*protocol, config, 1), 2);
+  EXPECT_NE(succs[0].step.response, succs[1].step.response);
+  // Both leave the same object state (the response choice is independent).
+  EXPECT_EQ(succs[0].config.objects[0], succs[1].config.objects[0]);
+}
+
+TEST(Config, StepToStringIsReadable) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Config config = initial_config(*protocol);
+  const Step s = apply_step(*protocol, &config, 0, 0);
+  const std::string text = s.to_string(*protocol);
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_NE(text.find("PROPOSE"), std::string::npos);
+  EXPECT_NE(text.find("10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsa::sim

@@ -1,0 +1,117 @@
+// Crash-fault injection: the model is crash-stop (a crashed process simply
+// never steps again), and the safety properties of every task must be
+// crash-insensitive. These tests sweep crash times and victims across
+// seeded adversarial runs.
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/group_ksa.h"
+#include "protocols/one_shot.h"
+#include "sim/simulation.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::GroupKsaProtocol;
+using protocols::make_consensus_via_n_consensus;
+
+std::vector<Value> iota_inputs(int n) {
+  std::vector<Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + i);
+  return inputs;
+}
+
+TEST(CrashInjection, DacSafetySurvivesAnySingleCrash) {
+  const int n = 3;
+  const auto inputs = iota_inputs(n);
+  for (int victim = 0; victim < n; ++victim) {
+    for (std::uint64_t crash_step = 0; crash_step < 12; ++crash_step) {
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+        Simulation simulation(protocol);
+        RandomAdversary inner(seed);
+        CrashingAdversary adversary(&inner, {{crash_step, victim}});
+        simulation.run(&adversary, {.max_steps = 50'000});
+        const auto decisions = simulation.distinct_decisions();
+        ASSERT_LE(decisions.size(), 1u)
+            << "victim " << victim << " step " << crash_step << " seed "
+            << seed;
+        if (!decisions.empty()) {
+          bool valid = false;
+          for (int pid = 0; pid < n; ++pid) {
+            if (inputs[static_cast<size_t>(pid)] == decisions[0] &&
+                !simulation.config().procs[static_cast<size_t>(pid)]
+                     .aborted()) {
+              valid = true;
+            }
+          }
+          ASSERT_TRUE(valid);
+        }
+      }
+    }
+  }
+}
+
+TEST(CrashInjection, SurvivorsOfDacStillTerminateSolo) {
+  // Crash everyone but one q != p mid-run; q running on must decide
+  // (Termination (b) is exactly about runs where the others stop).
+  const auto inputs = iota_inputs(3);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+    Simulation simulation(protocol);
+    RandomAdversary warmup(seed);
+    simulation.run(&warmup, {.max_steps = seed % 7});
+    simulation.crash(0);
+    simulation.crash(1);
+    if (!simulation.config().enabled(2)) continue;  // already terminated
+    SoloAdversary solo(2);
+    const auto result = simulation.run(&solo, {.max_steps = 1'000});
+    ASSERT_TRUE(result.all_terminated) << "seed " << seed;
+    ASSERT_TRUE(simulation.config().procs[2].decided()) << "seed " << seed;
+  }
+}
+
+TEST(CrashInjection, ConsensusSafetyUnderCascadingCrashes) {
+  const auto inputs = iota_inputs(4);
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    auto protocol = make_consensus_via_n_consensus(inputs);
+    Simulation simulation(protocol);
+    RandomAdversary inner(seed);
+    CrashingAdversary adversary(
+        &inner, {{2, static_cast<int>(seed % 4)},
+                 {4, static_cast<int>((seed + 1) % 4)}});
+    simulation.run(&adversary, {.max_steps = 10'000});
+    ASSERT_LE(simulation.distinct_decisions().size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(CrashInjection, GroupKsaBoundHoldsUnderCrashes) {
+  const auto inputs = iota_inputs(4);
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    auto protocol = std::make_shared<GroupKsaProtocol>(2, 2, inputs);
+    Simulation simulation(protocol);
+    RandomAdversary inner(seed);
+    CrashingAdversary adversary(&inner,
+                                {{1, static_cast<int>(seed % 4)}});
+    simulation.run(&adversary, {.max_steps = 10'000});
+    ASSERT_LE(simulation.distinct_decisions().size(), 2u) << "seed " << seed;
+  }
+}
+
+TEST(CrashInjection, CrashedDistinguishedProcessNeverAborts) {
+  // A crash is not an abort: p crashing must leave status kCrashed, and the
+  // validity accounting treats it as a non-aborting proposer.
+  const auto inputs = iota_inputs(3);
+  auto protocol = std::make_shared<DacFromPacProtocol>(inputs);
+  Simulation simulation(protocol);
+  simulation.step(0);  // p proposes
+  simulation.crash(0);
+  RoundRobinAdversary adversary;
+  simulation.run(&adversary, {.max_steps = 10'000});
+  EXPECT_TRUE(simulation.config().procs[0].crashed());
+  EXPECT_FALSE(simulation.config().procs[0].aborted());
+}
+
+}  // namespace
+}  // namespace lbsa::sim

@@ -1,0 +1,92 @@
+#include "sim/process_state.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/action.h"
+
+namespace lbsa::sim {
+namespace {
+
+TEST(ProcessState, DefaultsToRunningAtPcZero) {
+  ProcessState ps;
+  EXPECT_TRUE(ps.running());
+  EXPECT_FALSE(ps.decided());
+  EXPECT_EQ(ps.pc, 0);
+  EXPECT_TRUE(ps.locals.empty());
+}
+
+TEST(ProcessState, StatusPredicatesAreExclusive) {
+  ProcessState ps;
+  ps.status = ProcStatus::kDecided;
+  ps.decision = 7;
+  EXPECT_TRUE(ps.decided());
+  EXPECT_FALSE(ps.running());
+  EXPECT_FALSE(ps.aborted());
+  EXPECT_FALSE(ps.crashed());
+}
+
+TEST(ProcessState, EncodeIsInjectiveOnDifferences) {
+  ProcessState a;
+  a.locals = {1, 2};
+  ProcessState b = a;
+
+  auto encode = [](const ProcessState& ps) {
+    std::vector<std::int64_t> out;
+    ps.encode(&out);
+    return out;
+  };
+
+  EXPECT_EQ(encode(a), encode(b));
+  b.pc = 1;
+  EXPECT_NE(encode(a), encode(b));
+  b = a;
+  b.locals[1] = 3;
+  EXPECT_NE(encode(a), encode(b));
+  b = a;
+  b.status = ProcStatus::kAborted;
+  EXPECT_NE(encode(a), encode(b));
+  b = a;
+  b.locals.push_back(0);
+  EXPECT_NE(encode(a), encode(b));
+}
+
+TEST(ProcessState, ToStringShowsDecision) {
+  ProcessState ps;
+  ps.status = ProcStatus::kDecided;
+  ps.decision = 42;
+  ps.locals = {1};
+  const std::string text = ps.to_string();
+  EXPECT_NE(text.find("decided"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(ProcStatusNames, AllCovered) {
+  EXPECT_STREQ(proc_status_name(ProcStatus::kRunning), "running");
+  EXPECT_STREQ(proc_status_name(ProcStatus::kDecided), "decided");
+  EXPECT_STREQ(proc_status_name(ProcStatus::kAborted), "aborted");
+  EXPECT_STREQ(proc_status_name(ProcStatus::kCrashed), "crashed");
+}
+
+TEST(Action, FactoriesSetKindAndPayload) {
+  const Action invoke = Action::invoke(2, spec::make_propose(9));
+  EXPECT_EQ(invoke.kind, Action::Kind::kInvoke);
+  EXPECT_EQ(invoke.object_index, 2);
+  EXPECT_EQ(invoke.op.arg0, 9);
+
+  const Action decide = Action::decide(5);
+  EXPECT_EQ(decide.kind, Action::Kind::kDecide);
+  EXPECT_EQ(decide.decision, 5);
+
+  const Action abort = Action::abort();
+  EXPECT_EQ(abort.kind, Action::Kind::kAbort);
+}
+
+TEST(Action, EqualityComparesAllFields) {
+  EXPECT_EQ(Action::decide(5), Action::decide(5));
+  EXPECT_NE(Action::decide(5), Action::decide(6));
+  EXPECT_NE(Action::invoke(0, spec::make_read()),
+            Action::invoke(1, spec::make_read()));
+}
+
+}  // namespace
+}  // namespace lbsa::sim

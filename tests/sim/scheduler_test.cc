@@ -1,0 +1,96 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "sim/simulation.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+
+std::shared_ptr<DacFromPacProtocol> make_protocol() {
+  return std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+}
+
+TEST(RoundRobinAdversary, CyclesThroughEnabledProcesses) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  RoundRobinAdversary adv;
+  EXPECT_EQ(adv.pick_process(config, 0), 0);
+  EXPECT_EQ(adv.pick_process(config, 1), 1);
+  EXPECT_EQ(adv.pick_process(config, 2), 2);
+  EXPECT_EQ(adv.pick_process(config, 3), 0);
+}
+
+TEST(RoundRobinAdversary, SkipsTerminatedProcesses) {
+  auto protocol = make_protocol();
+  Config config = initial_config(*protocol);
+  config.procs[1].status = ProcStatus::kCrashed;
+  RoundRobinAdversary adv;
+  EXPECT_EQ(adv.pick_process(config, 0), 0);
+  EXPECT_EQ(adv.pick_process(config, 1), 2);
+  EXPECT_EQ(adv.pick_process(config, 2), 0);
+}
+
+TEST(RoundRobinAdversary, StopsWhenAllHalted) {
+  auto protocol = make_protocol();
+  Config config = initial_config(*protocol);
+  for (ProcessState& ps : config.procs) ps.status = ProcStatus::kCrashed;
+  RoundRobinAdversary adv;
+  EXPECT_EQ(adv.pick_process(config, 0), Adversary::kStop);
+}
+
+TEST(RandomAdversary, DeterministicForSeed) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  RandomAdversary a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.pick_process(config, i), b.pick_process(config, i));
+  }
+}
+
+TEST(RandomAdversary, OnlyPicksEnabled) {
+  auto protocol = make_protocol();
+  Config config = initial_config(*protocol);
+  config.procs[0].status = ProcStatus::kCrashed;
+  config.procs[2].status = ProcStatus::kDecided;
+  RandomAdversary adv(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(adv.pick_process(config, i), 1);
+}
+
+TEST(SoloAdversary, PicksOnlyItsProcess) {
+  auto protocol = make_protocol();
+  Config config = initial_config(*protocol);
+  SoloAdversary adv(2);
+  EXPECT_EQ(adv.pick_process(config, 0), 2);
+  config.procs[2].status = ProcStatus::kDecided;
+  EXPECT_EQ(adv.pick_process(config, 1), Adversary::kStop);
+}
+
+TEST(ScriptedAdversary, ReplaysScriptThenStops) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  ScriptedAdversary adv({{1, 0}, {0, 0}, {2, 0}});
+  EXPECT_EQ(adv.pick_process(config, 0), 1);
+  adv.pick_outcome(1, 0);
+  EXPECT_EQ(adv.pick_process(config, 1), 0);
+  adv.pick_outcome(1, 1);
+  EXPECT_EQ(adv.pick_process(config, 2), 2);
+  adv.pick_outcome(1, 2);
+  EXPECT_EQ(adv.pick_process(config, 3), Adversary::kStop);
+}
+
+TEST(CrashingAdversary, InjectsCrashesAtStep) {
+  auto protocol = make_protocol();
+  Simulation simulation(protocol);
+  RoundRobinAdversary inner;
+  CrashingAdversary adv(&inner, {{2, 1}});  // crash p1 before step 2
+  RunResult result = simulation.run(&adv, {.max_steps = 100});
+  EXPECT_TRUE(result.all_terminated);
+  EXPECT_TRUE(simulation.config().procs[1].crashed());
+}
+
+}  // namespace
+}  // namespace lbsa::sim

@@ -1,0 +1,161 @@
+// End-to-end simulation tests: Algorithm 2 (n-DAC from one n-PAC) under
+// round-robin, random, solo, and crashy adversaries — the schedule-sampled
+// half of experiment E2.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/one_shot.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::make_consensus_via_n_consensus;
+
+TEST(Simulation, LockstepRoundRobinLivelocksButStaysSafe) {
+  // Under perfect lockstep scheduling, Algorithm 2's non-distinguished
+  // processes keep detecting each other's concurrency and retry forever —
+  // n-DAC's Termination(b) only promises progress in solo runs, and this
+  // run shows why that weakening is necessary. Safety still holds.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  Simulation simulation(protocol);
+  RoundRobinAdversary adv;
+  const RunResult result = simulation.run(&adv, {.max_steps = 10'000});
+  EXPECT_TRUE(result.hit_step_limit);
+  EXPECT_TRUE(simulation.config().procs[0].aborted());  // p saw interference
+  EXPECT_LE(simulation.distinct_decisions().size(), 1u);
+}
+
+TEST(Simulation, RandomScheduleDacTerminates) {
+  // A random (hence eventually asymmetric) schedule lets some q win its
+  // propose/decide pair; every process then terminates.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  Simulation simulation(protocol);
+  RandomAdversary adv(1);
+  const RunResult result = simulation.run(&adv, {.max_steps = 100'000});
+  EXPECT_TRUE(result.all_terminated);
+  EXPECT_LE(simulation.distinct_decisions().size(), 1u);
+}
+
+TEST(Simulation, SoloDistinguishedDecidesOwnInput) {
+  // Claim 4.2.4's first half: p running solo decides its own input (and
+  // does not abort, by Nontriviality).
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{11, 22, 33},
+                                           /*distinguished_pid=*/0);
+  Simulation simulation(protocol);
+  SoloAdversary adv(0);
+  simulation.run(&adv, {.max_steps = 100});
+  EXPECT_TRUE(simulation.config().procs[0].decided());
+  EXPECT_EQ(simulation.decision_of(0), 11);
+}
+
+TEST(Simulation, SoloNonDistinguishedDecidesOwnInput) {
+  // Claim 4.2.4's second half: q != p running solo decides its own input.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{11, 22, 33});
+  Simulation simulation(protocol);
+  SoloAdversary adv(2);
+  simulation.run(&adv, {.max_steps = 100});
+  EXPECT_EQ(simulation.decision_of(2), 33);
+}
+
+TEST(Simulation, RandomAdversarySweepPreservesDacSafety) {
+  // 300 seeded random schedules; in every run: at most one distinct decided
+  // value, decided values come from non-aborting proposers, only p aborts.
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    auto protocol = std::make_shared<DacFromPacProtocol>(
+        std::vector<Value>{10, 20, 30, 40});
+    Simulation simulation(protocol);
+    RandomAdversary adv(seed);
+    const RunResult result = simulation.run(&adv, {.max_steps = 50'000});
+    ASSERT_TRUE(result.all_terminated) << "seed " << seed;
+    const auto decisions = simulation.distinct_decisions();
+    ASSERT_LE(decisions.size(), 1u) << "seed " << seed;
+    for (int pid = 1; pid < 4; ++pid) {
+      ASSERT_FALSE(simulation.config().procs[static_cast<size_t>(pid)]
+                       .aborted())
+          << "non-distinguished process aborted, seed " << seed;
+    }
+    if (!decisions.empty()) {
+      const Value v = decisions[0];
+      bool valid = false;
+      for (int pid = 0; pid < 4; ++pid) {
+        if (protocol->inputs()[static_cast<size_t>(pid)] == v &&
+            !simulation.config().procs[static_cast<size_t>(pid)].aborted()) {
+          valid = true;
+        }
+      }
+      ASSERT_TRUE(valid) << "validity, seed " << seed;
+    }
+  }
+}
+
+TEST(Simulation, CrashedProcessNeverSteps) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  Simulation simulation(protocol);
+  simulation.crash(1);
+  RoundRobinAdversary adv;
+  simulation.run(&adv, {.max_steps = 1'000});
+  for (const Step& step : simulation.history()) EXPECT_NE(step.pid, 1);
+  EXPECT_TRUE(simulation.config().procs[1].crashed());
+}
+
+TEST(Simulation, HistoryRecordsEveryStep) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Simulation simulation(protocol);
+  RoundRobinAdversary adv;
+  const RunResult result = simulation.run(&adv, {.max_steps = 100});
+  EXPECT_TRUE(result.all_terminated);
+  // Each process: one propose + one local decide.
+  EXPECT_EQ(simulation.history().size(), 4u);
+  EXPECT_EQ(result.steps, 4u);
+}
+
+TEST(Simulation, ResetRestoresInitialConfig) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Simulation simulation(protocol);
+  const Config before = simulation.config();
+  RoundRobinAdversary adv;
+  simulation.run(&adv, {.max_steps = 100});
+  EXPECT_NE(simulation.config(), before);
+  simulation.reset();
+  EXPECT_EQ(simulation.config(), before);
+  EXPECT_TRUE(simulation.history().empty());
+}
+
+TEST(Simulation, DumpMentionsProcessesAndObjects) {
+  auto protocol = make_consensus_via_n_consensus({10, 20});
+  Simulation simulation(protocol);
+  const std::string text = simulation.dump();
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_NE(text.find("2-consensus"), std::string::npos);
+}
+
+TEST(Simulation, DistinguishedAbortsOnlyWithInterference) {
+  // Drive p halfway, let q slip in a propose, then p's decide sees L != p's
+  // label and returns ⊥ -> p aborts. This is the abort path Algorithm 2
+  // inherits from the PAC's concurrency detection.
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  Simulation simulation(protocol);
+  simulation.step(0);  // p: PROPOSE(10, 1)
+  simulation.step(1);  // q: PROPOSE(20, 2) — intervenes
+  simulation.step(0);  // p: DECIDE(1) -> ⊥
+  simulation.step(0);  // p: abort
+  EXPECT_TRUE(simulation.config().procs[0].aborted());
+  // q eventually decides its own value (q retries after ⊥).
+  SoloAdversary solo(1);
+  simulation.run(&solo, {.max_steps = 100});
+  EXPECT_EQ(simulation.decision_of(1), 20);
+}
+
+}  // namespace
+}  // namespace lbsa::sim

@@ -1,0 +1,94 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "protocols/dac_from_pac.h"
+#include "protocols/one_shot.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::make_ksa_via_two_sa;
+
+TEST(Trace, RoundTripsARecordedRun) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  Simulation original(protocol);
+  RandomAdversary adversary(7);
+  original.run(&adversary, {.max_steps = 100'000});
+
+  const std::string text =
+      schedule_to_string(*protocol, original.history());
+  auto parsed = parse_schedule(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().size(), original.history().size());
+
+  auto replayed = replay_schedule(protocol, parsed.value());
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  EXPECT_EQ(replayed.value().config(), original.config());
+}
+
+TEST(Trace, RoundTripsNondeterministicOutcomes) {
+  auto protocol = make_ksa_via_two_sa({10, 20, 30});
+  Simulation original(protocol);
+  RandomAdversary adversary(3);
+  original.run(&adversary, {.max_steps = 1'000});
+
+  auto parsed =
+      parse_schedule(schedule_to_string(*protocol, original.history()));
+  ASSERT_TRUE(parsed.is_ok());
+  auto replayed = replay_schedule(protocol, parsed.value());
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(replayed.value().config(), original.config());
+  EXPECT_EQ(replayed.value().distinct_decisions(),
+            original.distinct_decisions());
+}
+
+TEST(Trace, ParsesCommentsAndBlanks) {
+  auto parsed = parse_schedule(
+      "# a comment\n\n0\n  1:2  # inline comment\n\n2:0\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_EQ(parsed.value()[0].pid, 0);
+  EXPECT_EQ(parsed.value()[1].pid, 1);
+  EXPECT_EQ(parsed.value()[1].outcome, 2);
+  EXPECT_EQ(parsed.value()[2].pid, 2);
+  EXPECT_EQ(parsed.value()[2].outcome, 0);
+}
+
+TEST(Trace, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_schedule("zero").is_ok());
+  EXPECT_FALSE(parse_schedule("1;2").is_ok());
+  EXPECT_FALSE(parse_schedule("1:").is_ok());
+  EXPECT_FALSE(parse_schedule("1:x").is_ok());
+  EXPECT_FALSE(parse_schedule("-1").is_ok());
+}
+
+TEST(Trace, ReplayRejectsInvalidSchedules) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  // pid out of range.
+  EXPECT_FALSE(replay_schedule(protocol, {{5, 0}}).is_ok());
+  // outcome out of range (the first step is deterministic).
+  EXPECT_FALSE(replay_schedule(protocol, {{0, 3}}).is_ok());
+  // stepping a decided process: run p1 to completion first (solo p1
+  // decides after 4 steps: propose, decide, local decide), then step it.
+  auto bad = replay_schedule(protocol, {{1, 0}, {1, 0}, {1, 0}, {1, 0}});
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Trace, SerializedFormIsCommented) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  Simulation simulation(protocol);
+  simulation.step(0);
+  const std::string text =
+      schedule_to_string(*protocol, simulation.history());
+  EXPECT_NE(text.find("# schedule for"), std::string::npos);
+  EXPECT_NE(text.find("PROPOSE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsa::sim

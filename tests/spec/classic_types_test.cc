@@ -1,0 +1,121 @@
+#include "spec/classic_types.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::spec {
+namespace {
+
+// ------------------------------- test&set ---------------------------------
+
+TEST(TestAndSetType, FirstCallerWins) {
+  TestAndSetType tas;
+  auto s = tas.initial_state();
+  Outcome first = tas.apply_unique(s, make_test_and_set());
+  EXPECT_EQ(first.response, 0);
+  Outcome second = tas.apply_unique(first.next_state, make_test_and_set());
+  EXPECT_EQ(second.response, 1);
+  Outcome third = tas.apply_unique(second.next_state, make_test_and_set());
+  EXPECT_EQ(third.response, 1);
+}
+
+TEST(TestAndSetType, ValidateRejectsArgs) {
+  TestAndSetType tas;
+  EXPECT_TRUE(tas.validate(make_test_and_set()).is_ok());
+  EXPECT_FALSE(tas.validate(make_read()).is_ok());
+  EXPECT_FALSE(
+      tas.validate(Operation{OpCode::kTestAndSet, 1, kNil}).is_ok());
+}
+
+// ----------------------------- compare&swap -------------------------------
+
+TEST(CompareAndSwapType, SuccessfulCasInstallsValue) {
+  CompareAndSwapType cas;
+  auto s = cas.initial_state();
+  Outcome o = cas.apply_unique(s, make_compare_and_swap(kNil, 7));
+  EXPECT_EQ(o.response, kNil);  // pre-operation value: we won
+  EXPECT_EQ(cas.apply_unique(o.next_state, make_read()).response, 7);
+}
+
+TEST(CompareAndSwapType, FailedCasLeavesValue) {
+  CompareAndSwapType cas(5);
+  auto s = cas.initial_state();
+  Outcome o = cas.apply_unique(s, make_compare_and_swap(kNil, 7));
+  EXPECT_EQ(o.response, 5);  // lost: the response names the current value
+  EXPECT_EQ(cas.apply_unique(o.next_state, make_read()).response, 5);
+}
+
+TEST(CompareAndSwapType, ChainedCas) {
+  CompareAndSwapType cas;
+  auto s = cas.initial_state();
+  s = cas.apply_unique(s, make_compare_and_swap(kNil, 1)).next_state;
+  s = cas.apply_unique(s, make_compare_and_swap(1, 2)).next_state;
+  EXPECT_EQ(cas.apply_unique(s, make_read()).response, 2);
+  // Wrong expected value: no change.
+  s = cas.apply_unique(s, make_compare_and_swap(1, 9)).next_state;
+  EXPECT_EQ(cas.apply_unique(s, make_read()).response, 2);
+}
+
+TEST(CompareAndSwapType, Validate) {
+  CompareAndSwapType cas;
+  EXPECT_TRUE(cas.validate(make_compare_and_swap(kNil, 1)).is_ok());
+  EXPECT_TRUE(cas.validate(make_compare_and_swap(3, 1)).is_ok());
+  EXPECT_TRUE(cas.validate(make_read()).is_ok());
+  EXPECT_FALSE(cas.validate(make_compare_and_swap(1, kNil)).is_ok());
+  EXPECT_FALSE(cas.validate(make_write(1)).is_ok());
+}
+
+// --------------------------------- queue ----------------------------------
+
+TEST(QueueType, FifoOrder) {
+  QueueType queue(4);
+  auto s = queue.initial_state();
+  s = queue.apply_unique(s, make_enqueue(1)).next_state;
+  s = queue.apply_unique(s, make_enqueue(2)).next_state;
+  s = queue.apply_unique(s, make_enqueue(3)).next_state;
+  Outcome a = queue.apply_unique(s, make_dequeue());
+  EXPECT_EQ(a.response, 1);
+  Outcome b = queue.apply_unique(a.next_state, make_dequeue());
+  EXPECT_EQ(b.response, 2);
+  Outcome c = queue.apply_unique(b.next_state, make_dequeue());
+  EXPECT_EQ(c.response, 3);
+  EXPECT_EQ(QueueType::size(c.next_state), 0);
+}
+
+TEST(QueueType, EmptyDequeueReturnsNil) {
+  QueueType queue(2);
+  const auto s = queue.initial_state();
+  EXPECT_EQ(queue.apply_unique(s, make_dequeue()).response, kNil);
+}
+
+TEST(QueueType, FullEnqueueReturnsBottom) {
+  QueueType queue(1);
+  auto s = queue.apply_unique(queue.initial_state(), make_enqueue(1))
+               .next_state;
+  Outcome o = queue.apply_unique(s, make_enqueue(2));
+  EXPECT_EQ(o.response, kBottom);
+  EXPECT_EQ(o.next_state, s);  // rejected enqueue leaves the queue intact
+}
+
+TEST(QueueType, InitialItemsServeFirst) {
+  QueueType queue(3, {10, 20});
+  auto s = queue.initial_state();
+  EXPECT_EQ(QueueType::size(s), 2);
+  Outcome a = queue.apply_unique(s, make_dequeue());
+  EXPECT_EQ(a.response, 10);
+  Outcome b = queue.apply_unique(a.next_state, make_dequeue());
+  EXPECT_EQ(b.response, 20);
+}
+
+TEST(QueueType, InterleavedEnqueueDequeue) {
+  QueueType queue(2);
+  auto s = queue.initial_state();
+  s = queue.apply_unique(s, make_enqueue(1)).next_state;
+  Outcome d = queue.apply_unique(s, make_dequeue());
+  EXPECT_EQ(d.response, 1);
+  s = queue.apply_unique(d.next_state, make_enqueue(2)).next_state;
+  s = queue.apply_unique(s, make_enqueue(3)).next_state;
+  EXPECT_EQ(queue.apply_unique(s, make_dequeue()).response, 2);
+}
+
+}  // namespace
+}  // namespace lbsa::spec

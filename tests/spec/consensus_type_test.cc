@@ -1,0 +1,78 @@
+// Tests for the n-consensus object of footnote 6: first n proposes return
+// the first proposed value; every later propose returns ⊥.
+#include "spec/consensus_type.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::spec {
+namespace {
+
+Value apply(const NConsensusType& type, std::vector<std::int64_t>* state,
+            Value proposal) {
+  Outcome outcome = type.apply_unique(*state, make_propose(proposal));
+  *state = std::move(outcome.next_state);
+  return outcome.response;
+}
+
+TEST(NConsensusType, Name) {
+  EXPECT_EQ(NConsensusType(3).name(), "3-consensus");
+}
+
+TEST(NConsensusType, ValidateRejectsForeignOps) {
+  NConsensusType type(2);
+  EXPECT_TRUE(type.validate(make_propose(7)).is_ok());
+  EXPECT_FALSE(type.validate(make_read()).is_ok());
+  EXPECT_FALSE(type.validate(make_decide_labeled(1)).is_ok());
+  EXPECT_FALSE(type.validate(make_propose(kBottom)).is_ok());
+  EXPECT_FALSE(type.validate(make_propose(kNil)).is_ok());
+}
+
+TEST(NConsensusType, FirstProposeWins) {
+  NConsensusType type(3);
+  auto state = type.initial_state();
+  EXPECT_EQ(apply(type, &state, 10), 10);
+  EXPECT_EQ(apply(type, &state, 20), 10);
+  EXPECT_EQ(apply(type, &state, 30), 10);
+}
+
+TEST(NConsensusType, ReturnsBottomAfterNProposes) {
+  NConsensusType type(2);
+  auto state = type.initial_state();
+  EXPECT_EQ(apply(type, &state, 10), 10);
+  EXPECT_EQ(apply(type, &state, 20), 10);
+  EXPECT_EQ(apply(type, &state, 30), kBottom);
+  EXPECT_EQ(apply(type, &state, 40), kBottom);
+}
+
+TEST(NConsensusType, ExhaustedObjectStateIsFrozen) {
+  // Claim 4.2.9 relies on the exhausted object carrying no information:
+  // proposes after the n-th must not change the state at all.
+  NConsensusType type(1);
+  auto state = type.initial_state();
+  apply(type, &state, 10);
+  const auto frozen = state;
+  apply(type, &state, 99);
+  EXPECT_EQ(state, frozen);
+  apply(type, &state, 10);
+  EXPECT_EQ(state, frozen);
+}
+
+class NConsensusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NConsensusSweep, ExactlyNWinnersThenBottom) {
+  const int n = GetParam();
+  NConsensusType type(n);
+  auto state = type.initial_state();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(apply(type, &state, 100 + i), 100) << "propose " << i;
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(apply(type, &state, 200 + i), kBottom);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NConsensusSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace lbsa::spec

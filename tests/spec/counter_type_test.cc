@@ -1,0 +1,48 @@
+#include "spec/counter_type.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::spec {
+namespace {
+
+TEST(CounterType, InitialValue) {
+  CounterType zero;
+  EXPECT_EQ(zero.apply_unique(zero.initial_state(), make_read()).response, 0);
+  CounterType ten(10);
+  EXPECT_EQ(ten.apply_unique(ten.initial_state(), make_read()).response, 10);
+}
+
+TEST(CounterType, FetchAddReturnsOldValue) {
+  CounterType counter;
+  auto s = counter.initial_state();
+  Outcome a = counter.apply_unique(s, make_propose(5));
+  EXPECT_EQ(a.response, 0);
+  Outcome b = counter.apply_unique(a.next_state, make_propose(3));
+  EXPECT_EQ(b.response, 5);
+  EXPECT_EQ(counter.apply_unique(b.next_state, make_read()).response, 8);
+}
+
+TEST(CounterType, NegativeDeltas) {
+  CounterType counter;
+  auto s = counter.initial_state();
+  s = counter.apply_unique(s, make_propose(-4)).next_state;
+  EXPECT_EQ(counter.apply_unique(s, make_read()).response, -4);
+}
+
+TEST(CounterType, ValidateRejectsForeignOps) {
+  CounterType counter;
+  EXPECT_TRUE(counter.validate(make_read()).is_ok());
+  EXPECT_TRUE(counter.validate(make_propose(1)).is_ok());
+  EXPECT_FALSE(counter.validate(make_write(1)).is_ok());
+  EXPECT_FALSE(counter.validate(make_propose(kNil)).is_ok());
+}
+
+TEST(CounterType, ReadDoesNotPerturb) {
+  CounterType counter;
+  auto s = counter.apply_unique(counter.initial_state(), make_propose(7))
+               .next_state;
+  EXPECT_EQ(counter.apply_unique(s, make_read()).next_state, s);
+}
+
+}  // namespace
+}  // namespace lbsa::spec

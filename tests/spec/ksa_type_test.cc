@@ -1,0 +1,145 @@
+// Tests for Algorithm 3 (the strong 2-SA object) and its (n,k)-SA
+// generalization, including the nondeterministic outcome enumeration.
+#include "spec/ksa_type.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lbsa::spec {
+namespace {
+
+std::vector<Value> responses(const std::vector<Outcome>& outcomes) {
+  std::vector<Value> out;
+  for (const Outcome& o : outcomes) out.push_back(o.response);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(KsaType, Names) {
+  EXPECT_EQ(KsaType(kUnboundedPorts, 2).name(), "2-SA");
+  EXPECT_EQ(KsaType(kUnboundedPorts, 3).name(), "(∞,3)-SA");
+  EXPECT_EQ(KsaType(4, 2).name(), "(4,2)-SA");
+}
+
+TEST(KsaType, ValidateRejectsForeignOps) {
+  KsaType type(kUnboundedPorts, 2);
+  EXPECT_TRUE(type.validate(make_propose(1)).is_ok());
+  EXPECT_FALSE(type.validate(make_write(1)).is_ok());
+  EXPECT_FALSE(type.validate(make_propose(kNil)).is_ok());
+}
+
+TEST(KsaType, FirstProposeReturnsItself) {
+  KsaType type = make_two_sa_type();
+  auto state = type.initial_state();
+  std::vector<Outcome> outcomes;
+  type.apply(state, make_propose(10), &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].response, 10);
+}
+
+TEST(KsaType, SecondDistinctProposeMayGetEither) {
+  // Algorithm 3: STATE = {10, 20}; the response is an arbitrary member.
+  KsaType type = make_two_sa_type();
+  auto state = type.apply_unique(type.initial_state(), make_propose(10))
+                   .next_state;
+  std::vector<Outcome> outcomes;
+  type.apply(state, make_propose(20), &outcomes);
+  EXPECT_EQ(responses(outcomes), (std::vector<Value>{10, 20}));
+}
+
+TEST(KsaType, ThirdValueIsNeverAdmitted) {
+  // "corresponding to the *first* two distinct values proposed".
+  KsaType type = make_two_sa_type();
+  auto state = type.initial_state();
+  state = type.apply_unique(state, make_propose(10)).next_state;
+  std::vector<Outcome> outcomes;
+  type.apply(state, make_propose(20), &outcomes);
+  state = outcomes[0].next_state;  // either branch keeps STATE = {10, 20}
+  outcomes.clear();
+  type.apply(state, make_propose(30), &outcomes);
+  EXPECT_EQ(responses(outcomes), (std::vector<Value>{10, 20}));
+  // 30 is not in any successor state.
+  for (const Outcome& o : outcomes) {
+    EXPECT_EQ(KsaType::set_size(o.next_state), 2);
+    EXPECT_NE(KsaType::slot(o.next_state, 0), 30);
+    EXPECT_NE(KsaType::slot(o.next_state, 1), 30);
+  }
+}
+
+TEST(KsaType, DuplicateProposalDoesNotGrowSet) {
+  KsaType type = make_two_sa_type();
+  auto state = type.initial_state();
+  state = type.apply_unique(state, make_propose(10)).next_state;
+  std::vector<Outcome> outcomes;
+  type.apply(state, make_propose(10), &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].response, 10);
+  EXPECT_EQ(KsaType::set_size(outcomes[0].next_state), 1);
+}
+
+TEST(KsaType, PortBoundShutsObjectOff) {
+  KsaType type(2, 2);
+  auto state = type.initial_state();
+  state = type.apply_unique(state, make_propose(10)).next_state;
+  std::vector<Outcome> outcomes;
+  type.apply(state, make_propose(20), &outcomes);
+  state = outcomes[0].next_state;
+  outcomes.clear();
+  type.apply(state, make_propose(30), &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].response, kBottom);
+  // And the shut-off state is frozen.
+  EXPECT_EQ(outcomes[0].next_state, state);
+}
+
+TEST(KsaType, KOneIsDeterministicConsensusLike) {
+  // (n,1)-SA behaves exactly like the n-consensus object — the identity
+  // Lemma 6.4 uses for the k = 1 member of O'.
+  KsaType type(3, 1);
+  EXPECT_TRUE(type.deterministic());
+  auto state = type.initial_state();
+  EXPECT_EQ(type.apply_unique(state, make_propose(10)).response, 10);
+  state = type.apply_unique(state, make_propose(10)).next_state;
+  EXPECT_EQ(type.apply_unique(state, make_propose(20)).response, 10);
+  state = type.apply_unique(state, make_propose(20)).next_state;
+  EXPECT_EQ(type.apply_unique(state, make_propose(30)).response, 10);
+  state = type.apply_unique(state, make_propose(30)).next_state;
+  EXPECT_EQ(type.apply_unique(state, make_propose(40)).response, kBottom);
+}
+
+TEST(KsaType, NondeterminismFlag) {
+  EXPECT_TRUE(KsaType(3, 1).deterministic());
+  EXPECT_FALSE(KsaType(3, 2).deterministic());
+  EXPECT_FALSE(make_two_sa_type().deterministic());
+}
+
+// Property sweep: for every k and a stream of distinct proposals, the set of
+// possible responses after any prefix is exactly the first min(prefix, k)
+// distinct proposals (at most k distinct responses ever — the k-set
+// agreement guarantee).
+class KsaResponseUniverse : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsaResponseUniverse, ResponsesAreFirstKProposals) {
+  const int k = GetParam();
+  KsaType type(kUnboundedPorts, k);
+  auto state = type.initial_state();
+  std::set<Value> expected;
+  for (int i = 0; i < k + 3; ++i) {
+    const Value v = 100 + i;
+    if (static_cast<int>(expected.size()) < k) expected.insert(v);
+    std::vector<Outcome> outcomes;
+    type.apply(state, make_propose(v), &outcomes);
+    std::set<Value> got;
+    for (const Outcome& o : outcomes) got.insert(o.response);
+    EXPECT_EQ(got, expected) << "after proposal " << i;
+    state = outcomes[0].next_state;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KsaResponseUniverse,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace lbsa::spec

@@ -1,0 +1,100 @@
+// Tests for the (n,m)-PAC combination object (Section 5) and for O_n, the
+// (n+1,n)-PAC of Definition 6.1: operations must route to the right
+// component and the components must not interfere (Observation 5.1).
+#include "spec/nm_pac_type.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::spec {
+namespace {
+
+Value apply(const NmPacType& type, std::vector<std::int64_t>* state,
+            const Operation& op) {
+  Outcome outcome = type.apply_unique(*state, op);
+  *state = std::move(outcome.next_state);
+  return outcome.response;
+}
+
+TEST(NmPacType, Name) {
+  EXPECT_EQ(NmPacType(3, 2).name(), "(3,2)-PAC");
+  EXPECT_EQ(make_o_n_type(2).name(), "(3,2)-PAC");
+}
+
+TEST(NmPacType, ValidateRoutesPerOpcode) {
+  NmPacType type(3, 2);
+  EXPECT_TRUE(type.validate(make_propose_c(5)).is_ok());
+  EXPECT_TRUE(type.validate(make_propose_p(5, 3)).is_ok());
+  EXPECT_TRUE(type.validate(make_decide_p(3)).is_ok());
+  EXPECT_FALSE(type.validate(make_propose_p(5, 4)).is_ok());  // label > n
+  EXPECT_FALSE(type.validate(make_decide_p(0)).is_ok());
+  EXPECT_FALSE(type.validate(make_propose(5)).is_ok());  // raw opcode
+  EXPECT_FALSE(type.validate(make_propose_labeled(5, 1)).is_ok());
+}
+
+TEST(NmPacType, ConsensusPartBehavesLikeMConsensus) {
+  NmPacType type(3, 2);  // m = 2
+  auto state = type.initial_state();
+  EXPECT_EQ(apply(type, &state, make_propose_c(10)), 10);
+  EXPECT_EQ(apply(type, &state, make_propose_c(20)), 10);
+  EXPECT_EQ(apply(type, &state, make_propose_c(30)), kBottom);
+}
+
+TEST(NmPacType, PacPartBehavesLikeNPac) {
+  NmPacType type(3, 2);  // n = 3
+  auto state = type.initial_state();
+  EXPECT_EQ(apply(type, &state, make_propose_p(10, 1)), kDone);
+  EXPECT_EQ(apply(type, &state, make_decide_p(1)), 10);
+  EXPECT_EQ(apply(type, &state, make_propose_p(20, 2)), kDone);
+  EXPECT_EQ(apply(type, &state, make_decide_p(2)), 10);  // agreement
+}
+
+TEST(NmPacType, ComponentsDoNotInterfere) {
+  // A PROPOSEC between PROPOSEP and DECIDEP must not trip the PAC's
+  // concurrency detection: "operations" on the PAC component are only the
+  // P-routed ones.
+  NmPacType type(2, 2);
+  auto state = type.initial_state();
+  apply(type, &state, make_propose_p(10, 1));
+  apply(type, &state, make_propose_c(99));
+  EXPECT_EQ(apply(type, &state, make_decide_p(1)), 10);
+
+  // Conversely, upsetting the PAC leaves the consensus part intact.
+  apply(type, &state, make_decide_p(1));  // decide without propose: upset
+  EXPECT_EQ(apply(type, &state, make_decide_p(1)), kBottom);
+  EXPECT_EQ(apply(type, &state, make_propose_c(55)), 99);
+}
+
+TEST(NmPacType, IsDeterministic) {
+  EXPECT_TRUE(NmPacType(3, 2).deterministic());
+}
+
+TEST(NmPacType, OnFactoryDimensions) {
+  for (int n = 2; n <= 5; ++n) {
+    NmPacType on = make_o_n_type(n);
+    EXPECT_EQ(on.n(), n + 1);
+    EXPECT_EQ(on.m(), n);
+  }
+}
+
+class NmPacSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(NmPacSweep, PacUpsetNeverLeaksIntoConsensus) {
+  const auto [n, m] = GetParam();
+  NmPacType type(n, m);
+  auto state = type.initial_state();
+  // Upset the PAC part.
+  apply(type, &state, make_decide_p(1));
+  // The consensus part still serves exactly m proposes.
+  EXPECT_EQ(apply(type, &state, make_propose_c(10)), 10);
+  for (int i = 1; i < m; ++i) {
+    EXPECT_EQ(apply(type, &state, make_propose_c(10 + i)), 10);
+  }
+  EXPECT_EQ(apply(type, &state, make_propose_c(999)), kBottom);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NmPacSweep,
+                         ::testing::Values(std::pair{2, 2}, std::pair{3, 2},
+                                           std::pair{4, 3}, std::pair{5, 4}));
+
+}  // namespace
+}  // namespace lbsa::spec

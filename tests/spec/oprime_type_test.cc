@@ -1,0 +1,108 @@
+// Tests for the O'_n bundle object (Section 6): PROPOSE(v, k) must route to
+// the (n_k, k)-SA member and members must be independent.
+#include "spec/oprime_type.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lbsa::spec {
+namespace {
+
+TEST(OPrimeType, NameListsMembers) {
+  OPrimeType o(std::vector<int>{2, kUnboundedPorts});
+  EXPECT_EQ(o.name(), "O'{(2,1)-SA, 2-SA}");
+}
+
+TEST(OPrimeType, ValidateLevelRange) {
+  OPrimeType o(std::vector<int>{2, 4, 6});
+  EXPECT_TRUE(o.validate(make_propose_k(1, 1)).is_ok());
+  EXPECT_TRUE(o.validate(make_propose_k(1, 3)).is_ok());
+  EXPECT_FALSE(o.validate(make_propose_k(1, 0)).is_ok());
+  EXPECT_FALSE(o.validate(make_propose_k(1, 4)).is_ok());
+  EXPECT_FALSE(o.validate(make_propose(1)).is_ok());
+}
+
+TEST(OPrimeType, LevelOneIsConsensusLike) {
+  OPrimeType o(std::vector<int>{2, kUnboundedPorts});
+  auto state = o.initial_state();
+  Outcome a = o.apply_unique(state, make_propose_k(10, 1));
+  EXPECT_EQ(a.response, 10);
+  Outcome b = o.apply_unique(a.next_state, make_propose_k(20, 1));
+  EXPECT_EQ(b.response, 10);
+  // Third propose at level 1 exceeds the n_1 = 2 port bound.
+  Outcome c = o.apply_unique(b.next_state, make_propose_k(30, 1));
+  EXPECT_EQ(c.response, kBottom);
+}
+
+TEST(OPrimeType, LevelsAreIndependent) {
+  OPrimeType o(std::vector<int>{1, kUnboundedPorts});
+  auto state = o.initial_state();
+  // Exhaust level 1.
+  state = o.apply_unique(state, make_propose_k(10, 1)).next_state;
+  state = o.apply_unique(state, make_propose_k(20, 1)).next_state;
+  // Level 2 is unaffected and returns its own first value.
+  std::vector<Outcome> outcomes;
+  o.apply(state, make_propose_k(77, 2), &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].response, 77);
+}
+
+TEST(OPrimeType, LevelTwoNondeterminism) {
+  OPrimeType o(std::vector<int>{2, kUnboundedPorts});
+  auto state = o.initial_state();
+  state = o.apply_unique(state, make_propose_k(10, 2)).next_state;
+  std::vector<Outcome> outcomes;
+  o.apply(state, make_propose_k(20, 2), &outcomes);
+  std::set<Value> got;
+  for (const Outcome& out : outcomes) got.insert(out.response);
+  EXPECT_EQ(got, (std::set<Value>{10, 20}));
+}
+
+TEST(OPrimeType, DeterministicOnlyWithoutKsaMembers) {
+  EXPECT_TRUE(OPrimeType(std::vector<int>{3}).deterministic());  // only k=1
+  EXPECT_FALSE(OPrimeType(std::vector<int>{3, 5}).deterministic());
+}
+
+TEST(OPrimeType, GeneralMemberBundle) {
+  // Lemma 6.4 shape: level 1 = (2,1)-SA, level 2 and 3 = port-bounded 2-SA.
+  OPrimeType impl(std::vector<KsaType>{
+      KsaType(2, 1), KsaType(4, 2), KsaType(6, 2)});
+  EXPECT_EQ(impl.k_max(), 3);
+  EXPECT_EQ(impl.member(2).k(), 2);
+  EXPECT_EQ(impl.member(3).k(), 2);  // not 3: backed by a 2-SA
+  EXPECT_EQ(impl.member(3).port_bound(), 6);
+  // Level 3 behaves as 2-SA: at most 2 distinct responses.
+  auto state = impl.initial_state();
+  state = impl.apply_unique(state, make_propose_k(10, 3)).next_state;
+  std::vector<Outcome> outcomes;
+  impl.apply(state, make_propose_k(20, 3), &outcomes);
+  state = outcomes[0].next_state;
+  outcomes.clear();
+  impl.apply(state, make_propose_k(30, 3), &outcomes);
+  for (const Outcome& o : outcomes) {
+    EXPECT_TRUE(o.response == 10 || o.response == 20);
+  }
+}
+
+TEST(OPrimeType, MemberAccessors) {
+  OPrimeType o(std::vector<int>{3, 5, kUnboundedPorts});
+  EXPECT_EQ(o.k_max(), 3);
+  EXPECT_EQ(o.member(1).port_bound(), 3);
+  EXPECT_EQ(o.member(1).k(), 1);
+  EXPECT_EQ(o.member(2).port_bound(), 5);
+  EXPECT_TRUE(o.member(3).unbounded());
+}
+
+TEST(OPrimeType, StateSlicesAreDisjointAndComplete) {
+  OPrimeType o(std::vector<int>{2, 3, 4});
+  const auto state = o.initial_state();
+  size_t total = 0;
+  for (int k = 1; k <= 3; ++k) {
+    total += o.member_state(state, k).size();
+  }
+  EXPECT_EQ(total, state.size());
+}
+
+}  // namespace
+}  // namespace lbsa::spec

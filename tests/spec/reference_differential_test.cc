@@ -1,0 +1,116 @@
+// Differential tests of the classic specs against independent reference
+// models (std::deque for the queue; direct variables for TAS/CAS/counter),
+// over long randomized operation streams. Any divergence between the
+// flattened state-machine encoding and the obvious model is a spec bug.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+
+#include "base/rng.h"
+#include "spec/classic_types.h"
+#include "spec/counter_type.h"
+#include "spec/register_type.h"
+
+namespace lbsa::spec {
+namespace {
+
+class ReferenceDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReferenceDifferential, QueueMatchesDeque) {
+  Xoshiro256 rng(GetParam() * 7 + 1);
+  constexpr int kCapacity = 4;
+  QueueType queue(kCapacity);
+  auto state = queue.initial_state();
+  std::deque<Value> model;
+
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_bool(0.55)) {
+      const Value v = 100 + rng.next_in_range(0, 9);
+      const Outcome got = queue.apply_unique(state, make_enqueue(v));
+      if (static_cast<int>(model.size()) < kCapacity) {
+        ASSERT_EQ(got.response, kDone) << "step " << step;
+        model.push_back(v);
+      } else {
+        ASSERT_EQ(got.response, kBottom) << "step " << step;
+      }
+      state = got.next_state;
+    } else {
+      const Outcome got = queue.apply_unique(state, make_dequeue());
+      if (model.empty()) {
+        ASSERT_EQ(got.response, kNil) << "step " << step;
+      } else {
+        ASSERT_EQ(got.response, model.front()) << "step " << step;
+        model.pop_front();
+      }
+      state = got.next_state;
+    }
+    ASSERT_EQ(QueueType::size(state),
+              static_cast<std::int64_t>(model.size()));
+  }
+}
+
+TEST_P(ReferenceDifferential, CasMatchesVariable) {
+  Xoshiro256 rng(GetParam() * 13 + 2);
+  CompareAndSwapType cas;
+  auto state = cas.initial_state();
+  Value model = kNil;
+
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_bool(0.3)) {
+      ASSERT_EQ(cas.apply_unique(state, make_read()).response, model);
+    } else {
+      const Value expected =
+          rng.next_bool(0.4) ? model : 100 + rng.next_in_range(0, 4);
+      const Value desired = 100 + rng.next_in_range(0, 4);
+      const Outcome got =
+          cas.apply_unique(state, make_compare_and_swap(expected, desired));
+      ASSERT_EQ(got.response, model) << "step " << step;
+      if (model == expected) model = desired;
+      state = got.next_state;
+    }
+  }
+}
+
+TEST_P(ReferenceDifferential, CounterMatchesVariable) {
+  Xoshiro256 rng(GetParam() * 17 + 3);
+  CounterType counter;
+  auto state = counter.initial_state();
+  Value model = 0;
+
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_bool(0.3)) {
+      ASSERT_EQ(counter.apply_unique(state, make_read()).response, model);
+    } else {
+      const Value delta = rng.next_in_range(-5, 5);
+      const Outcome got = counter.apply_unique(state, make_propose(delta));
+      ASSERT_EQ(got.response, model);
+      model += delta;
+      state = got.next_state;
+    }
+  }
+}
+
+TEST_P(ReferenceDifferential, RegisterMatchesVariable) {
+  Xoshiro256 rng(GetParam() * 23 + 4);
+  RegisterType reg;
+  auto state = reg.initial_state();
+  Value model = kNil;
+
+  for (int step = 0; step < 500; ++step) {
+    if (rng.next_bool(0.5)) {
+      ASSERT_EQ(reg.apply_unique(state, make_read()).response, model);
+    } else {
+      const Value v = 100 + rng.next_in_range(0, 9);
+      state = reg.apply_unique(state, make_write(v)).next_state;
+      model = v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace lbsa::spec

@@ -1,0 +1,57 @@
+#include "spec/register_type.h"
+
+#include <gtest/gtest.h>
+
+namespace lbsa::spec {
+namespace {
+
+TEST(RegisterType, InitiallyNil) {
+  RegisterType reg;
+  const auto state = reg.initial_state();
+  EXPECT_EQ(reg.apply_unique(state, make_read()).response, kNil);
+}
+
+TEST(RegisterType, InitialValueRespected) {
+  RegisterType reg(42);
+  EXPECT_EQ(reg.apply_unique(reg.initial_state(), make_read()).response, 42);
+}
+
+TEST(RegisterType, WriteThenReadRoundTrips) {
+  RegisterType reg;
+  auto state = reg.initial_state();
+  Outcome w = reg.apply_unique(state, make_write(7));
+  EXPECT_EQ(w.response, kDone);
+  EXPECT_EQ(reg.apply_unique(w.next_state, make_read()).response, 7);
+}
+
+TEST(RegisterType, LastWriteWins) {
+  RegisterType reg;
+  auto state = reg.initial_state();
+  state = reg.apply_unique(state, make_write(1)).next_state;
+  state = reg.apply_unique(state, make_write(2)).next_state;
+  state = reg.apply_unique(state, make_write(3)).next_state;
+  EXPECT_EQ(reg.apply_unique(state, make_read()).response, 3);
+}
+
+TEST(RegisterType, ReadDoesNotPerturbState) {
+  RegisterType reg;
+  auto state = reg.apply_unique(reg.initial_state(), make_write(5)).next_state;
+  const Outcome r = reg.apply_unique(state, make_read());
+  EXPECT_EQ(r.next_state, state);
+}
+
+TEST(RegisterType, ValidateRejectsForeignOps) {
+  RegisterType reg;
+  EXPECT_TRUE(reg.validate(make_read()).is_ok());
+  EXPECT_TRUE(reg.validate(make_write(1)).is_ok());
+  EXPECT_FALSE(reg.validate(make_propose(1)).is_ok());
+  EXPECT_FALSE(reg.validate(make_write(kNil)).is_ok());
+  EXPECT_FALSE(reg.validate(make_write(kBottom)).is_ok());
+}
+
+TEST(RegisterType, IsDeterministic) {
+  EXPECT_TRUE(RegisterType().deterministic());
+}
+
+}  // namespace
+}  // namespace lbsa::spec
