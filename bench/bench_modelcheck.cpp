@@ -30,14 +30,21 @@ std::vector<lbsa::Value> iota_inputs(int n) {
   return inputs;
 }
 
+// Exploration benchmarks take (n, threads). threads=1 runs the serial
+// reference engine (the baseline every speedup claim is against); threads>1
+// runs the parallel engine, whose canonical output is bit-identical, so the
+// rows measure the same work. The threads sweep at the headline size is the
+// speedup curve tracked across PRs (see tools/bench_modelcheck_json.sh).
 void ModelCheck_ExploreDac(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
   auto protocol =
       std::make_shared<lbsa::protocols::DacFromPacProtocol>(iota_inputs(n));
   std::uint64_t nodes = 0, transitions = 0;
   for (auto _ : state) {
     lbsa::modelcheck::Explorer explorer(protocol);
-    auto graph = explorer.explore({.max_nodes = 10'000'000});
+    auto graph = explorer.explore({.max_nodes = 10'000'000,
+                                   .threads = threads});
     if (!graph.is_ok()) {
       state.SkipWithError("budget exceeded");
       return;
@@ -51,17 +58,23 @@ void ModelCheck_ExploreDac(benchmark::State& state) {
       static_cast<double>(nodes) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(ModelCheck_ExploreDac)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+BENCHMARK(ModelCheck_ExploreDac)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{2, 3, 4, 5}, {1}})            // serial size sweep
+    ->ArgsProduct({{4}, {2, 3, 4, 5, 6, 7, 8}})   // speedup curve at n=4
+    ->UseRealTime()  // workers run off the main thread; wall time is the truth
     ->Unit(benchmark::kMillisecond);
 
 void ModelCheck_ExploreConsensus(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
   auto protocol = lbsa::protocols::make_consensus_via_n_consensus(
       iota_inputs(n));
   std::uint64_t nodes = 0;
   for (auto _ : state) {
     lbsa::modelcheck::Explorer explorer(protocol);
-    auto graph = explorer.explore({.max_nodes = 10'000'000});
+    auto graph = explorer.explore({.max_nodes = 10'000'000,
+                                   .threads = threads});
     if (!graph.is_ok()) {
       state.SkipWithError("budget exceeded");
       return;
@@ -69,8 +82,15 @@ void ModelCheck_ExploreConsensus(benchmark::State& state) {
     nodes = graph.value().nodes().size();
   }
   state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["nodes_per_sec"] = benchmark::Counter(
+      static_cast<double>(nodes) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(ModelCheck_ExploreConsensus)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+BENCHMARK(ModelCheck_ExploreConsensus)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{2, 4, 6, 8}, {1}})            // serial size sweep
+    ->ArgsProduct({{6}, {2, 3, 4, 5, 6, 7, 8}})   // speedup curve at n=6
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void ModelCheck_Valence(benchmark::State& state) {

@@ -31,6 +31,31 @@ inline std::uint64_t hash_words(std::span<const std::int64_t> words,
   return h;
 }
 
+// A 2-word (128-bit) hash for interning tables that store a fingerprint
+// instead of rehashing the key on every probe: `lo` routes (shard/bucket
+// selection), `hi` is the stored fingerprint. Both lanes are full
+// independent hashes (distinct seeds), computed in one pass; equality of
+// both lanes is still only probabilistic, so tables must verify the full
+// key on a fingerprint match.
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+inline Hash128 hash_words_128(std::span<const std::int64_t> words) {
+  constexpr std::uint64_t kSeedLo = 0x243f6a8885a308d3ULL;  // pi
+  constexpr std::uint64_t kSeedHi = 0xb7e151628aed2a6bULL;  // e
+  std::uint64_t lo = hash_combine(kSeedLo, static_cast<std::uint64_t>(words.size()));
+  std::uint64_t hi = hash_combine(kSeedHi, static_cast<std::uint64_t>(words.size()));
+  for (std::int64_t w : words) {
+    const auto u = static_cast<std::uint64_t>(w);
+    lo = hash_combine(lo, u);
+    hi = hash_combine(hi, u);
+  }
+  return Hash128{lo, hi};
+}
+
 }  // namespace lbsa
 
 #endif  // LBSA_BASE_HASHING_H_

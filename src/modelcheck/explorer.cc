@@ -1,10 +1,15 @@
 #include "modelcheck/explorer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <deque>
+#include <thread>
+#include <utility>
 
 #include "base/check.h"
 #include "base/hashing.h"
+#include "modelcheck/interning.h"
 
 namespace lbsa::modelcheck {
 namespace {
@@ -15,39 +20,37 @@ struct KeyHash {
   }
 };
 
-}  // namespace
-
-std::vector<sim::Step> ConfigGraph::path_to(std::uint32_t id) const {
-  std::vector<sim::Step> steps;
-  std::uint32_t cur = id;
-  while (cur != root()) {
-    const auto& [parent, step] = parents_[cur];
-    steps.push_back(step);
-    cur = parent;
-  }
-  std::reverse(steps.begin(), steps.end());
-  return steps;
+int resolve_threads(const ExploreOptions& options) {
+  if (options.threads > 0) return options.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
-                                        FlagFn flag_fn,
-                                        std::int64_t initial_flag) const {
+// ---------------------------------------------------------------------------
+// Serial reference engine. This is the semantic definition of the canonical
+// graph: node ids in BFS discovery order (frontier in id order; within a
+// node, pids ascending, then outcome order), parents_ from the discovering
+// edge, depths from level-synchronous discovery. The parallel engine below
+// must reproduce its output bit for bit on complete explorations.
+// ---------------------------------------------------------------------------
+}  // namespace
+
+StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
+                                               const FlagFn& flag_fn,
+                                               std::int64_t initial_flag) const {
+  const sim::Protocol& protocol = *protocol_;
   ConfigGraph graph;
   std::unordered_map<std::vector<std::int64_t>, std::uint32_t, KeyHash> index;
 
-  auto key_of = [](const sim::Config& config, std::int64_t flag) {
-    std::vector<std::int64_t> key = config.encode();
-    key.push_back(flag);
-    return key;
-  };
-
+  // Reused scratch: the encoded key only lands in the map on insertion.
+  std::vector<std::int64_t> key;
   auto intern = [&](sim::Config config, std::int64_t flag,
                     std::uint32_t parent, const sim::Step& step,
                     std::uint32_t depth) -> std::pair<std::uint32_t, bool> {
-    auto key = key_of(config, flag);
+    config.encode_into(&key);
+    key.push_back(flag);
     auto [it, inserted] =
-        index.try_emplace(std::move(key),
-                          static_cast<std::uint32_t>(graph.nodes_.size()));
+        index.try_emplace(key, static_cast<std::uint32_t>(graph.nodes_.size()));
     if (inserted) {
       graph.nodes_.push_back(Node{std::move(config), flag, depth});
       graph.edges_.emplace_back();
@@ -56,7 +59,7 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
     return {it->second, inserted};
   };
 
-  sim::Config init = sim::initial_config(*protocol_);
+  sim::Config init = sim::initial_config(protocol);
   intern(std::move(init), initial_flag, 0, sim::Step{}, 0);
 
   std::deque<std::uint32_t> frontier;
@@ -75,7 +78,7 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
     for (int pid = 0; pid < n; ++pid) {
       if (!config.enabled(pid)) continue;
       successors.clear();
-      sim::enumerate_successors(*protocol_, config, pid, &successors);
+      sim::enumerate_successors(protocol, config, pid, &successors);
       for (sim::Successor& succ : successors) {
         const std::int64_t next_flag =
             flag_fn ? flag_fn(flag, succ.step) : flag;
@@ -91,7 +94,10 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
                   "explore: node budget exceeded (" +
                   std::to_string(options.max_nodes) + ")");
             }
-            // Keep the node (edges stay consistent) but stop expanding it.
+            // Truncation invariant: the over-budget node was already pushed
+            // into nodes_/edges_/parents_ by intern(), so the edge we just
+            // emitted has a valid target and path_to(to) replays — the node
+            // is KEPT but (by skipping the frontier push) never expanded.
             graph.truncated_ = true;
             continue;
           }
@@ -100,7 +106,260 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
       }
     }
   }
+  LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
+             graph.nodes_.size() == graph.parents_.size());
   return graph;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine: level-synchronous BFS over a work pool.
+//
+// Determinism recipe (complete graphs are bit-identical to explore_serial):
+//   1. Levels are processed with a barrier in between, so a node's depth is
+//      exactly its BFS distance no matter which thread discovers it.
+//   2. Each frontier node is expanded by exactly one worker, which emits its
+//      RawEdge list in the canonical within-node order (pids ascending,
+//      outcomes in enumeration order). Provisional ids from the sharded
+//      intern table are schedule-dependent, but the edge *lists* are not.
+//   3. A final single-threaded renumbering pass replays the canonical BFS
+//      over the provisional graph: walking nodes in canonical id order and
+//      each edge list in order, first-touch assigns canonical ids — which
+//      reproduces the serial discovery order, parents and all.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Payload stored per interned (config, flag) node.
+struct NodePayload {
+  sim::Config config;
+  std::int64_t flag = 0;
+  std::uint32_t depth = 0;
+};
+
+// An emitted transition, pre-renumbering: target is a provisional id and the
+// full Step is kept so the renumbering pass can rebuild parents_.
+struct RawEdge {
+  std::uint32_t to = 0;
+  sim::Step step;
+};
+
+// A frontier entry. Carries its own copy of the configuration so workers
+// never read the intern table's payload store while other workers insert
+// into it (payload reads happen only after full quiescence).
+struct WorkItem {
+  std::uint32_t id = 0;  // provisional id
+  sim::Config config;
+  std::int64_t flag = 0;
+};
+
+struct WorkerOutput {
+  std::vector<WorkItem> next;  // discoveries for the next level
+  std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> edges;
+  std::uint64_t transitions = 0;
+};
+
+constexpr std::uint32_t kUnassigned = 0xffffffffu;
+constexpr std::size_t kChunk = 16;  // frontier items claimed per steal
+
+}  // namespace
+
+StatusOr<ConfigGraph> Explorer::explore_parallel(
+    const ExploreOptions& options, int threads, const FlagFn& flag_fn,
+    std::int64_t initial_flag) const {
+  const sim::Protocol& protocol = *protocol_;
+  ShardedInternTable<NodePayload> table;
+  std::atomic<bool> exhausted{false};  // budget hit, truncation not allowed
+  std::atomic<bool> truncated{false};
+
+  sim::Config init = sim::initial_config(protocol);
+  std::uint32_t root_id = 0;
+  {
+    std::vector<std::int64_t> root_key;
+    init.encode_into(&root_key);
+    root_key.push_back(initial_flag);
+    sim::Config root_copy = init;
+    root_id = table.intern(root_key, [&] {
+                     return NodePayload{std::move(root_copy), initial_flag, 0};
+                   }).id;
+  }
+
+  std::vector<WorkItem> frontier;
+  frontier.push_back(WorkItem{root_id, std::move(init), initial_flag});
+
+  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> cursor{0};
+  std::uint32_t depth = 0;  // depth of the level currently expanding
+  std::atomic<bool> done{false};
+
+  std::barrier<> level_start(threads + 1);
+  std::barrier<> level_end(threads + 1);
+
+  auto worker = [&](int widx) {
+    // Thread-local scratch, reused across every expansion.
+    std::vector<sim::Successor> successors;
+    std::vector<std::int64_t> key;
+    WorkerOutput& out = outputs[static_cast<std::size_t>(widx)];
+    while (true) {
+      level_start.arrive_and_wait();
+      if (done.load(std::memory_order_acquire)) return;
+      while (!exhausted.load(std::memory_order_relaxed)) {
+        const std::size_t begin =
+            cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= frontier.size()) break;
+        const std::size_t end = std::min(frontier.size(), begin + kChunk);
+        for (std::size_t i = begin;
+             i < end && !exhausted.load(std::memory_order_relaxed); ++i) {
+          WorkItem& item = frontier[i];
+          std::vector<RawEdge> raw;
+          const int n = static_cast<int>(item.config.procs.size());
+          for (int pid = 0; pid < n; ++pid) {
+            if (!item.config.enabled(pid)) continue;
+            successors.clear();
+            sim::enumerate_successors(protocol, item.config, pid,
+                                      &successors);
+            for (sim::Successor& succ : successors) {
+              const std::int64_t next_flag =
+                  flag_fn ? flag_fn(item.flag, succ.step) : item.flag;
+              succ.config.encode_into(&key);
+              key.push_back(next_flag);
+              const auto res = table.intern(key, [&] {
+                return NodePayload{succ.config, next_flag, depth + 1};
+              });
+              raw.push_back(RawEdge{res.id, succ.step});
+              ++out.transitions;
+              if (!res.inserted) continue;
+              if (table.size() > options.max_nodes) {
+                if (!options.allow_truncation) {
+                  exhausted.store(true, std::memory_order_relaxed);
+                  break;
+                }
+                // Keep the node (its edge is already recorded) but never
+                // expand it; see the truncation soundness note in the
+                // ExploreOptions docs.
+                truncated.store(true, std::memory_order_relaxed);
+                continue;
+              }
+              out.next.push_back(
+                  WorkItem{res.id, std::move(succ.config), next_flag});
+            }
+          }
+          out.edges.emplace_back(item.id, std::move(raw));
+        }
+      }
+      level_end.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+
+  std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> all_edges;
+  std::uint64_t transition_count = 0;
+  while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
+    cursor.store(0, std::memory_order_relaxed);
+    level_start.arrive_and_wait();
+    // Workers expand this level...
+    level_end.arrive_and_wait();
+    std::vector<WorkItem> next;
+    for (WorkerOutput& out : outputs) {
+      // Cross-worker concatenation order is arbitrary; the renumbering
+      // pass below is insensitive to it.
+      std::move(out.next.begin(), out.next.end(), std::back_inserter(next));
+      out.next.clear();
+      std::move(out.edges.begin(), out.edges.end(),
+                std::back_inserter(all_edges));
+      out.edges.clear();
+      transition_count += out.transitions;
+      out.transitions = 0;
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  done.store(true, std::memory_order_release);
+  level_start.arrive_and_wait();
+  for (std::thread& t : pool) t.join();
+
+  if (exhausted.load()) {
+    return resource_exhausted("explore: node budget exceeded (" +
+                              std::to_string(options.max_nodes) + ")");
+  }
+
+  // --- Canonical renumbering (single-threaded, at quiescence). ---
+  const std::uint32_t bound = table.id_bound();
+  std::vector<std::vector<RawEdge>> raw(bound);
+  for (auto& [id, edges] : all_edges) raw[id] = std::move(edges);
+  all_edges.clear();
+
+  ConfigGraph graph;
+  graph.truncated_ = truncated.load();
+  graph.transition_count_ = transition_count;
+  const std::size_t total = static_cast<std::size_t>(table.size());
+  graph.nodes_.reserve(total);
+  graph.edges_.reserve(total);
+  graph.parents_.reserve(total);
+
+  std::vector<std::uint32_t> canon(bound, kUnassigned);
+  std::vector<std::uint32_t> order;  // canonical BFS queue (provisional ids)
+  order.reserve(total);
+  {
+    NodePayload& p = table.payload(root_id);
+    canon[root_id] = 0;
+    order.push_back(root_id);
+    graph.nodes_.push_back(Node{std::move(p.config), p.flag, 0});
+    graph.edges_.emplace_back();
+    graph.parents_.emplace_back(0, sim::Step{});
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t u = order[i];
+    const std::uint32_t cu = static_cast<std::uint32_t>(i);
+    for (RawEdge& e : raw[u]) {
+      if (canon[e.to] == kUnassigned) {
+        canon[e.to] = static_cast<std::uint32_t>(graph.nodes_.size());
+        NodePayload& p = table.payload(e.to);
+        // Level-synchronous discovery makes stored depths exact; the
+        // canonical parent is one level up by construction.
+        LBSA_CHECK(p.depth == graph.nodes_[cu].depth + 1);
+        graph.nodes_.push_back(Node{std::move(p.config), p.flag, p.depth});
+        graph.edges_.emplace_back();
+        graph.parents_.emplace_back(cu, e.step);
+        order.push_back(e.to);
+      }
+      graph.edges_[cu].push_back(
+          Edge{canon[e.to], e.step.pid, e.step.action.kind});
+    }
+  }
+  // Every interned node has an in-edge from an expanded node (or is the
+  // root), so the canonical walk must have covered the whole table.
+  LBSA_CHECK(graph.nodes_.size() == total);
+  LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
+             graph.nodes_.size() == graph.parents_.size());
+  return graph;
+}
+
+std::vector<sim::Step> ConfigGraph::path_to(std::uint32_t id) const {
+  std::vector<sim::Step> steps;
+  std::uint32_t cur = id;
+  while (cur != root()) {
+    const auto& [parent, step] = parents_[cur];
+    steps.push_back(step);
+    cur = parent;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
+
+StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
+                                        FlagFn flag_fn,
+                                        std::int64_t initial_flag) const {
+  const int threads = resolve_threads(options);
+  const bool parallel =
+      options.engine == ExploreEngine::kParallel ||
+      (options.engine == ExploreEngine::kAuto && threads > 1);
+  if (!parallel) {
+    return explore_serial(options, flag_fn, initial_flag);
+  }
+  return explore_parallel(options, threads, flag_fn, initial_flag);
 }
 
 }  // namespace lbsa::modelcheck

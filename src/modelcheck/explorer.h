@@ -26,17 +26,38 @@
 
 namespace lbsa::modelcheck {
 
+// Which exploration engine to run. kAuto picks the serial reference
+// implementation for one thread and the parallel engine otherwise; the
+// explicit values exist for equivalence testing and benchmarking (the
+// parallel engine at threads=1 must reproduce the serial graph exactly).
+enum class ExploreEngine {
+  kAuto = 0,
+  kSerial,
+  kParallel,
+};
+
 struct ExploreOptions {
   // Hard cap on distinct (config, flag) nodes; exceeding it returns
   // RESOURCE_EXHAUSTED — unless allow_truncation is set, in which case a
   // partial graph is returned with ConfigGraph::truncated() == true.
+  // Truncated nodes are KEPT in the graph (so every emitted edge has a
+  // valid target and every node replays from the root) but never expanded.
   std::uint64_t max_nodes = 5'000'000;
   // Opt-in partial exploration for instances beyond exhaustive reach.
   // Soundness note: on a truncated graph, property VIOLATIONS found are
   // real (every node is reachable), but their absence certifies only the
   // explored region; valence analysis is likewise a lower bound on
-  // reachable decisions.
+  // reachable decisions. Additionally, a truncated PARALLEL run keeps a
+  // schedule-dependent prefix: which nodes fall inside the budget depends
+  // on thread interleaving, so truncated graphs are not bit-identical
+  // across engines or thread counts (complete graphs always are).
   bool allow_truncation = false;
+  // Worker threads for the parallel engine; 0 = hardware_concurrency.
+  // Exploration is deterministic for every thread count: the parallel
+  // engine renumbers its result into the canonical serial BFS order, so a
+  // complete graph is bit-identical to the serial engine's.
+  int threads = 0;
+  ExploreEngine engine = ExploreEngine::kAuto;
 };
 
 // One directed edge of the configuration graph.
@@ -44,6 +65,8 @@ struct Edge {
   std::uint32_t to = 0;   // target node id
   std::int32_t pid = -1;  // process that stepped
   sim::Action::Kind kind = sim::Action::Kind::kInvoke;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
 };
 
 // A node: a reachable configuration (plus the optional path flag).
@@ -81,6 +104,8 @@ class Explorer {
  public:
   // Folds a step into the path flag (must be monotone for the graph to be
   // meaningful: nodes reached with different flags are distinct nodes).
+  // Must be a pure function of its arguments: the parallel engine calls it
+  // concurrently from worker threads.
   using FlagFn =
       std::function<std::int64_t(std::int64_t flag, const sim::Step& step)>;
 
@@ -89,6 +114,9 @@ class Explorer {
 
   // BFS from the initial configuration. On success the graph is complete:
   // every reachable (config, flag) node and every transition is present.
+  // Node ids, edge order, depths and parent pointers are canonical (serial
+  // BFS discovery order) regardless of options.threads/engine, so complete
+  // graphs from any configuration of the explorer compare bit-identical.
   StatusOr<ConfigGraph> explore(const ExploreOptions& options = {},
                                 FlagFn flag_fn = nullptr,
                                 std::int64_t initial_flag = 0) const;
@@ -96,6 +124,17 @@ class Explorer {
   const sim::Protocol& protocol() const { return *protocol_; }
 
  private:
+  // The serial reference engine: defines the canonical graph (ids in BFS
+  // discovery order).
+  StatusOr<ConfigGraph> explore_serial(const ExploreOptions& options,
+                                       const FlagFn& flag_fn,
+                                       std::int64_t initial_flag) const;
+  // Level-synchronous parallel engine over `threads` workers; renumbers its
+  // result into the canonical order before returning.
+  StatusOr<ConfigGraph> explore_parallel(const ExploreOptions& options,
+                                         int threads, const FlagFn& flag_fn,
+                                         std::int64_t initial_flag) const;
+
   std::shared_ptr<const sim::Protocol> protocol_;
 };
 

@@ -1,0 +1,153 @@
+// Sharded concurrent interning: word-vector keys -> stable 32-bit ids,
+// safe for simultaneous use by many explorer worker threads.
+//
+// Design (after the distributed ChecksumHashMap idiom — hash-routed
+// buckets, stored fingerprints, checksum-then-verify reads):
+//   * 64 shards, each an independently mutex-guarded open-addressing table.
+//     A 2-word hash of the key routes: the low word picks the shard and the
+//     probe start, the high word is the stored fingerprint. Both words must
+//     match before the full key is compared, so probe misses never touch
+//     key memory and fingerprint collisions are verified, never trusted.
+//   * Keys are pooled in a per-shard arena (one flat vector<int64_t>)
+//     instead of one heap vector per key — interning N configurations costs
+//     N slot entries + the concatenated words, not N allocations.
+//   * Ids are assigned from per-shard counters: id = (local << 6) | shard.
+//     Ids are therefore stable, unique, and dense per shard, but NOT
+//     globally consecutive — the explorer's canonical renumbering pass
+//     (explorer.cc) turns them into the serial BFS numbering.
+//
+// Thread-safety contract: intern() may be called concurrently from any
+// number of threads. payload() / id_bound() are quiescent-only: callers
+// must establish happens-before (e.g. the explorer's per-level barrier or
+// thread join) between the last intern() and the first payload() read.
+#ifndef LBSA_MODELCHECK_INTERNING_H_
+#define LBSA_MODELCHECK_INTERNING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+#include "base/hashing.h"
+
+namespace lbsa::modelcheck {
+
+template <typename Payload>
+class ShardedInternTable {
+ public:
+  static constexpr int kShardBits = 6;
+  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+
+  struct Result {
+    std::uint32_t id = 0;
+    bool inserted = false;
+  };
+
+  ShardedInternTable() = default;
+  ShardedInternTable(const ShardedInternTable&) = delete;
+  ShardedInternTable& operator=(const ShardedInternTable&) = delete;
+
+  // Returns the id of `key`, interning it (and constructing its payload via
+  // `make()`, under the shard lock) on first sight.
+  template <typename MakePayload>
+  Result intern(std::span<const std::int64_t> key, MakePayload&& make) {
+    const Hash128 h = hash_words_128(key);
+    Shard& shard = shards_[h.lo & (kShardCount - 1)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if ((shard.used + 1) * 10 >= shard.slots.size() * 7) grow(shard);
+
+    const std::size_t mask = shard.slots.size() - 1;
+    std::size_t idx = (h.lo >> kShardBits) & mask;
+    while (true) {
+      Slot& slot = shard.slots[idx];
+      if (slot.id == kEmpty) {
+        // New key: append to the arena, assign the next local id.
+        const std::uint32_t local =
+            static_cast<std::uint32_t>(shard.payloads.size());
+        LBSA_CHECK_MSG(local < (1u << (32 - kShardBits)),
+                       "intern table shard id space exhausted");
+        slot.hash = h;
+        slot.pos = shard.arena.size();
+        slot.len = static_cast<std::uint32_t>(key.size());
+        slot.id = (local << kShardBits) |
+                  static_cast<std::uint32_t>(h.lo & (kShardCount - 1));
+        shard.arena.insert(shard.arena.end(), key.begin(), key.end());
+        shard.payloads.push_back(make());
+        ++shard.used;
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return Result{slot.id, true};
+      }
+      if (slot.hash == h && slot.len == key.size() &&
+          std::equal(key.begin(), key.end(),
+                     shard.arena.begin() +
+                         static_cast<std::ptrdiff_t>(slot.pos))) {
+        return Result{slot.id, false};
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  // Number of interned keys. Exact at quiescence; a racy read is a lower
+  // bound on keys already fully inserted (good enough for budget checks).
+  std::uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Quiescent-only: payload of an id previously returned by intern().
+  Payload& payload(std::uint32_t id) {
+    return shards_[id & (kShardCount - 1)].payloads[id >> kShardBits];
+  }
+  const Payload& payload(std::uint32_t id) const {
+    return shards_[id & (kShardCount - 1)].payloads[id >> kShardBits];
+  }
+
+  // Quiescent-only: exclusive upper bound on assigned ids (the id space has
+  // shard-striped gaps; use this to size id-indexed side arrays).
+  std::uint32_t id_bound() const {
+    std::size_t max_locals = 0;
+    for (const Shard& shard : shards_) {
+      if (shard.payloads.size() > max_locals) max_locals = shard.payloads.size();
+    }
+    return static_cast<std::uint32_t>(max_locals << kShardBits);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  struct Slot {
+    Hash128 hash;           // full 2-word hash (lo routes, hi fingerprints)
+    std::uint64_t pos = 0;  // key offset in the shard arena
+    std::uint32_t len = 0;  // key length in words
+    std::uint32_t id = kEmpty;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Slot> slots = std::vector<Slot>(kInitialSlots);
+    std::vector<std::int64_t> arena;    // pooled key words
+    std::deque<Payload> payloads;       // local index -> payload (stable refs)
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  static void grow(Shard& shard) {
+    std::vector<Slot> old = std::move(shard.slots);
+    shard.slots.assign(old.size() * 2, Slot{});
+    const std::size_t mask = shard.slots.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.id == kEmpty) continue;
+      std::size_t idx = (slot.hash.lo >> kShardBits) & mask;
+      while (shard.slots[idx].id != kEmpty) idx = (idx + 1) & mask;
+      shard.slots[idx] = slot;
+    }
+  }
+
+  Shard shards_[kShardCount];
+  std::atomic<std::uint64_t> size_{0};
+};
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_INTERNING_H_

@@ -25,6 +25,9 @@
 namespace lbsa::modelcheck {
 
 struct TaskCheckOptions {
+  // explore.threads > 1 (or 0 = auto) builds the configuration graph with
+  // the parallel explorer; results are identical by the canonical-graph
+  // guarantee (see docs/checking.md, "Parallel exploration").
   ExploreOptions explore;
   // Node budget for each solo-run termination check.
   std::uint64_t solo_node_bound = 100'000;

@@ -7,16 +7,28 @@
 
 namespace lbsa::sim {
 
+std::size_t Config::encoded_size() const {
+  std::size_t total = 2;  // procs.size() and objects.size() headers
+  for (const ProcessState& ps : procs) total += ps.encoded_size();
+  for (const auto& obj : objects) total += 1 + obj.size();
+  return total;
+}
+
+void Config::encode_into(std::vector<std::int64_t>* out) const {
+  out->clear();
+  out->reserve(encoded_size());
+  out->push_back(static_cast<std::int64_t>(procs.size()));
+  for (const ProcessState& ps : procs) ps.encode(out);
+  out->push_back(static_cast<std::int64_t>(objects.size()));
+  for (const auto& obj : objects) {
+    out->push_back(static_cast<std::int64_t>(obj.size()));
+    out->insert(out->end(), obj.begin(), obj.end());
+  }
+}
+
 std::vector<std::int64_t> Config::encode() const {
   std::vector<std::int64_t> out;
-  out.reserve(16 * (procs.size() + objects.size()));
-  out.push_back(static_cast<std::int64_t>(procs.size()));
-  for (const ProcessState& ps : procs) ps.encode(&out);
-  out.push_back(static_cast<std::int64_t>(objects.size()));
-  for (const auto& obj : objects) {
-    out.push_back(static_cast<std::int64_t>(obj.size()));
-    out.insert(out.end(), obj.begin(), obj.end());
-  }
+  encode_into(&out);
   return out;
 }
 

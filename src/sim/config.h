@@ -26,6 +26,12 @@ struct Config {
 
   // Canonical word encoding, for hashing/interning.
   std::vector<std::int64_t> encode() const;
+  // Fast path for hot loops: clears *out and fills it with the canonical
+  // encoding, reserving the exact size up front so a reused buffer never
+  // reallocates after warm-up.
+  void encode_into(std::vector<std::int64_t>* out) const;
+  // Exact number of words encode() produces.
+  std::size_t encoded_size() const;
   std::uint64_t hash() const;
 
   // True iff pid can take a step (running, not crashed/terminated).
@@ -51,6 +57,8 @@ struct Step {
   int outcome_choice = 0;
 
   std::string to_string(const Protocol& protocol) const;
+
+  friend bool operator==(const Step&, const Step&) = default;
 };
 
 // A successor configuration together with the step that produced it.

@@ -39,6 +39,9 @@ struct ProcessState {
   // Appends a canonical word encoding (for configuration hashing).
   void encode(std::vector<std::int64_t>* out) const;
 
+  // Exact number of words encode() appends — lets callers reserve once.
+  std::size_t encoded_size() const { return 4 + locals.size(); }
+
   std::string to_string() const;
 
   friend bool operator==(const ProcessState&, const ProcessState&) = default;

@@ -107,6 +107,46 @@ TEST(Explorer, TruncationReturnsConsistentPartialGraph) {
   }
 }
 
+TEST(Explorer, TruncatedNodesAreKeptButNeverExpanded) {
+  // Regression for the truncation bookkeeping contract: when the node
+  // budget trips, the over-budget node is still pushed into the graph (so
+  // the edge that discovered it has a valid target and its parent chain
+  // replays), but it is never expanded.
+  auto protocol = std::make_shared<DacFromPacProtocol>(
+      std::vector<Value>{10, 20, 30});
+  Explorer explorer(protocol);
+  constexpr std::uint64_t kBudget = 50;
+  const auto partial =
+      explorer.explore({.max_nodes = kBudget, .allow_truncation = true});
+  ASSERT_TRUE(partial.is_ok());
+  const ConfigGraph& graph = partial.value();
+  ASSERT_TRUE(graph.truncated());
+  // Kept-but-unexpanded nodes overshoot the budget.
+  EXPECT_GT(graph.nodes().size(), kBudget);
+  // Unexpanded non-terminal nodes exist (empty edge list despite enabled
+  // processes) — and expanded nodes always carry their complete edge list,
+  // so edge lists are all-or-nothing.
+  int unexpanded = 0;
+  for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {
+    const Node& node = graph.nodes()[id];
+    if (graph.edges()[id].empty() && node.config.enabled_count() > 0) {
+      ++unexpanded;
+    } else if (!graph.edges()[id].empty()) {
+      // A partial expansion would break the per-node edge invariant used
+      // by cross-validation (edge count == sum of outcome counts).
+      std::size_t expected = 0;
+      for (int pid = 0; pid < static_cast<int>(node.config.procs.size());
+           ++pid) {
+        if (!node.config.enabled(pid)) continue;
+        expected += static_cast<std::size_t>(
+            sim::outcome_count(*protocol, node.config, pid));
+      }
+      EXPECT_EQ(graph.edges()[id].size(), expected) << "node " << id;
+    }
+  }
+  EXPECT_GT(unexpanded, 0);
+}
+
 TEST(Explorer, TruncatedSafetyCheckStillFindsRealViolations) {
   // A straw protocol whose agreement violation appears early: even a
   // heavily truncated exploration must surface it (violations on partial

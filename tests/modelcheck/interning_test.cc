@@ -1,0 +1,111 @@
+#include "modelcheck/interning.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace lbsa::modelcheck {
+namespace {
+
+std::vector<std::int64_t> key_for(std::int64_t i) {
+  // Multi-word keys with shared prefixes, to exercise full-key verification.
+  return {i % 7, i % 13, i, i * 2654435761LL};
+}
+
+TEST(ShardedInternTable, AssignsDistinctIdsAndDetectsDuplicates) {
+  ShardedInternTable<std::int64_t> table;
+  std::map<std::int64_t, std::uint32_t> ids;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const auto key = key_for(i);
+    const auto res = table.intern(key, [&] { return i; });
+    EXPECT_TRUE(res.inserted);
+    ids[i] = res.id;
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  // Re-interning returns the original id, does not insert, and never calls
+  // the payload factory.
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const auto key = key_for(i);
+    const auto res = table.intern(key, [&]() -> std::int64_t {
+      ADD_FAILURE() << "payload factory called for existing key " << i;
+      return -1;
+    });
+    EXPECT_FALSE(res.inserted);
+    EXPECT_EQ(res.id, ids[i]);
+    EXPECT_EQ(table.payload(res.id), i);
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  // Ids are unique and below id_bound().
+  std::set<std::uint32_t> distinct;
+  for (const auto& [_, id] : ids) {
+    EXPECT_LT(id, table.id_bound());
+    distinct.insert(id);
+  }
+  EXPECT_EQ(distinct.size(), 1000u);
+}
+
+TEST(ShardedInternTable, EmptyAndSingleWordKeys) {
+  ShardedInternTable<int> table;
+  const std::vector<std::int64_t> empty;
+  const std::vector<std::int64_t> zero{0};
+  const auto a = table.intern(empty, [] { return 1; });
+  const auto b = table.intern(zero, [] { return 2; });
+  EXPECT_TRUE(a.inserted);
+  EXPECT_TRUE(b.inserted);
+  EXPECT_NE(a.id, b.id);  // length is part of the key
+  EXPECT_FALSE(table.intern(empty, [] { return 3; }).inserted);
+  EXPECT_EQ(table.payload(a.id), 1);
+  EXPECT_EQ(table.payload(b.id), 2);
+}
+
+TEST(ShardedInternTable, ConcurrentInterningIsLinearizable) {
+  // T threads intern overlapping slices of one key universe; exactly one
+  // insert must win per key, every thread must observe the winner's id,
+  // and the final table must hold each key exactly once. Run under TSan
+  // (-DLBSA_SANITIZE=thread) this is the data-race gate for the table.
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kUniverse = 4000;
+  ShardedInternTable<std::int64_t> table;
+  std::vector<std::vector<std::pair<std::int64_t, std::uint32_t>>> seen(
+      kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Each thread covers 3/4 of the universe, offset by its index, so
+      // most keys are contended by several threads.
+      for (std::int64_t step = 0; step < kUniverse * 3 / 4; ++step) {
+        const std::int64_t i = (step + t * kUniverse / kThreads) % kUniverse;
+        const auto key = key_for(i);
+        const auto res = table.intern(key, [&] { return i; });
+        seen[static_cast<std::size_t>(t)].emplace_back(i, res.id);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  EXPECT_EQ(table.size(), static_cast<std::uint64_t>(kUniverse));
+  // Every observation of a key agrees on its id, across all threads.
+  std::map<std::int64_t, std::uint32_t> winner;
+  for (const auto& observations : seen) {
+    for (const auto& [i, id] : observations) {
+      const auto it = winner.emplace(i, id).first;
+      EXPECT_EQ(it->second, id) << "key " << i << " saw two ids";
+    }
+  }
+  EXPECT_EQ(winner.size(), static_cast<std::size_t>(kUniverse));
+  // Payloads landed intact and ids are mutually distinct.
+  std::set<std::uint32_t> distinct;
+  for (const auto& [i, id] : winner) {
+    EXPECT_EQ(table.payload(id), i);
+    distinct.insert(id);
+  }
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kUniverse));
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

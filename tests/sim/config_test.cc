@@ -41,6 +41,23 @@ TEST(Config, EncodeDistinguishesConfigs) {
   EXPECT_NE(a, b);
 }
 
+TEST(Config, EncodeIntoMatchesEncodeAndReservesExactly) {
+  auto protocol = std::make_shared<DacFromPacProtocol>(
+      std::vector<Value>{10, 20, 30});
+  Config config = initial_config(*protocol);
+  std::vector<std::int64_t> scratch{1, 2, 3};  // stale content is discarded
+  for (int step = 0; step < 6; ++step) {
+    config.encode_into(&scratch);
+    EXPECT_EQ(scratch, config.encode());
+    EXPECT_EQ(scratch.size(), config.encoded_size());
+    // A fresh buffer gets one exact-size allocation, no growth.
+    std::vector<std::int64_t> fresh;
+    config.encode_into(&fresh);
+    EXPECT_EQ(fresh.capacity(), config.encoded_size());
+    apply_step(*protocol, &config, step % 3, 0);
+  }
+}
+
 TEST(Config, ApplyStepAdvancesOneProcessOnly) {
   auto protocol = make_consensus_via_n_consensus({10, 20});
   Config config = initial_config(*protocol);
