@@ -1,0 +1,150 @@
+// Fuzzing and shrinking cost: how expensive is it to find a violation, to
+// minimize it, and to replay the regression corpus. These are the budgets
+// behind the "fuzz" ctest label's smoke limits and behind choosing
+// ShrinkOptions::max_replays defaults.
+//
+// Series reported:
+//   * Shrink_Minimize/n:        shrink one raw strawdac finding at n
+//                               processes (counters: raw/shrunk steps,
+//                               replays spent);
+//   * Shrink_LenientReplayRate: lenient executor step throughput;
+//   * Fuzz_BlindThreads/t:      blind fuzz scaling across worker threads;
+//   * Fuzz_CoverageVsBlind:     fingerprint yield per mode at a fixed
+//                               budget (counter: distinct fingerprints).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "modelcheck/corpus.h"
+#include "modelcheck/fuzz.h"
+#include "modelcheck/shrink.h"
+#include "protocols/dac_from_pac.h"
+#include "protocols/straw_dac.h"
+#include "sim/trace.h"
+
+namespace {
+
+using lbsa::modelcheck::FuzzOptions;
+using lbsa::modelcheck::FuzzReport;
+
+std::vector<lbsa::Value> iota_inputs(int n) {
+  std::vector<lbsa::Value> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(100 + 100 * i);
+  return inputs;
+}
+
+// One raw (unshrunk) violating schedule for the n-process straw-man DAC.
+std::vector<lbsa::sim::ScriptedAdversary::Choice> raw_violation(
+    const std::shared_ptr<const lbsa::sim::Protocol>& protocol,
+    const lbsa::modelcheck::SafetyPredicate& judge) {
+  FuzzOptions options;
+  options.runs = 20'000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report =
+      lbsa::modelcheck::fuzz_safety(protocol, judge, options);
+  if (report.ok()) return {};
+  auto schedule = lbsa::sim::parse_schedule(report.violations[0].schedule);
+  return schedule.is_ok() ? schedule.value()
+                          : std::vector<lbsa::sim::ScriptedAdversary::Choice>{};
+}
+
+void Shrink_Minimize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto inputs = iota_inputs(n);
+  auto protocol =
+      std::make_shared<lbsa::protocols::StrawDacFallbackProtocol>(inputs);
+  const auto judge = lbsa::modelcheck::dac_safety(0, inputs);
+  const auto raw = raw_violation(protocol, judge);
+  if (raw.empty()) {
+    state.SkipWithError("no violation found");
+    return;
+  }
+  const std::string property = "agreement";
+  lbsa::modelcheck::ShrinkStats stats;
+  for (auto _ : state) {
+    const auto shrunk = lbsa::modelcheck::shrink_schedule(
+        protocol, raw, judge, property, {}, &stats);
+    benchmark::DoNotOptimize(shrunk.size());
+  }
+  state.counters["raw_steps"] = static_cast<double>(stats.raw_steps);
+  state.counters["shrunk_steps"] = static_cast<double>(stats.shrunk_steps);
+  state.counters["replays"] = static_cast<double>(stats.replays);
+}
+BENCHMARK(Shrink_Minimize)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void Shrink_LenientReplayRate(benchmark::State& state) {
+  // Steps-per-second of the lenient executor, the inner loop of both the
+  // shrinker and coverage-guided mutation replays.
+  const auto inputs = iota_inputs(4);
+  auto protocol =
+      std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+  const auto judge = lbsa::modelcheck::dac_safety(0, inputs);
+  // A long clean schedule: round-robin until termination.
+  std::vector<lbsa::sim::ScriptedAdversary::Choice> schedule;
+  for (int round = 0; round < 200; ++round) {
+    for (int pid = 0; pid < 4; ++pid) schedule.push_back({pid, 0, false});
+  }
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto outcome =
+        lbsa::modelcheck::run_schedule_lenient(protocol, schedule, judge);
+    steps = outcome.effective.size();
+    benchmark::DoNotOptimize(steps);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(Shrink_LenientReplayRate)->Unit(benchmark::kMillisecond);
+
+void Fuzz_BlindThreads(benchmark::State& state) {
+  // Blind fuzz wall-clock across worker threads (reports are identical for
+  // every thread count, so the rows measure the same work).
+  const int threads = static_cast<int>(state.range(0));
+  const auto inputs = iota_inputs(6);
+  auto protocol =
+      std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+  for (auto _ : state) {
+    FuzzOptions options;
+    options.runs = 200;
+    options.threads = threads;
+    const FuzzReport report =
+        lbsa::modelcheck::fuzz_dac(protocol, 0, inputs, options);
+    if (!report.ok()) {
+      state.SkipWithError("unexpected violation");
+      return;
+    }
+    benchmark::DoNotOptimize(report.distinct_fingerprints);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(Fuzz_BlindThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void Fuzz_CoverageVsBlind(benchmark::State& state) {
+  // Fingerprint yield at a fixed budget; coverage==1 breeds from the pool.
+  const bool coverage = state.range(0) != 0;
+  const auto inputs = iota_inputs(3);
+  auto protocol =
+      std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+  std::uint64_t fingerprints = 0;
+  for (auto _ : state) {
+    FuzzOptions options;
+    options.runs = 300;
+    options.seed = 17;
+    options.coverage_guided = coverage;
+    const FuzzReport report =
+        lbsa::modelcheck::fuzz_dac(protocol, 0, inputs, options);
+    fingerprints = report.distinct_fingerprints;
+    benchmark::DoNotOptimize(fingerprints);
+  }
+  state.counters["distinct_fingerprints"] =
+      static_cast<double>(fingerprints);
+}
+BENCHMARK(Fuzz_CoverageVsBlind)->ArgName("coverage")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// The regression corpus: named fuzz targets and the on-disk format that
+// pins their shrunk counterexample schedules forever.
+//
+// A corpus file is a sim/trace.h schedule prefixed with a comment header
+// naming the fuzz target and the property the schedule violates:
+//
+//   # lbsa fuzz corpus v1
+//   # task: strawdac3
+//   # property: agreement
+//   # detail: 2 distinct decisions
+//   0
+//   1
+//   !2
+//   0
+//
+// The task key resolves through make_named_task to a concrete protocol and
+// safety judge, so a checked-in file replays with zero ambient context:
+// tools/fuzz_shrink_cli writes these files, and the corpus replay test
+// re-executes every file under tests/corpus/ on each ctest run. Workflow:
+// fuzz → shrink → commit the corpus file → ctest replays it forever.
+#ifndef LBSA_MODELCHECK_CORPUS_H_
+#define LBSA_MODELCHECK_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "modelcheck/fuzz.h"
+
+namespace lbsa::modelcheck {
+
+// A fuzz target: a concrete protocol instance plus the task-level safety
+// judge it is fuzzed against.
+struct NamedTask {
+  std::string name;
+  std::string description;
+  std::shared_ptr<const sim::Protocol> protocol;
+  SafetyPredicate judge;
+  // Task parameters: k >= 1 with distinguished_pid == -1 is k-set
+  // agreement; distinguished_pid >= 0 is DAC.
+  int k = 1;
+  int distinguished_pid = -1;
+  std::vector<Value> inputs;
+  // True for straw-men and mutants whose safety is genuinely broken (the
+  // fuzzer is expected to find violations).
+  bool expect_violation = false;
+};
+
+// Resolves a task key ("strawdac3", "mutant-2sa4", ...). NOT_FOUND lists
+// the known keys.
+StatusOr<NamedTask> make_named_task(const std::string& name);
+
+// All registry keys, in registration order.
+std::vector<std::string> named_task_names();
+
+// Runs the right fuzzer (fuzz_k_agreement / fuzz_dac) for the task.
+FuzzReport fuzz_named_task(const NamedTask& task, const FuzzOptions& options);
+
+// One corpus entry.
+struct CorpusCase {
+  std::string task;      // named-task key
+  std::string property;  // property the schedule must violate on replay
+  std::string detail;    // informational (violation detail, provenance)
+  std::vector<sim::ScriptedAdversary::Choice> schedule;
+};
+
+std::string corpus_case_to_string(const CorpusCase& c);
+
+// Parses a corpus file. INVALID_ARGUMENT on a missing task/property header
+// or a malformed schedule.
+StatusOr<CorpusCase> parse_corpus_case(const std::string& text);
+
+// Replays the case strictly (sim::replay_schedule — any drift in protocol
+// semantics surfaces as an error, not a silent skip) and confirms the
+// named property is violated in the final configuration.
+Status replay_corpus_case(const CorpusCase& c);
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_CORPUS_H_

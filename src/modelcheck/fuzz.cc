@@ -1,15 +1,23 @@
 #include "modelcheck/fuzz.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <set>
+#include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "base/check.h"
+#include "base/hashing.h"
 #include "base/rng.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
 namespace lbsa::modelcheck {
 namespace {
+
+using sim::ScriptedAdversary;
 
 // Uniform adversary with geometric bursts: with probability (1 - 1/8) it
 // re-picks the process it scheduled last, producing long solo stretches.
@@ -42,97 +50,357 @@ class BurstAdversary final : public sim::Adversary {
   int last_ = -1;
 };
 
-// Per-step safety evaluation shared by both fuzzers. Returns the violated
-// property ("" if none).
-struct SafetyJudge {
-  int k = 1;                     // agreement bound
-  std::set<Value> input_set;
-  std::vector<Value> inputs;     // per-pid (for DAC validity)
-  int distinguished_pid = -1;    // -1 = k-set-agreement mode
-
-  std::pair<std::string, std::string> judge(const sim::Config& config) const {
-    std::vector<Value> decided;
-    for (const auto& ps : config.procs) {
-      if (ps.decided()) decided.push_back(ps.decision);
-    }
-    std::sort(decided.begin(), decided.end());
-    decided.erase(std::unique(decided.begin(), decided.end()),
-                  decided.end());
-    if (static_cast<int>(decided.size()) > k) {
-      return {"agreement",
-              std::to_string(decided.size()) + " distinct decisions"};
-    }
-    for (Value v : decided) {
-      if (distinguished_pid < 0) {
-        if (!input_set.contains(v)) {
-          return {"validity",
-                  "decided " + value_to_string(v) + " never proposed"};
-        }
-      } else {
-        bool witnessed = false;
-        for (size_t pid = 0; pid < config.procs.size(); ++pid) {
-          if (inputs[pid] == v && !config.procs[pid].aborted()) {
-            witnessed = true;
-          }
-        }
-        if (!witnessed) {
-          return {"validity", "decided " + value_to_string(v) +
-                                  " has no non-aborting proposer"};
-        }
-      }
-    }
-    for (size_t pid = 0; pid < config.procs.size(); ++pid) {
-      if (config.procs[pid].aborted() &&
-          static_cast<int>(pid) != distinguished_pid) {
-        return {"only-p-aborts",
-                "p" + std::to_string(pid) + " aborted"};
-      }
-    }
-    return {"", ""};
-  }
+// Everything a single fuzz run produces; merged into the report in run
+// order so the report is independent of execution order.
+struct RunOutput {
+  bool terminated = false;
+  bool violated = false;
+  std::string property;
+  std::string detail;
+  std::vector<ScriptedAdversary::Choice> schedule;  // executed steps
+  std::vector<std::uint64_t> fingerprints;  // first-K distinct, in order
 };
 
-FuzzReport fuzz(std::shared_ptr<const sim::Protocol> protocol,
-                const SafetyJudge& judge, const FuzzOptions& options) {
-  FuzzReport report;
-  Xoshiro256 meta(options.seed);
-  for (std::uint64_t run = 0; run < options.runs; ++run) {
-    const std::uint64_t run_seed = meta.next();
-    const bool burst = meta.next_bool(options.burst_fraction);
-    sim::Simulation simulation(protocol);
-    sim::RandomAdversary uniform(run_seed);
-    BurstAdversary bursty(run_seed);
-    sim::Adversary& adversary =
-        burst ? static_cast<sim::Adversary&>(bursty)
-              : static_cast<sim::Adversary&>(uniform);
+// One fresh adversary-driven run, recording the executed schedule, the
+// per-step configuration fingerprints, and the first violation (if any).
+RunOutput execute_fresh_run(const std::shared_ptr<const sim::Protocol>& protocol,
+                            const SafetyPredicate& judge, std::uint64_t seed,
+                            bool burst, const FuzzOptions& options,
+                            bool record_clean_schedule) {
+  RunOutput out;
+  sim::Simulation simulation(protocol);
+  sim::RandomAdversary uniform(seed);
+  BurstAdversary bursty(seed);
+  sim::Adversary& adversary = burst
+                                  ? static_cast<sim::Adversary&>(bursty)
+                                  : static_cast<sim::Adversary&>(uniform);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::int64_t> encoded;
+  for (std::uint64_t step = 0;
+       step < options.max_steps_per_run && !simulation.config().halted();
+       ++step) {
+    const int pid = adversary.pick_process(simulation.config(), step);
+    if (pid == sim::Adversary::kStop) break;
+    const int outcomes =
+        sim::outcome_count(*protocol, simulation.config(), pid);
+    const int outcome = adversary.pick_outcome(outcomes, step);
+    simulation.step(pid, outcome);
+    out.schedule.push_back({pid, outcome, false});
+    if (seen.size() < options.max_fingerprints_per_run) {
+      simulation.config().encode_into(&encoded);
+      const std::uint64_t h = hash_words(encoded);
+      if (seen.insert(h).second) out.fingerprints.push_back(h);
+    }
+    auto [property, detail] = judge(simulation.config());
+    if (!property.empty()) {
+      out.property = std::move(property);
+      out.detail = std::move(detail);
+      out.violated = true;
+      return out;
+    }
+  }
+  out.terminated = simulation.config().halted();
+  if (!record_clean_schedule) out.schedule.clear();
+  return out;
+}
 
-    ++report.runs_executed;
-    bool violated = false;
-    for (std::uint64_t step = 0;
-         step < options.max_steps_per_run && !simulation.config().halted();
-         ++step) {
-      const int pid = adversary.pick_process(simulation.config(), step);
-      if (pid == sim::Adversary::kStop) break;
-      const int outcomes =
-          sim::outcome_count(*protocol, simulation.config(), pid);
-      simulation.step(pid, adversary.pick_outcome(outcomes, step));
-      const auto [property, detail] = judge.judge(simulation.config());
-      if (!property.empty()) {
-        report.violations.push_back(FuzzViolation{
-            property, detail, run_seed,
-            sim::schedule_to_string(*protocol, simulation.history())});
-        violated = true;
+// One mutated run: lenient replay of the mutated schedule (the guided
+// prefix), then a fresh random/burst continuation to termination — so a
+// mutated run explores just as deep as a blind one, but starts from an
+// interesting region instead of the initial configuration. The recorded
+// schedule is the effective one — always strict-valid.
+RunOutput execute_mutated_run(
+    const std::shared_ptr<const sim::Protocol>& protocol,
+    const SafetyPredicate& judge,
+    const std::vector<ScriptedAdversary::Choice>& prefix, std::uint64_t seed,
+    bool burst, const FuzzOptions& options) {
+  RunOutput out;
+  sim::Simulation simulation(protocol);
+  const int n = simulation.process_count();
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::int64_t> encoded;
+
+  // Records one executed step, its fingerprint, and the first violation;
+  // true means the run is over.
+  auto record_step = [&](int pid, int outcome) -> bool {
+    out.schedule.push_back({pid, outcome, false});
+    if (seen.size() < options.max_fingerprints_per_run) {
+      simulation.config().encode_into(&encoded);
+      const std::uint64_t h = hash_words(encoded);
+      if (seen.insert(h).second) out.fingerprints.push_back(h);
+    }
+    auto [property, detail] = judge(simulation.config());
+    if (!property.empty()) {
+      out.property = std::move(property);
+      out.detail = std::move(detail);
+      out.violated = true;
+      return true;
+    }
+    return false;
+  };
+
+  // Phase 1: lenient replay of the mutated prefix (same semantics as
+  // run_schedule_lenient).
+  for (const ScriptedAdversary::Choice& choice : prefix) {
+    if (choice.pid < 0 || choice.pid >= n) continue;
+    if (choice.crash) {
+      if (!simulation.config().procs[static_cast<size_t>(choice.pid)]
+               .running()) {
+        continue;
+      }
+      simulation.crash(choice.pid);
+      out.schedule.push_back({choice.pid, 0, true});
+      continue;
+    }
+    if (!simulation.config().enabled(choice.pid)) continue;
+    const int outcomes =
+        sim::outcome_count(*protocol, simulation.config(), choice.pid);
+    const int outcome =
+        (choice.outcome >= 0 && choice.outcome < outcomes) ? choice.outcome
+                                                           : 0;
+    simulation.step(choice.pid, outcome);
+    if (record_step(choice.pid, outcome)) return out;
+    if (out.schedule.size() >= options.max_steps_per_run) return out;
+  }
+
+  // Phase 2: random continuation until termination or budget.
+  sim::RandomAdversary uniform(seed);
+  BurstAdversary bursty(seed);
+  sim::Adversary& adversary = burst
+                                  ? static_cast<sim::Adversary&>(bursty)
+                                  : static_cast<sim::Adversary&>(uniform);
+  for (std::uint64_t step = out.schedule.size();
+       step < options.max_steps_per_run && !simulation.config().halted();
+       ++step) {
+    const int pid = adversary.pick_process(simulation.config(), step);
+    if (pid == sim::Adversary::kStop) break;
+    const int outcomes =
+        sim::outcome_count(*protocol, simulation.config(), pid);
+    const int outcome = adversary.pick_outcome(outcomes, step);
+    simulation.step(pid, outcome);
+    if (record_step(pid, outcome)) return out;
+  }
+  out.terminated = simulation.config().halted();
+  return out;
+}
+
+// Pool mutations: splice two interesting schedules, insert a solo burst,
+// or inject a crash event. Deterministic in `rng`.
+std::vector<ScriptedAdversary::Choice> mutate_schedule(
+    const std::deque<std::vector<ScriptedAdversary::Choice>>& pool,
+    int process_count, Xoshiro256& rng) {
+  std::vector<ScriptedAdversary::Choice> base =
+      pool[rng.next_below(pool.size())];
+  switch (rng.next_below(3)) {
+    case 0: {  // splice: prefix of base + suffix of another pool entry
+      const auto& other = pool[rng.next_below(pool.size())];
+      const std::size_t cut_a = rng.next_below(base.size() + 1);
+      const std::size_t cut_b = rng.next_below(other.size() + 1);
+      base.resize(cut_a);
+      base.insert(base.end(), other.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                  other.end());
+      return base;
+    }
+    case 1: {  // burst-insert: a solo stretch of one process
+      const std::size_t pos = rng.next_below(base.size() + 1);
+      const int pid = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(process_count)));
+      const std::size_t len = 1 + rng.next_below(16);
+      std::vector<ScriptedAdversary::Choice> burst(
+          len, {pid, static_cast<int>(rng.next_below(4)), false});
+      base.insert(base.begin() + static_cast<std::ptrdiff_t>(pos),
+                  burst.begin(), burst.end());
+      return base;
+    }
+    default: {  // crash-insert
+      const std::size_t pos = rng.next_below(base.size() + 1);
+      const int pid = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(process_count)));
+      base.insert(base.begin() + static_cast<std::ptrdiff_t>(pos),
+                  {pid, 0, true});
+      return base;
+    }
+  }
+}
+
+// Merges per-run outputs (in run order) into the report: fingerprint
+// union, termination counts, violations up to max_violations. Returns at
+// the deterministic early-stop cutoff.
+void aggregate_in_order(const std::vector<RunOutput>& outputs,
+                        const std::vector<std::uint64_t>& run_seeds,
+                        std::uint64_t count, const FuzzOptions& options,
+                        FuzzReport* report,
+                        std::vector<std::vector<ScriptedAdversary::Choice>>*
+                            violation_schedules) {
+  std::unordered_set<std::uint64_t> global;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const RunOutput& out = outputs[i];
+    ++report->runs_executed;
+    bool fresh = false;
+    for (std::uint64_t h : out.fingerprints) {
+      if (global.insert(h).second) fresh = true;
+    }
+    if (fresh) ++report->interesting_runs;
+    if (out.terminated) ++report->runs_terminated;
+    if (out.violated) {
+      FuzzViolation v;
+      v.property = out.property;
+      v.detail = out.detail;
+      v.run_seed = run_seeds[i];
+      report->violations.push_back(std::move(v));
+      violation_schedules->push_back(out.schedule);
+      if (static_cast<int>(report->violations.size()) >=
+          options.max_violations) {
         break;
       }
     }
-    if (!violated && simulation.config().halted()) {
-      ++report.runs_terminated;
-    }
-    if (static_cast<int>(report.violations.size()) >=
-        options.max_violations) {
-      break;
+  }
+  report->distinct_fingerprints = global.size();
+}
+
+// Fills in the schedule strings, shrinking each violation when enabled.
+void finalize_violations(
+    const std::shared_ptr<const sim::Protocol>& protocol,
+    const SafetyPredicate& judge, const FuzzOptions& options,
+    const std::vector<std::vector<ScriptedAdversary::Choice>>& schedules,
+    FuzzReport* report) {
+  for (std::size_t i = 0; i < report->violations.size(); ++i) {
+    FuzzViolation& v = report->violations[i];
+    v.schedule = sim::schedule_to_string(schedules[i]);
+    v.raw_steps = schedules[i].size();
+    if (options.shrink_violations) {
+      ShrinkStats stats;
+      const auto shrunk = shrink_schedule(protocol, schedules[i], judge,
+                                          v.property, options.shrink, &stats);
+      v.shrunk_schedule = sim::schedule_to_string(shrunk);
+      v.shrunk_steps = shrunk.size();
+      report->shrink_replays += stats.replays;
+    } else {
+      v.shrunk_schedule = v.schedule;
+      v.shrunk_steps = v.raw_steps;
     }
   }
+}
+
+// Blind engine: independent pre-seeded runs, optionally across threads.
+// Work is claimed from an atomic counter (so the claimed set is always a
+// contiguous prefix), every claimed run completes, and the results are
+// merged in run order — which makes the report byte-identical for every
+// thread count, early stop included.
+FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
+                      const SafetyPredicate& judge,
+                      const FuzzOptions& options) {
+  FuzzReport report;
+  const std::uint64_t budget = options.runs;
+  if (budget == 0) return report;
+
+  std::vector<std::uint64_t> run_seeds(budget);
+  std::vector<bool> run_burst(budget);
+  Xoshiro256 meta(options.seed);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    run_seeds[i] = meta.next();
+    run_burst[i] = meta.next_bool(options.burst_fraction);
+  }
+
+  std::vector<RunOutput> outputs(budget);
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<int> violations_found{0};
+  std::atomic<bool> stop{false};
+
+  auto worker = [&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= budget) break;
+      outputs[i] = execute_fresh_run(protocol, judge, run_seeds[i],
+                                     run_burst[i], options,
+                                     /*record_clean_schedule=*/false);
+      if (outputs[i].violated &&
+          violations_found.fetch_add(1) + 1 >= options.max_violations) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), budget));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+  }
+
+  const std::uint64_t claimed = std::min(next.load(), budget);
+  std::vector<std::vector<ScriptedAdversary::Choice>> schedules;
+  aggregate_in_order(outputs, run_seeds, claimed, options, &report,
+                     &schedules);
+  finalize_violations(protocol, judge, options, schedules, &report);
+  return report;
+}
+
+// Coverage-guided engine (serial): fingerprints feed an interesting-
+// schedule pool that mutations breed from.
+FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
+                         const SafetyPredicate& judge,
+                         const FuzzOptions& options) {
+  FuzzReport report;
+  Xoshiro256 meta(options.seed);
+  std::unordered_set<std::uint64_t> global;
+  std::deque<std::vector<ScriptedAdversary::Choice>> pool;
+  std::vector<std::vector<ScriptedAdversary::Choice>> schedules;
+
+  for (std::uint64_t run = 0; run < options.runs; ++run) {
+    const std::uint64_t run_seed = meta.next();
+    const bool burst = meta.next_bool(options.burst_fraction);
+    const bool mutate =
+        !pool.empty() && meta.next_bool(options.mutation_fraction);
+
+    RunOutput out;
+    if (mutate) {
+      ++report.mutated_runs;
+      Xoshiro256 rng(run_seed);
+      const auto mutated =
+          mutate_schedule(pool, protocol->process_count(), rng);
+      out = execute_mutated_run(protocol, judge, mutated, rng.next(), burst,
+                                options);
+    } else {
+      out = execute_fresh_run(protocol, judge, run_seed, burst, options,
+                              /*record_clean_schedule=*/true);
+    }
+
+    ++report.runs_executed;
+    if (out.terminated) ++report.runs_terminated;
+    bool fresh = false;
+    for (std::uint64_t h : out.fingerprints) {
+      if (global.insert(h).second) fresh = true;
+    }
+    if (fresh) {
+      ++report.interesting_runs;
+      pool.push_back(out.schedule);
+      while (pool.size() > options.pool_limit) pool.pop_front();
+    }
+    if (out.violated) {
+      FuzzViolation v;
+      v.property = out.property;
+      v.detail = out.detail;
+      v.run_seed = run_seed;
+      report.violations.push_back(std::move(v));
+      schedules.push_back(std::move(out.schedule));
+      if (static_cast<int>(report.violations.size()) >=
+          options.max_violations) {
+        break;
+      }
+    }
+  }
+  report.distinct_fingerprints = global.size();
+  finalize_violations(protocol, judge, options, schedules, &report);
   return report;
 }
 
@@ -144,27 +412,95 @@ bool FuzzReport::violates(const std::string& property) const {
       [&](const FuzzViolation& v) { return v.property == property; });
 }
 
+SafetyPredicate k_agreement_safety(int k, std::vector<Value> inputs) {
+  LBSA_CHECK(k >= 1);
+  std::set<Value> input_set(inputs.begin(), inputs.end());
+  return [k, input_set = std::move(input_set)](const sim::Config& config)
+             -> std::pair<std::string, std::string> {
+    std::vector<Value> decided;
+    for (const auto& ps : config.procs) {
+      if (ps.decided()) decided.push_back(ps.decision);
+    }
+    std::sort(decided.begin(), decided.end());
+    decided.erase(std::unique(decided.begin(), decided.end()), decided.end());
+    if (static_cast<int>(decided.size()) > k) {
+      return {"agreement",
+              std::to_string(decided.size()) + " distinct decisions"};
+    }
+    for (Value v : decided) {
+      if (!input_set.contains(v)) {
+        return {"validity",
+                "decided " + value_to_string(v) + " never proposed"};
+      }
+    }
+    for (std::size_t pid = 0; pid < config.procs.size(); ++pid) {
+      if (config.procs[pid].aborted()) {
+        // Matches check_k_agreement_task's property name for the same
+        // condition (k-set agreement has no distinguished process).
+        return {"no-abort", "p" + std::to_string(pid) + " aborted"};
+      }
+    }
+    return {"", ""};
+  };
+}
+
+SafetyPredicate dac_safety(int distinguished_pid, std::vector<Value> inputs) {
+  return [distinguished_pid, inputs = std::move(inputs)](
+             const sim::Config& config)
+             -> std::pair<std::string, std::string> {
+    std::vector<Value> decided;
+    for (const auto& ps : config.procs) {
+      if (ps.decided()) decided.push_back(ps.decision);
+    }
+    std::sort(decided.begin(), decided.end());
+    decided.erase(std::unique(decided.begin(), decided.end()), decided.end());
+    if (decided.size() > 1) {
+      return {"agreement",
+              std::to_string(decided.size()) + " distinct decisions"};
+    }
+    for (Value v : decided) {
+      bool witnessed = false;
+      for (std::size_t pid = 0; pid < config.procs.size(); ++pid) {
+        if (inputs[pid] == v && !config.procs[pid].aborted()) {
+          witnessed = true;
+        }
+      }
+      if (!witnessed) {
+        return {"validity", "decided " + value_to_string(v) +
+                                " has no non-aborting proposer"};
+      }
+    }
+    for (std::size_t pid = 0; pid < config.procs.size(); ++pid) {
+      if (config.procs[pid].aborted() &&
+          static_cast<int>(pid) != distinguished_pid) {
+        return {"only-p-aborts", "p" + std::to_string(pid) + " aborted"};
+      }
+    }
+    return {"", ""};
+  };
+}
+
+FuzzReport fuzz_safety(std::shared_ptr<const sim::Protocol> protocol,
+                       const SafetyPredicate& judge,
+                       const FuzzOptions& options) {
+  LBSA_CHECK(protocol != nullptr);
+  LBSA_CHECK(options.max_violations >= 1);
+  return options.coverage_guided ? fuzz_coverage(protocol, judge, options)
+                                 : fuzz_blind(protocol, judge, options);
+}
+
 FuzzReport fuzz_k_agreement(std::shared_ptr<const sim::Protocol> protocol,
                             int k, const std::vector<Value>& inputs,
                             const FuzzOptions& options) {
-  LBSA_CHECK(k >= 1);
-  SafetyJudge judge;
-  judge.k = k;
-  judge.input_set = {inputs.begin(), inputs.end()};
-  judge.inputs = inputs;
-  judge.distinguished_pid = -1;
-  return fuzz(std::move(protocol), judge, options);
+  return fuzz_safety(std::move(protocol), k_agreement_safety(k, inputs),
+                     options);
 }
 
 FuzzReport fuzz_dac(std::shared_ptr<const sim::Protocol> protocol,
                     int distinguished_pid, const std::vector<Value>& inputs,
                     const FuzzOptions& options) {
-  SafetyJudge judge;
-  judge.k = 1;
-  judge.input_set = {inputs.begin(), inputs.end()};
-  judge.inputs = inputs;
-  judge.distinguished_pid = distinguished_pid;
-  return fuzz(std::move(protocol), judge, options);
+  return fuzz_safety(std::move(protocol),
+                     dac_safety(distinguished_pid, inputs), options);
 }
 
 }  // namespace lbsa::modelcheck

@@ -1,9 +1,23 @@
 // Randomized schedule fuzzing: safety checking for instances beyond
-// exhaustive reach. Runs many seeded adversarial executions (uniform and
-// burst-biased scheduling), evaluates the task's safety predicates after
-// every step, and reports each violation with a REPLAYABLE schedule (the
-// sim/trace.h text format) — so a fuzz finding becomes a deterministic
-// regression test.
+// exhaustive reach. Runs many seeded adversarial executions, evaluates the
+// task's safety predicates after every step, and reports each violation
+// with a REPLAYABLE schedule (the sim/trace.h text format) — both the raw
+// finding and a delta-debugged minimal version (modelcheck/shrink.h) — so
+// a fuzz finding becomes a deterministic regression test.
+//
+// Two modes:
+//   * blind (default) — independent uniform and burst-biased runs; scales
+//     across FuzzOptions::threads with byte-identical reports for every
+//     thread count (runs are pre-seeded, results merged in run order, and
+//     the early-stop cutoff is computed deterministically).
+//   * coverage-guided (FuzzOptions::coverage_guided) — per-step
+//     configuration fingerprints (base/hashing.h) feed a pool of
+//     "interesting" schedules (runs that reached a never-seen
+//     configuration); most runs then mutate a pool entry — splice two
+//     schedules, insert a solo burst, inject a crash — replay the mutated
+//     prefix, and continue randomly to termination, instead of starting
+//     from scratch. Single-threaded by design (the pool evolves run to
+//     run); still fully determined by FuzzOptions::seed.
 //
 // Complements the exhaustive checker: violations found are real; a clean
 // fuzz report is evidence, not proof (use check_*_task for proofs at small
@@ -16,6 +30,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "modelcheck/shrink.h"
 #include "sim/protocol.h"
 
 namespace lbsa::modelcheck {
@@ -24,19 +39,44 @@ struct FuzzOptions {
   std::uint64_t runs = 1000;
   std::uint64_t max_steps_per_run = 100'000;
   std::uint64_t seed = 1;
-  // Probability that a run uses the burst adversary (keeps scheduling the
-  // same process for a geometric burst) instead of uniform — bursts find
-  // solo-dependent violations that uniform schedules rarely hit.
+  // Probability that a fresh run uses the burst adversary (keeps scheduling
+  // the same process for a geometric burst) instead of uniform — bursts
+  // find solo-dependent violations that uniform schedules rarely hit.
   double burst_fraction = 0.5;
   // Stop after this many violations.
   int max_violations = 4;
+
+  // Worker threads for blind fuzzing: 1 = serial, 0 = one per hardware
+  // thread. The report is byte-identical for every thread count. Ignored
+  // (serial) in coverage-guided mode.
+  int threads = 1;
+
+  // Coverage guidance (see file comment).
+  bool coverage_guided = false;
+  // Capacity of the interesting-schedule pool (oldest entries evicted).
+  std::uint64_t pool_limit = 64;
+  // Fraction of coverage-mode runs that mutate a pool entry (the rest are
+  // fresh adversary runs; all runs are fresh while the pool is empty).
+  double mutation_fraction = 0.75;
+  // Per-run cap on recorded distinct fingerprints (bounds memory; both
+  // modes use the same cap, so coverage comparisons stay apples-to-apples).
+  std::uint64_t max_fingerprints_per_run = 4096;
+
+  // Shrink every violation (delta debugging; see modelcheck/shrink.h).
+  // When disabled, shrunk_schedule is a copy of the raw schedule.
+  bool shrink_violations = true;
+  ShrinkOptions shrink;
 };
 
 struct FuzzViolation {
-  std::string property;          // "agreement" | "validity" | "only-p-aborts"
+  std::string property;  // "agreement" | "validity" | "no-abort" |
+                         // "only-p-aborts" — same names as task_check.h
   std::string detail;
   std::uint64_t run_seed = 0;
-  std::string schedule;          // sim/trace.h format; replayable
+  std::string schedule;          // raw finding; sim/trace.h format, replayable
+  std::string shrunk_schedule;   // minimized finding; same format, replayable
+  std::uint64_t raw_steps = 0;
+  std::uint64_t shrunk_steps = 0;
 };
 
 struct FuzzReport {
@@ -44,9 +84,22 @@ struct FuzzReport {
   std::uint64_t runs_executed = 0;
   std::uint64_t runs_terminated = 0;  // all processes terminated in budget
 
+  // Coverage statistics (tracked in both modes).
+  std::uint64_t distinct_fingerprints = 0;  // distinct configurations seen
+  std::uint64_t interesting_runs = 0;  // runs that found a new fingerprint
+  std::uint64_t mutated_runs = 0;      // coverage mode: runs bred from the pool
+  std::uint64_t shrink_replays = 0;    // replays spent minimizing violations
+
   bool ok() const { return violations.empty(); }
   bool violates(const std::string& property) const;
 };
+
+// Safety predicate factories (shared by the fuzzers, the shrinker, and the
+// corpus replayer). k_agreement_safety judges agreement(k), validity, and
+// absence of aborts; dac_safety judges agreement, validity w.r.t.
+// non-aborting proposers, and only-p-aborts.
+SafetyPredicate k_agreement_safety(int k, std::vector<Value> inputs);
+SafetyPredicate dac_safety(int distinguished_pid, std::vector<Value> inputs);
 
 // Fuzzes the safety half of k-set agreement (agreement, validity, no
 // aborts). Termination is NOT judged (randomized runs can time out
@@ -60,6 +113,11 @@ FuzzReport fuzz_k_agreement(std::shared_ptr<const sim::Protocol> protocol,
 FuzzReport fuzz_dac(std::shared_ptr<const sim::Protocol> protocol,
                     int distinguished_pid, const std::vector<Value>& inputs,
                     const FuzzOptions& options = {});
+
+// Fuzzes an arbitrary safety predicate (the engine under the two wrappers).
+FuzzReport fuzz_safety(std::shared_ptr<const sim::Protocol> protocol,
+                       const SafetyPredicate& judge,
+                       const FuzzOptions& options = {});
 
 }  // namespace lbsa::modelcheck
 

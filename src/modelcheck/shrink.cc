@@ -1,0 +1,135 @@
+#include "modelcheck/shrink.h"
+
+#include <algorithm>
+
+#include "base/hashing.h"
+#include "sim/simulation.h"
+
+namespace lbsa::modelcheck {
+
+ReplayOutcome run_schedule_lenient(
+    const std::shared_ptr<const sim::Protocol>& protocol,
+    const std::vector<sim::ScriptedAdversary::Choice>& schedule,
+    const SafetyPredicate& judge, std::vector<std::uint64_t>* step_hashes) {
+  ReplayOutcome out;
+  sim::Simulation simulation(protocol);
+  const int n = simulation.process_count();
+  std::vector<std::int64_t> encoded;  // reused hash buffer
+  for (const sim::ScriptedAdversary::Choice& choice : schedule) {
+    if (choice.pid < 0 || choice.pid >= n) continue;
+    if (choice.crash) {
+      if (!simulation.config().procs[static_cast<size_t>(choice.pid)]
+               .running()) {
+        continue;  // crashing a terminated process is a no-op: drop it
+      }
+      simulation.crash(choice.pid);
+      out.effective.push_back({choice.pid, 0, true});
+      continue;
+    }
+    if (!simulation.config().enabled(choice.pid)) continue;
+    const int outcomes =
+        sim::outcome_count(*protocol, simulation.config(), choice.pid);
+    const int outcome =
+        (choice.outcome >= 0 && choice.outcome < outcomes) ? choice.outcome
+                                                           : 0;
+    simulation.step(choice.pid, outcome);
+    out.effective.push_back({choice.pid, outcome, false});
+    if (step_hashes != nullptr) {
+      simulation.config().encode_into(&encoded);
+      step_hashes->push_back(hash_words(encoded));
+    }
+    auto [property, detail] = judge(simulation.config());
+    if (!property.empty()) {
+      out.property = std::move(property);
+      out.detail = std::move(detail);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<sim::ScriptedAdversary::Choice> shrink_schedule(
+    const std::shared_ptr<const sim::Protocol>& protocol,
+    const std::vector<sim::ScriptedAdversary::Choice>& schedule,
+    const SafetyPredicate& judge, const std::string& property,
+    const ShrinkOptions& options, ShrinkStats* stats) {
+  using Choice = sim::ScriptedAdversary::Choice;
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  s = ShrinkStats{};  // caller-provided stats may be reused across calls
+  s.raw_steps = schedule.size();
+
+  // Normalize: truncate at the first violating step and strictify. If the
+  // violation does not reproduce at all, hand the input back untouched.
+  ReplayOutcome base = run_schedule_lenient(protocol, schedule, judge);
+  s.replays = 1;
+  if (base.property != property) {
+    s.shrunk_steps = schedule.size();
+    return schedule;
+  }
+  std::vector<Choice> current = std::move(base.effective);
+
+  // Replays `candidate`; on same-property violation adopts its effective
+  // schedule as the new current and reports success.
+  auto attempt = [&](std::vector<Choice> candidate) -> bool {
+    if (s.replays >= options.max_replays) return false;
+    ++s.replays;
+    ReplayOutcome r = run_schedule_lenient(protocol, candidate, judge);
+    if (r.property != property) return false;
+    current = std::move(r.effective);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && s.rounds < options.max_rounds &&
+         s.replays < options.max_replays) {
+    progress = false;
+    ++s.rounds;
+
+    // Pass 1: drop crash events the violation does not need.
+    for (std::size_t i = 0; i < current.size();) {
+      if (current[i].crash) {
+        std::vector<Choice> candidate = current;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+        if (attempt(std::move(candidate))) {
+          progress = true;
+          continue;  // current changed; re-examine index i
+        }
+      }
+      ++i;
+    }
+
+    // Pass 2: ddmin chunk removal, halving chunk sizes down to single steps.
+    for (std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1);;
+         chunk /= 2) {
+      std::size_t start = 0;
+      while (start < current.size() && s.replays < options.max_replays) {
+        std::vector<Choice> candidate = current;
+        const std::size_t len = std::min(chunk, current.size() - start);
+        candidate.erase(
+            candidate.begin() + static_cast<std::ptrdiff_t>(start),
+            candidate.begin() + static_cast<std::ptrdiff_t>(start + len));
+        if (attempt(std::move(candidate))) {
+          progress = true;  // current shrank; retry the same start offset
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Pass 3: canonicalize nondeterministic outcome choices to 0.
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!current[i].crash && current[i].outcome != 0) {
+        std::vector<Choice> candidate = current;
+        candidate[i].outcome = 0;
+        if (attempt(std::move(candidate))) progress = true;
+      }
+    }
+  }
+
+  s.shrunk_steps = current.size();
+  return current;
+}
+
+}  // namespace lbsa::modelcheck

@@ -1,0 +1,174 @@
+#include "protocols/mutants.h"
+
+#include "base/check.h"
+#include "spec/consensus_type.h"
+#include "spec/ksa_type.h"
+#include "spec/pac_type.h"
+
+namespace lbsa::protocols {
+namespace {
+
+// locals layout shared with DacFromPacProtocol: [input, temp].
+constexpr std::int64_t kInput = 0;
+constexpr std::int64_t kTemp = 1;
+
+const char* bug_name(MutantDacProtocol::Bug bug) {
+  return bug == MutantDacProtocol::Bug::kNoAdopt ? "no-adopt" : "wrong-abort";
+}
+
+}  // namespace
+
+MutantDacProtocol::MutantDacProtocol(std::vector<Value> inputs, Bug bug,
+                                     int distinguished_pid)
+    : ProtocolBase("mutant-DAC-" + std::string(bug_name(bug)) + "-" +
+                       std::to_string(inputs.size()),
+                   static_cast<int>(inputs.size()),
+                   {std::make_shared<spec::PacType>(
+                       static_cast<int>(inputs.size()))}),
+      inputs_(std::move(inputs)),
+      bug_(bug),
+      distinguished_pid_(distinguished_pid) {
+  LBSA_CHECK(inputs_.size() >= 2);
+  LBSA_CHECK(distinguished_pid_ >= 0 &&
+             distinguished_pid_ < static_cast<int>(inputs_.size()));
+  for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
+}
+
+std::vector<std::int64_t> MutantDacProtocol::initial_locals(int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::Action MutantDacProtocol::next_action(
+    int pid, const sim::ProcessState& state) const {
+  const std::int64_t label = pid + 1;
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(
+          0, spec::make_propose_labeled(state.locals[kInput], label));
+    case 1:
+      return sim::Action::invoke(0, spec::make_decide_labeled(label));
+    case 2: {
+      const Value temp = state.locals[kTemp];
+      if (temp != kBottom) return sim::Action::decide(temp);
+      if (pid == distinguished_pid_) return sim::Action::abort();
+      // The injected bugs: a correct q would loop back and adopt.
+      if (bug_ == Bug::kNoAdopt) {
+        return sim::Action::decide(state.locals[kInput]);
+      }
+      return sim::Action::abort();
+    }
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void MutantDacProtocol::on_response(int /*pid*/, sim::ProcessState* state,
+                                    Value response) const {
+  switch (state->pc) {
+    case 0:
+      LBSA_CHECK(response == kDone);
+      state->pc = 1;
+      return;
+    case 1:
+      state->locals[kTemp] = response;
+      state->pc = 2;  // unconditionally terminal — no adopt retry loop
+      return;
+    default:
+      LBSA_CHECK_MSG(false, "response delivered at a local step");
+  }
+}
+
+namespace {
+
+// Consensus via one n-consensus object, deciding response + 1.
+class OffByOneConsensusProtocol final : public sim::ProtocolBase {
+ public:
+  explicit OffByOneConsensusProtocol(std::vector<Value> inputs)
+      : ProtocolBase("mutant-consensus-off-by-one-" +
+                         std::to_string(inputs.size()),
+                     static_cast<int>(inputs.size()),
+                     {std::make_shared<spec::NConsensusType>(
+                         static_cast<int>(inputs.size()))}),
+        inputs_(std::move(inputs)) {
+    LBSA_CHECK(inputs_.size() >= 1);
+    for (Value v : inputs_) {
+      LBSA_CHECK(is_ordinary(v));
+      // The bug decides winner + 1; keep inputs spaced so the decided value
+      // is genuinely never-proposed (otherwise validity could pass).
+      for (Value w : inputs_) LBSA_CHECK(v + 1 != w);
+    }
+  }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override {
+    return {inputs_[static_cast<size_t>(pid)], kNil};
+  }
+
+  sim::Action next_action(int /*pid*/,
+                          const sim::ProcessState& state) const override {
+    if (state.pc == 0) {
+      return sim::Action::invoke(0, spec::make_propose(state.locals[0]));
+    }
+    return sim::Action::decide(state.locals[1]);
+  }
+
+  void on_response(int /*pid*/, sim::ProcessState* state,
+                   Value response) const override {
+    LBSA_CHECK(state->pc == 0);
+    state->locals[1] = response + 1;  // the injected validity bug
+    state->pc = 1;
+  }
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+// One-shot propose over a k=3 SA object masquerading as 2-SA.
+class OverclaimedTwoSaProtocol final : public sim::ProtocolBase {
+ public:
+  explicit OverclaimedTwoSaProtocol(std::vector<Value> inputs)
+      : ProtocolBase("mutant-2sa-admits-3-" + std::to_string(inputs.size()),
+                     static_cast<int>(inputs.size()),
+                     {std::make_shared<spec::KsaType>(spec::kUnboundedPorts,
+                                                      3)}),
+        inputs_(std::move(inputs)) {
+    LBSA_CHECK(inputs_.size() >= 3);
+    for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
+  }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override {
+    return {inputs_[static_cast<size_t>(pid)], kNil};
+  }
+
+  sim::Action next_action(int /*pid*/,
+                          const sim::ProcessState& state) const override {
+    if (state.pc == 0) {
+      return sim::Action::invoke(0, spec::make_propose(state.locals[0]));
+    }
+    return sim::Action::decide(state.locals[1]);
+  }
+
+  void on_response(int /*pid*/, sim::ProcessState* state,
+                   Value response) const override {
+    LBSA_CHECK(state->pc == 0);
+    state->locals[1] = response;
+    state->pc = 1;
+  }
+
+ private:
+  std::vector<Value> inputs_;
+};
+
+}  // namespace
+
+std::shared_ptr<const sim::Protocol> make_overclaimed_two_sa(
+    const std::vector<Value>& inputs) {
+  return std::make_shared<OverclaimedTwoSaProtocol>(inputs);
+}
+
+std::shared_ptr<const sim::Protocol> make_off_by_one_consensus(
+    const std::vector<Value>& inputs) {
+  return std::make_shared<OffByOneConsensusProtocol>(inputs);
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,67 @@
+// Deliberately broken protocol variants — mutation tests for the checkers.
+//
+// Every checker in this library (the exhaustive task checker, the fuzzer)
+// is itself code that can rot: a judge that silently stops flagging a
+// property would make the repository's "all claims verified" reports
+// meaningless. These mutants inject one specific, well-understood bug per
+// protocol so the test suite can assert that both check_*_task and fuzz_*
+// still catch each class of violation:
+//
+//   * MutantDacProtocol{kNoAdopt}    — Algorithm 2 with the adopt phase
+//     dropped: a non-distinguished process that reads ⊥ from its PAC decide
+//     decides its own input instead of re-proposing. Breaks Agreement.
+//   * MutantDacProtocol{kWrongAbort} — a non-distinguished process aborts
+//     on ⊥. Breaks the DAC Nontriviality rule "only p aborts".
+//   * make_overclaimed_two_sa       — "2-set agreement" backed by a 3-SA
+//     object (the paper's strong 2-SA object with k = 3): up to three
+//     distinct values can be returned. Breaks Agreement(2).
+//   * make_off_by_one_consensus     — consensus that decides response + 1:
+//     everyone agrees on a value nobody proposed. Breaks Validity (and
+//     only Validity — the agreement judge must stay silent).
+//
+// These protocols must never be used outside tests and the fuzz corpus.
+#ifndef LBSA_PROTOCOLS_MUTANTS_H_
+#define LBSA_PROTOCOLS_MUTANTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class MutantDacProtocol final : public sim::ProtocolBase {
+ public:
+  enum class Bug {
+    kNoAdopt,     // q != p decides its own input on ⊥ (drops the adopt read)
+    kWrongAbort,  // q != p aborts on ⊥ (only p may abort)
+  };
+
+  MutantDacProtocol(std::vector<Value> inputs, Bug bug,
+                    int distinguished_pid = 0);
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+
+ private:
+  std::vector<Value> inputs_;
+  Bug bug_;
+  int distinguished_pid_;
+};
+
+// "2-SA" one-shot protocol whose backing object actually admits three
+// distinct values (k = 3). Needs inputs.size() >= 3 to be able to violate.
+std::shared_ptr<const sim::Protocol> make_overclaimed_two_sa(
+    const std::vector<Value>& inputs);
+
+// Consensus via one n-consensus object, but every process decides
+// response + 1 — unanimous agreement on a never-proposed value.
+std::shared_ptr<const sim::Protocol> make_off_by_one_consensus(
+    const std::vector<Value>& inputs);
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_MUTANTS_H_

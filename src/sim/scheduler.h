@@ -67,22 +67,42 @@ class SoloAdversary : public Adversary {
   int outcome_choice_;
 };
 
-// Replays an explicit schedule of (pid, outcome) pairs, then stops.
+// Replays an explicit schedule of (pid, outcome) step entries and crash
+// events, then stops. Entries are validated against the configuration:
+// an out-of-range pid ends the run with kStop (and a logged diagnostic)
+// instead of indexing blindly; entries naming a process that already
+// terminated are skipped; an out-of-range outcome choice falls back to 0.
+// Every such repair is recorded in diagnostic().
 class ScriptedAdversary : public Adversary {
  public:
   struct Choice {
     int pid;
     int outcome = 0;
+    // True: crash `pid` before the next step instead of stepping it.
+    bool crash = false;
+
+    friend bool operator==(const Choice&, const Choice&) = default;
   };
   explicit ScriptedAdversary(std::vector<Choice> script)
       : script_(std::move(script)) {}
 
   int pick_process(const Config& config, std::uint64_t step_index) override;
   int pick_outcome(int outcome_count, std::uint64_t step_index) override;
+  // Serves the script's crash entries (Simulation::run applies these before
+  // each step). Out-of-range pids are dropped with a diagnostic.
+  std::vector<int> crashes(const Config& config,
+                           std::uint64_t step_index) override;
+
+  // Human-readable log of every script repair (empty if the script replayed
+  // verbatim). The first problem is also printed to stderr.
+  const std::string& diagnostic() const { return diagnostic_; }
 
  private:
+  void note(const std::string& message);
+
   std::vector<Choice> script_;
   size_t cursor_ = 0;
+  std::string diagnostic_;
 };
 
 // Wraps another adversary and injects crashes: crash_at[i] = (step, pid).

@@ -18,6 +18,24 @@ std::string schedule_to_string(const Protocol& protocol,
   return out;
 }
 
+std::string schedule_to_string(
+    const std::vector<ScriptedAdversary::Choice>& schedule) {
+  std::string out;
+  for (const ScriptedAdversary::Choice& choice : schedule) {
+    if (choice.crash) {
+      out += '!';
+      out += std::to_string(choice.pid);
+    } else {
+      out += std::to_string(choice.pid);
+      if (choice.outcome != 0) {
+        out += ':' + std::to_string(choice.outcome);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 StatusOr<std::vector<ScriptedAdversary::Choice>> parse_schedule(
     const std::string& text) {
   std::vector<ScriptedAdversary::Choice> schedule;
@@ -43,13 +61,21 @@ StatusOr<std::vector<ScriptedAdversary::Choice>> parse_schedule(
     }
     if (line.empty()) continue;
 
-    ScriptedAdversary::Choice choice{0, 0};
+    ScriptedAdversary::Choice choice{0, 0, false};
+    if (line.front() == '!') {
+      choice.crash = true;
+      line.remove_prefix(1);
+    }
     const char* begin = line.data();
     const char* stop = line.data() + line.size();
     auto [after_pid, pid_err] = std::from_chars(begin, stop, choice.pid);
     if (pid_err != std::errc{} || choice.pid < 0) {
       return invalid_argument("schedule line " + std::to_string(line_number) +
                               ": expected pid");
+    }
+    if (choice.crash && after_pid != stop) {
+      return invalid_argument("schedule line " + std::to_string(line_number) +
+                              ": crash event takes no outcome");
     }
     if (after_pid != stop) {
       if (*after_pid != ':') {
@@ -76,8 +102,16 @@ StatusOr<Simulation> replay_schedule(
     const std::vector<ScriptedAdversary::Choice>& schedule) {
   Simulation simulation(std::move(protocol));
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const auto [pid, outcome] = schedule[i];
-    if (pid >= simulation.process_count()) {
+    const auto [pid, outcome, crash] = schedule[i];
+    if (crash) {
+      if (pid < 0 || pid >= simulation.process_count()) {
+        return failed_precondition("replay step " + std::to_string(i) +
+                                   ": crash pid out of range");
+      }
+      simulation.crash(pid);
+      continue;
+    }
+    if (pid < 0 || pid >= simulation.process_count()) {
       return failed_precondition("replay step " + std::to_string(i) +
                                  ": pid out of range");
     }

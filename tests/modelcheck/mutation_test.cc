@@ -1,0 +1,92 @@
+// Mutation tests for the checkers themselves: protocols with one deliberate
+// injected bug each must be flagged by BOTH the randomized fuzzer and the
+// exhaustive task checker, for the property the bug breaks. A checker that
+// misses a planted bug is a broken checker — these tests are the regression
+// suite for the checking machinery, not for the protocols.
+#include <gtest/gtest.h>
+
+#include "modelcheck/corpus.h"
+#include "modelcheck/fuzz.h"
+#include "modelcheck/task_check.h"
+#include "protocols/mutants.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+struct Mutant {
+  const char* task;          // corpus-registry key
+  const char* property;      // the property the planted bug breaks
+};
+
+// Each entry isolates one safety property of the paper's tasks.
+const Mutant kMutants[] = {
+    {"mutant-dac-no-adopt3", "agreement"},
+    {"mutant-dac-wrong-abort3", "only-p-aborts"},
+    {"mutant-2sa4", "agreement"},
+    {"mutant-consensus-off-by-one3", "validity"},
+};
+
+TEST(Mutation, FuzzerFlagsEveryMutant) {
+  for (const Mutant& mutant : kMutants) {
+    SCOPED_TRACE(mutant.task);
+    auto task = make_named_task(mutant.task);
+    ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+    FuzzOptions options;
+    options.runs = 5000;
+    options.max_violations = 1;
+    const FuzzReport report = fuzz_named_task(task.value(), options);
+    ASSERT_FALSE(report.ok()) << "fuzzer missed the planted bug";
+    EXPECT_TRUE(report.violates(mutant.property))
+        << "found '" << report.violations[0].property << "' instead";
+  }
+}
+
+TEST(Mutation, ExhaustiveCheckerFlagsEveryMutant) {
+  for (const Mutant& mutant : kMutants) {
+    SCOPED_TRACE(mutant.task);
+    auto task = make_named_task(mutant.task);
+    ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+    StatusOr<TaskReport> report = invalid_argument("unset");
+    if (task.value().distinguished_pid >= 0) {
+      report = check_dac_task(task.value().protocol,
+                              task.value().distinguished_pid,
+                              task.value().inputs);
+    } else {
+      report = check_k_agreement_task(task.value().protocol, task.value().k,
+                                      task.value().inputs);
+    }
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    ASSERT_FALSE(report.value().ok())
+        << "exhaustive checker missed the planted bug";
+    EXPECT_TRUE(report.value().violates(mutant.property))
+        << report.value().to_string();
+  }
+}
+
+TEST(Mutation, CorrectCounterpartsStayClean) {
+  // The mutants' unmutated counterparts pass the same fuzz budgets — the
+  // mutation tests discriminate, they don't just flag everything.
+  for (const char* name : {"dac3", "twosa4"}) {
+    SCOPED_TRACE(name);
+    auto task = make_named_task(name);
+    ASSERT_TRUE(task.is_ok());
+    FuzzOptions options;
+    options.runs = 1000;
+    const FuzzReport report = fuzz_named_task(task.value(), options);
+    EXPECT_TRUE(report.ok())
+        << report.violations[0].property << ": "
+        << report.violations[0].detail;
+  }
+}
+
+TEST(MutationDeathTest, OffByOneMutantRejectsMaskableInputs) {
+  // Guard on the mutant's construction: the bug must not be maskable by an
+  // input collision (decided value == someone else's input), which the
+  // protocol's constructor enforces — inputs 100,101,102 would let the
+  // mutant decide 101 or 102 "validly".
+  EXPECT_DEATH(protocols::make_off_by_one_consensus({100, 101, 102}),
+               "LBSA_CHECK failed");
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

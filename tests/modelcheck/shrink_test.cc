@@ -1,0 +1,224 @@
+// Shrinker tests: the central invariant is that a shrunk schedule still
+// violates the SAME property as the raw finding under strict replay, and is
+// substantially smaller (<= 10% of the raw length, or already tiny).
+#include "modelcheck/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include "modelcheck/corpus.h"
+#include "modelcheck/fuzz.h"
+#include "sim/trace.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+// Replays `text` strictly and returns the property the final configuration
+// violates under the task's judge ("" if clean).
+std::string strict_replay_property(const NamedTask& task,
+                                   const std::string& text) {
+  auto schedule = sim::parse_schedule(text);
+  EXPECT_TRUE(schedule.is_ok()) << schedule.status().to_string();
+  if (!schedule.is_ok()) return "<parse error>";
+  auto replayed = sim::replay_schedule(task.protocol, schedule.value());
+  EXPECT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  if (!replayed.is_ok()) return "<replay error>";
+  return task.judge(replayed.value().config()).first;
+}
+
+TEST(Shrink, LenientRunRecordsStrictEffectiveSchedule) {
+  auto task = make_named_task("dac3");
+  ASSERT_TRUE(task.is_ok());
+  // A deliberately messy schedule: out-of-range pid, a crash of an already
+  // crashed process, an entry for the crashed process, bogus outcomes.
+  std::vector<sim::ScriptedAdversary::Choice> messy = {
+      {7, 0, false},         // dropped: no such process
+      {0, 99, false},        // outcome clamped to 0 where invalid
+      {1, 0, true},          // crash p1
+      {1, 0, true},          // dropped: already crashed
+      {1, 0, false}, {1, 0, false},  // dropped: p1 is crashed
+      {2, 0, false}, {0, 0, false}, {2, 0, false},
+  };
+  const ReplayOutcome outcome =
+      run_schedule_lenient(task.value().protocol, messy, task.value().judge);
+  EXPECT_FALSE(outcome.violated());
+  ASSERT_FALSE(outcome.effective.empty());
+  // The effective schedule must replay strictly, step for step.
+  auto replayed =
+      sim::replay_schedule(task.value().protocol, outcome.effective);
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  std::size_t steps = 0;
+  for (const auto& choice : outcome.effective) {
+    if (!choice.crash) ++steps;
+  }
+  EXPECT_EQ(replayed.value().history().size(), steps);
+}
+
+TEST(Shrink, LenientRunStopsAtFirstViolation) {
+  auto task = make_named_task("strawdac3");
+  ASSERT_TRUE(task.is_ok());
+  // Find a violating run, then append junk: the lenient executor must stop
+  // at the violation, so the junk never shows up in the effective schedule.
+  FuzzOptions options;
+  options.runs = 2000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report = fuzz_named_task(task.value(), options);
+  ASSERT_FALSE(report.violations.empty());
+  auto schedule = sim::parse_schedule(report.violations[0].schedule);
+  ASSERT_TRUE(schedule.is_ok());
+
+  auto padded = schedule.value();
+  for (int i = 0; i < 50; ++i) padded.push_back({0, 0, false});
+  const ReplayOutcome outcome = run_schedule_lenient(
+      task.value().protocol, padded, task.value().judge);
+  ASSERT_TRUE(outcome.violated());
+  EXPECT_EQ(outcome.property, report.violations[0].property);
+  EXPECT_LE(outcome.effective.size(), schedule.value().size());
+}
+
+TEST(Shrink, ShrunkScheduleViolatesSamePropertyAndIsSmall) {
+  // The acceptance invariant, over every bundled broken task: shrink the
+  // first raw finding and confirm (a) the same property under strict
+  // replay, (b) shrunk <= 10% of raw or <= 32 steps.
+  for (const std::string& name : named_task_names()) {
+    auto task = make_named_task(name);
+    ASSERT_TRUE(task.is_ok());
+    if (!task.value().expect_violation) continue;
+    SCOPED_TRACE(name);
+
+    FuzzOptions options;
+    options.runs = 5000;
+    options.max_violations = 1;
+    const FuzzReport report = fuzz_named_task(task.value(), options);
+    ASSERT_FALSE(report.violations.empty()) << "fuzz found nothing";
+    const FuzzViolation& v = report.violations[0];
+
+    EXPECT_EQ(strict_replay_property(task.value(), v.schedule), v.property);
+    EXPECT_EQ(strict_replay_property(task.value(), v.shrunk_schedule),
+              v.property);
+    EXPECT_LE(v.shrunk_steps, v.raw_steps);
+    EXPECT_TRUE(v.shrunk_steps * 10 <= v.raw_steps || v.shrunk_steps <= 32)
+        << "raw " << v.raw_steps << " -> shrunk " << v.shrunk_steps;
+    EXPECT_GT(report.shrink_replays, 0u);
+  }
+}
+
+TEST(Shrink, LongViolationShrinksDramatically) {
+  // Start from a deliberately bloated violating schedule (a short finding
+  // padded with hundreds of irrelevant interleaved steps) and require the
+  // shrinker to strip essentially all of the padding.
+  auto task = make_named_task("strawdac4");
+  ASSERT_TRUE(task.is_ok());
+  FuzzOptions options;
+  options.runs = 5000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report = fuzz_named_task(task.value(), options);
+  ASSERT_FALSE(report.violations.empty());
+  auto core = sim::parse_schedule(report.violations[0].schedule);
+  ASSERT_TRUE(core.is_ok());
+
+  // Pad the front with steps the violation does not need (they are skipped
+  // or harmless), plus crash entries of nonexistent processes.
+  std::vector<sim::ScriptedAdversary::Choice> bloated;
+  for (int i = 0; i < 400; ++i) bloated.push_back({9 + (i % 3), 0, true});
+  for (const auto& choice : core.value()) bloated.push_back(choice);
+  const ReplayOutcome raw = run_schedule_lenient(
+      task.value().protocol, bloated, task.value().judge);
+  ASSERT_TRUE(raw.violated());
+
+  ShrinkStats stats;
+  const auto shrunk =
+      shrink_schedule(task.value().protocol, bloated, task.value().judge,
+                      raw.property, {}, &stats);
+  EXPECT_LT(shrunk.size(), core.value().size() + 1);
+  EXPECT_LE(shrunk.size() * 2, bloated.size());
+  EXPECT_GT(stats.replays, 0u);
+  const ReplayOutcome check = run_schedule_lenient(
+      task.value().protocol, shrunk, task.value().judge);
+  EXPECT_EQ(check.property, raw.property);
+  EXPECT_EQ(check.effective, shrunk);  // shrinker output is its own
+                                       // effective schedule (strict-valid)
+}
+
+TEST(Shrink, DeterministicForEqualInputs) {
+  auto task = make_named_task("strawdac3");
+  ASSERT_TRUE(task.is_ok());
+  FuzzOptions options;
+  options.runs = 2000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report = fuzz_named_task(task.value(), options);
+  ASSERT_FALSE(report.violations.empty());
+  auto schedule = sim::parse_schedule(report.violations[0].schedule);
+  ASSERT_TRUE(schedule.is_ok());
+  const std::string property = report.violations[0].property;
+
+  const auto a = shrink_schedule(task.value().protocol, schedule.value(),
+                                 task.value().judge, property);
+  const auto b = shrink_schedule(task.value().protocol, schedule.value(),
+                                 task.value().judge, property);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shrink, NonReproducingScheduleReturnedUnchanged) {
+  auto task = make_named_task("dac3");
+  ASSERT_TRUE(task.is_ok());
+  const std::vector<sim::ScriptedAdversary::Choice> clean = {
+      {0, 0, false}, {1, 0, false}, {2, 0, false}};
+  // dac3 never violates agreement, so shrinking against "agreement" cannot
+  // reproduce; the input must come back unchanged.
+  const auto shrunk = shrink_schedule(task.value().protocol, clean,
+                                      task.value().judge, "agreement");
+  EXPECT_EQ(shrunk, clean);
+}
+
+TEST(Shrink, StatsObjectCanBeReusedAcrossCalls) {
+  // Regression: shrink_schedule must reset a caller-provided ShrinkStats —
+  // stale `rounds` from a previous call used to stop all later shrinking.
+  auto task = make_named_task("strawdac3");
+  ASSERT_TRUE(task.is_ok());
+  FuzzOptions options;
+  options.runs = 2000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report = fuzz_named_task(task.value(), options);
+  ASSERT_FALSE(report.violations.empty());
+  auto schedule = sim::parse_schedule(report.violations[0].schedule);
+  ASSERT_TRUE(schedule.is_ok());
+  const std::string property = report.violations[0].property;
+
+  ShrinkStats stats;
+  const auto first =
+      shrink_schedule(task.value().protocol, schedule.value(),
+                      task.value().judge, property, {}, &stats);
+  const std::uint64_t first_replays = stats.replays;
+  const auto second =
+      shrink_schedule(task.value().protocol, schedule.value(),
+                      task.value().judge, property, {}, &stats);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(stats.replays, first_replays);
+}
+
+TEST(Shrink, ReplayBudgetIsRespected) {
+  auto task = make_named_task("strawdac5");
+  ASSERT_TRUE(task.is_ok());
+  FuzzOptions options;
+  options.runs = 5000;
+  options.max_violations = 1;
+  options.shrink_violations = false;
+  const FuzzReport report = fuzz_named_task(task.value(), options);
+  ASSERT_FALSE(report.violations.empty());
+  auto schedule = sim::parse_schedule(report.violations[0].schedule);
+  ASSERT_TRUE(schedule.is_ok());
+
+  ShrinkOptions tight;
+  tight.max_replays = 10;
+  ShrinkStats stats;
+  shrink_schedule(task.value().protocol, schedule.value(), task.value().judge,
+                  report.violations[0].property, tight, &stats);
+  EXPECT_LE(stats.replays, 10u);
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

@@ -82,6 +82,86 @@ TEST(ScriptedAdversary, ReplaysScriptThenStops) {
   EXPECT_EQ(adv.pick_process(config, 3), Adversary::kStop);
 }
 
+TEST(ScriptedAdversary, OutOfRangePidStopsWithDiagnostic) {
+  // A malformed script must not index the configuration blindly: the run
+  // ends (kStop) and the repair is recorded.
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  ScriptedAdversary adv({{1, 0}, {7, 0}, {0, 0}});
+  EXPECT_EQ(adv.pick_process(config, 0), 1);
+  adv.pick_outcome(1, 0);
+  EXPECT_EQ(adv.pick_process(config, 1), Adversary::kStop);
+  EXPECT_NE(adv.diagnostic().find("pid 7"), std::string::npos)
+      << adv.diagnostic();
+  // The script is abandoned — later entries are not served.
+  EXPECT_EQ(adv.pick_process(config, 2), Adversary::kStop);
+}
+
+TEST(ScriptedAdversary, NegativePidStopsWithDiagnostic) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  ScriptedAdversary adv({{-3, 0}});
+  EXPECT_EQ(adv.pick_process(config, 0), Adversary::kStop);
+  EXPECT_FALSE(adv.diagnostic().empty());
+}
+
+TEST(ScriptedAdversary, SkipsTerminatedProcessesWithDiagnostic) {
+  auto protocol = make_protocol();
+  Config config = initial_config(*protocol);
+  config.procs[1].status = ProcStatus::kCrashed;
+  ScriptedAdversary adv({{1, 0}, {2, 0}});
+  EXPECT_EQ(adv.pick_process(config, 0), 2);
+  EXPECT_NE(adv.diagnostic().find("skip"), std::string::npos)
+      << adv.diagnostic();
+}
+
+TEST(ScriptedAdversary, OutOfRangeOutcomeFallsBackToZero) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  ScriptedAdversary adv({{0, 5}});
+  EXPECT_EQ(adv.pick_process(config, 0), 0);
+  // The step offers 2 outcomes; the scripted 5 is invalid.
+  EXPECT_EQ(adv.pick_outcome(2, 0), 0);
+  EXPECT_NE(adv.diagnostic().find("outcome"), std::string::npos)
+      << adv.diagnostic();
+}
+
+TEST(ScriptedAdversary, ValidScriptLeavesNoDiagnostic) {
+  auto protocol = make_protocol();
+  const Config config = initial_config(*protocol);
+  ScriptedAdversary adv({{1, 0}, {0, 0}});
+  EXPECT_EQ(adv.pick_process(config, 0), 1);
+  adv.pick_outcome(1, 0);
+  EXPECT_EQ(adv.pick_process(config, 1), 0);
+  adv.pick_outcome(1, 1);
+  EXPECT_TRUE(adv.diagnostic().empty()) << adv.diagnostic();
+}
+
+TEST(ScriptedAdversary, ServesCrashEntries) {
+  auto protocol = make_protocol();
+  Simulation simulation(protocol);
+  // Crash p2 up front, then run p0 and p1 one step each.
+  ScriptedAdversary adv({{2, 0, true}, {0, 0}, {1, 0}});
+  RunResult result = simulation.run(&adv, {.max_steps = 100});
+  EXPECT_FALSE(result.all_terminated);
+  EXPECT_TRUE(simulation.config().procs[2].crashed());
+  EXPECT_EQ(simulation.history().size(), 2u);
+  EXPECT_TRUE(adv.diagnostic().empty()) << adv.diagnostic();
+}
+
+TEST(ScriptedAdversary, DropsInvalidCrashEntries) {
+  auto protocol = make_protocol();
+  Simulation simulation(protocol);
+  ScriptedAdversary adv({{9, 0, true}, {0, 0}});
+  simulation.run(&adv, {.max_steps = 100});
+  for (const auto& ps : simulation.config().procs) {
+    EXPECT_FALSE(ps.crashed());
+  }
+  EXPECT_EQ(simulation.history().size(), 1u);
+  EXPECT_NE(adv.diagnostic().find("crash"), std::string::npos)
+      << adv.diagnostic();
+}
+
 TEST(CrashingAdversary, InjectsCrashesAtStep) {
   auto protocol = make_protocol();
   Simulation simulation(protocol);

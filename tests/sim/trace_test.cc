@@ -79,6 +79,82 @@ TEST(Trace, ReplayRejectsInvalidSchedules) {
   EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(Trace, ParsesCrashEvents) {
+  auto parsed = parse_schedule("!2\n0\n!1  # crash p1\n1:3\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().size(), 4u);
+  EXPECT_EQ(parsed.value()[0],
+            (ScriptedAdversary::Choice{2, 0, true}));
+  EXPECT_EQ(parsed.value()[1],
+            (ScriptedAdversary::Choice{0, 0, false}));
+  EXPECT_EQ(parsed.value()[2],
+            (ScriptedAdversary::Choice{1, 0, true}));
+  EXPECT_EQ(parsed.value()[3],
+            (ScriptedAdversary::Choice{1, 3, false}));
+}
+
+TEST(Trace, RejectsMalformedCrashEvents) {
+  EXPECT_FALSE(parse_schedule("!").is_ok());
+  EXPECT_FALSE(parse_schedule("!x").is_ok());
+  EXPECT_FALSE(parse_schedule("!-1").is_ok());
+  // A crash event carries no outcome.
+  EXPECT_FALSE(parse_schedule("!2:1").is_ok());
+}
+
+TEST(Trace, CanonicalFormRoundTripsRandomizedSchedules) {
+  // Property test: for randomized schedules (including crash events and
+  // nondeterministic outcomes), format -> parse -> format is the identity
+  // on text, and parse recovers the exact choice list.
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ScriptedAdversary::Choice> schedule;
+    const int length = 1 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < length; ++i) {
+      ScriptedAdversary::Choice choice;
+      choice.pid = static_cast<int>(rng.next_below(6));
+      if (rng.next_below(8) == 0) {
+        choice.crash = true;
+      } else {
+        choice.outcome = static_cast<int>(rng.next_below(3));
+      }
+      schedule.push_back(choice);
+    }
+    const std::string text = schedule_to_string(schedule);
+    auto parsed = parse_schedule(text);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n"
+                                << text;
+    EXPECT_EQ(parsed.value(), schedule);
+    EXPECT_EQ(schedule_to_string(parsed.value()), text);
+  }
+}
+
+TEST(Trace, ReplayAppliesCrashEvents) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20, 30});
+  // Reference run: crash p0 up front, then p1 solo until it decides.
+  Simulation reference(protocol);
+  reference.crash(0);
+  std::vector<ScriptedAdversary::Choice> schedule = {{0, 0, true}};
+  while (!reference.config().procs[1].decided()) {
+    reference.step(1);
+    schedule.push_back({1, 0, false});
+  }
+  auto replayed = replay_schedule(protocol, schedule);
+  ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
+  EXPECT_TRUE(replayed.value().config().procs[0].crashed());
+  EXPECT_TRUE(replayed.value().config().procs[1].decided());
+  EXPECT_EQ(replayed.value().config(), reference.config());
+  // The crash is a schedule event, not a step: history excludes it.
+  EXPECT_EQ(replayed.value().history().size(), schedule.size() - 1);
+}
+
+TEST(Trace, ReplayRejectsOutOfRangeCrashes) {
+  auto protocol =
+      std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});
+  EXPECT_FALSE(replay_schedule(protocol, {{7, 0, true}}).is_ok());
+  EXPECT_FALSE(replay_schedule(protocol, {{-1, 0, true}}).is_ok());
+}
+
 TEST(Trace, SerializedFormIsCommented) {
   auto protocol =
       std::make_shared<DacFromPacProtocol>(std::vector<Value>{10, 20});

@@ -1,0 +1,150 @@
+// fuzz_shrink_cli — fuzz a named protocol task, shrink every finding, and
+// emit the findings as corpus files (modelcheck/corpus.h format). The
+// produced files are meant to be checked in under tests/corpus/, where the
+// corpus replay test re-executes them on every ctest run.
+//
+//   ./fuzz_shrink_cli --list
+//   ./fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]
+//                     [--coverage] [--max-violations V] [--out DIR]
+//
+// Without --out, found schedules are printed to stdout. Exit code: 0 if
+// the fuzz outcome matches the task's expectation (violations for broken
+// tasks, a clean report for correct ones), 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "modelcheck/corpus.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_shrink_cli --list\n"
+      "       fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]\n"
+      "                       [--coverage] [--max-violations V] [--out DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsa;
+  if (argc < 2) return usage();
+
+  if (!std::strcmp(argv[1], "--list")) {
+    for (const std::string& name : modelcheck::named_task_names()) {
+      const auto task = modelcheck::make_named_task(name);
+      std::printf("%-28s %s%s\n", name.c_str(),
+                  task.value().description.c_str(),
+                  task.value().expect_violation ? "  [broken]" : "");
+    }
+    return 0;
+  }
+
+  auto task_or = modelcheck::make_named_task(argv[1]);
+  if (!task_or.is_ok()) {
+    std::fprintf(stderr, "%s\n", task_or.status().to_string().c_str());
+    return usage();
+  }
+  const modelcheck::NamedTask& task = task_or.value();
+
+  modelcheck::FuzzOptions options;
+  options.runs = 2000;
+  const char* out_dir = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--runs")) {
+      options.runs = std::strtoull(next_arg("--runs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      options.seed = std::strtoull(next_arg("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      options.threads =
+          static_cast<int>(std::strtol(next_arg("--threads"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--max-violations")) {
+      options.max_violations = static_cast<int>(
+          std::strtol(next_arg("--max-violations"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--coverage")) {
+      options.coverage_guided = true;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_dir = next_arg("--out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  const modelcheck::FuzzReport report =
+      modelcheck::fuzz_named_task(task, options);
+
+  std::printf("%s: %llu runs (%llu terminated), %llu distinct fingerprints, "
+              "%llu interesting, %llu mutated, %zu violations "
+              "(%llu shrink replays)\n",
+              task.name.c_str(),
+              static_cast<unsigned long long>(report.runs_executed),
+              static_cast<unsigned long long>(report.runs_terminated),
+              static_cast<unsigned long long>(report.distinct_fingerprints),
+              static_cast<unsigned long long>(report.interesting_runs),
+              static_cast<unsigned long long>(report.mutated_runs),
+              report.violations.size(),
+              static_cast<unsigned long long>(report.shrink_replays));
+
+  int file_index = 0;
+  for (const modelcheck::FuzzViolation& v : report.violations) {
+    std::printf("  %s: %s — %llu raw steps -> %llu shrunk\n",
+                v.property.c_str(), v.detail.c_str(),
+                static_cast<unsigned long long>(v.raw_steps),
+                static_cast<unsigned long long>(v.shrunk_steps));
+    modelcheck::CorpusCase c;
+    c.task = task.name;
+    c.property = v.property;
+    c.detail = v.detail + " (seed " + std::to_string(options.seed) +
+               ", run_seed " + std::to_string(v.run_seed) + ", raw " +
+               std::to_string(v.raw_steps) + " steps)";
+    auto schedule = sim::parse_schedule(v.shrunk_schedule);
+    if (!schedule.is_ok()) {
+      std::fprintf(stderr, "internal error: shrunk schedule unparsable: %s\n",
+                   schedule.status().to_string().c_str());
+      return 1;
+    }
+    c.schedule = schedule.value();
+    const Status replay = modelcheck::replay_corpus_case(c);
+    if (!replay.is_ok()) {
+      std::fprintf(stderr, "internal error: corpus case fails replay: %s\n",
+                   replay.to_string().c_str());
+      return 1;
+    }
+    const std::string text = modelcheck::corpus_case_to_string(c);
+    if (out_dir != nullptr) {
+      const std::string path = std::string(out_dir) + "/" + task.name + "-" +
+                               v.property + "-" +
+                               std::to_string(file_index++) + ".corpus";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << text;
+      std::printf("  wrote %s\n", path.c_str());
+    } else {
+      std::printf("%s", text.c_str());
+    }
+  }
+
+  const bool expected = report.ok() != task.expect_violation;
+  if (!expected) {
+    std::fprintf(stderr, "%s: unexpected outcome (%s task, %zu violations)\n",
+                 task.name.c_str(),
+                 task.expect_violation ? "broken" : "correct",
+                 report.violations.size());
+  }
+  return expected ? 0 : 1;
+}

@@ -6,13 +6,9 @@
 //   ./schedule_replayer <protocol> <schedule-file> [--record <out-file>]
 //   ./schedule_replayer <protocol> --random <seed> [--record <out-file>]
 //
-// protocols:
-//   dac3        3-DAC via one 3-PAC (inputs 100,101,102; p = 0)
-//   dac4        4-DAC via one 4-PAC
-//   consensus3  one-shot consensus via a 3-consensus object
-//   twosa3      2-set agreement among 3 via one 2-SA
-//   benor       Ben-Or, 2 processes, inputs 0/1, 8 rounds
-//   strawdac    the agreement-violating straw-man 3-DAC
+// Protocol names resolve through the modelcheck/corpus.h registry (the same
+// keys tools/fuzz_shrink_cli uses — run `fuzz_shrink_cli --list`); a few
+// legacy aliases from before the registry existed are kept below.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +17,7 @@
 #include <optional>
 #include <sstream>
 
+#include "modelcheck/corpus.h"
 #include "protocols/ben_or.h"
 #include "protocols/dac_from_pac.h"
 #include "protocols/one_shot.h"
@@ -31,10 +28,10 @@ namespace {
 
 std::shared_ptr<const lbsa::sim::Protocol> pick(const char* name) {
   using namespace lbsa;
-  if (!std::strcmp(name, "dac3")) {
-    return std::make_shared<protocols::DacFromPacProtocol>(
-        std::vector<Value>{100, 101, 102});
+  if (auto task = modelcheck::make_named_task(name); task.is_ok()) {
+    return task.value().protocol;
   }
+  // Legacy aliases predating the registry.
   if (!std::strcmp(name, "dac4")) {
     return std::make_shared<protocols::DacFromPacProtocol>(
         std::vector<Value>{100, 101, 102, 103});
@@ -45,7 +42,7 @@ std::shared_ptr<const lbsa::sim::Protocol> pick(const char* name) {
   if (!std::strcmp(name, "twosa3")) {
     return protocols::make_ksa_via_two_sa({100, 101, 102});
   }
-  if (!std::strcmp(name, "benor")) {
+  if (!std::strcmp(name, "benor2")) {
     return std::make_shared<protocols::BenOrProtocol>(
         std::vector<Value>{0, 1}, 8);
   }
@@ -57,10 +54,16 @@ std::shared_ptr<const lbsa::sim::Protocol> pick(const char* name) {
 }
 
 int usage() {
+  std::string names;
+  for (const std::string& name : lbsa::modelcheck::named_task_names()) {
+    names += " " + name;
+  }
   std::fprintf(stderr,
                "usage: schedule_replayer <protocol> <schedule-file>\n"
                "       schedule_replayer <protocol> --random <seed>\n"
-               "protocols: dac3 dac4 consensus3 twosa3 benor strawdac\n");
+               "protocols:%s\n"
+               "legacy aliases: dac4 consensus3 twosa3 benor2 strawdac\n",
+               names.c_str());
   return 2;
 }
 
