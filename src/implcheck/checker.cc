@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "base/check.h"
+#include "obs/obs.h"
 
 namespace lbsa::implcheck {
 namespace {
@@ -185,8 +186,19 @@ StatusOr<ImplCheckResult> check_implementation(
   if (total_ops > 64) {
     return invalid_argument("implcheck: at most 64 operations per workload");
   }
+  // One task span per workload check (the per-execution lincheck calls
+  // underneath record counters only).
+  LBSA_OBS_SPAN(span, "implcheck.check", obs::kCatTask, /*lane=*/0);
+  LBSA_OBS_COUNTER_ADD("implcheck.checks", 1);
   Search search(impl, per_thread_ops, options);
-  return search.run();
+  StatusOr<ImplCheckResult> result = search.run();
+  if (result.is_ok()) {
+    LBSA_OBS_COUNTER_ADD("implcheck.executions",
+                         result.value().executions_checked);
+    span.arg("executions",
+             static_cast<std::int64_t>(result.value().executions_checked));
+  }
+  return result;
 }
 
 }  // namespace lbsa::implcheck

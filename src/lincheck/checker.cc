@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/hashing.h"
+#include "obs/obs.h"
 
 namespace lbsa::lincheck {
 namespace {
@@ -115,7 +116,18 @@ StatusOr<LincheckResult> check_linearizable(const spec::ObjectType& type,
     }
   }
   Search search(type, history, options);
-  return search.run();
+  StatusOr<LincheckResult> result = search.run();
+  // Counters only, no spans: implcheck calls this once per explored
+  // execution, far too often for per-call trace events. Search order is
+  // deterministic, so states_explored totals are stable.
+  LBSA_OBS_COUNTER_ADD("lincheck.histories", 1);
+  if (result.is_ok()) {
+    LBSA_OBS_COUNTER_ADD("lincheck.states", result.value().states_explored);
+    LBSA_OBS_HISTOGRAM_OBSERVE("lincheck.witness_depth",
+                               result.value().witness.size());
+    LBSA_OBS_HISTOGRAM_OBSERVE("lincheck.history_length", history.size());
+  }
+  return result;
 }
 
 }  // namespace lbsa::lincheck

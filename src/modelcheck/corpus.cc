@@ -1,5 +1,6 @@
 #include "modelcheck/corpus.h"
 
+#include <cstdlib>
 #include <functional>
 #include <utility>
 
@@ -185,6 +186,10 @@ std::string corpus_case_to_string(const CorpusCase& c) {
   out += "# task: " + c.task + "\n";
   out += "# property: " + c.property + "\n";
   if (!c.detail.empty()) out += "# detail: " + c.detail + "\n";
+  if (!c.engine.empty()) {
+    out += "# seed: " + std::to_string(c.seed) + "\n";
+    out += "# engine: " + c.engine + "\n";
+  }
   out += sim::schedule_to_string(c.schedule);
   return out;
 }
@@ -206,6 +211,10 @@ StatusOr<CorpusCase> parse_corpus_case(const std::string& text) {
     if (auto v = header_value("task"); !v.empty()) c.task = v;
     if (auto v = header_value("property"); !v.empty()) c.property = v;
     if (auto v = header_value("detail"); !v.empty()) c.detail = v;
+    if (auto v = header_value("seed"); !v.empty()) {
+      c.seed = std::strtoull(v.c_str(), nullptr, 10);
+    }
+    if (auto v = header_value("engine"); !v.empty()) c.engine = v;
   }
   if (c.task.empty()) {
     return invalid_argument("corpus file: missing '# task:' header");

@@ -57,11 +57,16 @@ std::vector<std::string> named_task_names();
 // Runs the right fuzzer (fuzz_k_agreement / fuzz_dac) for the task.
 FuzzReport fuzz_named_task(const NamedTask& task, const FuzzOptions& options);
 
-// One corpus entry.
+// One corpus entry. `seed` and `engine` record the fuzzer configuration
+// that produced the finding (`# seed:` / `# engine:` headers) — informational
+// provenance for reproducing the original fuzz session; replay needs only
+// the schedule. Absent in pre-provenance corpus files ("" / 0).
 struct CorpusCase {
   std::string task;      // named-task key
   std::string property;  // property the schedule must violate on replay
   std::string detail;    // informational (violation detail, provenance)
+  std::uint64_t seed = 0;  // FuzzOptions::seed of the generating session
+  std::string engine;      // "blind" | "coverage" ("" if unrecorded)
   std::vector<sim::ScriptedAdversary::Choice> schedule;
 };
 

@@ -10,6 +10,7 @@
 #include "base/check.h"
 #include "base/hashing.h"
 #include "modelcheck/interning.h"
+#include "obs/obs.h"
 
 namespace lbsa::modelcheck {
 namespace {
@@ -24,6 +25,25 @@ int resolve_threads(const ExploreOptions& options) {
   if (options.threads > 0) return options.threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// End-of-run level statistics, derived from the canonical graph so both
+// engines report byte-identical values: one frontier-size observation per
+// BFS level, the level count, and the maximum depth.
+void record_graph_metrics(const ConfigGraph& graph) {
+  if (!obs::metrics_enabled()) return;
+  std::vector<std::uint64_t> level_sizes;
+  for (const Node& node : graph.nodes()) {
+    if (node.depth >= level_sizes.size()) level_sizes.resize(node.depth + 1, 0);
+    ++level_sizes[node.depth];
+  }
+  for (std::uint64_t size : level_sizes) {
+    LBSA_OBS_HISTOGRAM_OBSERVE("explore.frontier_size", size);
+  }
+  LBSA_OBS_COUNTER_ADD("explore.levels", level_sizes.size());
+  if (!level_sizes.empty()) {
+    LBSA_OBS_GAUGE_MAX("explore.max_depth", level_sizes.size() - 1);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -52,6 +72,7 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     auto [it, inserted] =
         index.try_emplace(key, static_cast<std::uint32_t>(graph.nodes_.size()));
     if (inserted) {
+      LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
       graph.nodes_.push_back(Node{std::move(config), flag, depth});
       graph.edges_.emplace_back();
       graph.parents_.emplace_back(parent, step);
@@ -65,6 +86,36 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
   std::deque<std::uint32_t> frontier;
   frontier.push_back(0);
 
+  // One "explore.level" phase event per BFS level. The frontier is a FIFO,
+  // so popped depths are non-decreasing and a depth change marks a level
+  // boundary — matching the parallel engine's one-span-per-level exactly.
+  bool level_open = false;
+  std::uint64_t level_start_us = 0;
+  std::uint32_t span_depth = 0;
+  std::uint64_t span_nodes = 0;
+  auto close_level_span = [&] {
+    if (!level_open) return;
+    level_open = false;
+    obs::TraceEvent event;
+    event.name = "explore.level";
+    event.cat = obs::kCatPhase;
+    event.lane = 0;
+    event.ts_us = level_start_us;
+    const std::uint64_t now = obs::trace_now_us();
+    event.dur_us = now >= level_start_us ? now - level_start_us : 0;
+    event.args.emplace_back("level", span_depth);
+    event.args.emplace_back("nodes", static_cast<std::int64_t>(span_nodes));
+    obs::Tracer::global().record(std::move(event));
+  };
+  auto open_level_span = [&](std::uint32_t d) {
+    span_depth = d;
+    span_nodes = 0;
+    if (!obs::tracing_enabled()) return;
+    level_open = true;
+    level_start_us = obs::trace_now_us();
+  };
+  open_level_span(0);
+
   std::vector<sim::Successor> successors;
   while (!frontier.empty()) {
     const std::uint32_t id = frontier.front();
@@ -73,6 +124,12 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     const sim::Config config = graph.nodes_[id].config;
     const std::int64_t flag = graph.nodes_[id].flag;
     const std::uint32_t depth = graph.nodes_[id].depth;
+
+    if (depth != span_depth) {
+      close_level_span();
+      open_level_span(depth);
+    }
+    ++span_nodes;
 
     const int n = static_cast<int>(config.procs.size());
     for (int pid = 0; pid < n; ++pid) {
@@ -87,6 +144,7 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
         graph.edges_[id].push_back(
             Edge{to, pid, succ.step.action.kind});
         ++graph.transition_count_;
+        LBSA_OBS_COUNTER_ADD("explore.transitions", 1);
         if (inserted) {
           if (graph.nodes_.size() > options.max_nodes) {
             if (!options.allow_truncation) {
@@ -106,8 +164,10 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
       }
     }
   }
+  close_level_span();
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
+  record_graph_metrics(graph);
   return graph;
 }
 
@@ -181,6 +241,15 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     root_id = table.intern(root_key, [&] {
                      return NodePayload{std::move(root_copy), initial_flag, 0};
                    }).id;
+    LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
+  }
+
+  if (obs::tracing_enabled()) {
+    obs::Tracer::global().set_lane_name(0, "coordinator");
+    for (int t = 0; t < threads; ++t) {
+      obs::Tracer::global().set_lane_name(t + 1,
+                                          "worker " + std::to_string(t));
+    }
   }
 
   std::vector<WorkItem> frontier;
@@ -202,6 +271,10 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     while (true) {
       level_start.arrive_and_wait();
       if (done.load(std::memory_order_acquire)) return;
+      // Per-worker-thread lane; "worker" events scale with the pool size and
+      // are excluded from trace-count determinism comparisons.
+      obs::Span worker_span("explore.worker", obs::kCatWorker, widx + 1);
+      std::uint64_t expanded = 0;
       while (!exhausted.load(std::memory_order_relaxed)) {
         const std::size_t begin =
             cursor.fetch_add(kChunk, std::memory_order_relaxed);
@@ -209,6 +282,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
         const std::size_t end = std::min(frontier.size(), begin + kChunk);
         for (std::size_t i = begin;
              i < end && !exhausted.load(std::memory_order_relaxed); ++i) {
+          ++expanded;
           WorkItem& item = frontier[i];
           std::vector<RawEdge> raw;
           const int n = static_cast<int>(item.config.procs.size());
@@ -227,7 +301,9 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
               });
               raw.push_back(RawEdge{res.id, succ.step});
               ++out.transitions;
+              LBSA_OBS_COUNTER_ADD("explore.transitions", 1);
               if (!res.inserted) continue;
+              LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
               if (table.size() > options.max_nodes) {
                 if (!options.allow_truncation) {
                   exhausted.store(true, std::memory_order_relaxed);
@@ -246,6 +322,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
           out.edges.emplace_back(item.id, std::move(raw));
         }
       }
+      worker_span.arg("expanded", static_cast<std::int64_t>(expanded));
       level_end.arrive_and_wait();
     }
   };
@@ -257,6 +334,10 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> all_edges;
   std::uint64_t transition_count = 0;
   while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
+    // Mirrors the serial engine's one "explore.level" phase span per level.
+    obs::Span level_span("explore.level", obs::kCatPhase, /*lane=*/0);
+    level_span.arg("level", depth);
+    level_span.arg("nodes", static_cast<std::int64_t>(frontier.size()));
     cursor.store(0, std::memory_order_relaxed);
     level_start.arrive_and_wait();
     // Workers expand this level...
@@ -279,6 +360,25 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   done.store(true, std::memory_order_release);
   level_start.arrive_and_wait();
   for (std::thread& t : pool) t.join();
+
+  // Intern-table occupancy / probe lengths (quiescent). Probe totals depend
+  // on insertion interleaving and the serial engine has no intern table at
+  // all, so every explore.intern.* metric is volatile by construction.
+  if (obs::metrics_enabled()) {
+    const auto table_stats = table.stats();
+    LBSA_OBS_COUNTER_ADD_V("explore.intern.probes", table_stats.probes);
+    LBSA_OBS_GAUGE_SET_V("explore.intern.entries",
+                         static_cast<std::int64_t>(table_stats.entries));
+    LBSA_OBS_GAUGE_SET_V("explore.intern.slots",
+                         static_cast<std::int64_t>(table_stats.slots));
+    LBSA_OBS_GAUGE_SET_V(
+        "explore.intern.max_shard_entries",
+        static_cast<std::int64_t>(table_stats.max_shard_entries));
+    LBSA_OBS_HISTOGRAM_OBSERVE_V("explore.intern.probe_length",
+                                 table_stats.entries == 0
+                                     ? 0
+                                     : table_stats.probes / table_stats.entries);
+  }
 
   if (exhausted.load()) {
     return resource_exhausted("explore: node budget exceeded (" +
@@ -334,6 +434,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   LBSA_CHECK(graph.nodes_.size() == total);
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
+  record_graph_metrics(graph);
   return graph;
 }
 
@@ -356,6 +457,8 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
   const bool parallel =
       options.engine == ExploreEngine::kParallel ||
       (options.engine == ExploreEngine::kAuto && threads > 1);
+  LBSA_OBS_COUNTER_ADD("explore.runs", 1);
+  LBSA_OBS_SPAN(run_span, "explore.run", obs::kCatTask, /*lane=*/0);
   if (!parallel) {
     return explore_serial(options, flag_fn, initial_flag);
   }

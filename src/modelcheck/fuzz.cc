@@ -11,6 +11,7 @@
 #include "base/check.h"
 #include "base/hashing.h"
 #include "base/rng.h"
+#include "obs/obs.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
@@ -68,6 +69,11 @@ RunOutput execute_fresh_run(const std::shared_ptr<const sim::Protocol>& protocol
                             bool burst, const FuzzOptions& options,
                             bool record_clean_schedule) {
   RunOutput out;
+  // Live execution tallies are volatile: the blind engine keeps executing
+  // already-claimed runs past the deterministic early-stop cutoff, so the
+  // number of executions (unlike the report's runs_executed) is
+  // schedule-dependent.
+  LBSA_OBS_COUNTER_ADD_V("fuzz.exec.runs", 1);
   sim::Simulation simulation(protocol);
   sim::RandomAdversary uniform(seed);
   BurstAdversary bursty(seed);
@@ -115,6 +121,7 @@ RunOutput execute_mutated_run(
     const std::vector<ScriptedAdversary::Choice>& prefix, std::uint64_t seed,
     bool burst, const FuzzOptions& options) {
   RunOutput out;
+  LBSA_OBS_COUNTER_ADD_V("fuzz.exec.runs", 1);
   sim::Simulation simulation(protocol);
   const int n = simulation.process_count();
   std::unordered_set<std::uint64_t> seen;
@@ -184,14 +191,38 @@ RunOutput execute_mutated_run(
   return out;
 }
 
+// Mutation kinds, in the order rng.next_below(3) selects them.
+constexpr int kMutationKinds = 3;
+constexpr const char* kMutationName[kMutationKinds] = {"splice", "burst",
+                                                       "crash"};
+
+// Per-kind yield counters (LBSA_OBS_COUNTER_ADD caches one handle per call
+// site, so runtime-selected names need their own handle table). The
+// coverage engine is serial and seed-deterministic, so these are stable.
+obs::Counter* mutation_counter(int kind, bool interesting) {
+  auto make = [](int k, bool fresh) {
+    std::string name = std::string("fuzz.mutation.") + kMutationName[k];
+    if (fresh) name += ".interesting";
+    return obs::Registry::global().counter(name);
+  };
+  static obs::Counter* const applied[kMutationKinds] = {
+      make(0, false), make(1, false), make(2, false)};
+  static obs::Counter* const found_fresh[kMutationKinds] = {
+      make(0, true), make(1, true), make(2, true)};
+  return interesting ? found_fresh[kind] : applied[kind];
+}
+
 // Pool mutations: splice two interesting schedules, insert a solo burst,
-// or inject a crash event. Deterministic in `rng`.
+// or inject a crash event. Deterministic in `rng`; *kind_out reports which
+// mutation was applied (an index into kMutationName).
 std::vector<ScriptedAdversary::Choice> mutate_schedule(
     const std::deque<std::vector<ScriptedAdversary::Choice>>& pool,
-    int process_count, Xoshiro256& rng) {
+    int process_count, Xoshiro256& rng, int* kind_out) {
   std::vector<ScriptedAdversary::Choice> base =
       pool[rng.next_below(pool.size())];
-  switch (rng.next_below(3)) {
+  const int kind = static_cast<int>(rng.next_below(kMutationKinds));
+  *kind_out = kind;
+  switch (kind) {
     case 0: {  // splice: prefix of base + suffix of another pool entry
       const auto& other = pool[rng.next_below(pool.size())];
       const std::size_t cut_a = rng.next_below(base.size() + 1);
@@ -291,6 +322,8 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
                       const SafetyPredicate& judge,
                       const FuzzOptions& options) {
   FuzzReport report;
+  report.seed = options.seed;
+  report.engine = "blind";
   const std::uint64_t budget = options.runs;
   if (budget == 0) return report;
 
@@ -307,7 +340,9 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
   std::atomic<int> violations_found{0};
   std::atomic<bool> stop{false};
 
-  auto worker = [&]() {
+  auto worker = [&](int widx) {
+    // Per-worker lane; excluded from trace-count determinism comparisons.
+    obs::Span span("fuzz.worker", obs::kCatWorker, widx + 1);
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= budget) break;
@@ -328,12 +363,13 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
   }
   threads = static_cast<int>(
       std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), budget));
+  report.threads = threads;
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) workers.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) workers.emplace_back(worker, t);
     for (std::thread& w : workers) w.join();
   }
 
@@ -351,6 +387,9 @@ FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
                          const SafetyPredicate& judge,
                          const FuzzOptions& options) {
   FuzzReport report;
+  report.seed = options.seed;
+  report.engine = "coverage";
+  report.threads = 1;
   Xoshiro256 meta(options.seed);
   std::unordered_set<std::uint64_t> global;
   std::deque<std::vector<ScriptedAdversary::Choice>> pool;
@@ -363,11 +402,13 @@ FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
         !pool.empty() && meta.next_bool(options.mutation_fraction);
 
     RunOutput out;
+    int mutation_kind = -1;
     if (mutate) {
       ++report.mutated_runs;
       Xoshiro256 rng(run_seed);
-      const auto mutated =
-          mutate_schedule(pool, protocol->process_count(), rng);
+      const auto mutated = mutate_schedule(pool, protocol->process_count(),
+                                           rng, &mutation_kind);
+      mutation_counter(mutation_kind, /*interesting=*/false)->add(1);
       out = execute_mutated_run(protocol, judge, mutated, rng.next(), burst,
                                 options);
     } else {
@@ -383,8 +424,13 @@ FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
     }
     if (fresh) {
       ++report.interesting_runs;
+      // Mutation-kind yield: which mutations actually grow coverage.
+      if (mutation_kind >= 0) {
+        mutation_counter(mutation_kind, /*interesting=*/true)->add(1);
+      }
       pool.push_back(out.schedule);
       while (pool.size() > options.pool_limit) pool.pop_front();
+      LBSA_OBS_GAUGE_MAX("fuzz.pool.peak", pool.size());
     }
     if (out.violated) {
       FuzzViolation v;
@@ -485,8 +531,24 @@ FuzzReport fuzz_safety(std::shared_ptr<const sim::Protocol> protocol,
                        const FuzzOptions& options) {
   LBSA_CHECK(protocol != nullptr);
   LBSA_CHECK(options.max_violations >= 1);
-  return options.coverage_guided ? fuzz_coverage(protocol, judge, options)
-                                 : fuzz_blind(protocol, judge, options);
+  LBSA_OBS_SPAN(span, "fuzz.run", obs::kCatTask, /*lane=*/0);
+  FuzzReport report = options.coverage_guided
+                          ? fuzz_coverage(protocol, judge, options)
+                          : fuzz_blind(protocol, judge, options);
+  span.arg("runs", static_cast<std::int64_t>(report.runs_executed));
+  span.arg("violations", static_cast<std::int64_t>(report.violations.size()));
+  // Report aggregates are deterministic by construction (blind reports are
+  // byte-identical across thread counts; the coverage engine is serial), so
+  // the stable counters mirror the report, not the live execution tallies.
+  LBSA_OBS_COUNTER_ADD("fuzz.runs_executed", report.runs_executed);
+  LBSA_OBS_COUNTER_ADD("fuzz.runs_terminated", report.runs_terminated);
+  LBSA_OBS_COUNTER_ADD("fuzz.interesting_runs", report.interesting_runs);
+  LBSA_OBS_COUNTER_ADD("fuzz.mutated_runs", report.mutated_runs);
+  LBSA_OBS_COUNTER_ADD("fuzz.shrink_replays", report.shrink_replays);
+  LBSA_OBS_COUNTER_ADD("fuzz.violations", report.violations.size());
+  LBSA_OBS_GAUGE_MAX("fuzz.distinct_fingerprints",
+                     report.distinct_fingerprints);
+  return report;
 }
 
 FuzzReport fuzz_k_agreement(std::shared_ptr<const sim::Protocol> protocol,

@@ -84,6 +84,13 @@ struct FuzzReport {
   std::uint64_t runs_executed = 0;
   std::uint64_t runs_terminated = 0;  // all processes terminated in budget
 
+  // Reproduction header: the exact inputs that generated this report.
+  // Recorded in every report (and in corpus file headers, see corpus.h) so a
+  // finding is always traceable to its generating configuration.
+  std::uint64_t seed = 0;
+  std::string engine;  // "blind" | "coverage"
+  int threads = 1;     // resolved worker count (blind engine)
+
   // Coverage statistics (tracked in both modes).
   std::uint64_t distinct_fingerprints = 0;  // distinct configurations seen
   std::uint64_t interesting_runs = 0;  // runs that found a new fingerprint

@@ -46,6 +46,17 @@ class ShardedInternTable {
     bool inserted = false;
   };
 
+  // Quiescent-only occupancy / probe statistics, for observability.
+  // `probes` counts slot inspections across all intern() calls — its value
+  // depends on insertion order, so metrics derived from it must be
+  // registered volatile.
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t slots = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t max_shard_entries = 0;
+  };
+
   ShardedInternTable() = default;
   ShardedInternTable(const ShardedInternTable&) = delete;
   ShardedInternTable& operator=(const ShardedInternTable&) = delete;
@@ -62,6 +73,7 @@ class ShardedInternTable {
     const std::size_t mask = shard.slots.size() - 1;
     std::size_t idx = (h.lo >> kShardBits) & mask;
     while (true) {
+      ++shard.probes;
       Slot& slot = shard.slots[idx];
       if (slot.id == kEmpty) {
         // New key: append to the arena, assign the next local id.
@@ -102,6 +114,18 @@ class ShardedInternTable {
     return shards_[id & (kShardCount - 1)].payloads[id >> kShardBits];
   }
 
+  // Quiescent-only: aggregate occupancy and probe-length statistics.
+  Stats stats() const {
+    Stats out;
+    for (const Shard& shard : shards_) {
+      out.entries += shard.used;
+      out.slots += shard.slots.size();
+      out.probes += shard.probes;
+      if (shard.used > out.max_shard_entries) out.max_shard_entries = shard.used;
+    }
+    return out;
+  }
+
   // Quiescent-only: exclusive upper bound on assigned ids (the id space has
   // shard-striped gaps; use this to size id-indexed side arrays).
   std::uint32_t id_bound() const {
@@ -128,6 +152,7 @@ class ShardedInternTable {
     std::vector<std::int64_t> arena;    // pooled key words
     std::deque<Payload> payloads;       // local index -> payload (stable refs)
     std::size_t used = 0;
+    std::uint64_t probes = 0;  // slot inspections, maintained under mu
   };
 
   static constexpr std::size_t kInitialSlots = 64;  // power of two

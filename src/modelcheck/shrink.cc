@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/hashing.h"
+#include "obs/obs.h"
 #include "sim/simulation.h"
 
 namespace lbsa::modelcheck {
@@ -63,6 +64,7 @@ std::vector<sim::ScriptedAdversary::Choice> shrink_schedule(
   // violation does not reproduce at all, hand the input back untouched.
   ReplayOutcome base = run_schedule_lenient(protocol, schedule, judge);
   s.replays = 1;
+  LBSA_OBS_COUNTER_ADD("shrink.replays", 1);
   if (base.property != property) {
     s.shrunk_steps = schedule.size();
     return schedule;
@@ -74,6 +76,7 @@ std::vector<sim::ScriptedAdversary::Choice> shrink_schedule(
   auto attempt = [&](std::vector<Choice> candidate) -> bool {
     if (s.replays >= options.max_replays) return false;
     ++s.replays;
+    LBSA_OBS_COUNTER_ADD("shrink.replays", 1);
     ReplayOutcome r = run_schedule_lenient(protocol, candidate, judge);
     if (r.property != property) return false;
     current = std::move(r.effective);
@@ -85,6 +88,11 @@ std::vector<sim::ScriptedAdversary::Choice> shrink_schedule(
          s.replays < options.max_replays) {
     progress = false;
     ++s.rounds;
+    // One phase span per ddmin round; round counts are deterministic, so
+    // these participate in trace-count determinism comparisons.
+    LBSA_OBS_SPAN(round_span, "shrink.round", obs::kCatPhase, /*lane=*/0);
+    round_span.arg("round", static_cast<std::int64_t>(s.rounds));
+    round_span.arg("size", static_cast<std::int64_t>(current.size()));
 
     // Pass 1: drop crash events the violation does not need.
     for (std::size_t i = 0; i < current.size();) {
@@ -129,6 +137,10 @@ std::vector<sim::ScriptedAdversary::Choice> shrink_schedule(
   }
 
   s.shrunk_steps = current.size();
+  LBSA_OBS_COUNTER_ADD("shrink.rounds", s.rounds);
+  LBSA_OBS_COUNTER_ADD("shrink.schedules", 1);
+  LBSA_OBS_HISTOGRAM_OBSERVE("shrink.raw_steps", s.raw_steps);
+  LBSA_OBS_HISTOGRAM_OBSERVE("shrink.shrunk_steps", s.shrunk_steps);
   return current;
 }
 

@@ -1,0 +1,70 @@
+#include "obs/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lbsa::obs {
+
+namespace {
+
+// Matches `--flag=VALUE` or `--flag VALUE`; fills *value and returns true.
+bool match_flag(const char* flag, int argc, char** argv, int* i,
+                std::string* value) {
+  const char* arg = argv[*i];
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *value = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] != '\0') return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s requires a path argument\n", flag);
+    std::exit(2);
+  }
+  *value = argv[++*i];
+  return true;
+}
+
+}  // namespace
+
+ObsCli::ObsCli(std::string tool)
+    : tool_(std::move(tool)), start_(std::chrono::steady_clock::now()) {}
+
+bool ObsCli::consume(int argc, char** argv, int* i) {
+  if (match_flag("--metrics-json", argc, argv, i, &metrics_path_)) {
+    set_metrics_enabled(true);
+    return true;
+  }
+  if (match_flag("--trace-out", argc, argv, i, &trace_path_)) {
+    set_tracing_enabled(true);
+    return true;
+  }
+  return false;
+}
+
+Status ObsCli::finish(RunReport* report) const {
+  if (!metrics_requested() && !trace_requested()) return Status::ok();
+  report->tool = tool_;
+  report->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  report->metrics = Registry::global().snapshot();
+  if (metrics_requested()) {
+    Status s = write_run_report(*report, metrics_path_);
+    if (!s.is_ok()) return s;
+  }
+  if (trace_requested()) {
+    std::string json = Tracer::global().to_chrome_json();
+    json += '\n';
+    Status s = write_text_file(trace_path_, json);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace lbsa::obs

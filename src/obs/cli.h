@@ -1,0 +1,59 @@
+// Shared command-line plumbing for observability flags. Every tool that
+// supports --metrics-json / --trace-out routes its argument loop through an
+// ObsCli:
+//
+//   obs::ObsCli obs_cli("my_tool");
+//   for (int i = 1; i < argc; ++i) {
+//     if (obs_cli.consume(argc, argv, &i)) continue;
+//     ... tool-specific flags ...
+//   }
+//   ... run the workload, filling an obs::RunReport skeleton ...
+//   if (Status s = obs_cli.finish(&report); !s.is_ok()) { ... }
+//
+// consume() recognizes `--metrics-json=PATH`, `--metrics-json PATH`,
+// `--trace-out=PATH`, `--trace-out PATH` and flips the corresponding global
+// sink on, so instrumentation in the libraries starts recording. finish()
+// stamps wall time and the metrics snapshot into the report, then writes the
+// RunReport (schema-validated) and the Chrome trace JSON to the requested
+// paths. With neither flag given, both calls are no-ops and the sinks stay
+// off — the near-zero-cost default.
+#ifndef LBSA_OBS_CLI_H_
+#define LBSA_OBS_CLI_H_
+
+#include <chrono>
+#include <string>
+
+#include "base/status.h"
+#include "obs/report.h"
+
+namespace lbsa::obs {
+
+class ObsCli {
+ public:
+  explicit ObsCli(std::string tool);
+
+  // Returns true if argv[*i] was an observability flag (and advances *i past
+  // a separate value argument if one was consumed). Exits with a usage error
+  // on a flag missing its value.
+  bool consume(int argc, char** argv, int* i);
+
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+  bool trace_requested() const { return !trace_path_.empty(); }
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  // Completes `report` (tool name, wall_seconds, metrics snapshot; the caller
+  // has already filled task/params/sections) and writes the requested
+  // artifacts. No-op when neither flag was given.
+  Status finish(RunReport* report) const;
+
+ private:
+  std::string tool_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lbsa::obs
+
+#endif  // LBSA_OBS_CLI_H_

@@ -1,0 +1,210 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace lbsa::obs {
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("run_report_version");
+  w.value_int(kSchemaVersion);
+  w.key("tool");
+  w.value_string(tool);
+  w.key("task");
+  w.value_string(task);
+  w.key("params");
+  w.begin_object();
+  for (const auto& [name, raw] : params) {
+    w.key(name);
+    w.value_raw(raw);
+  }
+  w.end_object();
+  w.key("wall_seconds");
+  w.value_double(wall_seconds);
+  w.key("metrics");
+  w.value_raw(metrics.to_json());
+  w.key("sections");
+  w.begin_object();
+  for (const auto& [name, raw] : sections) {
+    w.key(name);
+    w.value_raw(raw);
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+namespace {
+
+Status schema_error(const std::string& what) {
+  return invalid_argument("run report schema: " + what);
+}
+
+// "counters"/"gauges" must map names to integers; "histograms" maps names to
+// {count, sum, buckets[]} objects.
+Status check_metric_group(const JsonValue& group, const std::string& where) {
+  const JsonValue* counters = group.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return schema_error(where + ".counters missing or not an object");
+  }
+  for (const auto& [name, value] : counters->members) {
+    if (!value.is_number() || !value.number_is_integer) {
+      return schema_error(where + ".counters." + name + " not an integer");
+    }
+  }
+  const JsonValue* gauges = group.find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    return schema_error(where + ".gauges missing or not an object");
+  }
+  for (const auto& [name, value] : gauges->members) {
+    if (!value.is_number() || !value.number_is_integer) {
+      return schema_error(where + ".gauges." + name + " not an integer");
+    }
+  }
+  const JsonValue* histograms = group.find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return schema_error(where + ".histograms missing or not an object");
+  }
+  for (const auto& [name, value] : histograms->members) {
+    const std::string path = where + ".histograms." + name;
+    if (!value.is_object()) return schema_error(path + " not an object");
+    const JsonValue* count = value.find("count");
+    if (count == nullptr || !count->is_number() || !count->number_is_integer) {
+      return schema_error(path + ".count missing or not an integer");
+    }
+    const JsonValue* sum = value.find("sum");
+    if (sum == nullptr || !sum->is_number() || !sum->number_is_integer) {
+      return schema_error(path + ".sum missing or not an integer");
+    }
+    const JsonValue* buckets = value.find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      return schema_error(path + ".buckets missing or not an array");
+    }
+    for (const JsonValue& bucket : buckets->array) {
+      if (!bucket.is_number() || !bucket.number_is_integer) {
+        return schema_error(path + ".buckets element not an integer");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status check_run_report_value(const JsonValue& root) {
+  if (!root.is_object()) return schema_error("document not an object");
+  const JsonValue* version = root.find("run_report_version");
+  if (version == nullptr || !version->is_number() ||
+      !version->number_is_integer) {
+    return schema_error("run_report_version missing or not an integer");
+  }
+  if (version->int_value != RunReport::kSchemaVersion) {
+    return schema_error("unsupported run_report_version " +
+                        std::to_string(version->int_value));
+  }
+  const JsonValue* tool = root.find("tool");
+  if (tool == nullptr || !tool->is_string() || tool->string_value.empty()) {
+    return schema_error("tool missing or empty");
+  }
+  const JsonValue* task = root.find("task");
+  if (task == nullptr || !task->is_string()) {
+    return schema_error("task missing or not a string");
+  }
+  const JsonValue* params = root.find("params");
+  if (params == nullptr || !params->is_object()) {
+    return schema_error("params missing or not an object");
+  }
+  const JsonValue* wall = root.find("wall_seconds");
+  if (wall == nullptr || !wall->is_number()) {
+    return schema_error("wall_seconds missing or not a number");
+  }
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return schema_error("metrics missing or not an object");
+  }
+  Status s = check_metric_group(*metrics, "metrics");
+  if (!s.is_ok()) return s;
+  const JsonValue* volatiles = metrics->find("volatile");
+  if (volatiles == nullptr || !volatiles->is_object()) {
+    return schema_error("metrics.volatile missing or not an object");
+  }
+  s = check_metric_group(*volatiles, "metrics.volatile");
+  if (!s.is_ok()) return s;
+  const JsonValue* sections = root.find("sections");
+  if (sections == nullptr || !sections->is_object()) {
+    return schema_error("sections missing or not an object");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_run_report_json(std::string_view json) {
+  StatusOr<JsonValue> parsed = parse_json(json);
+  if (!parsed.is_ok()) return parsed.status();
+  return check_run_report_value(parsed.value());
+}
+
+Status validate_bench_artifact_json(std::string_view json) {
+  StatusOr<JsonValue> parsed = parse_json(json);
+  if (!parsed.is_ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return invalid_argument("bench schema: document not an object");
+  }
+  const JsonValue* version = root.find("lbsa_bench_schema");
+  if (version == nullptr || !version->is_number() ||
+      !version->number_is_integer || version->int_value != 1) {
+    return invalid_argument("bench schema: lbsa_bench_schema != 1");
+  }
+  const JsonValue* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return invalid_argument("bench schema: benchmarks missing or not an array");
+  }
+  for (const JsonValue& row : benchmarks->array) {
+    if (!row.is_object()) {
+      return invalid_argument("bench schema: benchmarks element not an object");
+    }
+    const JsonValue* task = row.find("task");
+    if (task == nullptr || !task->is_string() || task->string_value.empty()) {
+      return invalid_argument("bench schema: benchmark task missing or empty");
+    }
+  }
+  const JsonValue* reports = root.find("run_reports");
+  if (reports == nullptr || !reports->is_object()) {
+    return invalid_argument(
+        "bench schema: run_reports missing or not an object");
+  }
+  for (const auto& [name, value] : reports->members) {
+    Status s = check_run_report_value(value);
+    if (!s.is_ok()) {
+      return invalid_argument("bench schema: run_reports." + name + ": " +
+                              s.message());
+    }
+  }
+  return Status::ok();
+}
+
+Status write_text_file(const std::string& path, std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return internal_error("obs: cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return internal_error("obs: short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+Status write_run_report(const RunReport& report, const std::string& path) {
+  std::string json = report.to_json();
+  Status s = validate_run_report_json(json);
+  if (!s.is_ok()) return s;
+  json += '\n';
+  return write_text_file(path, json);
+}
+
+}  // namespace lbsa::obs

@@ -1,0 +1,71 @@
+// Machine-readable run reports: every CLI that accepts --metrics-json
+// writes one of these. The format is versioned and schema-checked (see
+// validate_run_report_json and docs/observability.md):
+//
+//   {
+//     "run_report_version": 1,
+//     "tool": "explorer_cli",
+//     "task": "dac3",                      // "" when not task-scoped
+//     "params": { "threads": 8, ... },     // tool inputs, for reproduction
+//     "wall_seconds": 0.042,
+//     "metrics": {
+//       "counters":   { "explore.nodes": 441, ... },      // stable
+//       "gauges":     { "explore.max_depth": 12, ... },
+//       "histograms": { "explore.frontier_size":
+//                         {"count":13,"sum":441,"buckets":[0,3,...]} },
+//       "volatile":   { "counters": {...}, "gauges": {...},
+//                       "histograms": {...} }              // schedule-dep.
+//     },
+//     "sections": { "explorer": { "nodes": 441, ... } }    // tool-specific
+//   }
+//
+// "params" and "sections" values are raw JSON supplied by the tool (built
+// with obs::JsonWriter). The stable metrics sections are byte-identical
+// across thread counts for deterministic workloads; "volatile" and
+// "wall_seconds" are not — comparisons must use
+// MetricsSnapshot::stable_json() / the stable sections only.
+#ifndef LBSA_OBS_REPORT_H_
+#define LBSA_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+
+namespace lbsa::obs {
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;  // required, non-empty
+  std::string task;  // optional workload key ("" if none)
+  // name -> raw JSON value (numbers, strings with quotes, objects ...).
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::pair<std::string, std::string>> sections;
+  double wall_seconds = 0.0;
+  MetricsSnapshot metrics;
+
+  std::string to_json() const;
+};
+
+// Schema check for a serialized RunReport; INVALID_ARGUMENT pinpoints the
+// first violation. Used by the schema tests and by the CLIs right after
+// writing (a CLI never leaves an invalid artifact behind).
+Status validate_run_report_json(std::string_view json);
+
+// Schema check for the BENCH_modelcheck.json artifact emitted by
+// tools/run_report.sh: {"lbsa_bench_schema":1,"benchmarks":[...],
+// "run_reports":{name: <RunReport>, ...}}.
+Status validate_bench_artifact_json(std::string_view json);
+
+// Writes `text` to `path` (INTERNAL on I/O failure).
+Status write_text_file(const std::string& path, std::string_view text);
+
+// Serializes, schema-checks, and writes the report.
+Status write_run_report(const RunReport& report, const std::string& path);
+
+}  // namespace lbsa::obs
+
+#endif  // LBSA_OBS_REPORT_H_

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace lbsa::obs {
+
+std::uint64_t trace_now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // leaked: process lifetime
+  return *tracer;
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::set_lane_name(int lane, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane] = std::move(name);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t Tracer::event_count(std::string_view cat) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.cat == cat) ++count;
+  }
+  return count;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [lane, name] : lane_names_) {
+    w.begin_object();
+    w.key("name");
+    w.value_string("thread_name");
+    w.key("ph");
+    w.value_string("M");
+    w.key("pid");
+    w.value_uint(1);
+    w.key("tid");
+    w.value_int(lane);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value_string(name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& event : events_) {
+    w.begin_object();
+    w.key("name");
+    w.value_string(event.name);
+    w.key("cat");
+    w.value_string(event.cat);
+    w.key("ph");
+    w.value_string("X");
+    w.key("pid");
+    w.value_uint(1);
+    w.key("tid");
+    w.value_int(event.lane);
+    w.key("ts");
+    w.value_uint(event.ts_us);
+    w.key("dur");
+    w.value_uint(event.dur_us);
+    if (!event.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [key, value] : event.args) {
+        w.key(key);
+        w.value_int(value);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value_string("ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  lane_names_.clear();
+}
+
+}  // namespace lbsa::obs

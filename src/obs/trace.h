@@ -1,0 +1,140 @@
+// Scoped-span timeline tracing with Chrome trace-event JSON export.
+//
+// A Span is an RAII scope: construction stamps the start time, destruction
+// records one complete ("ph":"X") event into the global Tracer. Lanes map to
+// Chrome's tid axis, so per-worker activity (BFS level expansions, fuzz
+// iterations, shrink rounds) renders as parallel swimlanes in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Categories carry the determinism contract:
+//   * "phase" / "task" — events whose *count* is schedule-independent (one
+//     per BFS level, per fuzz report, per shrink round ...). The
+//     determinism tests compare these counts across thread counts.
+//   * "worker" — per-worker-thread events; their count scales with the
+//     worker pool by construction and is excluded from those comparisons.
+//
+// Like the metrics registry, tracing is off by default: a disabled Span
+// costs one relaxed atomic load. Recording takes a mutex — spans are
+// deliberately coarse (levels, rounds, runs), not per-step.
+#ifndef LBSA_OBS_TRACE_H_
+#define LBSA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace lbsa::obs {
+
+// Event categories (free-form strings are allowed; these are the
+// conventions the instrumentation uses).
+inline constexpr const char* kCatPhase = "phase";
+inline constexpr const char* kCatTask = "task";
+inline constexpr const char* kCatWorker = "worker";
+
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+namespace internal {
+inline std::atomic<bool>& tracing_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+inline bool tracing_enabled() {
+  return internal::tracing_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_tracing_enabled(bool enabled) {
+  internal::tracing_flag().store(enabled, std::memory_order_relaxed);
+}
+
+// Microseconds since the process's trace epoch (first use).
+std::uint64_t trace_now_us();
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int lane = 0;  // rendered as tid
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void record(TraceEvent event);
+  // Names a lane ("coordinator", "worker 3", ...); emitted as Chrome
+  // thread_name metadata.
+  void set_lane_name(int lane, std::string name);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t event_count() const;
+  // Events whose category equals `cat`.
+  std::size_t event_count(std::string_view cat) const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} — loads in chrome://tracing
+  // and Perfetto.
+  std::string to_chrome_json() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> lane_names_;
+};
+
+// RAII span recording one complete event on destruction. No-op (one relaxed
+// load) when tracing is disabled at construction time.
+class Span {
+ public:
+  Span(std::string_view name, std::string_view cat, int lane) {
+    if (!tracing_enabled()) return;
+    active_ = true;
+    event_.name = name;
+    event_.cat = cat;
+    event_.lane = lane;
+    event_.ts_us = trace_now_us();
+  }
+  ~Span() {
+    if (!active_) return;
+    const std::uint64_t end = trace_now_us();
+    event_.dur_us = end >= event_.ts_us ? end - event_.ts_us : 0;
+    Tracer::global().record(std::move(event_));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(std::string_view key, std::int64_t value) {
+    if (active_) event_.args.emplace_back(std::string(key), value);
+  }
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+// Zero-cost stand-ins used by the LBSA_OBS_DISABLED macro layer (obs/obs.h).
+struct NoopSpan {
+  constexpr void arg(std::string_view, std::int64_t) const {}
+  static constexpr bool active() { return false; }
+};
+
+}  // namespace lbsa::obs
+
+#endif  // LBSA_OBS_TRACE_H_

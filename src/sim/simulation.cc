@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "obs/obs.h"
 
 namespace lbsa::sim {
 
@@ -14,6 +15,9 @@ Simulation::Simulation(std::shared_ptr<const Protocol> protocol)
 }
 
 Step Simulation::step(int pid, int outcome_choice) {
+  // Volatile: step totals depend on who drives the simulation (fuzz workers
+  // keep stepping past the deterministic report cutoff).
+  LBSA_OBS_COUNTER_ADD_V("sim.steps", 1);
   Step s = apply_step(*protocol_, &config_, pid, outcome_choice);
   history_.push_back(s);
   return s;
@@ -21,7 +25,10 @@ Step Simulation::step(int pid, int outcome_choice) {
 
 void Simulation::crash(int pid) {
   ProcessState& ps = config_.procs[static_cast<size_t>(pid)];
-  if (ps.running()) ps.status = ProcStatus::kCrashed;
+  if (ps.running()) {
+    LBSA_OBS_COUNTER_ADD_V("sim.crashes", 1);
+    ps.status = ProcStatus::kCrashed;
+  }
 }
 
 RunResult Simulation::run(Adversary* adversary, const RunOptions& options) {
@@ -43,6 +50,7 @@ RunResult Simulation::run(Adversary* adversary, const RunOptions& options) {
     LBSA_CHECK_MSG(config_.enabled(pid), "adversary picked a halted process");
     const int outcomes = outcome_count(*protocol_, config_, pid);
     const int choice = adversary->pick_outcome(outcomes, i);
+    LBSA_OBS_COUNTER_ADD_V("sim.steps", 1);
     Step s = apply_step(*protocol_, &config_, pid, choice);
     if (options.record_history) history_.push_back(s);
   }

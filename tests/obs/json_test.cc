@@ -1,0 +1,87 @@
+#include "obs/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace lbsa::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlQuoteBackslash) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, ManagesCommasAndNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n");
+  w.value_uint(3);
+  w.key("name");
+  w.value_string("x\"y");
+  w.key("list");
+  w.begin_array();
+  w.value_int(-1);
+  w.value_bool(true);
+  w.value_raw("{\"inner\":0}");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"n\":3,\"name\":\"x\\\"y\",\"list\":[-1,true,{\"inner\":0}]}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("b");
+  w.value_uint(2);
+  w.key("a");
+  w.value_double(0.5);
+  w.end_object();
+  auto parsed = parse_json(std::move(w).str());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  // Member order is preserved, not sorted.
+  ASSERT_EQ(root.members.size(), 2u);
+  EXPECT_EQ(root.members[0].first, "b");
+  const JsonValue* b = root.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->number_is_integer);
+  EXPECT_EQ(b->int_value, 2);
+  const JsonValue* a = root.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->number_is_integer);
+  EXPECT_DOUBLE_EQ(a->number_value, 0.5);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").is_ok());
+  EXPECT_FALSE(parse_json("{").is_ok());
+  EXPECT_FALSE(parse_json("{}extra").is_ok());
+  EXPECT_FALSE(parse_json("{'single':1}").is_ok());
+  EXPECT_FALSE(parse_json("[1,]").is_ok());
+  EXPECT_FALSE(parse_json("{\"a\":nope}").is_ok());
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).is_ok());
+  std::string shallow = "[[[[[[[[[[]]]]]]]]]]";
+  EXPECT_TRUE(parse_json(shallow).is_ok());
+}
+
+TEST(JsonParse, ParsesStringsWithEscapes) {
+  auto parsed = parse_json("\"a\\n\\u0041\\\"\"");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().string_value, "a\nA\"");
+}
+
+}  // namespace
+}  // namespace lbsa::obs

@@ -1,0 +1,123 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lbsa::obs {
+namespace {
+
+RunReport sample_report() {
+  RunReport report;
+  report.tool = "unit_test";
+  report.task = "dac3";
+  report.params = {{"threads", "8"}, {"engine", "\"parallel\""}};
+  report.wall_seconds = 0.125;
+  set_metrics_enabled(true);
+  Registry registry;
+  registry.counter("t.nodes")->add(42);
+  registry.counter("t.probes", Stability::kVolatile)->add(7);
+  registry.histogram("t.sizes")->observe(5);
+  report.metrics = registry.snapshot();
+  set_metrics_enabled(false);
+  JsonWriter w;
+  w.begin_object();
+  w.key("nodes");
+  w.value_uint(42);
+  w.end_object();
+  report.sections.emplace_back("explorer", std::move(w).str());
+  return report;
+}
+
+TEST(RunReportSchema, SerializedReportValidates) {
+  const std::string json = sample_report().to_json();
+  const Status s = validate_run_report_json(json);
+  EXPECT_TRUE(s.is_ok()) << s.to_string() << "\n" << json;
+}
+
+TEST(RunReportSchema, CarriesVersionToolAndMetrics) {
+  auto parsed = parse_json(sample_report().to_json());
+  ASSERT_TRUE(parsed.is_ok());
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.find("run_report_version")->int_value,
+            RunReport::kSchemaVersion);
+  EXPECT_EQ(root.find("tool")->string_value, "unit_test");
+  const JsonValue* metrics = root.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")->find("t.nodes")->int_value, 42);
+  // Volatile metrics live under metrics.volatile, not among the stable rows.
+  EXPECT_EQ(metrics->find("counters")->find("t.probes"), nullptr);
+  EXPECT_EQ(
+      metrics->find("volatile")->find("counters")->find("t.probes")->int_value,
+      7);
+  EXPECT_EQ(root.find("sections")->find("explorer")->find("nodes")->int_value,
+            42);
+}
+
+TEST(RunReportSchema, RejectsMalformedDocuments) {
+  EXPECT_FALSE(validate_run_report_json("not json").is_ok());
+  EXPECT_FALSE(validate_run_report_json("[]").is_ok());
+  EXPECT_FALSE(validate_run_report_json("{}").is_ok());
+  // Wrong version.
+  RunReport report = sample_report();
+  std::string json = report.to_json();
+  const std::string needle = "\"run_report_version\":1";
+  json.replace(json.find(needle), needle.size(), "\"run_report_version\":99");
+  EXPECT_FALSE(validate_run_report_json(json).is_ok());
+  // Empty tool name.
+  report.tool = "";
+  EXPECT_FALSE(validate_run_report_json(report.to_json()).is_ok());
+}
+
+TEST(RunReportSchema, WriteRunReportRefusesInvalidAndWritesValid) {
+  RunReport bad = sample_report();
+  bad.tool = "";
+  EXPECT_FALSE(
+      write_run_report(bad, ::testing::TempDir() + "/lbsa_obs_invalid.json")
+          .is_ok());
+
+  const std::string path = ::testing::TempDir() + "/lbsa_obs_report.json";
+  const Status s = write_run_report(sample_report(), path);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(validate_run_report_json(buffer.str()).is_ok());
+  EXPECT_EQ(buffer.str().back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(BenchArtifactSchema, AcceptsMergedArtifactAndRejectsBadRows) {
+  const std::string report_json = sample_report().to_json();
+  const std::string good = "{\"lbsa_bench_schema\":1,"
+                           "\"benchmarks\":[{\"task\":\"dac3\",\"nodes\":441}],"
+                           "\"run_reports\":{\"explorer_cli:dac3:t1\":" +
+                           report_json + "}}";
+  const Status s = validate_bench_artifact_json(good);
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+
+  EXPECT_FALSE(validate_bench_artifact_json("{}").is_ok());
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":2,\"benchmarks\":[],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+  // Benchmark row without a task name.
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":[{}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+  // Embedded run report must itself validate.
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":[],"
+                   "\"run_reports\":{\"x\":{}}}")
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace lbsa::obs

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace lbsa::obs {
+namespace {
+
+// Tests mutate the global Tracer (Span always records there); each fixture
+// run starts from a clean slate and restores the default-off switch.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().reset();
+    set_tracing_enabled(false);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    Tracer::global().reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  ASSERT_FALSE(tracing_enabled()) << "tracing must default to off";
+  {
+    Span span("quiet", kCatPhase, 0);
+    span.arg("ignored", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEventWithArgs) {
+  set_tracing_enabled(true);
+  {
+    Span span("level", kCatPhase, 3);
+    span.arg("depth", 7);
+    EXPECT_TRUE(span.active());
+  }
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "level");
+  EXPECT_EQ(events[0].cat, kCatPhase);
+  EXPECT_EQ(events[0].lane, 3);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "depth");
+  EXPECT_EQ(events[0].args[0].second, 7);
+}
+
+TEST_F(TraceTest, EventCountByCategory) {
+  set_tracing_enabled(true);
+  { Span a("a", kCatPhase, 0); }
+  { Span b("b", kCatPhase, 0); }
+  { Span c("c", kCatWorker, 1); }
+  EXPECT_EQ(Tracer::global().event_count(), 3u);
+  EXPECT_EQ(Tracer::global().event_count(kCatPhase), 2u);
+  EXPECT_EQ(Tracer::global().event_count(kCatWorker), 1u);
+  EXPECT_EQ(Tracer::global().event_count(kCatTask), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonParsesAndCarriesLaneNames) {
+  set_tracing_enabled(true);
+  Tracer::global().set_lane_name(0, "coordinator");
+  { Span span("run", kCatTask, 0); }
+  const std::string json = Tracer::global().to_chrome_json();
+
+  auto parsed = parse_json(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const JsonValue& root = parsed.value();
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete = 0, metadata = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value == "X") {
+      ++complete;
+      EXPECT_EQ(event.find("name")->string_value, "run");
+      EXPECT_EQ(event.find("cat")->string_value, kCatTask);
+    } else if (ph->string_value == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(metadata, 1) << "one thread_name metadata row per named lane";
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndLaneNames) {
+  set_tracing_enabled(true);
+  Tracer::global().set_lane_name(1, "worker 1");
+  { Span span("x", kCatPhase, 1); }
+  Tracer::global().reset();
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+  EXPECT_EQ(Tracer::global().to_chrome_json().find("worker 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsa::obs

@@ -1,42 +1,10 @@
 #!/usr/bin/env bash
-# Dumps the model-checker exploration benchmarks (including the per-row
-# nodes/sec counters and the threads sweep) to a JSON artifact, so CI can
-# archive BENCH_modelcheck.json per commit and the speedup curve
-# (ModelCheck_ExploreDac/n:4/threads:1..8) is tracked across PRs.
+# Thin compatibility wrapper: this script grew into tools/run_report.sh,
+# which emits the schema-checked BENCH_modelcheck.json artifact (explorer
+# run-report sweep; pass --with-bench for the raw Google-Benchmark rows the
+# old script produced, embedded under "gbench").
 #
 # Usage: tools/bench_modelcheck_json.sh [build-dir] [output.json]
 set -euo pipefail
-
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_modelcheck.json}"
-BIN="$BUILD_DIR/bench/bench_modelcheck"
-
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not found or not executable; build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
-
-"$BIN" \
-  --benchmark_filter='ModelCheck_Explore' \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  --benchmark_counters_tabular=true
-
-echo "wrote $OUT" >&2
-
-# Convenience: print the nodes/sec table (name -> rate) if python3 exists.
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-rows = [b for b in data.get("benchmarks", []) if "nodes_per_sec" in b]
-if rows:
-    width = max(len(b["name"]) for b in rows)
-    print(f"{'benchmark'.ljust(width)}  nodes/sec", file=sys.stderr)
-    for b in rows:
-        print(f"{b['name'].ljust(width)}  {b['nodes_per_sec']:,.0f}",
-              file=sys.stderr)
-EOF
-fi
+exec "$(dirname "$0")/run_report.sh" "${1:-build}" \
+    "${2:-BENCH_modelcheck.json}" --with-bench

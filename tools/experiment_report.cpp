@@ -5,6 +5,9 @@
 //
 //   ./build/tools/experiment_report > EXPERIMENTS.md
 //
+// --metrics-json / --trace-out write observability artifacts (to separate
+// files, so stdout stays the reproducible document).
+//
 // Timing-sensitive results (throughput, scaling) intentionally live in the
 // bench binaries instead; see bench_output.txt.
 
@@ -22,6 +25,8 @@
 #include "modelcheck/fuzz.h"
 #include "modelcheck/step_complexity.h"
 #include "modelcheck/task_check.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 #include "protocols/ben_or.h"
 #include "protocols/classic_consensus.h"
 #include "protocols/dac_from_nm_pac.h"
@@ -695,7 +700,16 @@ void e13_ben_or() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lbsa::obs::ObsCli obs_cli("experiment_report");
+  for (int i = 1; i < argc; ++i) {
+    if (obs_cli.consume(argc, argv, &i)) continue;
+    std::fprintf(stderr,
+                 "usage: experiment_report [--metrics-json PATH] "
+                 "[--trace-out PATH]\n");
+    return 2;
+  }
+
   std::printf(
       "# EXPERIMENTS — paper claims vs. measured behaviour\n\n"
       "Generated by `./build/tools/experiment_report` (deterministic: "
@@ -732,5 +746,20 @@ int main() {
                                                   "investigate before "
                                                   "trusting this build.")
                         .c_str());
+
+  lbsa::obs::RunReport run_report;
+  run_report.task = "experiments";
+  {
+    lbsa::obs::JsonWriter w;
+    w.begin_object();
+    w.key("failures");
+    w.value_int(g_failures);
+    w.end_object();
+    run_report.sections.emplace_back("experiments", std::move(w).str());
+  }
+  if (const lbsa::Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
   return g_failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,154 @@
+// explorer_cli — exhaustively explore a named protocol task's configuration
+// graph and report its shape, with optional observability artifacts.
+//
+//   ./explorer_cli --list
+//   ./explorer_cli <task> [--threads N] [--engine auto|serial|parallel]
+//                  [--max-nodes N] [--allow-truncation]
+//                  [--metrics-json PATH] [--trace-out PATH]
+//
+// --metrics-json writes a versioned RunReport (docs/observability.md);
+// --trace-out writes a chrome://tracing timeline with one lane per worker.
+// Exploration is deterministic for every thread count / engine, so the
+// RunReport's stable metrics compare byte-identical across configurations —
+// the obs determinism test drives this binary at threads=1/2/8 and diffs
+// exactly that.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "modelcheck/corpus.h"
+#include "modelcheck/explorer.h"
+#include "obs/cli.h"
+#include "obs/json.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: explorer_cli --list\n"
+      "       explorer_cli <task> [--threads N]\n"
+      "                    [--engine auto|serial|parallel] [--max-nodes N]\n"
+      "                    [--allow-truncation] [--metrics-json PATH]\n"
+      "                    [--trace-out PATH]\n");
+  return 2;
+}
+
+const char* engine_name(lbsa::modelcheck::ExploreEngine engine) {
+  switch (engine) {
+    case lbsa::modelcheck::ExploreEngine::kSerial:
+      return "serial";
+    case lbsa::modelcheck::ExploreEngine::kParallel:
+      return "parallel";
+    default:
+      return "auto";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsa;
+  if (argc < 2) return usage();
+
+  if (!std::strcmp(argv[1], "--list")) {
+    for (const std::string& name : modelcheck::named_task_names()) {
+      const auto task = modelcheck::make_named_task(name);
+      std::printf("%-28s %s\n", name.c_str(),
+                  task.value().description.c_str());
+    }
+    return 0;
+  }
+
+  auto task_or = modelcheck::make_named_task(argv[1]);
+  if (!task_or.is_ok()) {
+    std::fprintf(stderr, "%s\n", task_or.status().to_string().c_str());
+    return usage();
+  }
+  const modelcheck::NamedTask& task = task_or.value();
+
+  modelcheck::ExploreOptions options;
+  options.threads = 1;
+  obs::ObsCli obs_cli("explorer_cli");
+  for (int i = 2; i < argc; ++i) {
+    auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (obs_cli.consume(argc, argv, &i)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      options.threads =
+          static_cast<int>(std::strtol(next_arg("--threads"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--max-nodes")) {
+      options.max_nodes = std::strtoull(next_arg("--max-nodes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--allow-truncation")) {
+      options.allow_truncation = true;
+    } else if (!std::strcmp(argv[i], "--engine")) {
+      const char* engine = next_arg("--engine");
+      if (!std::strcmp(engine, "serial")) {
+        options.engine = modelcheck::ExploreEngine::kSerial;
+      } else if (!std::strcmp(engine, "parallel")) {
+        options.engine = modelcheck::ExploreEngine::kParallel;
+      } else if (!std::strcmp(engine, "auto")) {
+        options.engine = modelcheck::ExploreEngine::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown engine '%s'\n", engine);
+        return usage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+
+  modelcheck::Explorer explorer(task.protocol);
+  auto graph_or = explorer.explore(options);
+  if (!graph_or.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", task.name.c_str(),
+                 graph_or.status().to_string().c_str());
+    return 1;
+  }
+  const modelcheck::ConfigGraph& graph = graph_or.value();
+
+  std::uint32_t max_depth = 0;
+  for (const modelcheck::Node& node : graph.nodes()) {
+    if (node.depth > max_depth) max_depth = node.depth;
+  }
+  std::printf("%s: %zu nodes, %llu transitions, depth %u%s\n",
+              task.name.c_str(), graph.nodes().size(),
+              static_cast<unsigned long long>(graph.transition_count()),
+              max_depth, graph.truncated() ? " (truncated)" : "");
+
+  obs::RunReport run_report;
+  run_report.task = task.name;
+  run_report.params = {
+      {"threads", std::to_string(options.threads)},
+      {"engine", "\"" + std::string(engine_name(options.engine)) + "\""},
+      {"max_nodes", std::to_string(options.max_nodes)},
+      {"allow_truncation", options.allow_truncation ? "true" : "false"},
+  };
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("nodes");
+    w.value_uint(graph.nodes().size());
+    w.key("transitions");
+    w.value_uint(graph.transition_count());
+    w.key("max_depth");
+    w.value_uint(max_depth);
+    w.key("truncated");
+    w.value_bool(graph.truncated());
+    w.end_object();
+    run_report.sections.emplace_back("explorer", std::move(w).str());
+  }
+  if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -6,16 +6,21 @@
 //   ./fuzz_shrink_cli --list
 //   ./fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]
 //                     [--coverage] [--max-violations V] [--out DIR]
+//                     [--metrics-json PATH] [--trace-out PATH]
 //
-// Without --out, found schedules are printed to stdout. Exit code: 0 if
-// the fuzz outcome matches the task's expectation (violations for broken
-// tasks, a clean report for correct ones), 1 otherwise.
+// Without --out, found schedules are printed to stdout. --metrics-json
+// writes a versioned RunReport (docs/observability.md); --trace-out writes
+// a chrome://tracing timeline. Exit code: 0 if the fuzz outcome matches the
+// task's expectation (violations for broken tasks, a clean report for
+// correct ones), 1 otherwise.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "modelcheck/corpus.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 
 namespace {
 
@@ -24,7 +29,8 @@ int usage() {
       stderr,
       "usage: fuzz_shrink_cli --list\n"
       "       fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]\n"
-      "                       [--coverage] [--max-violations V] [--out DIR]\n");
+      "                       [--coverage] [--max-violations V] [--out DIR]\n"
+      "                       [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
 }
 
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   modelcheck::FuzzOptions options;
   options.runs = 2000;
   const char* out_dir = nullptr;
+  obs::ObsCli obs_cli("fuzz_shrink_cli");
   for (int i = 2; i < argc; ++i) {
     auto next_arg = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -62,7 +69,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--runs")) {
+    if (obs_cli.consume(argc, argv, &i)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--runs")) {
       options.runs = std::strtoull(next_arg("--runs"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--seed")) {
       options.seed = std::strtoull(next_arg("--seed"), nullptr, 10);
@@ -106,9 +115,10 @@ int main(int argc, char** argv) {
     modelcheck::CorpusCase c;
     c.task = task.name;
     c.property = v.property;
-    c.detail = v.detail + " (seed " + std::to_string(options.seed) +
-               ", run_seed " + std::to_string(v.run_seed) + ", raw " +
-               std::to_string(v.raw_steps) + " steps)";
+    c.detail = v.detail + " (run_seed " + std::to_string(v.run_seed) +
+               ", raw " + std::to_string(v.raw_steps) + " steps)";
+    c.seed = report.seed;
+    c.engine = report.engine;
     auto schedule = sim::parse_schedule(v.shrunk_schedule);
     if (!schedule.is_ok()) {
       std::fprintf(stderr, "internal error: shrunk schedule unparsable: %s\n",
@@ -145,6 +155,42 @@ int main(int argc, char** argv) {
                  task.name.c_str(),
                  task.expect_violation ? "broken" : "correct",
                  report.violations.size());
+  }
+
+  obs::RunReport run_report;
+  run_report.task = task.name;
+  run_report.params = {
+      {"runs", std::to_string(options.runs)},
+      {"seed", std::to_string(report.seed)},
+      {"threads", std::to_string(report.threads)},
+      {"engine", "\"" + report.engine + "\""},
+      {"max_violations", std::to_string(options.max_violations)},
+  };
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("runs_executed");
+    w.value_uint(report.runs_executed);
+    w.key("runs_terminated");
+    w.value_uint(report.runs_terminated);
+    w.key("distinct_fingerprints");
+    w.value_uint(report.distinct_fingerprints);
+    w.key("interesting_runs");
+    w.value_uint(report.interesting_runs);
+    w.key("mutated_runs");
+    w.value_uint(report.mutated_runs);
+    w.key("shrink_replays");
+    w.value_uint(report.shrink_replays);
+    w.key("violations");
+    w.value_uint(report.violations.size());
+    w.key("expected_outcome");
+    w.value_bool(expected);
+    w.end_object();
+    run_report.sections.emplace_back("fuzz", std::move(w).str());
+  }
+  if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
   }
   return expected ? 0 : 1;
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# run_report.sh — produce the per-commit observability artifact
+# BENCH_modelcheck.json (grown from the old bench_modelcheck_json.sh): a
+# sweep of explorer_cli run reports over small exhaustively-explorable
+# tasks at several thread counts, merged under the versioned bench schema
+#
+#   {"lbsa_bench_schema": 1,
+#    "benchmarks":  [{"task": "dac3", "threads": 1, "nodes": N}, ...],
+#    "run_reports": {"explorer_cli:dac3:t1": <RunReport>, ...}}
+#
+# and validated with `report_check bench` before the script exits 0. CI
+# archives the artifact per commit; the stable metric sections inside each
+# RunReport are byte-identical across thread counts, so diffs across
+# commits are meaningful.
+#
+# Usage: tools/run_report.sh [build-dir] [output.json] [--with-bench]
+#
+# --with-bench additionally runs the Google-Benchmark exploration suite
+# (bench/bench_modelcheck, the old behaviour of bench_modelcheck_json.sh)
+# and embeds its raw JSON under a "gbench" key.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_modelcheck.json}"
+WITH_BENCH=0
+for arg in "$@"; do
+  [[ "$arg" == "--with-bench" ]] && WITH_BENCH=1
+done
+
+EXPLORER="$BUILD_DIR/tools/explorer_cli"
+CHECK="$BUILD_DIR/tools/report_check"
+for bin in "$EXPLORER" "$CHECK"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found or not executable; build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
+
+# Small tasks an exhaustive exploration finishes in well under a second.
+TASKS=(dac3 strawdac3 mutant-dac-no-adopt3)
+THREADS=(1 2 8)
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+{
+  printf '{"lbsa_bench_schema":1,"benchmarks":['
+  first=1
+  for task in "${TASKS[@]}"; do
+    for t in "${THREADS[@]}"; do
+      report="$TMP/$task-t$t.json"
+      line="$("$EXPLORER" "$task" --threads "$t" --metrics-json "$report")"
+      # "dac3: 441 nodes, 1234 transitions, depth 12"
+      nodes="$(sed -E 's/^[^:]+: ([0-9]+) nodes.*/\1/' <<<"$line")"
+      [[ $first == 1 ]] || printf ','
+      first=0
+      printf '{"task":"%s","threads":%d,"nodes":%s}' "$task" "$t" "$nodes"
+    done
+  done
+  printf '],"run_reports":{'
+  first=1
+  for task in "${TASKS[@]}"; do
+    for t in "${THREADS[@]}"; do
+      [[ $first == 1 ]] || printf ','
+      first=0
+      printf '"explorer_cli:%s:t%d":' "$task" "$t"
+      # write_run_report emits exactly one line of JSON.
+      tr -d '\n' < "$TMP/$task-t$t.json"
+    done
+  done
+  printf '}'
+  if [[ $WITH_BENCH == 1 ]]; then
+    BIN="$BUILD_DIR/bench/bench_modelcheck"
+    if [[ ! -x "$BIN" ]]; then
+      echo "error: --with-bench needs $BIN" >&2
+      exit 1
+    fi
+    "$BIN" \
+      --benchmark_filter='ModelCheck_Explore' \
+      --benchmark_out="$TMP/gbench.json" \
+      --benchmark_out_format=json \
+      --benchmark_counters_tabular=true >&2
+    printf ',"gbench":'
+    cat "$TMP/gbench.json"
+  fi
+  printf '}\n'
+} > "$OUT"
+
+"$CHECK" bench "$OUT" >&2
+echo "wrote $OUT" >&2

@@ -4,7 +4,9 @@
 // interesting adversarial runs are plain text files that replay exactly.
 //
 //   ./schedule_replayer <protocol> <schedule-file> [--record <out-file>]
+//                       [--metrics-json PATH] [--trace-out PATH]
 //   ./schedule_replayer <protocol> --random <seed> [--record <out-file>]
+//                       [--metrics-json PATH] [--trace-out PATH]
 //
 // Protocol names resolve through the modelcheck/corpus.h registry (the same
 // keys tools/fuzz_shrink_cli uses — run `fuzz_shrink_cli --list`); a few
@@ -18,6 +20,8 @@
 #include <sstream>
 
 #include "modelcheck/corpus.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 #include "protocols/ben_or.h"
 #include "protocols/dac_from_pac.h"
 #include "protocols/one_shot.h"
@@ -75,8 +79,12 @@ int main(int argc, char** argv) {
   if (!protocol) return usage();
 
   const char* record_path = nullptr;
-  for (int i = 3; i + 1 < argc; ++i) {
-    if (!std::strcmp(argv[i], "--record")) record_path = argv[i + 1];
+  lbsa::obs::ObsCli obs_cli("schedule_replayer");
+  for (int i = 3; i < argc; ++i) {
+    if (obs_cli.consume(argc, argv, &i)) continue;
+    if (!std::strcmp(argv[i], "--record") && i + 1 < argc) {
+      record_path = argv[++i];
+    }
   }
 
   lbsa::sim::Simulation* run = nullptr;
@@ -131,6 +139,27 @@ int main(int argc, char** argv) {
     std::ofstream out(record_path);
     out << lbsa::sim::schedule_to_string(*protocol, run->history());
     std::printf("schedule written to %s\n", record_path);
+  }
+
+  lbsa::obs::RunReport run_report;
+  run_report.task = protocol->name();
+  run_report.params = {
+      {"protocol", "\"" + lbsa::obs::json_escape(argv[1]) + "\""},
+      {"mode", !std::strcmp(argv[2], "--random") ? "\"random\"" : "\"replay\""},
+  };
+  {
+    lbsa::obs::JsonWriter w;
+    w.begin_object();
+    w.key("steps");
+    w.value_uint(run->history().size());
+    w.key("distinct_decisions");
+    w.value_uint(decisions.size());
+    w.end_object();
+    run_report.sections.emplace_back("replay", std::move(w).str());
+  }
+  if (const lbsa::Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
   }
   return 0;
 }

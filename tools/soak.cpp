@@ -3,7 +3,7 @@
 // with the linearizability checker, and interleaves schedule-fuzzing rounds
 // over the protocol suite. Exit code 0 = no violation found in the budget.
 //
-//   ./soak [seconds]   (default 5)
+//   ./soak [seconds] [--metrics-json PATH] [--trace-out PATH]   (default 5s)
 //
 // Intended uses: a pre-release burn-in (`./soak 300`), a quick sanity pass
 // in CI (`./soak 2`), and a TSan/ASan target.
@@ -24,6 +24,8 @@
 #include "core/separation.h"
 #include "lincheck/checker.h"
 #include "modelcheck/fuzz.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 #include "protocols/ben_or.h"
 #include "protocols/dac_from_pac.h"
 #include "spec/pac_type.h"
@@ -70,7 +72,12 @@ void lincheck_round(const char* label, MakeObject make_object, MakeOp make_op,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int seconds = argc > 1 ? std::atoi(argv[1]) : 5;
+  int seconds = 5;
+  lbsa::obs::ObsCli obs_cli("soak");
+  for (int i = 1; i < argc; ++i) {
+    if (obs_cli.consume(argc, argv, &i)) continue;
+    seconds = std::atoi(argv[i]);
+  }
   const auto deadline = Clock::now() + std::chrono::seconds(seconds);
   Tally tally;
   std::uint64_t round = 0;
@@ -168,5 +175,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tally.lincheck_rounds),
               static_cast<unsigned long long>(tally.fuzz_runs),
               static_cast<unsigned long long>(tally.violations));
+
+  lbsa::obs::RunReport run_report;
+  run_report.task = "soak";
+  run_report.params = {{"seconds", std::to_string(seconds)}};
+  {
+    lbsa::obs::JsonWriter w;
+    w.begin_object();
+    w.key("rounds");
+    w.value_uint(round);
+    w.key("lincheck_rounds");
+    w.value_uint(tally.lincheck_rounds);
+    w.key("fuzz_runs");
+    w.value_uint(tally.fuzz_runs);
+    w.key("violations");
+    w.value_uint(tally.violations);
+    w.end_object();
+    run_report.sections.emplace_back("soak", std::move(w).str());
+  }
+  if (const lbsa::Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
   return tally.violations == 0 ? 0 : 1;
 }
