@@ -65,6 +65,48 @@ BENCHMARK(ModelCheck_ExploreDac)
     ->UseRealTime()  // workers run off the main thread; wall time is the truth
     ->Unit(benchmark::kMillisecond);
 
+// State-space reduction sweep (docs/checking.md, "State-space reduction"):
+// the symmetric DAC instance (equal inputs, so the q's form one orbit)
+// explored at every Reduction mode. reduction_ratio is
+// full-graph-nodes / reduced-nodes; the kBoth row at the headline size is
+// the ISSUE's >=3x reduction claim, and time-per-iteration vs the kNone row
+// is the corresponding wall-clock speedup.
+void ModelCheck_ExploreDacReduced(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const auto reduction =
+      static_cast<lbsa::modelcheck::Reduction>(state.range(2));
+  const std::vector<lbsa::Value> inputs(n, 100);  // equal => orbit {q1..}
+  auto protocol =
+      std::make_shared<lbsa::protocols::DacFromPacProtocol>(inputs);
+  std::uint64_t nodes = 0, full = 0;
+  for (auto _ : state) {
+    lbsa::modelcheck::Explorer explorer(protocol);
+    auto graph = explorer.explore({.max_nodes = 10'000'000,
+                                   .threads = threads,
+                                   .reduction = reduction});
+    if (!graph.is_ok()) {
+      state.SkipWithError("budget exceeded");
+      return;
+    }
+    nodes = graph.value().nodes().size();
+    full = graph.value().full_node_estimate();
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["nodes_per_sec"] = benchmark::Counter(
+      static_cast<double>(nodes) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["reduction_ratio"] =
+      nodes == 0 ? 1.0
+                 : static_cast<double>(full) / static_cast<double>(nodes);
+}
+BENCHMARK(ModelCheck_ExploreDacReduced)
+    ->ArgNames({"n", "threads", "reduction"})
+    ->ArgsProduct({{3, 4}, {1}, {0, 1, 2, 3}})  // serial, all modes
+    ->ArgsProduct({{4}, {8}, {0, 3}})           // parallel, none vs both
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void ModelCheck_ExploreConsensus(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));

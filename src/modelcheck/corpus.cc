@@ -110,6 +110,41 @@ const RegistryEntry kRegistry[] = {
            std::make_shared<protocols::BenOrProtocol>(inputs, 40), 1, inputs,
            false);
      }},
+    // Symmetric instances — equal inputs make the declared symmetry groups
+    // non-trivial, so these are the reduction layer's primary subjects (the
+    // "-sym" suffix marks them for the cross-validation and bench sweeps).
+    {"dac3-sym",
+     "Algorithm 2: 3-DAC from one 3-PAC, equal inputs (orbit {q1,q2})",
+     [] {
+       const std::vector<Value> inputs{100, 100, 100};
+       return dac_task(
+           "dac3-sym",
+           "Algorithm 2: 3-DAC from one 3-PAC, equal inputs (orbit {q1,q2})",
+           std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
+           inputs, false);
+     }},
+    {"dac4-sym",
+     "Algorithm 2: 4-DAC from one 4-PAC, equal inputs (orbit {q1,q2,q3})",
+     [] {
+       const std::vector<Value> inputs{100, 100, 100, 100};
+       return dac_task(
+           "dac4-sym",
+           "Algorithm 2: 4-DAC from one 4-PAC, equal inputs (orbit "
+           "{q1,q2,q3})",
+           std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
+           inputs, false);
+     }},
+    {"consensus4-sym",
+     "consensus among 4 via one 4-consensus object, equal inputs (full S_4)",
+     [] {
+       const std::vector<Value> inputs{100, 100, 100, 100};
+       return k_agreement_task(
+           "consensus4-sym",
+           "consensus among 4 via one 4-consensus object, equal inputs "
+           "(full S_4)",
+           protocols::make_consensus_via_n_consensus(inputs), 1, inputs,
+           false);
+     }},
     // Broken protocols — violation generators for the corpus.
     {"strawdac3", "straw-man DAC, 3 processes",
      [] { return make_straw_dac(3); }},
@@ -134,6 +169,32 @@ const RegistryEntry kRegistry[] = {
        return dac_task(
            "mutant-dac-wrong-abort3",
            "DAC mutant: non-distinguished abort (only-p-aborts)",
+           std::make_shared<protocols::MutantDacProtocol>(
+               inputs, protocols::MutantDacProtocol::Bug::kWrongAbort),
+           0, inputs, true);
+     }},
+    {"mutant-dac-no-adopt3-sym",
+     "no-adopt DAC mutant, inputs {100,200,200} (orbit {q1,q2}, agreement)",
+     [] {
+       // Equal q inputs keep the orbit non-trivial while the distinct p
+       // input keeps the dropped-adopt bug observable (a q deciding its own
+       // 200 against a decided 100).
+       const std::vector<Value> inputs{100, 200, 200};
+       return dac_task(
+           "mutant-dac-no-adopt3-sym",
+           "no-adopt DAC mutant, inputs {100,200,200} (orbit {q1,q2}, "
+           "agreement)",
+           std::make_shared<protocols::MutantDacProtocol>(
+               inputs, protocols::MutantDacProtocol::Bug::kNoAdopt),
+           0, inputs, true);
+     }},
+    {"mutant-dac-wrong-abort3-sym",
+     "wrong-abort DAC mutant, inputs {100,200,200} (orbit {q1,q2})",
+     [] {
+       const std::vector<Value> inputs{100, 200, 200};
+       return dac_task(
+           "mutant-dac-wrong-abort3-sym",
+           "wrong-abort DAC mutant, inputs {100,200,200} (orbit {q1,q2})",
            std::make_shared<protocols::MutantDacProtocol>(
                inputs, protocols::MutantDacProtocol::Bug::kWrongAbort),
            0, inputs, true);

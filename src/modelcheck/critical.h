@@ -13,6 +13,12 @@
 // shape on concrete protocols (e.g. for one-shot consensus via an
 // n-consensus object, the unique critical configuration has every process
 // poised on the consensus object).
+//
+// On a symmetry-reduced graph the analysis runs over orbit representatives;
+// pending-step pids are representative-space pids, and each CriticalInfo
+// stands for orbit_size-many concrete critical configurations with renamed
+// pending steps but identical object/type structure (renaming never changes
+// which object a process is poised on, only its name).
 #ifndef LBSA_MODELCHECK_CRITICAL_H_
 #define LBSA_MODELCHECK_CRITICAL_H_
 

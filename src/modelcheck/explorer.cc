@@ -27,6 +27,35 @@ int resolve_threads(const ExploreOptions& options) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+// Partial-order reduction's ample-set selector: the smallest enabled
+// process whose next action is a deterministic, purely-local step (decide /
+// abort — touches no shared object) and, when a path flag is folded along
+// edges, leaves the flag unchanged (the visibility proviso: a flag-changing
+// step may not be prioritized, or flag-distinguished histories would be
+// lost). Returns -1 when no such process exists and the node must be fully
+// expanded. Pure function of (config, flag), so both engines agree and
+// reduced graphs stay deterministic. The cycle proviso is structural: an
+// ample step strictly shrinks the enabled set, so no cycle consists of
+// ample-reduced nodes.
+int select_ample_pid(const sim::Protocol& protocol, const sim::Config& config,
+                     std::int64_t flag, const Explorer::FlagFn& flag_fn) {
+  const int n = static_cast<int>(config.procs.size());
+  for (int pid = 0; pid < n; ++pid) {
+    if (!config.enabled(pid)) continue;
+    const sim::Action action =
+        protocol.next_action(pid, config.procs[static_cast<std::size_t>(pid)]);
+    if (action.kind == sim::Action::Kind::kInvoke) continue;
+    if (flag_fn) {
+      // Probe with the exact Step enumerate_successors() would emit for
+      // this local action.
+      const sim::Step probe{pid, action, kNil, 0};
+      if (flag_fn(flag, probe) != flag) continue;
+    }
+    return pid;
+  }
+  return -1;
+}
+
 // End-of-run level statistics, derived from the canonical graph so both
 // engines report byte-identical values: one frontier-size observation per
 // BFS level, the level count, and the maximum depth.
@@ -57,25 +86,38 @@ void record_graph_metrics(const ConfigGraph& graph) {
 
 StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
                                                const FlagFn& flag_fn,
-                                               std::int64_t initial_flag) const {
+                                               std::int64_t initial_flag,
+                                               const sim::Canonicalizer* sym,
+                                               bool por) const {
   const sim::Protocol& protocol = *protocol_;
   ConfigGraph graph;
   std::unordered_map<std::vector<std::int64_t>, std::uint32_t, KeyHash> index;
 
   // Reused scratch: the encoded key only lands in the map on insertion.
   std::vector<std::int64_t> key;
+  std::vector<std::uint8_t> perm;
   auto intern = [&](sim::Config config, std::int64_t flag,
                     std::uint32_t parent, const sim::Step& step,
                     std::uint32_t depth) -> std::pair<std::uint32_t, bool> {
-    config.encode_into(&key);
+    if (sym != nullptr) {
+      sym->canonical_encode_into(config, &key, &perm);
+      if (!perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
+    } else {
+      config.encode_into(&key);
+    }
     key.push_back(flag);
     auto [it, inserted] =
         index.try_emplace(key, static_cast<std::uint32_t>(graph.nodes_.size()));
     if (inserted) {
       LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
+      if (sym != nullptr && !perm.empty()) {
+        const std::vector<int> as_int(perm.begin(), perm.end());
+        sim::apply_pid_permutation(protocol, as_int, &config);
+      }
       graph.nodes_.push_back(Node{std::move(config), flag, depth});
       graph.edges_.emplace_back();
       graph.parents_.emplace_back(parent, step);
+      if (sym != nullptr) graph.discovery_perms_.push_back(perm);
     }
     return {it->second, inserted};
   };
@@ -131,9 +173,15 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     }
     ++span_nodes;
 
+    const int ample =
+        por ? select_ample_pid(protocol, config, flag, flag_fn) : -1;
+    if (ample >= 0) {
+      LBSA_OBS_COUNTER_ADD("explore.por.skips", config.enabled_count() - 1);
+    }
     const int n = static_cast<int>(config.procs.size());
     for (int pid = 0; pid < n; ++pid) {
       if (!config.enabled(pid)) continue;
+      if (ample >= 0 && pid != ample) continue;
       successors.clear();
       sim::enumerate_successors(protocol, config, pid, &successors);
       for (sim::Successor& succ : successors) {
@@ -197,10 +245,16 @@ struct NodePayload {
 };
 
 // An emitted transition, pre-renumbering: target is a provisional id and the
-// full Step is kept so the renumbering pass can rebuild parents_.
+// full Step is kept so the renumbering pass can rebuild parents_. Under
+// symmetry reduction, perm records the canonicalizing permutation of this
+// edge's successor (empty = identity); the renumbering pass installs the
+// first-touch edge's perm as the node's discovery perm, which keeps
+// discovery_perms_ aligned with the canonical parents_ no matter which
+// worker interned the node first.
 struct RawEdge {
   std::uint32_t to = 0;
   sim::Step step;
+  std::vector<std::uint8_t> perm;
 };
 
 // A frontier entry. Carries its own copy of the configuration so workers
@@ -225,13 +279,19 @@ constexpr std::size_t kChunk = 16;  // frontier items claimed per steal
 
 StatusOr<ConfigGraph> Explorer::explore_parallel(
     const ExploreOptions& options, int threads, const FlagFn& flag_fn,
-    std::int64_t initial_flag) const {
+    std::int64_t initial_flag, const sim::Canonicalizer* sym,
+    bool por) const {
   const sim::Protocol& protocol = *protocol_;
   ShardedInternTable<NodePayload> table;
   std::atomic<bool> exhausted{false};  // budget hit, truncation not allowed
   std::atomic<bool> truncated{false};
 
   sim::Config init = sim::initial_config(protocol);
+  std::vector<std::uint8_t> root_perm;
+  if (sym != nullptr) {
+    sym->canonicalize(&init, &root_perm);
+    if (!root_perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
+  }
   std::uint32_t root_id = 0;
   {
     std::vector<std::int64_t> root_key;
@@ -267,6 +327,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     // Thread-local scratch, reused across every expansion.
     std::vector<sim::Successor> successors;
     std::vector<std::int64_t> key;
+    std::vector<std::uint8_t> perm;
     WorkerOutput& out = outputs[static_cast<std::size_t>(widx)];
     while (true) {
       level_start.arrive_and_wait();
@@ -285,21 +346,41 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
           ++expanded;
           WorkItem& item = frontier[i];
           std::vector<RawEdge> raw;
+          const int ample =
+              por ? select_ample_pid(protocol, item.config, item.flag, flag_fn)
+                  : -1;
+          if (ample >= 0) {
+            LBSA_OBS_COUNTER_ADD("explore.por.skips",
+                                 item.config.enabled_count() - 1);
+          }
           const int n = static_cast<int>(item.config.procs.size());
           for (int pid = 0; pid < n; ++pid) {
             if (!item.config.enabled(pid)) continue;
+            if (ample >= 0 && pid != ample) continue;
             successors.clear();
             sim::enumerate_successors(protocol, item.config, pid,
                                       &successors);
             for (sim::Successor& succ : successors) {
               const std::int64_t next_flag =
                   flag_fn ? flag_fn(item.flag, succ.step) : item.flag;
-              succ.config.encode_into(&key);
+              if (sym != nullptr) {
+                sym->canonical_encode_into(succ.config, &key, &perm);
+                if (!perm.empty()) {
+                  LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
+                  // Store (and later expand) the representative, never the
+                  // raw successor: expansion must be a pure function of the
+                  // interned configuration.
+                  const std::vector<int> as_int(perm.begin(), perm.end());
+                  sim::apply_pid_permutation(protocol, as_int, &succ.config);
+                }
+              } else {
+                succ.config.encode_into(&key);
+              }
               key.push_back(next_flag);
               const auto res = table.intern(key, [&] {
                 return NodePayload{succ.config, next_flag, depth + 1};
               });
-              raw.push_back(RawEdge{res.id, succ.step});
+              raw.push_back(RawEdge{res.id, succ.step, perm});
               ++out.transitions;
               LBSA_OBS_COUNTER_ADD("explore.transitions", 1);
               if (!res.inserted) continue;
@@ -409,6 +490,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     graph.nodes_.push_back(Node{std::move(p.config), p.flag, 0});
     graph.edges_.emplace_back();
     graph.parents_.emplace_back(0, sim::Step{});
+    if (sym != nullptr) graph.discovery_perms_.push_back(std::move(root_perm));
   }
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::uint32_t u = order[i];
@@ -423,6 +505,9 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
         graph.nodes_.push_back(Node{std::move(p.config), p.flag, p.depth});
         graph.edges_.emplace_back();
         graph.parents_.emplace_back(cu, e.step);
+        // The canonical discovery perm is the first-touch edge's perm (the
+        // racing worker's perm may belong to a different parent edge).
+        if (sym != nullptr) graph.discovery_perms_.push_back(std::move(e.perm));
         order.push_back(e.to);
       }
       graph.edges_[cu].push_back(
@@ -439,15 +524,103 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
 }
 
 std::vector<sim::Step> ConfigGraph::path_to(std::uint32_t id) const {
-  std::vector<sim::Step> steps;
-  std::uint32_t cur = id;
-  while (cur != root()) {
-    const auto& [parent, step] = parents_[cur];
-    steps.push_back(step);
-    cur = parent;
+  if (canonicalizer_ == nullptr) {
+    std::vector<sim::Step> steps;
+    std::uint32_t cur = id;
+    while (cur != root()) {
+      const auto& [parent, step] = parents_[cur];
+      steps.push_back(step);
+      cur = parent;
+    }
+    std::reverse(steps.begin(), steps.end());
+    return steps;
   }
-  std::reverse(steps.begin(), steps.end());
+
+  // Symmetry-reduced graph: every recorded step acted in its parent's
+  // *representative* space, so the raw parent chain is generally not an
+  // execution of the protocol. Lift it: maintain σ, the renaming that maps
+  // the concrete run being rebuilt onto the stored representative of the
+  // current node (σ starts as the root's canonicalizing perm and composes
+  // each node's discovery perm on the way down); a representative step by
+  // pid r lifts to a concrete step by σ⁻¹(r) with the same outcome choice
+  // (renaming maps outcome lists elementwise in order — see sim/symmetry.h).
+  std::vector<std::uint32_t> chain;  // nodes after the root, in path order
+  for (std::uint32_t cur = id; cur != root(); cur = parents_[cur].first) {
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  const sim::Protocol& protocol = *lift_protocol_;
+  const int n = protocol.process_count();
+  std::vector<int> sigma(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) sigma[static_cast<std::size_t>(p)] = p;
+  auto compose = [&](const std::vector<std::uint8_t>& pi) {
+    if (pi.empty()) return;  // identity
+    for (int p = 0; p < n; ++p) {
+      sigma[static_cast<std::size_t>(p)] = static_cast<int>(
+          pi[static_cast<std::size_t>(sigma[static_cast<std::size_t>(p)])]);
+    }
+  };
+  compose(discovery_perms_[root()]);
+
+  sim::Config concrete = sim::initial_config(protocol);
+  std::vector<sim::Step> steps;
+  steps.reserve(chain.size());
+  for (std::uint32_t v : chain) {
+    const sim::Step& rep_step = parents_[v].second;
+    int concrete_pid = -1;
+    for (int p = 0; p < n; ++p) {
+      if (sigma[static_cast<std::size_t>(p)] == rep_step.pid) {
+        concrete_pid = p;
+        break;
+      }
+    }
+    LBSA_CHECK(concrete_pid >= 0);
+    steps.push_back(sim::apply_step(protocol, &concrete, concrete_pid,
+                                    rep_step.outcome_choice));
+    compose(discovery_perms_[v]);
+  }
+  // Certify the lift: renaming the concrete endpoint by σ must reproduce
+  // the stored representative bit for bit.
+  sim::Config renamed = concrete;
+  sim::apply_pid_permutation(protocol, sigma, &renamed);
+  LBSA_CHECK_MSG(renamed == nodes_[static_cast<std::size_t>(id)].config,
+                 "symmetry lift failed to land on the representative");
   return steps;
+}
+
+std::uint64_t ConfigGraph::full_node_estimate() const {
+  if (canonicalizer_ == nullptr) {
+    return static_cast<std::uint64_t>(nodes_.size());
+  }
+  std::uint64_t total = 0;
+  for (const Node& node : nodes_) {
+    total += canonicalizer_->orbit_size(node.config);
+  }
+  return total;
+}
+
+const char* reduction_name(Reduction reduction) {
+  switch (reduction) {
+    case Reduction::kNone:
+      return "none";
+    case Reduction::kSymmetry:
+      return "symmetry";
+    case Reduction::kPor:
+      return "por";
+    case Reduction::kBoth:
+      return "both";
+  }
+  return "none";
+}
+
+StatusOr<Reduction> parse_reduction(const std::string& name) {
+  if (name == "none") return Reduction::kNone;
+  if (name == "symmetry") return Reduction::kSymmetry;
+  if (name == "por") return Reduction::kPor;
+  if (name == "both") return Reduction::kBoth;
+  return invalid_argument("unknown reduction '" + name +
+                          "' (known: none, symmetry, por, both)");
 }
 
 StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
@@ -457,12 +630,42 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
   const bool parallel =
       options.engine == ExploreEngine::kParallel ||
       (options.engine == ExploreEngine::kAuto && threads > 1);
+
+  const bool want_sym = options.reduction == Reduction::kSymmetry ||
+                        options.reduction == Reduction::kBoth;
+  const bool por = options.reduction == Reduction::kPor ||
+                   options.reduction == Reduction::kBoth;
+  std::shared_ptr<const sim::Canonicalizer> sym;
+  if (want_sym) {
+    sim::SymmetrySpec spec = protocol_->symmetry();
+    if (!spec.trivial()) {
+      if (flag_fn && !options.flag_fn_symmetric) {
+        return invalid_argument(
+            "explore: flag function combined with symmetry reduction on a "
+            "protocol with a non-trivial symmetry group; declare invariance "
+            "via ExploreOptions::flag_fn_symmetric or drop to "
+            "reduction=none/por");
+      }
+      sym = std::make_shared<const sim::Canonicalizer>(protocol_,
+                                                       std::move(spec));
+      LBSA_OBS_GAUGE_MAX("explore.sym.group_size",
+                         static_cast<std::int64_t>(sym->group_size()));
+    }
+  }
+
   LBSA_OBS_COUNTER_ADD("explore.runs", 1);
   LBSA_OBS_SPAN(run_span, "explore.run", obs::kCatTask, /*lane=*/0);
-  if (!parallel) {
-    return explore_serial(options, flag_fn, initial_flag);
+  StatusOr<ConfigGraph> result =
+      parallel ? explore_parallel(options, threads, flag_fn, initial_flag,
+                                  sym.get(), por)
+               : explore_serial(options, flag_fn, initial_flag, sym.get(), por);
+  if (result.is_ok()) {
+    ConfigGraph& graph = result.value();
+    graph.reduction_ = options.reduction;
+    graph.canonicalizer_ = std::move(sym);
+    graph.lift_protocol_ = protocol_;
   }
-  return explore_parallel(options, threads, flag_fn, initial_flag);
+  return result;
 }
 
 }  // namespace lbsa::modelcheck

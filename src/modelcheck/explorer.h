@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
 #include "sim/config.h"
 #include "sim/protocol.h"
+#include "sim/symmetry.h"
 
 namespace lbsa::modelcheck {
 
@@ -35,6 +37,33 @@ enum class ExploreEngine {
   kSerial,
   kParallel,
 };
+
+// State-space reductions (docs/checking.md, "State-space reduction"):
+//   kSymmetry — intern only the lexicographically-minimal pid renaming of
+//     each configuration, exploring the quotient graph under the protocol's
+//     declared symmetry() group. No-op for protocols with a trivial group.
+//   kPor — partial-order reduction: when some process's next action is a
+//     deterministic, purely-local step (decide/abort — no shared-object
+//     invoke) that also preserves the path flag, expand only the smallest
+//     such process. Local steps commute with every other step and strictly
+//     shrink the enabled set, so reachable decision patterns (and therefore
+//     property verdicts and valence universes) are preserved.
+//   kBoth — compose the two.
+// Complete reduced graphs remain bit-identical across engines and thread
+// counts; the cross-validation suite certifies verdict equivalence against
+// the unreduced graph.
+enum class Reduction {
+  kNone = 0,
+  kSymmetry,
+  kPor,
+  kBoth,
+};
+
+// Stable short name for CLI flags and run reports: "none", "symmetry",
+// "por", "both".
+const char* reduction_name(Reduction reduction);
+// Inverse of reduction_name(); INVALID_ARGUMENT on anything else.
+StatusOr<Reduction> parse_reduction(const std::string& name);
 
 struct ExploreOptions {
   // Hard cap on distinct (config, flag) nodes; exceeding it returns
@@ -58,6 +87,15 @@ struct ExploreOptions {
   // complete graph is bit-identical to the serial engine's.
   int threads = 0;
   ExploreEngine engine = ExploreEngine::kAuto;
+  // Which state-space reduction to apply (see Reduction above).
+  Reduction reduction = Reduction::kNone;
+  // Required when combining a flag_fn with symmetry reduction on a protocol
+  // whose symmetry group is non-trivial: asserts the flag function is
+  // invariant under the group (folding a renamed step yields the same flag
+  // as folding the original, for every group element). explore() returns
+  // INVALID_ARGUMENT if a flag_fn meets an active symmetry reduction
+  // without this declaration.
+  bool flag_fn_symmetric = false;
 };
 
 // One directed edge of the configuration graph.
@@ -85,9 +123,26 @@ class ConfigGraph {
   std::uint64_t transition_count() const { return transition_count_; }
   // True iff exploration stopped at the node budget (allow_truncation).
   bool truncated() const { return truncated_; }
+  // The reduction mode this graph was explored under.
+  Reduction reduction() const { return reduction_; }
+  // Non-null iff symmetry reduction was active (non-trivial group).
+  const std::shared_ptr<const sim::Canonicalizer>& canonicalizer() const {
+    return canonicalizer_;
+  }
+  // Σ orbit_size(node) over all nodes. With symmetry reduction on a
+  // complete graph this is exactly the unreduced node count (each orbit
+  // contributes all its members); under POR it is a lower bound, since POR
+  // removes whole configurations rather than orbit mates. Without symmetry
+  // it equals nodes().size().
+  std::uint64_t full_node_estimate() const;
 
   // Reconstructs one shortest step sequence from the root to node id
-  // (for counterexample reporting).
+  // (for counterexample reporting). On a symmetry-reduced graph the
+  // recorded steps live in representative space; this lifts them back to a
+  // concrete run of the unreduced protocol — the returned steps replay from
+  // initial_config() through apply_step()/ScriptedAdversary verbatim, and
+  // the lift is certified (LBSA_CHECK) to land on a renaming of node id's
+  // stored configuration.
   std::vector<sim::Step> path_to(std::uint32_t id) const;
 
  private:
@@ -96,8 +151,17 @@ class ConfigGraph {
   std::vector<std::vector<Edge>> edges_;
   // Parent pointers for path reconstruction: (parent id, step taken).
   std::vector<std::pair<std::uint32_t, sim::Step>> parents_;
+  // Only populated under symmetry reduction (size == nodes_.size()): the
+  // pid permutation applied when canonicalizing the discovering edge's
+  // successor into nodes_[i].config (empty = identity). path_to() composes
+  // these to lift representative-space steps to concrete ones.
+  std::vector<std::vector<std::uint8_t>> discovery_perms_;
   std::uint64_t transition_count_ = 0;
   bool truncated_ = false;
+  Reduction reduction_ = Reduction::kNone;
+  std::shared_ptr<const sim::Canonicalizer> canonicalizer_;
+  // Kept for path lifting and orbit sizing on reduced graphs.
+  std::shared_ptr<const sim::Protocol> lift_protocol_;
 };
 
 class Explorer {
@@ -125,15 +189,19 @@ class Explorer {
 
  private:
   // The serial reference engine: defines the canonical graph (ids in BFS
-  // discovery order).
+  // discovery order). sym is non-null iff symmetry reduction is active.
   StatusOr<ConfigGraph> explore_serial(const ExploreOptions& options,
                                        const FlagFn& flag_fn,
-                                       std::int64_t initial_flag) const;
+                                       std::int64_t initial_flag,
+                                       const sim::Canonicalizer* sym,
+                                       bool por) const;
   // Level-synchronous parallel engine over `threads` workers; renumbers its
   // result into the canonical order before returning.
   StatusOr<ConfigGraph> explore_parallel(const ExploreOptions& options,
                                          int threads, const FlagFn& flag_fn,
-                                         std::int64_t initial_flag) const;
+                                         std::int64_t initial_flag,
+                                         const sim::Canonicalizer* sym,
+                                         bool por) const;
 
   std::shared_ptr<const sim::Protocol> protocol_;
 };

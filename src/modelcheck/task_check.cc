@@ -328,8 +328,26 @@ StatusOr<TaskReport> check_dac_task(
                                      const sim::Step& step) -> std::int64_t {
     return (step.pid != distinguished_pid) ? 1 : flag;
   };
+  ExploreOptions explore = options.explore;
+  if (explore.reduction == Reduction::kSymmetry ||
+      explore.reduction == Reduction::kBoth) {
+    const sim::SymmetrySpec spec = protocol->symmetry();
+    if (!spec.trivial()) {
+      // The flag depends only on "pid == p", so it is group-invariant
+      // exactly when every group element fixes p. A spec that renames p
+      // would silently conflate p-solo histories with others — reject it.
+      if (!spec.is_singleton(distinguished_pid)) {
+        return invalid_argument(
+            "check_dac_task: symmetry reduction requires the declared "
+            "symmetry group to fix the distinguished process p" +
+            std::to_string(distinguished_pid) +
+            " (its orbit must be a singleton)");
+      }
+      explore.flag_fn_symmetric = true;
+    }
+  }
   StatusOr<ConfigGraph> graph_or =
-      explorer.explore(options.explore, flag_fn, /*initial_flag=*/0);
+      explorer.explore(explore, flag_fn, /*initial_flag=*/0);
   if (!graph_or.is_ok()) return graph_or.status();
   const ConfigGraph& graph = graph_or.value();
 

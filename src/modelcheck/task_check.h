@@ -28,6 +28,14 @@ struct TaskCheckOptions {
   // explore.threads > 1 (or 0 = auto) builds the configuration graph with
   // the parallel explorer; results are identical by the canonical-graph
   // guarantee (see docs/checking.md, "Parallel exploration").
+  // explore.reduction enables symmetry / partial-order reduction: verdicts
+  // (which properties are violated, and clean reports) are preserved, but
+  // violation *counts* and reported node counts shrink with the graph, and
+  // counterexample traces are lifted representatives rather than the
+  // lexicographically-first full-graph witness. check_dac_task additionally
+  // requires the symmetry group to fix the distinguished process and
+  // returns INVALID_ARGUMENT otherwise (the nontriviality flag must be
+  // group-invariant).
   ExploreOptions explore;
   // Node budget for each solo-run termination check.
   std::uint64_t solo_node_bound = 100'000;

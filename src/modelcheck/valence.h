@@ -10,6 +10,16 @@
 //   * bivalent    if both 0 and 1 are reachable.
 // A *critical* configuration is a bivalent one all of whose successors are
 // univalent — the configurations Claims 4.2.5 / 5.2.2 hunt for.
+//
+// Reduced graphs (ExploreOptions::reduction) are analyzed as-is: under
+// symmetry reduction each node stands for a whole orbit, so the decision
+// universe, the root's reachable mask, and univalent/multivalent verdicts
+// are those of the full graph, while node *counts* (multivalent, critical)
+// count orbit representatives — weight them by Canonicalizer::orbit_size to
+// recover full-graph counts (the cross-validation suite does exactly this).
+// Under POR, multivalent/critical counts are not comparable to the full
+// graph (whole interleavings are elided), but the universe and the root
+// mask still agree.
 #ifndef LBSA_MODELCHECK_VALENCE_H_
 #define LBSA_MODELCHECK_VALENCE_H_
 

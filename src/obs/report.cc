@@ -170,6 +170,28 @@ Status validate_bench_artifact_json(std::string_view json) {
     if (task == nullptr || !task->is_string() || task->string_value.empty()) {
       return invalid_argument("bench schema: benchmark task missing or empty");
     }
+    // Reduction-sweep rows: "reduction" (when present) must be a known mode
+    // and the associated measurements must be numbers.
+    if (const JsonValue* reduction = row.find("reduction");
+        reduction != nullptr) {
+      if (!reduction->is_string() ||
+          (reduction->string_value != "none" &&
+           reduction->string_value != "symmetry" &&
+           reduction->string_value != "por" &&
+           reduction->string_value != "both")) {
+        return invalid_argument(
+            "bench schema: benchmark reduction not one of "
+            "none/symmetry/por/both");
+      }
+    }
+    for (const char* field : {"nodes", "nodes_per_sec", "reduction_ratio"}) {
+      if (const JsonValue* v = row.find(field); v != nullptr) {
+        if (!v->is_number()) {
+          return invalid_argument(std::string("bench schema: benchmark ") +
+                                  field + " not a number");
+        }
+      }
+    }
   }
   const JsonValue* reports = root.find("run_reports");
   if (reports == nullptr || !reports->is_object()) {

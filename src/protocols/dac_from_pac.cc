@@ -29,6 +29,10 @@ std::vector<std::int64_t> DacFromPacProtocol::initial_locals(int pid) const {
   return {inputs_[static_cast<size_t>(pid)], kNil};
 }
 
+sim::SymmetrySpec DacFromPacProtocol::symmetry() const {
+  return sim::SymmetrySpec::by_value(inputs_, {distinguished_pid_});
+}
+
 sim::Action DacFromPacProtocol::next_action(
     int pid, const sim::ProcessState& state) const {
   const std::int64_t label = pid + 1;  // PAC labels are 1-based

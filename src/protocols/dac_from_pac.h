@@ -33,6 +33,11 @@ class DacFromPacProtocol final : public sim::ProtocolBase {
       const override;
   void on_response(int pid, sim::ProcessState* state,
                    Value response) const override;
+  // Non-distinguished processes with equal inputs are interchangeable: the
+  // automaton is pid-uniform apart from the PAC label pid+1, which
+  // PacType::rename_pids rewrites. p itself runs a different automaton
+  // (abort arm) and is always fixed.
+  sim::SymmetrySpec symmetry() const override;
 
  private:
   // locals: [input, temp]; pc: 0 = about to propose, 1 = about to decide on

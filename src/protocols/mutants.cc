@@ -38,6 +38,10 @@ std::vector<std::int64_t> MutantDacProtocol::initial_locals(int pid) const {
   return {inputs_[static_cast<size_t>(pid)], kNil};
 }
 
+sim::SymmetrySpec MutantDacProtocol::symmetry() const {
+  return sim::SymmetrySpec::by_value(inputs_, {distinguished_pid_});
+}
+
 sim::Action MutantDacProtocol::next_action(
     int pid, const sim::ProcessState& state) const {
   const std::int64_t label = pid + 1;
@@ -119,6 +123,10 @@ class OffByOneConsensusProtocol final : public sim::ProtocolBase {
     state->pc = 1;
   }
 
+  sim::SymmetrySpec symmetry() const override {
+    return sim::SymmetrySpec::by_value(inputs_);
+  }
+
  private:
   std::vector<Value> inputs_;
 };
@@ -153,6 +161,10 @@ class OverclaimedTwoSaProtocol final : public sim::ProtocolBase {
     LBSA_CHECK(state->pc == 0);
     state->locals[1] = response;
     state->pc = 1;
+  }
+
+  sim::SymmetrySpec symmetry() const override {
+    return sim::SymmetrySpec::by_value(inputs_);
   }
 
  private:

@@ -45,6 +45,11 @@ class MutantDacProtocol final : public sim::ProtocolBase {
       const override;
   void on_response(int pid, sim::ProcessState* state,
                    Value response) const override;
+  // Same symmetry as the correct protocol: equal-input non-distinguished
+  // processes are interchangeable (the injected bug is pid-uniform too).
+  // Mutation tests rely on this so reduction modes are exercised on
+  // violating graphs as well.
+  sim::SymmetrySpec symmetry() const override;
 
  private:
   std::vector<Value> inputs_;

@@ -46,6 +46,27 @@ void OneShotProposeProtocol::on_response(int /*pid*/, sim::ProcessState* state,
   state->pc = 1;
 }
 
+sim::SymmetrySpec OneShotProposeProtocol::symmetry() const {
+  // Orbit = maximal set of pids with equal prepared operations.
+  sim::SymmetrySpec spec;
+  const int n = process_count();
+  spec.orbit_of.assign(static_cast<std::size_t>(n), -1);
+  int next_orbit = 0;
+  for (int p = 0; p < n; ++p) {
+    if (spec.orbit_of[static_cast<std::size_t>(p)] != -1) continue;
+    spec.orbit_of[static_cast<std::size_t>(p)] = next_orbit;
+    for (int q = p + 1; q < n; ++q) {
+      if (spec.orbit_of[static_cast<std::size_t>(q)] == -1 &&
+          ops_[static_cast<std::size_t>(q)] ==
+              ops_[static_cast<std::size_t>(p)]) {
+        spec.orbit_of[static_cast<std::size_t>(q)] = next_orbit;
+      }
+    }
+    ++next_orbit;
+  }
+  return spec;
+}
+
 std::shared_ptr<OneShotProposeProtocol> make_consensus_via_n_consensus(
     const std::vector<Value>& inputs) {
   const int n = static_cast<int>(inputs.size());

@@ -31,6 +31,9 @@ class OneShotProposeProtocol final : public sim::ProtocolBase {
       const override;
   void on_response(int pid, sim::ProcessState* state,
                    Value response) const override;
+  // Processes with identical prepared operations are interchangeable: locals
+  // never store pids, and every backing object type here is value-indexed.
+  sim::SymmetrySpec symmetry() const override;
 
  private:
   std::vector<spec::Operation> ops_;

@@ -32,6 +32,10 @@ class StrawDacFallbackProtocol final : public sim::ProtocolBase {
       const override;
   void on_response(int pid, sim::ProcessState* state,
                    Value response) const override;
+  // The automaton ignores pid entirely, so equal inputs suffice.
+  sim::SymmetrySpec symmetry() const override {
+    return sim::SymmetrySpec::by_value(inputs_);
+  }
 
  private:
   std::vector<Value> inputs_;
@@ -50,6 +54,10 @@ class StrawDacAnnounceProtocol final : public sim::ProtocolBase {
       const override;
   void on_response(int pid, sim::ProcessState* state,
                    Value response) const override;
+  // The automaton ignores pid entirely, so equal inputs suffice.
+  sim::SymmetrySpec symmetry() const override {
+    return sim::SymmetrySpec::by_value(inputs_);
+  }
 
  private:
   std::vector<Value> inputs_;

@@ -18,12 +18,15 @@
 #ifndef LBSA_SIM_PROTOCOL_H_
 #define LBSA_SIM_PROTOCOL_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sim/action.h"
 #include "sim/process_state.h"
+#include "sim/symmetry.h"
 #include "spec/object_type.h"
 
 namespace lbsa::sim {
@@ -52,6 +55,25 @@ class Protocol {
   // touch status/decision (termination goes through kDecide/kAbort actions).
   virtual void on_response(int pid, ProcessState* state,
                            Value response) const = 0;
+
+  // Which processes are interchangeable under pid renaming (see
+  // sim/symmetry.h for the exact contract). The default declares none, which
+  // is always sound; protocols that override it enable symmetry reduction in
+  // the model checker. Must be a pure function (same spec every call).
+  virtual SymmetrySpec symmetry() const {
+    return SymmetrySpec::none(process_count());
+  }
+
+  // Rewrites pid-valued words inside a process's locals under the renaming
+  // perm (perm[old_pid] = new_pid). The default assumes locals never store
+  // pids; protocols whose locals do (labels, process names) must override so
+  // renaming commutes with the automaton. Only relevant with a non-trivial
+  // symmetry().
+  virtual void rename_locals(std::span<const int> perm,
+                             std::vector<std::int64_t>* locals) const {
+    (void)perm;
+    (void)locals;
+  }
 };
 
 // Convenience base carrying the common plumbing (name, object list, count).

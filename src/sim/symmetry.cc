@@ -1,0 +1,244 @@
+#include "sim/symmetry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+#include "sim/config.h"
+#include "sim/protocol.h"
+
+namespace lbsa::sim {
+namespace {
+
+// Generous backstop against accidental factorial blow-ups (S_8 = 40320 fits;
+// nobody should canonicalize against a larger group element-by-element).
+constexpr std::uint64_t kMaxGroupSize = 100'000;
+
+}  // namespace
+
+SymmetrySpec SymmetrySpec::none(int n) {
+  SymmetrySpec spec;
+  spec.orbit_of.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) spec.orbit_of[static_cast<std::size_t>(p)] = p;
+  return spec;
+}
+
+SymmetrySpec SymmetrySpec::full(int n) {
+  SymmetrySpec spec;
+  spec.orbit_of.assign(static_cast<std::size_t>(n), 0);
+  return spec;
+}
+
+SymmetrySpec SymmetrySpec::by_value(const std::vector<std::int64_t>& keys,
+                                    const std::vector<int>& fixed) {
+  const int n = static_cast<int>(keys.size());
+  SymmetrySpec spec;
+  spec.orbit_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<bool> is_fixed(static_cast<std::size_t>(n), false);
+  for (int pid : fixed) {
+    LBSA_CHECK(pid >= 0 && pid < n);
+    is_fixed[static_cast<std::size_t>(pid)] = true;
+  }
+  int next_orbit = 0;
+  for (int p = 0; p < n; ++p) {
+    if (spec.orbit_of[static_cast<std::size_t>(p)] != -1) continue;
+    spec.orbit_of[static_cast<std::size_t>(p)] = next_orbit;
+    if (!is_fixed[static_cast<std::size_t>(p)]) {
+      for (int q = p + 1; q < n; ++q) {
+        if (spec.orbit_of[static_cast<std::size_t>(q)] == -1 &&
+            !is_fixed[static_cast<std::size_t>(q)] &&
+            keys[static_cast<std::size_t>(q)] ==
+                keys[static_cast<std::size_t>(p)]) {
+          spec.orbit_of[static_cast<std::size_t>(q)] = next_orbit;
+        }
+      }
+    }
+    ++next_orbit;
+  }
+  return spec;
+}
+
+bool SymmetrySpec::trivial() const {
+  for (int p = 0; p < process_count(); ++p) {
+    if (!is_singleton(p)) return false;
+  }
+  return true;
+}
+
+bool SymmetrySpec::is_singleton(int pid) const {
+  const int id = orbit_of[static_cast<std::size_t>(pid)];
+  for (int q = 0; q < process_count(); ++q) {
+    if (q != pid && orbit_of[static_cast<std::size_t>(q)] == id) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> symmetry_group(const SymmetrySpec& spec) {
+  const int n = spec.process_count();
+  // Bucket pids by orbit id, in first-seen order; members stay ascending.
+  std::vector<int> seen_ids;
+  std::vector<std::vector<int>> buckets;
+  for (int p = 0; p < n; ++p) {
+    const int id = spec.orbit_of[static_cast<std::size_t>(p)];
+    std::size_t bucket = seen_ids.size();
+    for (std::size_t i = 0; i < seen_ids.size(); ++i) {
+      if (seen_ids[i] == id) {
+        bucket = i;
+        break;
+      }
+    }
+    if (bucket == seen_ids.size()) {
+      seen_ids.push_back(id);
+      buckets.emplace_back();
+    }
+    buckets[bucket].push_back(p);
+  }
+
+  // For each non-singleton orbit, enumerate all arrangements of its members
+  // (std::next_permutation from the sorted arrangement, so the identity
+  // arrangement comes first and the order is deterministic).
+  std::vector<std::vector<int>> members;
+  std::vector<std::vector<std::vector<int>>> arrangements;
+  std::uint64_t total = 1;
+  for (const std::vector<int>& bucket : buckets) {
+    if (bucket.size() < 2) continue;
+    std::vector<std::vector<int>> arrs;
+    std::vector<int> arr = bucket;
+    do {
+      arrs.push_back(arr);
+      LBSA_CHECK_MSG(total * arrs.size() <= kMaxGroupSize,
+                     "symmetry group too large to enumerate");
+    } while (std::next_permutation(arr.begin(), arr.end()));
+    total *= arrs.size();
+    members.push_back(bucket);
+    arrangements.push_back(std::move(arrs));
+  }
+
+  // Cartesian product over orbits (last orbit cycles fastest). With every
+  // odometer digit at its first position the result is the identity.
+  std::vector<std::vector<int>> group;
+  group.reserve(static_cast<std::size_t>(total));
+  std::vector<std::size_t> odometer(members.size(), 0);
+  for (;;) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) perm[static_cast<std::size_t>(p)] = p;
+    for (std::size_t oi = 0; oi < members.size(); ++oi) {
+      const std::vector<int>& arr = arrangements[oi][odometer[oi]];
+      for (std::size_t j = 0; j < arr.size(); ++j) {
+        perm[static_cast<std::size_t>(members[oi][j])] = arr[j];
+      }
+    }
+    group.push_back(std::move(perm));
+    std::size_t k = members.size();
+    for (;;) {
+      if (k == 0) return group;
+      --k;
+      if (++odometer[k] < arrangements[k].size()) break;
+      odometer[k] = 0;
+      if (k == 0) return group;
+    }
+  }
+}
+
+void apply_pid_permutation(const Protocol& protocol, std::span<const int> perm,
+                           Config* config) {
+  const std::size_t n = config->procs.size();
+  LBSA_CHECK(perm.size() == n);
+  std::vector<ProcessState> renamed(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    ProcessState moved = std::move(config->procs[p]);
+    protocol.rename_locals(perm, &moved.locals);
+    renamed[static_cast<std::size_t>(perm[p])] = std::move(moved);
+  }
+  config->procs = std::move(renamed);
+  const auto& types = protocol.objects();
+  for (std::size_t i = 0; i < config->objects.size(); ++i) {
+    types[i]->rename_pids(perm, &config->objects[i]);
+  }
+}
+
+Canonicalizer::Canonicalizer(std::shared_ptr<const Protocol> protocol,
+                             SymmetrySpec spec)
+    : protocol_(std::move(protocol)), spec_(std::move(spec)) {
+  LBSA_CHECK(protocol_ != nullptr);
+  LBSA_CHECK_MSG(spec_.process_count() == protocol_->process_count(),
+                 "SymmetrySpec size != protocol process count");
+  group_ = symmetry_group(spec_);
+  // Soundness gate: the whole group must fix the initial configuration
+  // (otherwise "renamed runs" would be runs of a different instance). The
+  // group is generated by transpositions of adjacent orbit members, so
+  // checking those suffices — and catches unequal initial locals eagerly.
+  const Config initial = initial_config(*protocol_);
+  const int n = spec_.process_count();
+  for (int p = 0; p < n; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      if (spec_.orbit_of[static_cast<std::size_t>(p)] !=
+          spec_.orbit_of[static_cast<std::size_t>(q)]) {
+        continue;
+      }
+      std::vector<int> transposition(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        transposition[static_cast<std::size_t>(r)] = r;
+      }
+      std::swap(transposition[static_cast<std::size_t>(p)],
+                transposition[static_cast<std::size_t>(q)]);
+      Config swapped = initial;
+      apply_pid_permutation(*protocol_, transposition, &swapped);
+      LBSA_CHECK_MSG(swapped == initial,
+                     "SymmetrySpec groups processes with distinct initial "
+                     "configurations (unequal inputs?)");
+    }
+  }
+}
+
+void Canonicalizer::canonical_encode_into(
+    const Config& config, std::vector<std::int64_t>* out,
+    std::vector<std::uint8_t>* perm) const {
+  config.encode_into(out);
+  if (perm != nullptr) perm->clear();
+  if (group_.size() <= 1) return;
+  std::vector<std::int64_t> candidate;
+  Config scratch;
+  for (std::size_t g = 1; g < group_.size(); ++g) {
+    scratch = config;
+    apply_pid_permutation(*protocol_, group_[g], &scratch);
+    scratch.encode_into(&candidate);
+    // Same protocol, same shape: encodings are equal length, so plain
+    // lexicographic comparison picks the canonical representative.
+    if (candidate < *out) {
+      std::swap(candidate, *out);
+      if (perm != nullptr) perm->assign(group_[g].begin(), group_[g].end());
+    }
+  }
+}
+
+void Canonicalizer::canonicalize(Config* config,
+                                 std::vector<std::uint8_t>* perm) const {
+  std::vector<std::int64_t> best;
+  std::vector<std::uint8_t> best_perm;
+  canonical_encode_into(*config, &best, &best_perm);
+  if (!best_perm.empty()) {
+    std::vector<int> as_int(best_perm.begin(), best_perm.end());
+    apply_pid_permutation(*protocol_, as_int, config);
+  }
+  if (perm != nullptr) *perm = std::move(best_perm);
+}
+
+std::uint64_t Canonicalizer::orbit_size(const Config& config) const {
+  if (group_.size() <= 1) return 1;
+  std::vector<std::vector<std::int64_t>> images;
+  images.reserve(group_.size());
+  std::vector<std::int64_t> enc;
+  Config scratch;
+  for (const std::vector<int>& perm : group_) {
+    scratch = config;
+    apply_pid_permutation(*protocol_, perm, &scratch);
+    scratch.encode_into(&enc);
+    images.push_back(enc);
+  }
+  std::sort(images.begin(), images.end());
+  return static_cast<std::uint64_t>(
+      std::unique(images.begin(), images.end()) - images.begin());
+}
+
+}  // namespace lbsa::sim

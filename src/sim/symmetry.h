@@ -1,0 +1,107 @@
+// Process-renaming symmetry: the machinery behind the explorer's quotient
+// (symmetry-reduced) state graphs.
+//
+// The paper's protocols are symmetric under renaming of like processes —
+// "indistinguishable to p" arguments rename whole runs — and the model
+// checker exploits exactly that: a protocol declares which pids are
+// interchangeable (a SymmetrySpec partition into orbits), and every
+// explored configuration is replaced by the lexicographically-minimal
+// member of its orbit before interning. The explorer then searches the
+// quotient graph, which shrinks by up to the symmetry-group order.
+//
+// Contract for a protocol declaring a non-trivial SymmetrySpec:
+//   1. pids in one orbit have identical initial locals (checked eagerly by
+//      the Canonicalizer constructor);
+//   2. next_action / on_response commute with renaming: renaming the pid
+//      and rewriting pid-valued words (Protocol::rename_locals,
+//      spec::ObjectType::rename_pids) maps steps to steps, outcome lists
+//      elementwise in order — exercised end to end by the cross-validation
+//      suite in tests/modelcheck/reduction_test.cc.
+#ifndef LBSA_SIM_SYMMETRY_H_
+#define LBSA_SIM_SYMMETRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace lbsa::sim {
+
+class Protocol;
+struct Config;
+
+// A partition of the pids [0, n) into orbits of interchangeable processes.
+// orbit_of[pid] is the orbit id; pids sharing an id may be renamed into one
+// another. Singleton orbits declare no symmetry for that pid.
+struct SymmetrySpec {
+  std::vector<int> orbit_of;
+
+  // No symmetry: every pid its own orbit.
+  static SymmetrySpec none(int n);
+  // Full S_n: all pids interchangeable.
+  static SymmetrySpec full(int n);
+  // Groups pids with equal keys (e.g. equal inputs) into one orbit; pids in
+  // `fixed` (e.g. a DAC's distinguished process) get singleton orbits
+  // regardless of their key.
+  static SymmetrySpec by_value(const std::vector<std::int64_t>& keys,
+                               const std::vector<int>& fixed = {});
+
+  int process_count() const { return static_cast<int>(orbit_of.size()); }
+  // True iff every orbit is a singleton (the group is trivial).
+  bool trivial() const;
+  // True iff pid's orbit contains no other process.
+  bool is_singleton(int pid) const;
+
+  friend bool operator==(const SymmetrySpec&, const SymmetrySpec&) = default;
+};
+
+// All pid permutations the spec generates (every product of intra-orbit
+// permutations), in a deterministic order with the identity first.
+// perm[old_pid] = new_pid. LBSA_CHECKs against absurdly large groups.
+std::vector<std::vector<int>> symmetry_group(const SymmetrySpec& spec);
+
+// Renames processes in place: process p's automaton state moves to slot
+// perm[p], pid-valued words inside locals are rewritten via
+// Protocol::rename_locals, and pid-valued words inside each object state via
+// spec::ObjectType::rename_pids.
+void apply_pid_permutation(const Protocol& protocol, std::span<const int> perm,
+                           Config* config);
+
+// Precomputed canonicalization engine for one (protocol, spec) pair. All
+// methods are const and thread-safe (the parallel explorer calls them
+// concurrently from worker threads).
+class Canonicalizer {
+ public:
+  // Checks the declaration eagerly: spec size matches the process count and
+  // initial locals agree within every orbit.
+  Canonicalizer(std::shared_ptr<const Protocol> protocol, SymmetrySpec spec);
+
+  const SymmetrySpec& spec() const { return spec_; }
+  std::size_t group_size() const { return group_.size(); }
+
+  // Writes the canonical encoding of config's orbit — the lexicographic
+  // minimum of encode() over every group element — into *out without
+  // mutating config. If perm != nullptr it receives the permutation that
+  // achieves the minimum (empty = identity).
+  void canonical_encode_into(const Config& config,
+                             std::vector<std::int64_t>* out,
+                             std::vector<std::uint8_t>* perm = nullptr) const;
+
+  // Replaces *config with its canonical orbit representative; perm (if
+  // non-null) receives the permutation applied (empty = identity).
+  void canonicalize(Config* config,
+                    std::vector<std::uint8_t>* perm = nullptr) const;
+
+  // Number of distinct configurations in config's orbit (divides the group
+  // order). Summed over quotient nodes this reproduces the full node count.
+  std::uint64_t orbit_size(const Config& config) const;
+
+ private:
+  std::shared_ptr<const Protocol> protocol_;
+  SymmetrySpec spec_;
+  std::vector<std::vector<int>> group_;
+};
+
+}  // namespace lbsa::sim
+
+#endif  // LBSA_SIM_SYMMETRY_H_

@@ -112,6 +112,18 @@ class ObjectType {
   // True iff apply always yields exactly one outcome.
   virtual bool deterministic() const = 0;
 
+  // Rewrites pid-valued words inside `state` under the process renaming
+  // perm (perm[old_pid] = new_pid, pids 0-based). The default assumes the
+  // state stores no pids — true for every value-indexed object here except
+  // n-PAC, whose label words are pid-derived. Used by the model checker's
+  // symmetry reduction (sim/symmetry.h); must satisfy
+  // rename(apply(s, op)) == apply(rename(s), rename(op)) outcome-wise.
+  virtual void rename_pids(std::span<const int> perm,
+                           std::vector<std::int64_t>* state) const {
+    (void)perm;
+    (void)state;
+  }
+
   // Diagnostics.
   virtual std::string operation_to_string(const Operation& op) const;
   virtual std::string state_to_string(

@@ -92,6 +92,24 @@ void PacType::apply(std::span<const std::int64_t> state, const Operation& op,
   outcomes->push_back(Outcome{temp, std::move(next)});
 }
 
+void PacType::rename_pids(std::span<const int> perm,
+                          std::vector<std::int64_t>* state) const {
+  LBSA_CHECK(state->size() == state_size(n_));
+  LBSA_CHECK(static_cast<int>(perm.size()) == n_);
+  std::vector<std::int64_t>& s = *state;
+  // L holds a 1-based label derived from a pid (or NIL / garbage-free ⊥
+  // states never reach here); rename it if it is a live label.
+  if (s[1] >= 1 && s[1] <= n_) {
+    s[1] = perm[static_cast<std::size_t>(s[1] - 1)] + 1;
+  }
+  // Permute the label-indexed V slots: new V[perm[p]+1] = old V[p+1].
+  std::vector<std::int64_t> v(s.begin() + 3, s.end());
+  for (int p = 0; p < n_; ++p) {
+    s[3 + static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])] =
+        v[static_cast<std::size_t>(p)];
+  }
+}
+
 std::string PacType::state_to_string(
     std::span<const std::int64_t> state) const {
   std::string out = "{upset=";

@@ -38,6 +38,11 @@ class PacType final : public ObjectType {
   void apply(std::span<const std::int64_t> state, const Operation& op,
              std::vector<Outcome>* outcomes) const override;
   bool deterministic() const override { return true; }
+  // n-PAC is the one object here whose state stores pid-derived words: the
+  // label register L and the V slots are indexed by 1-based labels, which
+  // protocols derive from pids (label = pid + 1 in Algorithm 2).
+  void rename_pids(std::span<const int> perm,
+                   std::vector<std::int64_t>* state) const override;
   std::string state_to_string(std::span<const std::int64_t> state) const override;
 
   // State layout: [upset, L, val, V[1], ..., V[n]] (labels are 1-based as in

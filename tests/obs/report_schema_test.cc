@@ -119,5 +119,32 @@ TEST(BenchArtifactSchema, AcceptsMergedArtifactAndRejectsBadRows) {
                    .is_ok());
 }
 
+TEST(BenchArtifactSchema, ChecksReductionSweepRows) {
+  // The reduction sweep's row shape (tools/run_report.sh).
+  const Status good = validate_bench_artifact_json(
+      "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+      "{\"task\":\"dac4-sym\",\"threads\":1,\"reduction\":\"both\","
+      "\"nodes\":394,\"nodes_per_sec\":228805,\"reduction_ratio\":4.27}],"
+      "\"run_reports\":{}}");
+  EXPECT_TRUE(good.is_ok()) << good.to_string();
+  // Unknown reduction mode.
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+                   "{\"task\":\"dac4-sym\",\"reduction\":\"sym\"}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+  // Measurement fields, when present, must be numbers.
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+                   "{\"task\":\"dac4-sym\",\"reduction_ratio\":\"4.27\"}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+                   "{\"task\":\"dac4-sym\",\"nodes_per_sec\":true}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace lbsa::obs

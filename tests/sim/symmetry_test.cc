@@ -1,0 +1,218 @@
+// Properties of the symmetry layer (sim/symmetry.h): group enumeration,
+// equivariant renaming, and the canonicalization contract the reduced
+// explorer relies on —
+//   * canonicalize is idempotent,
+//   * canon(g(C)) == canon(C) for every group element g (permutation
+//     invariance), on RNG-hammered reachable configurations,
+//   * the canonical encoding is the exact minimum over the enumerated
+//     group, and encode() round-trips through it,
+//   * orbit sizes divide the group order (orbit-stabilizer).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "protocols/dac_from_pac.h"
+#include "protocols/one_shot.h"
+#include "protocols/straw_dac.h"
+#include "sim/config.h"
+#include "sim/symmetry.h"
+
+namespace lbsa::sim {
+namespace {
+
+using protocols::DacFromPacProtocol;
+using protocols::StrawDacFallbackProtocol;
+using protocols::make_consensus_via_n_consensus;
+
+// Random walk of `steps` steps from the initial configuration (uniform
+// enabled pid, uniform outcome). Stops early if the run halts.
+Config random_reachable_config(const Protocol& protocol, int steps,
+                               Xoshiro256* rng) {
+  Config config = initial_config(protocol);
+  std::vector<Successor> successors;
+  for (int i = 0; i < steps && !config.halted(); ++i) {
+    std::vector<int> enabled;
+    for (int pid = 0; pid < protocol.process_count(); ++pid) {
+      if (config.enabled(pid)) enabled.push_back(pid);
+    }
+    const int pid =
+        enabled[static_cast<size_t>(rng->next_below(enabled.size()))];
+    const int choices = outcome_count(protocol, config, pid);
+    apply_step(protocol, &config, pid,
+               static_cast<int>(rng->next_below(
+                   static_cast<std::uint64_t>(choices))));
+  }
+  return config;
+}
+
+TEST(SymmetrySpec, NoneIsTrivial) {
+  const SymmetrySpec spec = SymmetrySpec::none(4);
+  EXPECT_TRUE(spec.trivial());
+  EXPECT_EQ(symmetry_group(spec).size(), 1u);
+  for (int pid = 0; pid < 4; ++pid) EXPECT_TRUE(spec.is_singleton(pid));
+}
+
+TEST(SymmetrySpec, FullGroupIsSymmetricGroup) {
+  const SymmetrySpec spec = SymmetrySpec::full(3);
+  EXPECT_FALSE(spec.trivial());
+  const auto group = symmetry_group(spec);
+  EXPECT_EQ(group.size(), 6u);  // |S_3|
+  // Identity first — the canonicalizer's fast path depends on it.
+  EXPECT_EQ(group[0], (std::vector<int>{0, 1, 2}));
+  // All elements distinct permutations.
+  auto sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SymmetrySpec, ByValueGroupsEqualInputsAndRespectsFixed) {
+  // Inputs {7, 9, 9, 7} with pid 0 pinned: orbits {0}, {1,2}, {3}.
+  const SymmetrySpec spec = SymmetrySpec::by_value({7, 9, 9, 7}, {0});
+  EXPECT_TRUE(spec.is_singleton(0));
+  EXPECT_FALSE(spec.is_singleton(1));
+  EXPECT_TRUE(spec.is_singleton(3));  // 3 matches 0's value, but 0 is fixed
+  EXPECT_EQ(symmetry_group(spec).size(), 2u);
+}
+
+TEST(SymmetrySpec, GroupElementsPreserveOrbits) {
+  const SymmetrySpec spec = SymmetrySpec::by_value({1, 2, 2, 2, 1});
+  const auto group = symmetry_group(spec);
+  EXPECT_EQ(group.size(), 12u);  // 2! * 3!
+  for (const auto& perm : group) {
+    for (int p = 0; p < 5; ++p) {
+      EXPECT_EQ(spec.orbit_of[static_cast<size_t>(perm[static_cast<size_t>(p)])],
+                spec.orbit_of[static_cast<size_t>(p)]);
+    }
+  }
+}
+
+TEST(Symmetry, ApplyPermutationInverseRoundTrips) {
+  auto protocol = std::make_shared<DacFromPacProtocol>(
+      std::vector<Value>{100, 100, 100});
+  Xoshiro256 rng(7);
+  const std::vector<int> perm{0, 2, 1};  // its own inverse
+  for (int trial = 0; trial < 50; ++trial) {
+    const Config config = random_reachable_config(*protocol, 12, &rng);
+    Config renamed = config;
+    apply_pid_permutation(*protocol, perm, &renamed);
+    apply_pid_permutation(*protocol, perm, &renamed);
+    EXPECT_EQ(renamed, config);
+  }
+}
+
+struct CanonCase {
+  const char* name;
+  std::shared_ptr<const Protocol> protocol;
+};
+
+std::vector<CanonCase> canon_cases() {
+  return {
+      {"dac3-equal", std::make_shared<DacFromPacProtocol>(
+                         std::vector<Value>{100, 100, 100})},
+      {"dac4-equal", std::make_shared<DacFromPacProtocol>(
+                         std::vector<Value>{100, 100, 100, 100})},
+      {"consensus3-equal", make_consensus_via_n_consensus({100, 100, 100})},
+      {"strawdac3-equal", std::make_shared<StrawDacFallbackProtocol>(
+                              std::vector<Value>{100, 100, 100})},
+  };
+}
+
+TEST(Canonicalizer, IdempotentAndPermutationInvariant) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    ASSERT_GE(canon.group_size(), 2u);
+    const auto group = symmetry_group(canon.spec());
+    Xoshiro256 rng(42);
+    for (int trial = 0; trial < 40; ++trial) {
+      Config config = random_reachable_config(*c.protocol, 15, &rng);
+      Config canonical = config;
+      canon.canonicalize(&canonical);
+      // Idempotent: canonicalizing the representative is the identity.
+      Config twice = canonical;
+      std::vector<std::uint8_t> perm;
+      canon.canonicalize(&twice, &perm);
+      EXPECT_EQ(twice, canonical);
+      EXPECT_TRUE(perm.empty()) << "representative got renamed again";
+      // Invariant: every group image canonicalizes to the same
+      // representative.
+      for (const auto& g : group) {
+        Config image = config;
+        apply_pid_permutation(*c.protocol, g, &image);
+        canon.canonicalize(&image);
+        EXPECT_EQ(image, canonical);
+      }
+    }
+  }
+}
+
+TEST(Canonicalizer, CanonicalEncodingIsGroupMinimumAndRoundTrips) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    const auto group = symmetry_group(canon.spec());
+    Xoshiro256 rng(3);
+    std::vector<std::int64_t> key;
+    for (int trial = 0; trial < 40; ++trial) {
+      const Config config = random_reachable_config(*c.protocol, 15, &rng);
+      canon.canonical_encode_into(config, &key);
+      // Exact minimum over the enumerated group.
+      std::vector<std::int64_t> best;
+      for (const auto& g : group) {
+        Config image = config;
+        apply_pid_permutation(*c.protocol, g, &image);
+        const auto enc = image.encode();
+        if (best.empty() || enc < best) best = enc;
+      }
+      EXPECT_EQ(key, best);
+      // encode() of the canonicalized configuration IS the canonical key
+      // (round-trip identity the interner relies on).
+      Config canonical = config;
+      canon.canonicalize(&canonical);
+      EXPECT_EQ(canonical.encode(), key);
+    }
+  }
+}
+
+TEST(Canonicalizer, OrbitSizeDividesGroupOrder) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    Xoshiro256 rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Config config = random_reachable_config(*c.protocol, 15, &rng);
+      const std::uint64_t orbit = canon.orbit_size(config);
+      ASSERT_GE(orbit, 1u);
+      EXPECT_EQ(canon.group_size() % orbit, 0u)
+          << orbit << " does not divide " << canon.group_size();
+    }
+  }
+}
+
+TEST(Canonicalizer, InitialConfigIsItsOwnOrbitRepresentative) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    Config init = initial_config(*c.protocol);
+    // The declared group fixes the initial configuration (checked at
+    // construction), so its orbit is a singleton.
+    EXPECT_EQ(canon.orbit_size(init), 1u);
+    const Config before = init;
+    canon.canonicalize(&init);
+    EXPECT_EQ(init, before);
+  }
+}
+
+TEST(Symmetry, DistinctInputsDeclareTrivialGroups) {
+  // by_value produces singleton orbits when inputs differ, so protocols
+  // with distinguishable processes opt out of reduction automatically.
+  auto protocol = std::make_shared<DacFromPacProtocol>(
+      std::vector<Value>{100, 101, 102});
+  EXPECT_TRUE(protocol->symmetry().trivial());
+}
+
+}  // namespace
+}  // namespace lbsa::sim

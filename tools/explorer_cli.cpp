@@ -4,6 +4,7 @@
 //   ./explorer_cli --list
 //   ./explorer_cli <task> [--threads N] [--engine auto|serial|parallel]
 //                  [--max-nodes N] [--allow-truncation]
+//                  [--reduction none|symmetry|por|both]
 //                  [--metrics-json PATH] [--trace-out PATH]
 //
 // --metrics-json writes a versioned RunReport (docs/observability.md);
@@ -12,6 +13,7 @@
 // RunReport's stable metrics compare byte-identical across configurations —
 // the obs determinism test drives this binary at threads=1/2/8 and diffs
 // exactly that.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,8 +32,9 @@ int usage() {
       "usage: explorer_cli --list\n"
       "       explorer_cli <task> [--threads N]\n"
       "                    [--engine auto|serial|parallel] [--max-nodes N]\n"
-      "                    [--allow-truncation] [--metrics-json PATH]\n"
-      "                    [--trace-out PATH]\n");
+      "                    [--allow-truncation]\n"
+      "                    [--reduction none|symmetry|por|both]\n"
+      "                    [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
 }
 
@@ -88,6 +91,14 @@ int main(int argc, char** argv) {
       options.max_nodes = std::strtoull(next_arg("--max-nodes"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--allow-truncation")) {
       options.allow_truncation = true;
+    } else if (!std::strcmp(argv[i], "--reduction")) {
+      auto reduction =
+          modelcheck::parse_reduction(next_arg("--reduction"));
+      if (!reduction.is_ok()) {
+        std::fprintf(stderr, "%s\n", reduction.status().to_string().c_str());
+        return usage();
+      }
+      options.reduction = reduction.value();
     } else if (!std::strcmp(argv[i], "--engine")) {
       const char* engine = next_arg("--engine");
       if (!std::strcmp(engine, "serial")) {
@@ -107,7 +118,11 @@ int main(int argc, char** argv) {
   }
 
   modelcheck::Explorer explorer(task.protocol);
+  const auto t0 = std::chrono::steady_clock::now();
   auto graph_or = explorer.explore(options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   if (!graph_or.is_ok()) {
     std::fprintf(stderr, "%s: %s\n", task.name.c_str(),
                  graph_or.status().to_string().c_str());
@@ -123,6 +138,25 @@ int main(int argc, char** argv) {
               task.name.c_str(), graph.nodes().size(),
               static_cast<unsigned long long>(graph.transition_count()),
               max_depth, graph.truncated() ? " (truncated)" : "");
+  const std::uint64_t full_estimate = graph.full_node_estimate();
+  const double reduction_ratio =
+      graph.nodes().empty()
+          ? 1.0
+          : static_cast<double>(full_estimate) /
+                static_cast<double>(graph.nodes().size());
+  if (options.reduction != modelcheck::Reduction::kNone) {
+    std::printf("  reduction=%s: >=%llu full-graph nodes, ratio %.2fx\n",
+                modelcheck::reduction_name(graph.reduction()),
+                static_cast<unsigned long long>(full_estimate),
+                reduction_ratio);
+  }
+  // Wall-clock rate, stdout only: the RunReport's stable sections must stay
+  // byte-identical across runs, so timing never lands in --metrics-json
+  // (beyond the existing volatile wall_seconds field).
+  std::printf("  elapsed %.6f s, %.0f nodes/s\n", elapsed,
+              elapsed > 0.0
+                  ? static_cast<double>(graph.nodes().size()) / elapsed
+                  : 0.0);
 
   obs::RunReport run_report;
   run_report.task = task.name;
@@ -131,6 +165,9 @@ int main(int argc, char** argv) {
       {"engine", "\"" + std::string(engine_name(options.engine)) + "\""},
       {"max_nodes", std::to_string(options.max_nodes)},
       {"allow_truncation", options.allow_truncation ? "true" : "false"},
+      {"reduction",
+       "\"" + std::string(modelcheck::reduction_name(options.reduction)) +
+           "\""},
   };
   {
     obs::JsonWriter w;
@@ -143,6 +180,12 @@ int main(int argc, char** argv) {
     w.value_uint(max_depth);
     w.key("truncated");
     w.value_bool(graph.truncated());
+    w.key("reduction");
+    w.value_string(modelcheck::reduction_name(graph.reduction()));
+    w.key("nodes_full_estimate");
+    w.value_uint(full_estimate);
+    w.key("reduction_ratio");
+    w.value_double(reduction_ratio);
     w.end_object();
     run_report.sections.emplace_back("explorer", std::move(w).str());
   }

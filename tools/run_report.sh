@@ -5,8 +5,16 @@
 # tasks at several thread counts, merged under the versioned bench schema
 #
 #   {"lbsa_bench_schema": 1,
-#    "benchmarks":  [{"task": "dac3", "threads": 1, "nodes": N}, ...],
+#    "benchmarks":  [{"task": "dac3", "threads": 1, "nodes": N,
+#                     "nodes_per_sec": R}, ...,
+#                    {"task": "dac4-sym", "threads": 1, "reduction": "both",
+#                     "nodes": N, "nodes_per_sec": R,
+#                     "reduction_ratio": X}, ...],
 #    "run_reports": {"explorer_cli:dac3:t1": <RunReport>, ...}}
+#
+# The second row shape is the state-space-reduction sweep (docs/checking.md,
+# "State-space reduction"): symmetric corpus tasks explored at every
+# --reduction mode; reduction_ratio is full-graph-nodes / reduced-nodes.
 #
 # and validated with `report_check bench` before the script exits 0. CI
 # archives the artifact per commit; the stable metric sections inside each
@@ -40,22 +48,51 @@ done
 # Small tasks an exhaustive exploration finishes in well under a second.
 TASKS=(dac3 strawdac3 mutant-dac-no-adopt3)
 THREADS=(1 2 8)
+# Symmetric tasks for the reduction sweep (declared non-trivial symmetry).
+SYM_TASKS=(dac3-sym dac4-sym)
+REDUCTIONS=(none symmetry por both)
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+
+# run_explorer TASK THREADS REDUCTION REPORT_PATH
+# Parses explorer_cli's human output:
+#   "dac3: 441 nodes, 1234 transitions, depth 12"
+#   "  reduction=both: >=441 full-graph nodes, ratio 3.21x"   (reduction only)
+#   "  elapsed 0.012345 s, 35773 nodes/s"
+# and sets $NODES, $NODES_PER_SEC, $RATIO.
+run_explorer() {
+  local task="$1" t="$2" reduction="$3" report="$4" out
+  out="$("$EXPLORER" "$task" --threads "$t" --reduction "$reduction" \
+         --metrics-json "$report")"
+  NODES="$(sed -nE '1s/^[^:]+: ([0-9]+) nodes.*/\1/p' <<<"$out")"
+  NODES_PER_SEC="$(sed -nE \
+      's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p' <<<"$out")"
+  RATIO="$(sed -nE 's/^ *reduction=.*ratio ([0-9.]+)x$/\1/p' <<<"$out")"
+  [[ -n "$RATIO" ]] || RATIO=1.00
+}
 
 {
   printf '{"lbsa_bench_schema":1,"benchmarks":['
   first=1
   for task in "${TASKS[@]}"; do
     for t in "${THREADS[@]}"; do
-      report="$TMP/$task-t$t.json"
-      line="$("$EXPLORER" "$task" --threads "$t" --metrics-json "$report")"
-      # "dac3: 441 nodes, 1234 transitions, depth 12"
-      nodes="$(sed -E 's/^[^:]+: ([0-9]+) nodes.*/\1/' <<<"$line")"
+      run_explorer "$task" "$t" none "$TMP/$task-t$t.json"
       [[ $first == 1 ]] || printf ','
       first=0
-      printf '{"task":"%s","threads":%d,"nodes":%s}' "$task" "$t" "$nodes"
+      printf '{"task":"%s","threads":%d,"nodes":%s,"nodes_per_sec":%s}' \
+          "$task" "$t" "$NODES" "$NODES_PER_SEC"
+    done
+  done
+  for task in "${SYM_TASKS[@]}"; do
+    for t in "${THREADS[@]}"; do
+      for red in "${REDUCTIONS[@]}"; do
+        run_explorer "$task" "$t" "$red" "$TMP/$task-t$t-$red.json"
+        printf ',{"task":"%s","threads":%d,"reduction":"%s","nodes":%s' \
+            "$task" "$t" "$red" "$NODES"
+        printf ',"nodes_per_sec":%s,"reduction_ratio":%s}' \
+            "$NODES_PER_SEC" "$RATIO"
+      done
     done
   done
   printf '],"run_reports":{'
@@ -67,6 +104,14 @@ trap 'rm -rf "$TMP"' EXIT
       printf '"explorer_cli:%s:t%d":' "$task" "$t"
       # write_run_report emits exactly one line of JSON.
       tr -d '\n' < "$TMP/$task-t$t.json"
+    done
+  done
+  for task in "${SYM_TASKS[@]}"; do
+    for t in "${THREADS[@]}"; do
+      for red in "${REDUCTIONS[@]}"; do
+        printf ',"explorer_cli:%s:t%d:%s":' "$task" "$t" "$red"
+        tr -d '\n' < "$TMP/$task-t$t-$red.json"
+      done
     done
   done
   printf '}'
