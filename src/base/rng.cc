@@ -19,6 +19,12 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
 }
 
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& state) {
+  LBSA_CHECK_MSG((state[0] | state[1] | state[2] | state[3]) != 0,
+                 "all-zero xoshiro256** state");
+  s_ = state;
+}
+
 std::uint64_t Xoshiro256::next() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -59,6 +59,13 @@ class Xoshiro256 {
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next(); }
 
+  // Stream-position capture, for checkpoint/resume of long randomized
+  // campaigns: state() snapshots the engine mid-stream and set_state()
+  // restores it, after which the two engines produce identical outputs.
+  // An all-zero state is a fixed point of xoshiro256** and is rejected.
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> s_;
 };

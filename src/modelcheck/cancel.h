@@ -1,0 +1,49 @@
+// Cooperative cancellation and deadlines for long-running checks.
+//
+// Both exploration engines and both fuzz engines poll a CancelToken at
+// their natural quiescent points (BFS level boundaries, fuzz run
+// boundaries), so a tripped token stops the run with everything completed
+// so far still valid — the partial graph keeps the bit-identical canonical
+// prefix guarantee and the partial fuzz report aggregates a deterministic
+// run prefix. The token is safe to trip from a signal handler (a lock-free
+// atomic store), which is exactly how the CLIs wire Ctrl-C to a clean
+// "interrupted, resumable" exit.
+#ifndef LBSA_MODELCHECK_CANCEL_H_
+#define LBSA_MODELCHECK_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace lbsa::modelcheck {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Async-signal-safe (std::atomic<bool> is lock-free on every supported
+  // target; static_assert guards the claim).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "CancelToken must be signal-safe");
+};
+
+// A wall-clock deadline on the steady clock; the default-constructed
+// (epoch) value means "no deadline".
+using Deadline = std::chrono::steady_clock::time_point;
+
+inline bool deadline_passed(const Deadline& deadline) {
+  return deadline != Deadline{} &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace lbsa::modelcheck
+
+#endif  // LBSA_MODELCHECK_CANCEL_H_

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <barrier>
 #include <deque>
+#include <span>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "base/check.h"
 #include "base/hashing.h"
+#include "modelcheck/checkpoint.h"
 #include "modelcheck/interning.h"
 #include "obs/obs.h"
 
@@ -75,6 +78,89 @@ void record_graph_metrics(const ConfigGraph& graph) {
   }
 }
 
+// Why a run stopped at a level boundary, if it should.
+enum class StopReason { kNone, kCancelled, kDeadline, kMaxLevels };
+
+StopReason stop_reason(const ExploreOptions& options,
+                       std::uint32_t session_levels) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return StopReason::kCancelled;
+  }
+  if (deadline_passed(options.deadline)) return StopReason::kDeadline;
+  if (options.max_levels > 0 && session_levels >= options.max_levels) {
+    return StopReason::kMaxLevels;
+  }
+  return StopReason::kNone;
+}
+
+// Rebuilds every checkpointed configuration from its word encoding, or the
+// first decode error (checksummed files make this near-impossible to hit,
+// but a hand-edited checkpoint must fail cleanly, not crash).
+StatusOr<std::vector<sim::Config>> decode_checkpoint_configs(
+    const ExploreCheckpoint& cp) {
+  std::vector<sim::Config> configs;
+  configs.reserve(cp.node_words.size());
+  for (const auto& words : cp.node_words) {
+    auto config = sim::decode_config(words);
+    if (!config.is_ok()) return config.status();
+    configs.push_back(std::move(config).value());
+  }
+  return configs;
+}
+
+// Snapshot of a paused exploration (graph at a level boundary + the pending
+// frontier), ready for write_explore_checkpoint().
+ExploreCheckpoint checkpoint_from_graph(const ConfigGraph& graph,
+                                        std::span<const std::uint32_t> frontier,
+                                        std::uint32_t levels_completed,
+                                        std::uint64_t fingerprint,
+                                        const ExploreOptions& options,
+                                        bool has_flag_fn,
+                                        std::int64_t initial_flag) {
+  ExploreCheckpoint cp;
+  cp.fingerprint = fingerprint;
+  cp.task_label = options.checkpoint_label;
+  cp.reduction = options.reduction;
+  cp.initial_flag = initial_flag;
+  cp.has_flag_fn = has_flag_fn;
+  cp.max_nodes = options.max_nodes;
+  cp.allow_truncation = options.allow_truncation;
+  cp.truncated = graph.truncated();
+  cp.transition_count = graph.transition_count();
+  cp.levels_completed = levels_completed;
+  const std::size_t n = graph.nodes().size();
+  cp.node_words.reserve(n);
+  cp.node_flags.reserve(n);
+  cp.node_depths.reserve(n);
+  cp.parents.reserve(n);
+  cp.parent_steps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = graph.nodes()[i];
+    cp.node_words.push_back(node.config.encode());
+    cp.node_flags.push_back(node.flag);
+    cp.node_depths.push_back(node.depth);
+    cp.parents.push_back(graph.parents()[i].first);
+    cp.parent_steps.push_back(graph.parents()[i].second);
+  }
+  cp.discovery_perms = graph.discovery_perms();
+  cp.edges = graph.edges();
+  cp.frontier.assign(frontier.begin(), frontier.end());
+  return cp;
+}
+
+Status write_checkpoint(const ConfigGraph& graph,
+                        std::span<const std::uint32_t> frontier,
+                        std::uint32_t levels_completed,
+                        std::uint64_t fingerprint,
+                        const ExploreOptions& options, bool has_flag_fn,
+                        std::int64_t initial_flag) {
+  LBSA_OBS_COUNTER_ADD_V("explore.checkpoint.writes", 1);
+  return write_explore_checkpoint(
+      checkpoint_from_graph(graph, frontier, levels_completed, fingerprint,
+                            options, has_flag_fn, initial_flag),
+      options.checkpoint_path);
+}
+
 // ---------------------------------------------------------------------------
 // Serial reference engine. This is the semantic definition of the canonical
 // graph: node ids in BFS discovery order (frontier in id order; within a
@@ -88,7 +174,8 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
                                                const FlagFn& flag_fn,
                                                std::int64_t initial_flag,
                                                const sim::Canonicalizer* sym,
-                                               bool por) const {
+                                               bool por,
+                                               std::uint64_t fingerprint) const {
   const sim::Protocol& protocol = *protocol_;
   ConfigGraph graph;
   std::unordered_map<std::vector<std::int64_t>, std::uint32_t, KeyHash> index;
@@ -122,11 +209,41 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     return {it->second, inserted};
   };
 
-  sim::Config init = sim::initial_config(protocol);
-  intern(std::move(init), initial_flag, 0, sim::Step{}, 0);
-
   std::deque<std::uint32_t> frontier;
-  frontier.push_back(0);
+  std::uint32_t start_depth = 0;
+  if (options.resume != nullptr) {
+    // Seed the canonical prefix directly (NOT through intern(): resumed
+    // nodes must not re-bump explore.nodes — the counters describe work done
+    // this session). The checkpoint stores representatives, so plain
+    // encoding reproduces the intern keys even under symmetry reduction.
+    const ExploreCheckpoint& cp = *options.resume;
+    auto configs = decode_checkpoint_configs(cp);
+    if (!configs.is_ok()) return configs.status();
+    const std::size_t n = configs.value().size();
+    graph.nodes_.reserve(n);
+    std::vector<std::int64_t> seed_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Config& config = configs.value()[i];
+      config.encode_into(&seed_key);
+      seed_key.push_back(cp.node_flags[i]);
+      const bool fresh =
+          index.try_emplace(seed_key, static_cast<std::uint32_t>(i)).second;
+      if (!fresh) return invalid_argument("resume: duplicate checkpoint node");
+      graph.nodes_.push_back(
+          Node{std::move(config), cp.node_flags[i], cp.node_depths[i]});
+      graph.parents_.emplace_back(cp.parents[i], cp.parent_steps[i]);
+    }
+    graph.edges_ = cp.edges;
+    graph.discovery_perms_ = cp.discovery_perms;
+    graph.transition_count_ = cp.transition_count;
+    graph.truncated_ = cp.truncated;
+    frontier.assign(cp.frontier.begin(), cp.frontier.end());
+    start_depth = cp.levels_completed;
+  } else {
+    sim::Config init = sim::initial_config(protocol);
+    intern(std::move(init), initial_flag, 0, sim::Step{}, 0);
+    frontier.push_back(0);
+  }
 
   // One "explore.level" phase event per BFS level. The frontier is a FIFO,
   // so popped depths are non-decreasing and a depth change marks a level
@@ -156,21 +273,48 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     level_open = true;
     level_start_us = obs::trace_now_us();
   };
-  open_level_span(0);
+  open_level_span(start_depth);
 
   std::vector<sim::Successor> successors;
   while (!frontier.empty()) {
     const std::uint32_t id = frontier.front();
-    frontier.pop_front();
-    // Copy what we need: intern() may reallocate nodes_.
-    const sim::Config config = graph.nodes_[id].config;
-    const std::int64_t flag = graph.nodes_[id].flag;
     const std::uint32_t depth = graph.nodes_[id].depth;
 
     if (depth != span_depth) {
       close_level_span();
+      // Level boundary: every node of depth < `depth` is expanded, and the
+      // deque holds exactly the depth-`depth` nodes in ascending id order —
+      // the one state a checkpoint can represent and a resume can
+      // reproduce. All lifecycle actions happen here and only here.
+      const std::uint32_t session_levels = depth - start_depth;
+      if (stop_reason(options, session_levels) != StopReason::kNone) {
+        graph.interrupted_ = true;
+        graph.levels_completed_ = depth;
+        graph.pending_frontier_.assign(frontier.begin(), frontier.end());
+        if (!options.checkpoint_path.empty()) {
+          const Status written = write_checkpoint(
+              graph, graph.pending_frontier_, depth, fingerprint, options,
+              flag_fn != nullptr, initial_flag);
+          if (!written.is_ok()) return written;
+        }
+        break;
+      }
+      if (!options.checkpoint_path.empty() &&
+          options.checkpoint_every_levels > 0 && session_levels > 0 &&
+          session_levels % options.checkpoint_every_levels == 0) {
+        const std::vector<std::uint32_t> pending(frontier.begin(),
+                                                 frontier.end());
+        const Status written =
+            write_checkpoint(graph, pending, depth, fingerprint, options,
+                             flag_fn != nullptr, initial_flag);
+        if (!written.is_ok()) return written;
+      }
       open_level_span(depth);
     }
+    frontier.pop_front();
+    // Copy what we need: intern() may reallocate nodes_.
+    const sim::Config config = graph.nodes_[id].config;
+    const std::int64_t flag = graph.nodes_[id].flag;
     ++span_nodes;
 
     const int ample =
@@ -213,6 +357,10 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
     }
   }
   close_level_span();
+  if (!graph.interrupted_) {
+    graph.levels_completed_ =
+        graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
+  }
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
   record_graph_metrics(graph);
@@ -279,21 +427,57 @@ constexpr std::size_t kChunk = 16;  // frontier items claimed per steal
 
 StatusOr<ConfigGraph> Explorer::explore_parallel(
     const ExploreOptions& options, int threads, const FlagFn& flag_fn,
-    std::int64_t initial_flag, const sim::Canonicalizer* sym,
-    bool por) const {
+    std::int64_t initial_flag, const sim::Canonicalizer* sym, bool por,
+    std::uint64_t fingerprint) const {
   const sim::Protocol& protocol = *protocol_;
   ShardedInternTable<NodePayload> table;
   std::atomic<bool> exhausted{false};  // budget hit, truncation not allowed
   std::atomic<bool> truncated{false};
 
-  sim::Config init = sim::initial_config(protocol);
-  std::vector<std::uint8_t> root_perm;
-  if (sym != nullptr) {
-    sym->canonicalize(&init, &root_perm);
-    if (!root_perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
-  }
+  const ExploreCheckpoint* resume = options.resume;
+  std::vector<WorkItem> frontier;
+  std::uint32_t start_depth = 0;
   std::uint32_t root_id = 0;
-  {
+  std::vector<std::uint8_t> root_perm;
+  // Resume only: prefix_prov[i] is the provisional id the fresh table
+  // assigned to canonical checkpoint node i. The renumbering walk below is
+  // seeded with this prefix, so session discoveries continue the canonical
+  // numbering exactly where the checkpoint left off.
+  std::vector<std::uint32_t> prefix_prov;
+
+  if (resume != nullptr) {
+    auto configs_or = decode_checkpoint_configs(*resume);
+    if (!configs_or.is_ok()) return configs_or.status();
+    std::vector<sim::Config>& configs = configs_or.value();
+    const std::size_t n = configs.size();
+    prefix_prov.reserve(n);
+    std::vector<std::int64_t> seed_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      configs[i].encode_into(&seed_key);
+      seed_key.push_back(resume->node_flags[i]);
+      sim::Config copy = configs[i];
+      const auto res = table.intern(seed_key, [&] {
+        return NodePayload{std::move(copy), resume->node_flags[i],
+                           resume->node_depths[i]};
+      });
+      if (!res.inserted) {
+        return invalid_argument("resume: duplicate checkpoint node");
+      }
+      prefix_prov.push_back(res.id);
+    }
+    frontier.reserve(resume->frontier.size());
+    for (std::uint32_t id : resume->frontier) {
+      frontier.push_back(WorkItem{prefix_prov[id], std::move(configs[id]),
+                                  resume->node_flags[id]});
+    }
+    start_depth = resume->levels_completed;
+    truncated.store(resume->truncated, std::memory_order_relaxed);
+  } else {
+    sim::Config init = sim::initial_config(protocol);
+    if (sym != nullptr) {
+      sym->canonicalize(&init, &root_perm);
+      if (!root_perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
+    }
     std::vector<std::int64_t> root_key;
     init.encode_into(&root_key);
     root_key.push_back(initial_flag);
@@ -302,6 +486,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
                      return NodePayload{std::move(root_copy), initial_flag, 0};
                    }).id;
     LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
+    frontier.push_back(WorkItem{root_id, std::move(init), initial_flag});
   }
 
   if (obs::tracing_enabled()) {
@@ -312,12 +497,9 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     }
   }
 
-  std::vector<WorkItem> frontier;
-  frontier.push_back(WorkItem{root_id, std::move(init), initial_flag});
-
   std::vector<WorkerOutput> outputs(static_cast<std::size_t>(threads));
   std::atomic<std::size_t> cursor{0};
-  std::uint32_t depth = 0;  // depth of the level currently expanding
+  std::uint32_t depth = start_depth;  // depth of the level currently expanding
   std::atomic<bool> done{false};
 
   std::barrier<> level_start(threads + 1);
@@ -413,8 +595,125 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
 
   std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> all_edges;
-  std::uint64_t transition_count = 0;
+  std::uint64_t transition_count = resume != nullptr ? resume->transition_count : 0;
+
+  // Canonical renumbering walk, runnable at any level boundary (workers
+  // quiescent). final_pass moves configurations out of the intern table and
+  // so may run only once, as the last act; the copy-mode variant backs the
+  // periodic checkpoints. canon_out maps provisional id -> canonical id.
+  auto build_graph = [&](bool final_pass,
+                         std::vector<std::uint32_t>* canon_out) -> ConfigGraph {
+    const std::uint32_t bound = table.id_bound();
+    std::vector<const std::vector<RawEdge>*> raw(bound, nullptr);
+    for (const auto& [id, edges] : all_edges) raw[id] = &edges;
+
+    ConfigGraph graph;
+    graph.truncated_ = truncated.load(std::memory_order_relaxed);
+    graph.transition_count_ = transition_count;
+    const std::size_t total = static_cast<std::size_t>(table.size());
+    graph.nodes_.reserve(total);
+    graph.edges_.reserve(total);
+    graph.parents_.reserve(total);
+
+    std::vector<std::uint32_t>& canon = *canon_out;
+    canon.assign(bound, kUnassigned);
+    std::vector<std::uint32_t> order;  // canonical BFS queue (provisional ids)
+    order.reserve(total);
+    if (resume != nullptr) {
+      // The checkpointed prefix IS the canonical prefix: re-seat it
+      // verbatim, then let first-touch discovery number this session's
+      // nodes — it continues the serial numbering exactly (frontier nodes
+      // sit in the prefix, their session edges are walked in canonical
+      // order below).
+      const std::size_t n = prefix_prov.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        canon[prefix_prov[i]] = static_cast<std::uint32_t>(i);
+        order.push_back(prefix_prov[i]);
+        NodePayload& p = table.payload(prefix_prov[i]);
+        graph.nodes_.push_back(
+            Node{final_pass ? std::move(p.config) : p.config, p.flag,
+                 p.depth});
+        graph.parents_.emplace_back(resume->parents[i],
+                                    resume->parent_steps[i]);
+      }
+      graph.edges_ = resume->edges;
+      graph.discovery_perms_ = resume->discovery_perms;
+    } else {
+      NodePayload& p = table.payload(root_id);
+      canon[root_id] = 0;
+      order.push_back(root_id);
+      graph.nodes_.push_back(
+          Node{final_pass ? std::move(p.config) : p.config, p.flag, 0});
+      graph.edges_.emplace_back();
+      graph.parents_.emplace_back(0, sim::Step{});
+      if (sym != nullptr) {
+        graph.discovery_perms_.push_back(
+            final_pass ? std::move(root_perm) : root_perm);
+      }
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::uint32_t u = order[i];
+      const std::uint32_t cu = static_cast<std::uint32_t>(i);
+      if (raw[u] == nullptr) continue;  // not expanded (this session)
+      for (const RawEdge& e : *raw[u]) {
+        if (canon[e.to] == kUnassigned) {
+          canon[e.to] = static_cast<std::uint32_t>(graph.nodes_.size());
+          NodePayload& p = table.payload(e.to);
+          // Level-synchronous discovery makes stored depths exact; the
+          // canonical parent is one level up by construction.
+          LBSA_CHECK(p.depth == graph.nodes_[cu].depth + 1);
+          graph.nodes_.push_back(
+              Node{final_pass ? std::move(p.config) : p.config, p.flag,
+                   p.depth});
+          graph.edges_.emplace_back();
+          graph.parents_.emplace_back(cu, e.step);
+          // The canonical discovery perm is the first-touch edge's perm
+          // (the racing worker's perm may belong to a different parent
+          // edge).
+          if (sym != nullptr) graph.discovery_perms_.push_back(e.perm);
+          order.push_back(e.to);
+        }
+        graph.edges_[cu].push_back(
+            Edge{canon[e.to], e.step.pid, e.step.action.kind});
+      }
+    }
+    // Every interned node has an in-edge from an expanded node (or is the
+    // root / checkpoint prefix), so the walk must have covered the table.
+    LBSA_CHECK(graph.nodes_.size() == total);
+    LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
+               graph.nodes_.size() == graph.parents_.size());
+    return graph;
+  };
+  // Canonical ids of the pending frontier (ascending — the serial deque
+  // order), from a post-walk canon map.
+  auto canonical_frontier = [&](const std::vector<std::uint32_t>& canon) {
+    std::vector<std::uint32_t> pending;
+    pending.reserve(frontier.size());
+    for (const WorkItem& item : frontier) pending.push_back(canon[item.id]);
+    std::sort(pending.begin(), pending.end());
+    return pending;
+  };
+
+  bool interrupted = false;
+  Status checkpoint_status = Status::ok();
   while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
+    // Top of loop == level boundary: workers quiescent, every level < depth
+    // fully expanded, `frontier` holding exactly the depth-`depth` nodes.
+    const std::uint32_t session_levels = depth - start_depth;
+    if (stop_reason(options, session_levels) != StopReason::kNone) {
+      interrupted = true;
+      break;
+    }
+    if (!options.checkpoint_path.empty() &&
+        options.checkpoint_every_levels > 0 && session_levels > 0 &&
+        session_levels % options.checkpoint_every_levels == 0) {
+      std::vector<std::uint32_t> canon;
+      const ConfigGraph snapshot = build_graph(/*final_pass=*/false, &canon);
+      checkpoint_status = write_checkpoint(
+          snapshot, canonical_frontier(canon), depth, fingerprint, options,
+          flag_fn != nullptr, initial_flag);
+      if (!checkpoint_status.is_ok()) break;
+    }
     // Mirrors the serial engine's one "explore.level" phase span per level.
     obs::Span level_span("explore.level", obs::kCatPhase, /*lane=*/0);
     level_span.arg("level", depth);
@@ -441,6 +740,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   done.store(true, std::memory_order_release);
   level_start.arrive_and_wait();
   for (std::thread& t : pool) t.join();
+  if (!checkpoint_status.is_ok()) return checkpoint_status;
 
   // Intern-table occupancy / probe lengths (quiescent). Probe totals depend
   // on insertion interleaving and the serial engine has no intern table at
@@ -467,58 +767,22 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   }
 
   // --- Canonical renumbering (single-threaded, at quiescence). ---
-  const std::uint32_t bound = table.id_bound();
-  std::vector<std::vector<RawEdge>> raw(bound);
-  for (auto& [id, edges] : all_edges) raw[id] = std::move(edges);
-  all_edges.clear();
-
-  ConfigGraph graph;
-  graph.truncated_ = truncated.load();
-  graph.transition_count_ = transition_count;
-  const std::size_t total = static_cast<std::size_t>(table.size());
-  graph.nodes_.reserve(total);
-  graph.edges_.reserve(total);
-  graph.parents_.reserve(total);
-
-  std::vector<std::uint32_t> canon(bound, kUnassigned);
-  std::vector<std::uint32_t> order;  // canonical BFS queue (provisional ids)
-  order.reserve(total);
-  {
-    NodePayload& p = table.payload(root_id);
-    canon[root_id] = 0;
-    order.push_back(root_id);
-    graph.nodes_.push_back(Node{std::move(p.config), p.flag, 0});
-    graph.edges_.emplace_back();
-    graph.parents_.emplace_back(0, sim::Step{});
-    if (sym != nullptr) graph.discovery_perms_.push_back(std::move(root_perm));
-  }
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const std::uint32_t u = order[i];
-    const std::uint32_t cu = static_cast<std::uint32_t>(i);
-    for (RawEdge& e : raw[u]) {
-      if (canon[e.to] == kUnassigned) {
-        canon[e.to] = static_cast<std::uint32_t>(graph.nodes_.size());
-        NodePayload& p = table.payload(e.to);
-        // Level-synchronous discovery makes stored depths exact; the
-        // canonical parent is one level up by construction.
-        LBSA_CHECK(p.depth == graph.nodes_[cu].depth + 1);
-        graph.nodes_.push_back(Node{std::move(p.config), p.flag, p.depth});
-        graph.edges_.emplace_back();
-        graph.parents_.emplace_back(cu, e.step);
-        // The canonical discovery perm is the first-touch edge's perm (the
-        // racing worker's perm may belong to a different parent edge).
-        if (sym != nullptr) graph.discovery_perms_.push_back(std::move(e.perm));
-        order.push_back(e.to);
-      }
-      graph.edges_[cu].push_back(
-          Edge{canon[e.to], e.step.pid, e.step.action.kind});
+  std::vector<std::uint32_t> canon;
+  ConfigGraph graph = build_graph(/*final_pass=*/true, &canon);
+  if (interrupted) {
+    graph.interrupted_ = true;
+    graph.levels_completed_ = depth;
+    graph.pending_frontier_ = canonical_frontier(canon);
+    if (!options.checkpoint_path.empty()) {
+      const Status written = write_checkpoint(
+          graph, graph.pending_frontier_, depth, fingerprint, options,
+          flag_fn != nullptr, initial_flag);
+      if (!written.is_ok()) return written;
     }
+  } else {
+    graph.levels_completed_ =
+        graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
   }
-  // Every interned node has an in-edge from an expanded node (or is the
-  // root), so the canonical walk must have covered the whole table.
-  LBSA_CHECK(graph.nodes_.size() == total);
-  LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
-             graph.nodes_.size() == graph.parents_.size());
   record_graph_metrics(graph);
   return graph;
 }
@@ -653,12 +917,73 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
     }
   }
 
+  const std::uint64_t fingerprint = explore_fingerprint(
+      *protocol_, options, flag_fn != nullptr, initial_flag);
+  if (options.resume != nullptr) {
+    const ExploreCheckpoint& cp = *options.resume;
+    if (cp.fingerprint != fingerprint) {
+      const std::string suffix =
+          cp.task_label.empty() ? std::string()
+                                : " (checkpoint task: '" + cp.task_label + "')";
+      // Name the mismatched knob when an echoed parameter disagrees; fall
+      // back to the generic fingerprint message (different protocol/task).
+      if (cp.reduction != options.reduction) {
+        return failed_precondition(
+            std::string("resume: checkpoint was written under reduction '") +
+            reduction_name(cp.reduction) + "', this run requests '" +
+            reduction_name(options.reduction) + "'" + suffix);
+      }
+      if (cp.max_nodes != options.max_nodes) {
+        return failed_precondition(
+            "resume: checkpoint node budget " + std::to_string(cp.max_nodes) +
+            " does not match requested " + std::to_string(options.max_nodes) +
+            suffix);
+      }
+      if (cp.allow_truncation != options.allow_truncation) {
+        return failed_precondition(
+            "resume: checkpoint allow_truncation disagrees with this run" +
+            suffix);
+      }
+      if (cp.has_flag_fn != (flag_fn != nullptr)) {
+        return failed_precondition(
+            std::string("resume: checkpoint was written ") +
+            (cp.has_flag_fn ? "with" : "without") +
+            " a path-flag function, this run is the opposite" + suffix);
+      }
+      if (cp.initial_flag != initial_flag) {
+        return failed_precondition(
+            "resume: checkpoint initial flag " +
+            std::to_string(cp.initial_flag) + " does not match requested " +
+            std::to_string(initial_flag) + suffix);
+      }
+      return failed_precondition(
+          "resume: checkpoint fingerprint mismatch — written for a "
+          "different protocol/task or option set" +
+          suffix);
+    }
+    if (cp.node_words.empty()) {
+      return invalid_argument("resume: checkpoint has no nodes");
+    }
+    if ((sym != nullptr) != !cp.discovery_perms.empty()) {
+      return invalid_argument(
+          "resume: checkpoint discovery permutations disagree with the "
+          "active symmetry reduction");
+    }
+    for (std::uint32_t id : cp.frontier) {
+      if (cp.node_depths[id] != cp.levels_completed) {
+        return invalid_argument(
+            "resume: frontier node depth disagrees with levels_completed");
+      }
+    }
+  }
+
   LBSA_OBS_COUNTER_ADD("explore.runs", 1);
   LBSA_OBS_SPAN(run_span, "explore.run", obs::kCatTask, /*lane=*/0);
   StatusOr<ConfigGraph> result =
       parallel ? explore_parallel(options, threads, flag_fn, initial_flag,
-                                  sym.get(), por)
-               : explore_serial(options, flag_fn, initial_flag, sym.get(), por);
+                                  sym.get(), por, fingerprint)
+               : explore_serial(options, flag_fn, initial_flag, sym.get(), por,
+                                fingerprint);
   if (result.is_ok()) {
     ConfigGraph& graph = result.value();
     graph.reduction_ = options.reduction;

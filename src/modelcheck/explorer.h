@@ -22,11 +22,14 @@
 #include <vector>
 
 #include "base/status.h"
+#include "modelcheck/cancel.h"
 #include "sim/config.h"
 #include "sim/protocol.h"
 #include "sim/symmetry.h"
 
 namespace lbsa::modelcheck {
+
+struct ExploreCheckpoint;  // modelcheck/checkpoint.h
 
 // Which exploration engine to run. kAuto picks the serial reference
 // implementation for one thread and the parallel engine otherwise; the
@@ -96,6 +99,39 @@ struct ExploreOptions {
   // INVALID_ARGUMENT if a flag_fn meets an active symmetry reduction
   // without this declaration.
   bool flag_fn_symmetric = false;
+
+  // --- run lifecycle (docs/checking.md, "Long runs") ---
+  // All lifecycle conditions are polled ONLY at BFS level boundaries (every
+  // node of the previous depth expanded), the one point where stopping
+  // preserves the canonical-prefix guarantee: an interrupted graph is
+  // bit-identical to the corresponding prefix of an uninterrupted run, for
+  // both engines and every thread count (complete levels only).
+  //
+  // Cooperative cancellation. Non-owning; may be tripped from a signal
+  // handler. When it fires, explore() returns an *interrupted* graph
+  // (ConfigGraph::interrupted()) rather than an error: everything explored
+  // is valid, and pending_frontier() says where to pick up.
+  const CancelToken* cancel = nullptr;
+  // Steady-clock deadline; Deadline{} (the default) means none.
+  Deadline deadline = {};
+  // Deterministic interruption: stop (interrupted) once this many NEW
+  // levels have completed this session; 0 = unlimited. This is the testable
+  // stand-in for a wall-clock deadline — same code path, no timing races.
+  std::uint32_t max_levels = 0;
+  // When non-empty, a resumable checkpoint is written here (atomically) at
+  // every interruption, and additionally every checkpoint_every_levels
+  // completed levels when that is non-zero. A failed checkpoint write fails
+  // the run (a long run silently losing its safety net is the worse bug).
+  std::string checkpoint_path;
+  std::uint32_t checkpoint_every_levels = 0;
+  // Label echoed into checkpoints and error messages (task name); not
+  // semantically validated.
+  std::string checkpoint_label;
+  // Resume from a previously-written checkpoint (non-owning). The options
+  // above must shape the same graph (reduction, budget, flag function,
+  // initial flag — enforced via the checkpoint fingerprint, returning
+  // FAILED_PRECONDITION on mismatch); engine/threads may differ freely.
+  const ExploreCheckpoint* resume = nullptr;
 };
 
 // One directed edge of the configuration graph.
@@ -123,6 +159,28 @@ class ConfigGraph {
   std::uint64_t transition_count() const { return transition_count_; }
   // True iff exploration stopped at the node budget (allow_truncation).
   bool truncated() const { return truncated_; }
+  // True iff exploration stopped early at a level boundary (cancellation,
+  // deadline, or ExploreOptions::max_levels). The graph is the exact
+  // canonical prefix of the complete graph: every node of depth <
+  // levels_completed() is fully expanded, and pending_frontier() lists the
+  // next level's nodes (present, unexpanded) in canonical id order.
+  bool interrupted() const { return interrupted_; }
+  // Number of fully-expanded BFS levels (== max depth + 1 when complete).
+  std::uint32_t levels_completed() const { return levels_completed_; }
+  // Nodes awaiting expansion; empty unless interrupted().
+  const std::vector<std::uint32_t>& pending_frontier() const {
+    return pending_frontier_;
+  }
+  // Discovering-edge parent pointers, parallel to nodes(); parents()[0] is
+  // unused (the root has no parent).
+  const std::vector<std::pair<std::uint32_t, sim::Step>>& parents() const {
+    return parents_;
+  }
+  // Canonicalizing pid permutations of each node's discovering edge; empty
+  // unless symmetry reduction was active (see the private field's comment).
+  const std::vector<std::vector<std::uint8_t>>& discovery_perms() const {
+    return discovery_perms_;
+  }
   // The reduction mode this graph was explored under.
   Reduction reduction() const { return reduction_; }
   // Non-null iff symmetry reduction was active (non-trivial group).
@@ -158,6 +216,9 @@ class ConfigGraph {
   std::vector<std::vector<std::uint8_t>> discovery_perms_;
   std::uint64_t transition_count_ = 0;
   bool truncated_ = false;
+  bool interrupted_ = false;
+  std::uint32_t levels_completed_ = 0;
+  std::vector<std::uint32_t> pending_frontier_;
   Reduction reduction_ = Reduction::kNone;
   std::shared_ptr<const sim::Canonicalizer> canonicalizer_;
   // Kept for path lifting and orbit sizing on reduced graphs.
@@ -189,19 +250,22 @@ class Explorer {
 
  private:
   // The serial reference engine: defines the canonical graph (ids in BFS
-  // discovery order). sym is non-null iff symmetry reduction is active.
+  // discovery order). sym is non-null iff symmetry reduction is active;
+  // fingerprint stamps any checkpoint written (see checkpoint.h).
   StatusOr<ConfigGraph> explore_serial(const ExploreOptions& options,
                                        const FlagFn& flag_fn,
                                        std::int64_t initial_flag,
                                        const sim::Canonicalizer* sym,
-                                       bool por) const;
+                                       bool por,
+                                       std::uint64_t fingerprint) const;
   // Level-synchronous parallel engine over `threads` workers; renumbers its
   // result into the canonical order before returning.
   StatusOr<ConfigGraph> explore_parallel(const ExploreOptions& options,
                                          int threads, const FlagFn& flag_fn,
                                          std::int64_t initial_flag,
                                          const sim::Canonicalizer* sym,
-                                         bool por) const;
+                                         bool por,
+                                         std::uint64_t fingerprint) const;
 
   std::shared_ptr<const sim::Protocol> protocol_;
 };

@@ -11,6 +11,7 @@
 #include "base/check.h"
 #include "base/hashing.h"
 #include "base/rng.h"
+#include "modelcheck/checkpoint.h"
 #include "obs/obs.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
@@ -19,6 +20,13 @@ namespace lbsa::modelcheck {
 namespace {
 
 using sim::ScriptedAdversary;
+
+// Polled at run boundaries; stop_after_runs is handled by the coverage
+// engine only (see FuzzOptions).
+bool lifecycle_stop(const FuzzOptions& options) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) return true;
+  return deadline_passed(options.deadline);
+}
 
 // Uniform adversary with geometric bursts: with probability (1 - 1/8) it
 // re-picks the process it scheduled last, producing long solo stretches.
@@ -339,11 +347,19 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
   std::atomic<std::uint64_t> next{0};
   std::atomic<int> violations_found{0};
   std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
 
   auto worker = [&](int widx) {
     // Per-worker lane; excluded from trace-count determinism comparisons.
     obs::Span span("fuzz.worker", obs::kCatWorker, widx + 1);
     while (!stop.load(std::memory_order_relaxed)) {
+      if (lifecycle_stop(options)) {
+        // Already-claimed runs complete (the aggregated prefix stays
+        // contiguous); no new ones start.
+        cancelled.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= budget) break;
       outputs[i] = execute_fresh_run(protocol, judge, run_seeds[i],
@@ -374,6 +390,7 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
   }
 
   const std::uint64_t claimed = std::min(next.load(), budget);
+  report.interrupted = cancelled.load() && claimed < budget;
   std::vector<std::vector<ScriptedAdversary::Choice>> schedules;
   aggregate_in_order(outputs, run_seeds, claimed, options, &report,
                      &schedules);
@@ -383,9 +400,16 @@ FuzzReport fuzz_blind(const std::shared_ptr<const sim::Protocol>& protocol,
 
 // Coverage-guided engine (serial): fingerprints feed an interesting-
 // schedule pool that mutations breed from.
+//
+// Checkpoints are taken at run boundaries, before any of the next run's
+// RNG draws, and capture the meta stream position, the coverage set, the
+// pool, and the raw (unshrunk) violations. Shrinking runs once, at
+// campaign end, so a resumed campaign's final report — shrink_replays
+// included — is byte-identical to an uninterrupted one.
 FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
                          const SafetyPredicate& judge,
-                         const FuzzOptions& options) {
+                         const FuzzOptions& options,
+                         std::uint64_t fingerprint) {
   FuzzReport report;
   report.seed = options.seed;
   report.engine = "coverage";
@@ -395,7 +419,91 @@ FuzzReport fuzz_coverage(const std::shared_ptr<const sim::Protocol>& protocol,
   std::deque<std::vector<ScriptedAdversary::Choice>> pool;
   std::vector<std::vector<ScriptedAdversary::Choice>> schedules;
 
-  for (std::uint64_t run = 0; run < options.runs; ++run) {
+  std::uint64_t start_run = 0;
+  if (options.resume != nullptr) {
+    const FuzzCheckpoint& cp = *options.resume;
+    start_run = cp.runs_completed;
+    meta.set_state(cp.rng_state);
+    global.insert(cp.global_fingerprints.begin(),
+                  cp.global_fingerprints.end());
+    for (const std::string& s : cp.pool) {
+      auto schedule = sim::parse_schedule(s);
+      LBSA_CHECK_MSG(schedule.is_ok(),
+                     "fuzz resume: unparseable pool schedule");
+      pool.push_back(std::move(schedule).value());
+    }
+    report.runs_executed = cp.runs_completed;
+    report.runs_terminated = cp.runs_terminated;
+    report.interesting_runs = cp.interesting_runs;
+    report.mutated_runs = cp.mutated_runs;
+    for (const FuzzCheckpoint::RawViolation& rv : cp.violations) {
+      FuzzViolation v;
+      v.property = rv.property;
+      v.detail = rv.detail;
+      v.run_seed = rv.run_seed;
+      report.violations.push_back(std::move(v));
+      auto schedule = sim::parse_schedule(rv.schedule);
+      LBSA_CHECK_MSG(schedule.is_ok(),
+                     "fuzz resume: unparseable violation schedule");
+      schedules.push_back(std::move(schedule).value());
+    }
+  }
+
+  auto write_checkpoint = [&](std::uint64_t runs_completed) -> Status {
+    FuzzCheckpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.task_label = options.checkpoint_label;
+    cp.runs_completed = runs_completed;
+    cp.rng_state = meta.state();
+    cp.global_fingerprints.assign(global.begin(), global.end());
+    // Only membership matters in-memory; sorting makes the file (and so
+    // any checkpoint-level comparison) deterministic.
+    std::sort(cp.global_fingerprints.begin(), cp.global_fingerprints.end());
+    cp.pool.reserve(pool.size());
+    for (const auto& schedule : pool) {
+      cp.pool.push_back(sim::schedule_to_string(schedule));
+    }
+    cp.runs_terminated = report.runs_terminated;
+    cp.interesting_runs = report.interesting_runs;
+    cp.mutated_runs = report.mutated_runs;
+    cp.violations.reserve(report.violations.size());
+    for (std::size_t i = 0; i < report.violations.size(); ++i) {
+      FuzzCheckpoint::RawViolation rv;
+      rv.property = report.violations[i].property;
+      rv.detail = report.violations[i].detail;
+      rv.run_seed = report.violations[i].run_seed;
+      rv.schedule = sim::schedule_to_string(schedules[i]);
+      rv.raw_steps = schedules[i].size();
+      cp.violations.push_back(std::move(rv));
+    }
+    LBSA_OBS_COUNTER_ADD_V("fuzz.checkpoint.writes", 1);
+    return write_fuzz_checkpoint(cp, options.checkpoint_path);
+  };
+
+  for (std::uint64_t run = start_run; run < options.runs; ++run) {
+    // Run boundary: no RNG draw for this run has happened yet, so a
+    // checkpoint taken here resumes with an identical stream.
+    const std::uint64_t session_runs = run - start_run;
+    const bool stop_requested =
+        lifecycle_stop(options) || (options.stop_after_runs > 0 &&
+                                    session_runs >= options.stop_after_runs);
+    if (stop_requested) {
+      report.interrupted = true;
+      if (!options.checkpoint_path.empty()) {
+        const Status written = write_checkpoint(run);
+        if (!written.is_ok()) report.checkpoint_error = written.to_string();
+      }
+      break;
+    }
+    if (!options.checkpoint_path.empty() &&
+        options.checkpoint_every_runs > 0 && session_runs > 0 &&
+        session_runs % options.checkpoint_every_runs == 0) {
+      const Status written = write_checkpoint(run);
+      if (!written.is_ok()) {
+        report.checkpoint_error = written.to_string();
+        break;
+      }
+    }
     const std::uint64_t run_seed = meta.next();
     const bool burst = meta.next_bool(options.burst_fraction);
     const bool mutate =
@@ -531,10 +639,23 @@ FuzzReport fuzz_safety(std::shared_ptr<const sim::Protocol> protocol,
                        const FuzzOptions& options) {
   LBSA_CHECK(protocol != nullptr);
   LBSA_CHECK(options.max_violations >= 1);
+  LBSA_CHECK_MSG(options.coverage_guided || (options.checkpoint_path.empty() &&
+                                             options.resume == nullptr),
+                 "fuzz checkpoint/resume requires the coverage engine");
+  if (options.resume != nullptr) {
+    // Callers surface mismatches gracefully by running validate_fuzz_resume
+    // themselves first (the CLIs do); reaching here with a bad checkpoint is
+    // a contract violation.
+    const Status valid = validate_fuzz_resume(*protocol, options,
+                                              *options.resume);
+    LBSA_CHECK_MSG(valid.is_ok(), valid.to_string().c_str());
+  }
   LBSA_OBS_SPAN(span, "fuzz.run", obs::kCatTask, /*lane=*/0);
-  FuzzReport report = options.coverage_guided
-                          ? fuzz_coverage(protocol, judge, options)
-                          : fuzz_blind(protocol, judge, options);
+  FuzzReport report =
+      options.coverage_guided
+          ? fuzz_coverage(protocol, judge, options,
+                          fuzz_fingerprint(*protocol, options))
+          : fuzz_blind(protocol, judge, options);
   span.arg("runs", static_cast<std::int64_t>(report.runs_executed));
   span.arg("violations", static_cast<std::int64_t>(report.violations.size()));
   // Report aggregates are deterministic by construction (blind reports are

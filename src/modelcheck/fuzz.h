@@ -30,10 +30,13 @@
 #include <vector>
 
 #include "base/status.h"
+#include "modelcheck/cancel.h"
 #include "modelcheck/shrink.h"
 #include "sim/protocol.h"
 
 namespace lbsa::modelcheck {
+
+struct FuzzCheckpoint;  // modelcheck/checkpoint.h
 
 struct FuzzOptions {
   std::uint64_t runs = 1000;
@@ -66,6 +69,33 @@ struct FuzzOptions {
   // When disabled, shrunk_schedule is a copy of the raw schedule.
   bool shrink_violations = true;
   ShrinkOptions shrink;
+
+  // --- campaign lifecycle (docs/checking.md, "Long runs") ---
+  // Cooperative cancellation and a steady-clock deadline, polled at run
+  // boundaries (between runs). An interrupted campaign still returns a
+  // valid report over the runs completed (FuzzReport::interrupted).
+  // Honored by both engines. Non-owning; may be tripped from a signal
+  // handler.
+  const CancelToken* cancel = nullptr;
+  Deadline deadline = {};
+  // Deterministic interruption for tests: stop (interrupted) once this many
+  // NEW runs have completed this session; 0 = unlimited. Coverage engine
+  // only (the blind engine's claim order is thread-scheduling dependent).
+  std::uint64_t stop_after_runs = 0;
+  // When non-empty, a resumable checkpoint (RNG stream position, coverage
+  // set, schedule pool, raw violations — see checkpoint.h) is written here
+  // at every interruption, and additionally every checkpoint_every_runs
+  // completed runs when that is non-zero. Coverage engine only. A failed
+  // write stops the campaign with FuzzReport::checkpoint_error set.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_runs = 0;
+  // Label echoed into checkpoints and error messages (task name).
+  std::string checkpoint_label;
+  // Resume a coverage campaign from a checkpoint (non-owning). Must pass
+  // validate_fuzz_resume (see checkpoint.h); the resumed campaign replays
+  // deterministically — its final report is byte-identical to an
+  // uninterrupted run with the same options.
+  const FuzzCheckpoint* resume = nullptr;
 };
 
 struct FuzzViolation {
@@ -96,6 +126,14 @@ struct FuzzReport {
   std::uint64_t interesting_runs = 0;  // runs that found a new fingerprint
   std::uint64_t mutated_runs = 0;      // coverage mode: runs bred from the pool
   std::uint64_t shrink_replays = 0;    // replays spent minimizing violations
+
+  // Campaign stopped early at a run boundary (cancellation, deadline, or
+  // FuzzOptions::stop_after_runs). The report covers the completed prefix;
+  // with a checkpoint_path the campaign is resumable.
+  bool interrupted = false;
+  // Non-empty iff a checkpoint write failed (the campaign stops there; the
+  // report covers the runs completed, but the checkpoint on disk is stale).
+  std::string checkpoint_error;
 
   bool ok() const { return violations.empty(); }
   bool violates(const std::string& property) const;

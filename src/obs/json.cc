@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/check.h"
+
 namespace lbsa::obs {
 
 std::string json_escape(std::string_view text) {
@@ -44,10 +46,12 @@ std::string json_escape(std::string_view text) {
 
 void JsonWriter::value_double(double value) {
   comma();
-  if (!std::isfinite(value)) {
-    out_ += "0";  // JSON has no inf/nan; clamp rather than corrupt
-    return;
-  }
+  // JSON has no inf/nan. Silently clamping would launder a wrong number
+  // into every downstream consumer; a non-finite value here is always an
+  // upstream arithmetic bug (e.g. an unguarded division), so refuse.
+  LBSA_CHECK_MSG(std::isfinite(value),
+                 "value_double: non-finite value (JSON cannot represent "
+                 "inf/nan; fix the producer)");
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6g", value);
   out_ += buf;
@@ -158,6 +162,13 @@ class Parser {
     out->kind = JsonValue::Kind::kNumber;
     out->number_value = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') return fail("invalid number");
+    // strtod is laxer than JSON: it returns ±HUGE_VAL for overflowing
+    // literals like 1e999 (and accepts inf/nan spellings, though the
+    // tokenizer above never forwards those). A strict parser must not
+    // materialize values JSON itself cannot round-trip.
+    if (!std::isfinite(out->number_value)) {
+      return fail("number out of range (non-finite)");
+    }
     if (token.find('.') == std::string::npos &&
         token.find('e') == std::string::npos &&
         token.find('E') == std::string::npos) {

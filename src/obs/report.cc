@@ -135,6 +135,30 @@ Status check_run_report_value(const JsonValue& root) {
   if (sections == nullptr || !sections->is_object()) {
     return schema_error("sections missing or not an object");
   }
+  // The explorer section's full-graph estimate (and the reduction ratio
+  // derived from it) only counts visited orbits, so on a truncated or
+  // interrupted graph it silently understates the state space. Writers omit
+  // both fields on incomplete graphs; a report carrying them anyway is a
+  // producer bug, not a presentation choice — reject it.
+  if (const JsonValue* explorer = sections->find("explorer");
+      explorer != nullptr && explorer->is_object()) {
+    bool incomplete = false;
+    for (const char* flag : {"truncated", "interrupted"}) {
+      if (const JsonValue* v = explorer->find(flag);
+          v != nullptr && v->kind == JsonValue::Kind::kBool && v->bool_value) {
+        incomplete = true;
+      }
+    }
+    if (incomplete) {
+      for (const char* field : {"nodes_full_estimate", "reduction_ratio"}) {
+        if (explorer->find(field) != nullptr) {
+          return schema_error(
+              std::string("sections.explorer.") + field +
+              " present on an incomplete (truncated/interrupted) graph");
+        }
+      }
+    }
+  }
   return Status::ok();
 }
 

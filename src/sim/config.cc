@@ -45,6 +45,71 @@ int Config::enabled_count() const {
   return count;
 }
 
+StatusOr<Config> decode_config(std::span<const std::int64_t> words) {
+  std::size_t pos = 0;
+  auto take = [&](std::int64_t* out) -> bool {
+    if (pos >= words.size()) return false;
+    *out = words[pos++];
+    return true;
+  };
+  auto malformed = [](const std::string& what) {
+    return invalid_argument("decode_config: " + what);
+  };
+
+  Config config;
+  std::int64_t proc_count = 0;
+  if (!take(&proc_count)) return malformed("missing process count");
+  if (proc_count < 0 || proc_count > 1'000'000) {
+    return malformed("implausible process count " +
+                     std::to_string(proc_count));
+  }
+  config.procs.reserve(static_cast<std::size_t>(proc_count));
+  for (std::int64_t i = 0; i < proc_count; ++i) {
+    ProcessState ps;
+    std::int64_t status = 0;
+    std::int64_t local_count = 0;
+    if (!take(&status) || !take(&ps.decision) || !take(&ps.pc) ||
+        !take(&local_count)) {
+      return malformed("truncated process state");
+    }
+    if (status < 0 || status > static_cast<std::int64_t>(ProcStatus::kCrashed)) {
+      return malformed("bad process status " + std::to_string(status));
+    }
+    ps.status = static_cast<ProcStatus>(status);
+    if (local_count < 0 ||
+        static_cast<std::size_t>(local_count) > words.size() - pos) {
+      return malformed("bad locals count " + std::to_string(local_count));
+    }
+    ps.locals.assign(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                     words.begin() + static_cast<std::ptrdiff_t>(
+                                         pos + static_cast<std::size_t>(
+                                                   local_count)));
+    pos += static_cast<std::size_t>(local_count);
+    config.procs.push_back(std::move(ps));
+  }
+  std::int64_t object_count = 0;
+  if (!take(&object_count)) return malformed("missing object count");
+  if (object_count < 0 || object_count > 1'000'000) {
+    return malformed("implausible object count " +
+                     std::to_string(object_count));
+  }
+  config.objects.reserve(static_cast<std::size_t>(object_count));
+  for (std::int64_t i = 0; i < object_count; ++i) {
+    std::int64_t size = 0;
+    if (!take(&size)) return malformed("truncated object state");
+    if (size < 0 || static_cast<std::size_t>(size) > words.size() - pos) {
+      return malformed("bad object state size " + std::to_string(size));
+    }
+    config.objects.emplace_back(
+        words.begin() + static_cast<std::ptrdiff_t>(pos),
+        words.begin() +
+            static_cast<std::ptrdiff_t>(pos + static_cast<std::size_t>(size)));
+    pos += static_cast<std::size_t>(size);
+  }
+  if (pos != words.size()) return malformed("trailing words");
+  return config;
+}
+
 Config initial_config(const Protocol& protocol) {
   Config config;
   const int n = protocol.process_count();

@@ -6,9 +6,11 @@
 #define LBSA_SIM_CONFIG_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "sim/action.h"
 #include "sim/process_state.h"
 #include "sim/protocol.h"
@@ -47,6 +49,12 @@ struct Config {
 // The configuration in which every process is at its initial state and
 // every object at its initial state.
 Config initial_config(const Protocol& protocol);
+
+// Inverse of Config::encode(): rebuilds a Config from its canonical word
+// encoding. INVALID_ARGUMENT on malformed input (bad counts, short buffers,
+// trailing words, out-of-range status) — used by the model checker's
+// checkpoint loader, which must reject corrupt files rather than crash.
+StatusOr<Config> decode_config(std::span<const std::int64_t> words);
 
 // One recorded step: process pid performed `action` and (for invokes)
 // received `response` as the outcome_choice-th outcome.

@@ -1,0 +1,457 @@
+// Checkpoint/resume contract (modelcheck/checkpoint.h, docs/checking.md
+// "Long runs"): on every small-enough corpus task,
+//   * an exploration interrupted at a level boundary and resumed — under
+//     either engine, any thread count, and every reduction mode — finishes
+//     with a graph bit-identical to the uninterrupted run (including across
+//     multiple interrupt/resume hops),
+//   * a coverage-guided fuzz campaign interrupted at a run boundary and
+//     resumed produces a byte-identical final report,
+//   * stale checkpoints (wrong task, reduction, budget, seed) are rejected
+//     with FAILED_PRECONDITION naming the mismatch, and corrupt files (bad
+//     magic, bit rot, truncation, future schema) with INVALID_ARGUMENT —
+//     never a silently wrong graph,
+//   * cancellation and deadlines interrupt cleanly: the partial graph is the
+//     exact prefix of the uninterrupted exploration.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "modelcheck/cancel.h"
+#include "modelcheck/checkpoint.h"
+#include "modelcheck/corpus.h"
+#include "modelcheck/explorer.h"
+#include "modelcheck/fuzz.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+constexpr Reduction kAllModes[] = {Reduction::kNone, Reduction::kSymmetry,
+                                   Reduction::kPor, Reduction::kBoth};
+
+// Tasks small enough to explore exhaustively many times in a test.
+const char* kGraphTasks[] = {"dac3-sym", "dac4-sym", "consensus4-sym",
+                             "mutant-dac-no-adopt3-sym", "strawdac3"};
+
+NamedTask get_task(const std::string& name) {
+  auto task = make_named_task(name);
+  EXPECT_TRUE(task.is_ok()) << task.status().to_string();
+  return task.value();
+}
+
+ConfigGraph explore_or_die(const NamedTask& task, const ExploreOptions& opts) {
+  Explorer explorer(task.protocol);
+  auto graph = explorer.explore(opts);
+  EXPECT_TRUE(graph.is_ok()) << graph.status().to_string();
+  return std::move(graph).value();
+}
+
+void expect_identical(const ConfigGraph& a, const ConfigGraph& b) {
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  EXPECT_EQ(a.transition_count(), b.transition_count());
+  EXPECT_EQ(a.truncated(), b.truncated());
+  for (std::uint32_t id = 0; id < a.nodes().size(); ++id) {
+    ASSERT_TRUE(a.nodes()[id].config == b.nodes()[id].config)
+        << "config mismatch at node " << id;
+    EXPECT_EQ(a.nodes()[id].flag, b.nodes()[id].flag);
+    EXPECT_EQ(a.nodes()[id].depth, b.nodes()[id].depth);
+    ASSERT_EQ(a.edges()[id], b.edges()[id]) << "edges mismatch at " << id;
+    EXPECT_EQ(a.path_to(id), b.path_to(id)) << "path mismatch at " << id;
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Interrupts `task` after `levels` BFS levels (serial engine, checkpoint to
+// disk), then reads the checkpoint back. The interrupted graph must be a
+// valid prefix: every array sized consistently, frontier nonempty unless
+// exploration happened to finish.
+ExploreCheckpoint interrupt_and_read(const NamedTask& task, Reduction red,
+                                     std::uint32_t levels,
+                                     const std::string& path) {
+  ExploreOptions opts;
+  opts.reduction = red;
+  opts.max_levels = levels;
+  opts.checkpoint_path = path;
+  opts.checkpoint_label = task.name;
+  const ConfigGraph partial = explore_or_die(task, opts);
+  EXPECT_TRUE(partial.interrupted());
+  EXPECT_EQ(partial.levels_completed(), levels);
+  EXPECT_FALSE(partial.pending_frontier().empty());
+  auto cp = read_explore_checkpoint(path);
+  EXPECT_TRUE(cp.is_ok()) << cp.status().to_string();
+  EXPECT_EQ(cp.value().levels_completed, levels);
+  EXPECT_EQ(cp.value().frontier, partial.pending_frontier());
+  return std::move(cp).value();
+}
+
+TEST(Checkpoint, ResumeBitIdenticalAcrossEnginesThreadsAndReductions) {
+  for (const char* name : kGraphTasks) {
+    SCOPED_TRACE(name);
+    const NamedTask task = get_task(name);
+    for (Reduction reduction : kAllModes) {
+      SCOPED_TRACE(reduction_name(reduction));
+      ExploreOptions base;
+      base.reduction = reduction;
+      const ConfigGraph uninterrupted = explore_or_die(task, base);
+
+      const std::string path = temp_path("resume.ckpt");
+      const ExploreCheckpoint cp =
+          interrupt_and_read(task, reduction, 2, path);
+
+      // Serial resume.
+      {
+        ExploreOptions opts;
+        opts.reduction = reduction;
+        opts.resume = &cp;
+        const ConfigGraph resumed = explore_or_die(task, opts);
+        EXPECT_FALSE(resumed.interrupted());
+        expect_identical(uninterrupted, resumed);
+      }
+      // Parallel resume at several thread counts.
+      for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE(threads);
+        ExploreOptions opts;
+        opts.reduction = reduction;
+        opts.engine = ExploreEngine::kParallel;
+        opts.threads = threads;
+        opts.resume = &cp;
+        const ConfigGraph resumed = explore_or_die(task, opts);
+        EXPECT_FALSE(resumed.interrupted());
+        expect_identical(uninterrupted, resumed);
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, MultiHopResumeBitIdentical) {
+  const NamedTask task = get_task("dac4-sym");
+  const ConfigGraph uninterrupted = explore_or_die(task, {});
+
+  // Hop 1: explore 1 level, checkpoint. Hop 2: resume, 2 more levels,
+  // checkpoint again. Hop 3: resume to completion.
+  const std::string path = temp_path("multihop.ckpt");
+  const ExploreCheckpoint hop1 =
+      interrupt_and_read(task, Reduction::kNone, 1, path);
+
+  ExploreOptions mid;
+  mid.resume = &hop1;
+  mid.max_levels = 2;
+  mid.checkpoint_path = path;
+  const ConfigGraph partial = explore_or_die(task, mid);
+  ASSERT_TRUE(partial.interrupted());
+  EXPECT_EQ(partial.levels_completed(), 3u);  // 1 from hop1 + 2 this session
+
+  auto hop2 = read_explore_checkpoint(path);
+  ASSERT_TRUE(hop2.is_ok()) << hop2.status().to_string();
+  EXPECT_EQ(hop2.value().levels_completed, 3u);
+
+  ExploreOptions fin;
+  fin.resume = &hop2.value();
+  const ConfigGraph resumed = explore_or_die(task, fin);
+  EXPECT_FALSE(resumed.interrupted());
+  expect_identical(uninterrupted, resumed);
+}
+
+TEST(Checkpoint, PeriodicCheckpointFromParallelEngineResumes) {
+  const NamedTask task = get_task("dac3-sym");
+  const ConfigGraph uninterrupted = explore_or_die(task, {});
+
+  // Run the parallel engine to completion with periodic checkpoints: the
+  // last periodic snapshot left on disk must itself be resumable.
+  const std::string path = temp_path("periodic.ckpt");
+  ExploreOptions opts;
+  opts.engine = ExploreEngine::kParallel;
+  opts.threads = 4;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every_levels = 2;
+  const ConfigGraph full = explore_or_die(task, opts);
+  EXPECT_FALSE(full.interrupted());
+  expect_identical(uninterrupted, full);
+
+  auto cp = read_explore_checkpoint(path);
+  ASSERT_TRUE(cp.is_ok()) << cp.status().to_string();
+  ExploreOptions res;
+  res.resume = &cp.value();
+  const ConfigGraph resumed = explore_or_die(task, res);
+  expect_identical(uninterrupted, resumed);
+}
+
+TEST(Checkpoint, TruncatedExplorationResumes) {
+  const NamedTask task = get_task("dac3-sym");
+  ExploreOptions base;
+  base.max_nodes = 60;
+  base.allow_truncation = true;
+  const ConfigGraph truncated = explore_or_die(task, base);
+  ASSERT_TRUE(truncated.truncated());
+
+  ExploreOptions part = base;
+  part.max_levels = 2;
+  part.checkpoint_path = temp_path("trunc.ckpt");
+  const ConfigGraph partial = explore_or_die(task, part);
+  ASSERT_TRUE(partial.interrupted());
+
+  auto cp = read_explore_checkpoint(part.checkpoint_path);
+  ASSERT_TRUE(cp.is_ok()) << cp.status().to_string();
+  ExploreOptions res = base;
+  res.resume = &cp.value();
+  const ConfigGraph resumed = explore_or_die(task, res);
+  expect_identical(truncated, resumed);
+}
+
+TEST(Checkpoint, StaleCheckpointRejectedWithNamedMismatch) {
+  const NamedTask task = get_task("dac3-sym");
+  const std::string path = temp_path("stale.ckpt");
+  const ExploreCheckpoint cp =
+      interrupt_and_read(task, Reduction::kSymmetry, 1, path);
+
+  // Wrong task entirely.
+  {
+    const NamedTask other = get_task("strawdac3");
+    Explorer explorer(other.protocol);
+    ExploreOptions opts;
+    opts.reduction = Reduction::kSymmetry;
+    opts.resume = &cp;
+    auto graph = explorer.explore(opts);
+    ASSERT_FALSE(graph.is_ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // Same task, wrong reduction: the error names the knob and both values.
+  {
+    Explorer explorer(task.protocol);
+    ExploreOptions opts;
+    opts.reduction = Reduction::kBoth;
+    opts.resume = &cp;
+    auto graph = explorer.explore(opts);
+    ASSERT_FALSE(graph.is_ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(graph.status().message().find("reduction"), std::string::npos)
+        << graph.status().to_string();
+  }
+  // Same task, different node budget.
+  {
+    Explorer explorer(task.protocol);
+    ExploreOptions opts;
+    opts.reduction = Reduction::kSymmetry;
+    opts.max_nodes = 123;
+    opts.allow_truncation = true;
+    opts.resume = &cp;
+    auto graph = explorer.explore(opts);
+    ASSERT_FALSE(graph.is_ok());
+    EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(graph.status().message().find("node budget"), std::string::npos)
+        << graph.status().to_string();
+  }
+}
+
+TEST(Checkpoint, CorruptFilesRejected) {
+  const NamedTask task = get_task("dac3-sym");
+  const std::string path = temp_path("corrupt.ckpt");
+  (void)interrupt_and_read(task, Reduction::kNone, 1, path);
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  auto spit = [](const std::string& p, const std::string& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::string good = slurp(path);
+  ASSERT_GT(good.size(), 64u);
+
+  // Missing file.
+  EXPECT_EQ(read_explore_checkpoint(temp_path("nope.ckpt")).status().code(),
+            StatusCode::kNotFound);
+
+  // Truncated file.
+  spit(path, good.substr(0, good.size() / 2));
+  EXPECT_EQ(read_explore_checkpoint(path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Flipped payload bit -> checksum mismatch.
+  {
+    std::string bad = good;
+    bad[bad.size() - 3] ^= 0x40;
+    spit(path, bad);
+    EXPECT_EQ(read_explore_checkpoint(path).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Bad magic (also: an explore checkpoint is not a fuzz checkpoint).
+  {
+    std::string bad = good;
+    bad[0] ^= 0xFF;
+    spit(path, bad);
+    EXPECT_EQ(read_explore_checkpoint(path).status().code(),
+              StatusCode::kInvalidArgument);
+    spit(path, good);
+    EXPECT_EQ(read_fuzz_checkpoint(path).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Future schema version: the error names it so the user knows to upgrade.
+  {
+    std::string bad = good;
+    bad[8] = static_cast<char>(kCheckpointSchemaVersion + 1);
+    spit(path, bad);
+    const auto status = read_explore_checkpoint(path).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("version"), std::string::npos)
+        << status.to_string();
+  }
+}
+
+TEST(Checkpoint, CancelAndDeadlineInterruptBothEngines) {
+  const NamedTask task = get_task("dac4-sym");
+  const ConfigGraph uninterrupted = explore_or_die(task, {});
+
+  for (const auto engine :
+       {ExploreEngine::kSerial, ExploreEngine::kParallel}) {
+    SCOPED_TRACE(engine == ExploreEngine::kSerial ? "serial" : "parallel");
+    // A pre-tripped token stops at the first level boundary.
+    CancelToken cancel;
+    cancel.cancel();
+    ExploreOptions opts;
+    opts.engine = engine;
+    opts.threads = engine == ExploreEngine::kParallel ? 4 : 1;
+    opts.cancel = &cancel;
+    const ConfigGraph partial = explore_or_die(task, opts);
+    ASSERT_TRUE(partial.interrupted());
+    ASSERT_LT(partial.nodes().size(), uninterrupted.nodes().size());
+    // The partial graph is the exact prefix of the uninterrupted one.
+    for (std::uint32_t id = 0; id < partial.nodes().size(); ++id) {
+      ASSERT_TRUE(partial.nodes()[id].config ==
+                  uninterrupted.nodes()[id].config)
+          << "prefix mismatch at node " << id;
+    }
+
+    // An already-expired deadline behaves the same.
+    ExploreOptions late;
+    late.engine = opts.engine;
+    late.threads = opts.threads;
+    late.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+    const ConfigGraph timed_out = explore_or_die(task, late);
+    EXPECT_TRUE(timed_out.interrupted());
+  }
+}
+
+TEST(FuzzCheckpoint, ResumedCampaignReportByteIdentical) {
+  // strawdac3 is broken (violations arrive throughout the campaign), so
+  // this checks that violations found before AND after the interrupt, the
+  // coverage pool, and the RNG stream all survive the round trip.
+  for (const char* name : {"strawdac3", "dac3"}) {
+    SCOPED_TRACE(name);
+    const NamedTask task = get_task(name);
+    FuzzOptions base;
+    base.coverage_guided = true;
+    base.runs = 300;
+    base.seed = 11;
+    base.max_violations = 6;
+    const FuzzReport full = fuzz_named_task(task, base);
+
+    FuzzOptions part = base;
+    part.stop_after_runs = 2;
+    part.checkpoint_path = temp_path("fuzz.ckpt");
+    part.checkpoint_label = name;
+    const FuzzReport partial = fuzz_named_task(task, part);
+    if (!partial.interrupted) {
+      // The campaign hit max_violations before the stop point; nothing to
+      // resume (no checkpoint guaranteed). Still a valid complete report.
+      EXPECT_EQ(partial.violations.size(),
+                static_cast<std::size_t>(base.max_violations));
+      continue;
+    }
+    EXPECT_TRUE(partial.checkpoint_error.empty())
+        << partial.checkpoint_error;
+
+    auto cp = read_fuzz_checkpoint(part.checkpoint_path);
+    ASSERT_TRUE(cp.is_ok()) << cp.status().to_string();
+    FuzzOptions res = base;
+    res.resume = &cp.value();
+    ASSERT_TRUE(
+        validate_fuzz_resume(*task.protocol, res, cp.value()).is_ok());
+    const FuzzReport resumed = fuzz_named_task(task, res);
+
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.runs_executed, full.runs_executed);
+    EXPECT_EQ(resumed.runs_terminated, full.runs_terminated);
+    EXPECT_EQ(resumed.distinct_fingerprints, full.distinct_fingerprints);
+    EXPECT_EQ(resumed.interesting_runs, full.interesting_runs);
+    EXPECT_EQ(resumed.mutated_runs, full.mutated_runs);
+    ASSERT_EQ(resumed.violations.size(), full.violations.size());
+    for (std::size_t i = 0; i < full.violations.size(); ++i) {
+      EXPECT_EQ(resumed.violations[i].property, full.violations[i].property);
+      EXPECT_EQ(resumed.violations[i].detail, full.violations[i].detail);
+      EXPECT_EQ(resumed.violations[i].run_seed, full.violations[i].run_seed);
+      EXPECT_EQ(resumed.violations[i].schedule, full.violations[i].schedule);
+      EXPECT_EQ(resumed.violations[i].shrunk_schedule,
+                full.violations[i].shrunk_schedule);
+    }
+  }
+}
+
+TEST(FuzzCheckpoint, StaleFuzzCheckpointRejected) {
+  const NamedTask task = get_task("dac3");
+  FuzzOptions opts;
+  opts.coverage_guided = true;
+  opts.runs = 100;
+  opts.seed = 5;
+  opts.stop_after_runs = 10;
+  opts.checkpoint_path = temp_path("stale-fuzz.ckpt");
+  const FuzzReport partial = fuzz_named_task(task, opts);
+  ASSERT_TRUE(partial.interrupted);
+
+  auto cp = read_fuzz_checkpoint(opts.checkpoint_path);
+  ASSERT_TRUE(cp.is_ok()) << cp.status().to_string();
+
+  // Different seed -> different campaign.
+  FuzzOptions wrong_seed = opts;
+  wrong_seed.stop_after_runs = 0;
+  wrong_seed.checkpoint_path.clear();
+  wrong_seed.seed = 6;
+  EXPECT_EQ(
+      validate_fuzz_resume(*task.protocol, wrong_seed, cp.value()).code(),
+      StatusCode::kFailedPrecondition);
+
+  // Blind engine cannot resume at all.
+  FuzzOptions blind = opts;
+  blind.stop_after_runs = 0;
+  blind.checkpoint_path.clear();
+  blind.coverage_guided = false;
+  EXPECT_EQ(validate_fuzz_resume(*task.protocol, blind, cp.value()).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Checkpoint claiming more runs than the budget.
+  FuzzOptions small = opts;
+  small.stop_after_runs = 0;
+  small.checkpoint_path.clear();
+  small.runs = 5;
+  EXPECT_EQ(validate_fuzz_resume(*task.protocol, small, cp.value()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FuzzCheckpoint, CancelInterruptsBlindAndCoverage) {
+  const NamedTask task = get_task("dac3");
+  for (const bool coverage : {false, true}) {
+    SCOPED_TRACE(coverage ? "coverage" : "blind");
+    CancelToken cancel;
+    cancel.cancel();
+    FuzzOptions opts;
+    opts.coverage_guided = coverage;
+    opts.runs = 1000;
+    opts.threads = coverage ? 1 : 4;
+    opts.cancel = &cancel;
+    const FuzzReport report = fuzz_named_task(task, opts);
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_LT(report.runs_executed, opts.runs);
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

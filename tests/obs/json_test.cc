@@ -1,5 +1,7 @@
 #include "obs/json.h"
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -81,6 +83,49 @@ TEST(JsonParse, ParsesStringsWithEscapes) {
   auto parsed = parse_json("\"a\\n\\u0041\\\"\"");
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed.value().string_value, "a\nA\"");
+}
+
+TEST(JsonParse, RejectsNonFiniteNumbers) {
+  // strtod is laxer than JSON: it returns ±HUGE_VAL for overflowing
+  // literals like 1e999. A strict parser must not materialize values JSON
+  // itself cannot round-trip.
+  for (const char* text :
+       {"1e999", "-1e999", "[1.0,1e400]", "{\"x\":-2e308}"}) {
+    const auto parsed = parse_json(text);
+    ASSERT_FALSE(parsed.is_ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("out of range"),
+              std::string::npos)
+        << parsed.status().to_string();
+  }
+  // Inf/nan spellings were never valid JSON; the tokenizer rejects them
+  // before strtod (which would happily accept them) ever sees the text.
+  for (const char* text : {"inf", "nan", "-inf", "Infinity", "NaN"}) {
+    EXPECT_FALSE(parse_json(text).is_ok()) << text;
+  }
+  // Large-but-finite values still parse.
+  auto ok = parse_json("1e308");
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_DOUBLE_EQ(ok.value().number_value, 1e308);
+}
+
+TEST(JsonWriterDeathTest, RefusesNonFiniteDoubles) {
+  // JSON has no inf/nan; silently clamping would launder a wrong number
+  // into every downstream consumer, so the writer aborts instead.
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_array();
+        w.value_double(std::numeric_limits<double>::infinity());
+      },
+      "non-finite");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_array();
+        w.value_double(std::nan(""));
+      },
+      "non-finite");
 }
 
 }  // namespace

@@ -93,6 +93,41 @@ TEST(RunReportSchema, WriteRunReportRefusesInvalidAndWritesValid) {
   std::remove(path.c_str());
 }
 
+// Completeness guard: the explorer section's full-graph estimate (and the
+// ratio derived from it) only counts visited orbits, so a report carrying
+// either field next to truncated/interrupted = true is a producer bug.
+TEST(RunReportSchema, RejectsReductionRatioOnIncompleteGraphs) {
+  auto with_explorer_section = [](const std::string& section_json) {
+    RunReport report = sample_report();
+    report.sections.clear();
+    report.sections.emplace_back("explorer", section_json);
+    return report.to_json();
+  };
+  // Complete graph: ratio fine.
+  EXPECT_TRUE(validate_run_report_json(
+                  with_explorer_section("{\"truncated\":false,"
+                                        "\"interrupted\":false,"
+                                        "\"nodes_full_estimate\":256,"
+                                        "\"reduction_ratio\":1.8}"))
+                  .is_ok());
+  // Truncated or interrupted: both completeness-only fields rejected.
+  for (const char* flag : {"truncated", "interrupted"}) {
+    for (const char* field :
+         {"\"reduction_ratio\":1.8", "\"nodes_full_estimate\":256"}) {
+      const std::string json = with_explorer_section(
+          "{\"" + std::string(flag) + "\":true," + field + "}");
+      const Status s = validate_run_report_json(json);
+      EXPECT_FALSE(s.is_ok()) << json;
+      EXPECT_NE(s.message().find("incomplete"), std::string::npos)
+          << s.to_string();
+    }
+    // The flags alone (without the fields) stay valid.
+    EXPECT_TRUE(validate_run_report_json(with_explorer_section(
+                    "{\"" + std::string(flag) + "\":true,\"nodes\":79}"))
+                    .is_ok());
+  }
+}
+
 TEST(BenchArtifactSchema, AcceptsMergedArtifactAndRejectsBadRows) {
   const std::string report_json = sample_report().to_json();
   const std::string good = "{\"lbsa_bench_schema\":1,"

@@ -5,6 +5,9 @@
 //   ./explorer_cli <task> [--threads N] [--engine auto|serial|parallel]
 //                  [--max-nodes N] [--allow-truncation]
 //                  [--reduction none|symmetry|por|both]
+//                  [--deadline-s S] [--max-levels N]
+//                  [--checkpoint PATH] [--checkpoint-every N]
+//                  [--resume PATH]
 //                  [--metrics-json PATH] [--trace-out PATH]
 //
 // --metrics-json writes a versioned RunReport (docs/observability.md);
@@ -13,12 +16,28 @@
 // RunReport's stable metrics compare byte-identical across configurations —
 // the obs determinism test drives this binary at threads=1/2/8 and diffs
 // exactly that.
+//
+// Long runs (docs/checking.md, "Long runs"): SIGINT (or --deadline-s /
+// --max-levels) stops the exploration at the next BFS level boundary; with
+// --checkpoint the partial graph is flushed to a resumable checkpoint and
+// --resume continues it to a bit-identical final graph. A second SIGINT
+// kills the process immediately.
+//
+// Exit codes:
+//   0  exploration complete
+//   1  error (bad checkpoint, I/O failure, exploration error)
+//   2  usage error
+//   3  complete but truncated at --max-nodes (absence verdicts unsound)
+//   4  interrupted at a level boundary; resumable if --checkpoint was given
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "modelcheck/cancel.h"
+#include "modelcheck/checkpoint.h"
 #include "modelcheck/corpus.h"
 #include "modelcheck/explorer.h"
 #include "obs/cli.h"
@@ -34,6 +53,9 @@ int usage() {
       "                    [--engine auto|serial|parallel] [--max-nodes N]\n"
       "                    [--allow-truncation]\n"
       "                    [--reduction none|symmetry|por|both]\n"
+      "                    [--deadline-s S] [--max-levels N]\n"
+      "                    [--checkpoint PATH] [--checkpoint-every N]\n"
+      "                    [--resume PATH]\n"
       "                    [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
 }
@@ -47,6 +69,17 @@ const char* engine_name(lbsa::modelcheck::ExploreEngine engine) {
     default:
       return "auto";
   }
+}
+
+lbsa::modelcheck::CancelToken g_cancel;
+
+// First ^C: trip the token; the engine stops at the next level boundary and
+// flushes a checkpoint + partial report. Second ^C: default disposition
+// (kill). CancelToken::cancel is a lock-free atomic store, so this is
+// async-signal-safe.
+extern "C" void on_sigint(int) {
+  g_cancel.cancel();
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -73,6 +106,7 @@ int main(int argc, char** argv) {
 
   modelcheck::ExploreOptions options;
   options.threads = 1;
+  std::string resume_path;
   obs::ObsCli obs_cli("explorer_cli");
   for (int i = 2; i < argc; ++i) {
     auto next_arg = [&](const char* flag) -> const char* {
@@ -111,11 +145,47 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown engine '%s'\n", engine);
         return usage();
       }
+    } else if (!std::strcmp(argv[i], "--deadline-s")) {
+      const double seconds = std::strtod(next_arg("--deadline-s"), nullptr);
+      if (!(seconds > 0.0)) {
+        std::fprintf(stderr, "--deadline-s needs a positive number\n");
+        return usage();
+      }
+      options.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+    } else if (!std::strcmp(argv[i], "--max-levels")) {
+      options.max_levels = static_cast<std::uint32_t>(
+          std::strtoul(next_arg("--max-levels"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      options.checkpoint_path = next_arg("--checkpoint");
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      options.checkpoint_every_levels = static_cast<std::uint32_t>(
+          std::strtoul(next_arg("--checkpoint-every"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume_path = next_arg("--resume");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return usage();
     }
   }
+  options.checkpoint_label = task.name;
+
+  modelcheck::ExploreCheckpoint checkpoint;
+  if (!resume_path.empty()) {
+    auto cp = modelcheck::read_explore_checkpoint(resume_path);
+    if (!cp.is_ok()) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume_path.c_str(),
+                   cp.status().to_string().c_str());
+      return 1;
+    }
+    checkpoint = std::move(cp).value();
+    options.resume = &checkpoint;
+  }
+
+  std::signal(SIGINT, on_sigint);
+  options.cancel = &g_cancel;
 
   modelcheck::Explorer explorer(task.protocol);
   const auto t0 = std::chrono::steady_clock::now();
@@ -129,26 +199,37 @@ int main(int argc, char** argv) {
     return 1;
   }
   const modelcheck::ConfigGraph& graph = graph_or.value();
+  // Truncated and interrupted graphs are incomplete: the full-graph estimate
+  // only covers visited orbits, so the reduction ratio would understate the
+  // reduction (or divide nonsense) — omit it rather than mislead.
+  const bool complete = !graph.truncated() && !graph.interrupted();
 
   std::uint32_t max_depth = 0;
   for (const modelcheck::Node& node : graph.nodes()) {
     if (node.depth > max_depth) max_depth = node.depth;
   }
-  std::printf("%s: %zu nodes, %llu transitions, depth %u%s\n",
+  std::printf("%s: %zu nodes, %llu transitions, depth %u%s%s\n",
               task.name.c_str(), graph.nodes().size(),
               static_cast<unsigned long long>(graph.transition_count()),
-              max_depth, graph.truncated() ? " (truncated)" : "");
-  const std::uint64_t full_estimate = graph.full_node_estimate();
-  const double reduction_ratio =
-      graph.nodes().empty()
-          ? 1.0
-          : static_cast<double>(full_estimate) /
-                static_cast<double>(graph.nodes().size());
-  if (options.reduction != modelcheck::Reduction::kNone) {
+              max_depth, graph.truncated() ? " (truncated)" : "",
+              graph.interrupted() ? " (interrupted)" : "");
+  if (graph.interrupted()) {
+    const std::string resume_hint =
+        options.checkpoint_path.empty()
+            ? ""
+            : "; resume with --resume " + options.checkpoint_path;
+    std::printf("  interrupted after %u levels, %zu nodes pending%s\n",
+                graph.levels_completed(), graph.pending_frontier().size(),
+                resume_hint.c_str());
+  }
+  if (options.reduction != modelcheck::Reduction::kNone && complete &&
+      !graph.nodes().empty()) {
+    const std::uint64_t full_estimate = graph.full_node_estimate();
     std::printf("  reduction=%s: >=%llu full-graph nodes, ratio %.2fx\n",
                 modelcheck::reduction_name(graph.reduction()),
                 static_cast<unsigned long long>(full_estimate),
-                reduction_ratio);
+                static_cast<double>(full_estimate) /
+                    static_cast<double>(graph.nodes().size()));
   }
   // Wall-clock rate, stdout only: the RunReport's stable sections must stay
   // byte-identical across runs, so timing never lands in --metrics-json
@@ -169,6 +250,10 @@ int main(int argc, char** argv) {
        "\"" + std::string(modelcheck::reduction_name(options.reduction)) +
            "\""},
   };
+  if (!resume_path.empty()) {
+    run_report.params.emplace_back(
+        "resumed_from", "\"" + obs::json_escape(resume_path) + "\"");
+  }
   {
     obs::JsonWriter w;
     w.begin_object();
@@ -180,18 +265,37 @@ int main(int argc, char** argv) {
     w.value_uint(max_depth);
     w.key("truncated");
     w.value_bool(graph.truncated());
+    w.key("interrupted");
+    w.value_bool(graph.interrupted());
+    w.key("levels_completed");
+    w.value_uint(graph.levels_completed());
     w.key("reduction");
     w.value_string(modelcheck::reduction_name(graph.reduction()));
-    w.key("nodes_full_estimate");
-    w.value_uint(full_estimate);
-    w.key("reduction_ratio");
-    w.value_double(reduction_ratio);
+    // Only on complete graphs (see `complete` above): the schema validator
+    // rejects a ratio sitting next to truncated/interrupted = true.
+    if (complete && !graph.nodes().empty()) {
+      const std::uint64_t full_estimate = graph.full_node_estimate();
+      w.key("nodes_full_estimate");
+      w.value_uint(full_estimate);
+      w.key("reduction_ratio");
+      w.value_double(static_cast<double>(full_estimate) /
+                     static_cast<double>(graph.nodes().size()));
+    }
     w.end_object();
     run_report.sections.emplace_back("explorer", std::move(w).str());
   }
   if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
+  }
+  if (graph.interrupted()) return 4;
+  if (graph.truncated()) {
+    std::fprintf(stderr,
+                 "%s: truncated at --max-nodes: property verdicts that rely "
+                 "on absence (no violation found) are unsound on a partial "
+                 "graph\n",
+                 task.name.c_str());
+    return 3;
   }
   return 0;
 }

@@ -6,18 +6,39 @@
 //   ./fuzz_shrink_cli --list
 //   ./fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]
 //                     [--coverage] [--max-violations V] [--out DIR]
+//                     [--deadline-s S] [--stop-after-runs N]
+//                     [--checkpoint PATH] [--checkpoint-every N]
+//                     [--resume PATH]
 //                     [--metrics-json PATH] [--trace-out PATH]
 //
 // Without --out, found schedules are printed to stdout. --metrics-json
 // writes a versioned RunReport (docs/observability.md); --trace-out writes
-// a chrome://tracing timeline. Exit code: 0 if the fuzz outcome matches the
-// task's expectation (violations for broken tasks, a clean report for
-// correct ones), 1 otherwise.
+// a chrome://tracing timeline.
+//
+// Long campaigns (docs/checking.md, "Long runs"): SIGINT (or --deadline-s /
+// --stop-after-runs) stops the campaign at the next run boundary; with
+// --checkpoint (coverage engine only) the RNG position, coverage pool, and
+// raw violations are flushed to a resumable checkpoint, and --resume
+// continues to a byte-identical final report. A second SIGINT kills the
+// process immediately.
+//
+// Exit codes:
+//   0  campaign complete, outcome matches the task's expectation
+//      (violations for broken tasks, a clean report for correct ones)
+//   1  error, or outcome does not match the expectation
+//   2  usage error
+//   4  interrupted at a run boundary (outcome not judged — the campaign is
+//      incomplete); resumable if --checkpoint was given
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "modelcheck/cancel.h"
+#include "modelcheck/checkpoint.h"
 #include "modelcheck/corpus.h"
 #include "obs/cli.h"
 #include "obs/json.h"
@@ -30,8 +51,22 @@ int usage() {
       "usage: fuzz_shrink_cli --list\n"
       "       fuzz_shrink_cli <task> [--runs N] [--seed S] [--threads T]\n"
       "                       [--coverage] [--max-violations V] [--out DIR]\n"
+      "                       [--deadline-s S] [--stop-after-runs N]\n"
+      "                       [--checkpoint PATH] [--checkpoint-every N]\n"
+      "                       [--resume PATH]\n"
       "                       [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
+}
+
+lbsa::modelcheck::CancelToken g_cancel;
+
+// First ^C: trip the token; the campaign stops at the next run boundary and
+// flushes a checkpoint + partial report. Second ^C: default disposition
+// (kill). CancelToken::cancel is a lock-free atomic store, so this is
+// async-signal-safe.
+extern "C" void on_sigint(int) {
+  g_cancel.cancel();
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -60,6 +95,7 @@ int main(int argc, char** argv) {
   modelcheck::FuzzOptions options;
   options.runs = 2000;
   const char* out_dir = nullptr;
+  std::string resume_path;
   obs::ObsCli obs_cli("fuzz_shrink_cli");
   for (int i = 2; i < argc; ++i) {
     auto next_arg = [&](const char* flag) -> const char* {
@@ -85,18 +121,70 @@ int main(int argc, char** argv) {
       options.coverage_guided = true;
     } else if (!std::strcmp(argv[i], "--out")) {
       out_dir = next_arg("--out");
+    } else if (!std::strcmp(argv[i], "--deadline-s")) {
+      const double seconds = std::strtod(next_arg("--deadline-s"), nullptr);
+      if (!(seconds > 0.0)) {
+        std::fprintf(stderr, "--deadline-s needs a positive number\n");
+        return usage();
+      }
+      options.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+    } else if (!std::strcmp(argv[i], "--stop-after-runs")) {
+      options.stop_after_runs =
+          std::strtoull(next_arg("--stop-after-runs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      options.checkpoint_path = next_arg("--checkpoint");
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      options.checkpoint_every_runs =
+          std::strtoull(next_arg("--checkpoint-every"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume_path = next_arg("--resume");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return usage();
     }
   }
+  if (!options.coverage_guided &&
+      (!options.checkpoint_path.empty() || !resume_path.empty() ||
+       options.stop_after_runs != 0)) {
+    std::fprintf(stderr,
+                 "--checkpoint/--resume/--stop-after-runs need --coverage "
+                 "(the blind engine's run order is thread-scheduling "
+                 "dependent, so it cannot checkpoint deterministically)\n");
+    return usage();
+  }
+  options.checkpoint_label = task.name;
+
+  modelcheck::FuzzCheckpoint checkpoint;
+  if (!resume_path.empty()) {
+    auto cp = modelcheck::read_fuzz_checkpoint(resume_path);
+    if (!cp.is_ok()) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume_path.c_str(),
+                   cp.status().to_string().c_str());
+      return 1;
+    }
+    checkpoint = std::move(cp).value();
+    if (const Status s = modelcheck::validate_fuzz_resume(
+            *task.protocol, options, checkpoint);
+        !s.is_ok()) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume_path.c_str(),
+                   s.to_string().c_str());
+      return 1;
+    }
+    options.resume = &checkpoint;
+  }
+
+  std::signal(SIGINT, on_sigint);
+  options.cancel = &g_cancel;
 
   const modelcheck::FuzzReport report =
       modelcheck::fuzz_named_task(task, options);
 
   std::printf("%s: %llu runs (%llu terminated), %llu distinct fingerprints, "
               "%llu interesting, %llu mutated, %zu violations "
-              "(%llu shrink replays)\n",
+              "(%llu shrink replays)%s\n",
               task.name.c_str(),
               static_cast<unsigned long long>(report.runs_executed),
               static_cast<unsigned long long>(report.runs_terminated),
@@ -104,8 +192,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.interesting_runs),
               static_cast<unsigned long long>(report.mutated_runs),
               report.violations.size(),
-              static_cast<unsigned long long>(report.shrink_replays));
+              static_cast<unsigned long long>(report.shrink_replays),
+              report.interrupted ? " [interrupted]" : "");
+  if (report.interrupted && !options.checkpoint_path.empty() &&
+      report.checkpoint_error.empty()) {
+    std::printf("  resume with --resume %s\n", options.checkpoint_path.c_str());
+  }
 
+  // Violations found before an interruption are still real findings — emit
+  // them either way.
   int file_index = 0;
   for (const modelcheck::FuzzViolation& v : report.violations) {
     std::printf("  %s: %s — %llu raw steps -> %llu shrunk\n",
@@ -149,7 +244,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool expected = report.ok() != task.expect_violation;
+  // An interrupted campaign is an incomplete sample: don't judge the task
+  // expectation on it (exit 4 below instead).
+  const bool expected =
+      report.interrupted || (report.ok() != task.expect_violation);
   if (!expected) {
     std::fprintf(stderr, "%s: unexpected outcome (%s task, %zu violations)\n",
                  task.name.c_str(),
@@ -166,6 +264,10 @@ int main(int argc, char** argv) {
       {"engine", "\"" + report.engine + "\""},
       {"max_violations", std::to_string(options.max_violations)},
   };
+  if (!resume_path.empty()) {
+    run_report.params.emplace_back(
+        "resumed_from", "\"" + obs::json_escape(resume_path) + "\"");
+  }
   {
     obs::JsonWriter w;
     w.begin_object();
@@ -183,6 +285,8 @@ int main(int argc, char** argv) {
     w.value_uint(report.shrink_replays);
     w.key("violations");
     w.value_uint(report.violations.size());
+    w.key("interrupted");
+    w.value_bool(report.interrupted);
     w.key("expected_outcome");
     w.value_bool(expected);
     w.end_object();
@@ -192,5 +296,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
   }
+  if (!report.checkpoint_error.empty()) {
+    std::fprintf(stderr, "%s: checkpoint write failed: %s\n",
+                 task.name.c_str(), report.checkpoint_error.c_str());
+    return 1;
+  }
+  if (report.interrupted) return 4;
   return expected ? 0 : 1;
 }

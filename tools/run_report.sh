@@ -53,18 +53,43 @@ SYM_TASKS=(dac3-sym dac4-sym)
 REDUCTIONS=(none symmetry por both)
 
 TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
+# The artifact is staged in $OUT's own directory (a cross-filesystem mv from
+# $TMP would not be atomic) and renamed into place only after it validates.
+# The trap cleans both on every exit path (including ^C), so $OUT is never
+# left truncated or stale.
+STAGED="$OUT.tmp.$$"
+trap 'rm -rf "$TMP" "$STAGED"' EXIT INT TERM
+
+# Per-row wall-clock budget. Every task in the sweep finishes in well under
+# a second; a row that hits this is a stall, not a slow run.
+ROW_TIMEOUT="${ROW_TIMEOUT:-120}"
 
 # run_explorer TASK THREADS REDUCTION REPORT_PATH
+# Runs one sweep row under `timeout` with one retry — a transient stall
+# (overloaded CI machine) gets a second chance, a repeat failure aborts the
+# script (the EXIT trap discards the partial artifact). Any nonzero exit is
+# a failure here: the sweep uses no node budget, so truncated(3) or
+# interrupted(4) exits mean the row's report is incomplete.
 # Parses explorer_cli's human output:
 #   "dac3: 441 nodes, 1234 transitions, depth 12"
 #   "  reduction=both: >=441 full-graph nodes, ratio 3.21x"   (reduction only)
 #   "  elapsed 0.012345 s, 35773 nodes/s"
 # and sets $NODES, $NODES_PER_SEC, $RATIO.
 run_explorer() {
-  local task="$1" t="$2" reduction="$3" report="$4" out
-  out="$("$EXPLORER" "$task" --threads "$t" --reduction "$reduction" \
-         --metrics-json "$report")"
+  local task="$1" t="$2" reduction="$3" report="$4" out rc attempt
+  for attempt in 1 2; do
+    rc=0
+    out="$(timeout "$ROW_TIMEOUT" \
+           "$EXPLORER" "$task" --threads "$t" --reduction "$reduction" \
+           --metrics-json "$report")" || rc=$?
+    [[ $rc -eq 0 ]] && break
+    echo "warn: $task threads=$t reduction=$reduction exited $rc" \
+         "(attempt $attempt)" >&2
+    if [[ $attempt -eq 2 ]]; then
+      echo "error: sweep row failed twice; no artifact written" >&2
+      exit 1
+    fi
+  done
   NODES="$(sed -nE '1s/^[^:]+: ([0-9]+) nodes.*/\1/p' <<<"$out")"
   NODES_PER_SEC="$(sed -nE \
       's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p' <<<"$out")"
@@ -130,7 +155,11 @@ run_explorer() {
     cat "$TMP/gbench.json"
   fi
   printf '}\n'
-} > "$OUT"
+} > "$STAGED"
 
-"$CHECK" bench "$OUT" >&2
+# Validate the staged artifact, then publish it atomically (same-directory
+# rename): readers — and a rerun after ^C — either see the previous complete
+# artifact or this one, never a torn write.
+"$CHECK" bench "$STAGED" >&2
+mv -f "$STAGED" "$OUT"
 echo "wrote $OUT" >&2
