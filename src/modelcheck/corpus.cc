@@ -79,13 +79,35 @@ const RegistryEntry kRegistry[] = {
            std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
            inputs, false);
      }},
-    {"dac6", "Algorithm 2: 6-DAC from one 6-PAC (beyond exhaustive reach)",
+    {"dac5",
+     "Algorithm 2: 5-DAC from one 5-PAC (parallel-engine bench workload)",
+     [] {
+       const auto inputs = iota_inputs(5);
+       return dac_task(
+           "dac5", "Algorithm 2: 5-DAC from one 5-PAC",
+           std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
+           inputs, false);
+     }},
+    {"dac6",
+     "Algorithm 2: 6-DAC from one 6-PAC (largest exhaustive instance; "
+     "minutes of wall clock)",
      [] {
        const auto inputs = iota_inputs(6);
        return dac_task(
            "dac6", "Algorithm 2: 6-DAC from one 6-PAC",
            std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
            inputs, false);
+     }},
+    {"consensus5",
+     "consensus among 5 via one 5-consensus object (parallel-engine bench "
+     "workload)",
+     [] {
+       const auto inputs = iota_inputs(5);
+       return k_agreement_task(
+           "consensus5",
+           "consensus among 5 via one 5-consensus object",
+           protocols::make_consensus_via_n_consensus(inputs), 1, inputs,
+           false);
      }},
     {"groupksa", "3-set agreement, 3 groups of 4 (12 processes)",
      [] {

@@ -1,18 +1,22 @@
 #include "modelcheck/explorer.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <barrier>
 #include <deque>
+#include <limits>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "base/arena.h"
 #include "base/check.h"
 #include "base/hashing.h"
+#include "modelcheck/batch_intern.h"
 #include "modelcheck/checkpoint.h"
-#include "modelcheck/interning.h"
 #include "obs/obs.h"
 
 namespace lbsa::modelcheck {
@@ -36,7 +40,7 @@ int resolve_threads(const ExploreOptions& options) {
 // edges, leaves the flag unchanged (the visibility proviso: a flag-changing
 // step may not be prioritized, or flag-distinguished histories would be
 // lost). Returns -1 when no such process exists and the node must be fully
-// expanded. Pure function of (config, flag), so both engines agree and
+// expanded. Pure function of (config, flag), so all engines agree and
 // reduced graphs stay deterministic. The cycle proviso is structural: an
 // ample step strictly shrinks the enabled set, so no cycle consists of
 // ample-reduced nodes.
@@ -59,8 +63,8 @@ int select_ample_pid(const sim::Protocol& protocol, const sim::Config& config,
   return -1;
 }
 
-// End-of-run level statistics, derived from the canonical graph so both
-// engines report byte-identical values: one frontier-size observation per
+// End-of-run level statistics, derived from the canonical graph so every
+// engine reports byte-identical values: one frontier-size observation per
 // BFS level, the level count, and the maximum depth.
 void record_graph_metrics(const ConfigGraph& graph) {
   if (!obs::metrics_enabled()) return;
@@ -165,17 +169,16 @@ Status write_checkpoint(const ConfigGraph& graph,
 // Serial reference engine. This is the semantic definition of the canonical
 // graph: node ids in BFS discovery order (frontier in id order; within a
 // node, pids ascending, then outcome order), parents_ from the discovering
-// edge, depths from level-synchronous discovery. The parallel engine below
+// edge, depths from level-synchronous discovery. The parallel engines below
 // must reproduce its output bit for bit on complete explorations.
 // ---------------------------------------------------------------------------
 }  // namespace
 
-StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
-                                               const FlagFn& flag_fn,
-                                               std::int64_t initial_flag,
-                                               const sim::Canonicalizer* sym,
-                                               bool por,
-                                               std::uint64_t fingerprint) const {
+StatusOr<ConfigGraph> Explorer::explore_serial(
+    const ExploreOptions& options, const FlagFn& flag_fn,
+    std::int64_t initial_flag, const sim::Canonicalizer* sym, bool por,
+    std::uint64_t fingerprint, std::uint64_t switch_after_nodes,
+    bool* switched) const {
   const sim::Protocol& protocol = *protocol_;
   ConfigGraph graph;
   std::unordered_map<std::vector<std::int64_t>, std::uint32_t, KeyHash> index;
@@ -299,6 +302,17 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
         }
         break;
       }
+      if (switch_after_nodes > 0 &&
+          graph.nodes_.size() >= switch_after_nodes) {
+        // kAuto handoff: return the canonical prefix exactly as an
+        // interruption would, but leave checkpoint writing and graph-metric
+        // recording to the engine that finishes the run.
+        *switched = true;
+        graph.interrupted_ = true;
+        graph.levels_completed_ = depth;
+        graph.pending_frontier_.assign(frontier.begin(), frontier.end());
+        break;
+      }
       if (!options.checkpoint_path.empty() &&
           options.checkpoint_every_levels > 0 && session_levels > 0 &&
           session_levels % options.checkpoint_every_levels == 0) {
@@ -363,34 +377,62 @@ StatusOr<ConfigGraph> Explorer::explore_serial(const ExploreOptions& options,
   }
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
-  record_graph_metrics(graph);
+  if (switched == nullptr || !*switched) record_graph_metrics(graph);
   return graph;
 }
 
 // ---------------------------------------------------------------------------
-// Parallel engine: level-synchronous BFS over a work pool.
+// Parallel engines: shared expansion + canonical renumbering machinery.
 //
 // Determinism recipe (complete graphs are bit-identical to explore_serial):
-//   1. Levels are processed with a barrier in between, so a node's depth is
-//      exactly its BFS distance no matter which thread discovers it.
-//   2. Each frontier node is expanded by exactly one worker, which emits its
-//      RawEdge list in the canonical within-node order (pids ascending,
-//      outcomes in enumeration order). Provisional ids from the sharded
+//   1. Each frontier node is expanded by exactly one worker, which emits its
+//      raw edge list in the canonical within-node order (pids ascending,
+//      outcomes in enumeration order). Provisional ids from the concurrent
 //      intern table are schedule-dependent, but the edge *lists* are not.
-//   3. A final single-threaded renumbering pass replays the canonical BFS
+//   2. A final single-threaded renumbering pass replays the canonical BFS
 //      over the provisional graph: walking nodes in canonical id order and
 //      each edge list in order, first-touch assigns canonical ids — which
 //      reproduces the serial discovery order, parents and all.
+//   3. The level-synchronous engine additionally barriers between levels, so
+//      stored depths are exact BFS distances and interruption lands on a
+//      level boundary for free. The work-stealing engine has no barriers;
+//      its walk derives depths from the canonical parents, and interruption
+//      is handled by trimming the walked graph back to the deepest fully
+//      expanded level (the ids the walk assigns are depth-monotone, so the
+//      serial-identical prefix is literally an array prefix).
+//
+// The hot path is allocation-free after warm-up: successor keys are encoded
+// straight into a per-worker bump arena (Config::encode_to), interned in
+// per-shard batches under one shared-lock acquisition each (BatchInternTable),
+// and raw edges land in flat per-worker pools. Each node's configuration is
+// stored once, in the winning inserter's table payload (losers' copies are
+// simply dropped); the canonical pass moves them out into the final graph
+// instead of re-decoding keys, and frontier items carry only the node id.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 // Payload stored per interned (config, flag) node.
-struct NodePayload {
-  sim::Config config;
+struct NodeMeta {
   std::int64_t flag = 0;
   std::uint32_t depth = 0;
+  // Expansion eligibility, read back by the work-stealing trim pass.
+  enum State : std::uint8_t {
+    kFresh = 0,     // discovered within budget; expandable
+    kSeedDone,      // checkpoint-prefix node that is not in the resumed
+                    // frontier: already expanded (or budget-barred) in a
+                    // previous session
+    kBeyondBudget,  // kept under allow_truncation but never expanded
+  };
+  std::uint8_t state = kFresh;
+  // The node's (representative) configuration, moved in by the winning
+  // inserter before the id is published. Expanding workers read it through
+  // a WorkItem they received over a queue or barrier, so the insertion
+  // happens-before every read despite the table not yet being quiescent.
+  sim::Config config;
 };
+
+using BatchTable = BatchInternTable<NodeMeta>;
 
 // An emitted transition, pre-renumbering: target is a provisional id and the
 // full Step is kept so the renumbering pass can rebuild parents_. Under
@@ -405,112 +447,630 @@ struct RawEdge {
   std::vector<std::uint8_t> perm;
 };
 
-// A frontier entry. Carries its own copy of the configuration so workers
-// never read the intern table's payload store while other workers insert
-// into it (payload reads happen only after full quiescence).
+// One expanded node's slice [begin, end) of the owning worker's RawEdge
+// pool, plus its per-expansion reduction tallies (folded into the stable
+// counters only for nodes the final graph keeps expanded).
+struct EdgeRange {
+  std::uint32_t id = 0;  // provisional id of the expanded node
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t renamed = 0;    // non-identity canonicalizations
+  std::uint32_t por_skips = 0;  // enabled-but-skipped processes
+  std::uint8_t had_ample = 0;   // an ample process existed (skips may be 0)
+};
+
+// Per-worker edge storage: a flat pool plus one range per expanded node.
+struct EdgeSink {
+  std::vector<RawEdge> pool;
+  std::vector<EdgeRange> ranges;
+};
+
+// A frontier entry: just the published node's id plus the two payload
+// fields the expander needs before touching the table. The configuration
+// itself lives in the node's table payload (see NodeMeta::config).
 struct WorkItem {
   std::uint32_t id = 0;  // provisional id
-  sim::Config config;
+  std::uint32_t depth = 0;
   std::int64_t flag = 0;
 };
 
-struct WorkerOutput {
-  std::vector<WorkItem> next;  // discoveries for the next level
-  std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> edges;
-  std::uint64_t transitions = 0;
+constexpr std::uint32_t kUnassigned = 0xffffffffu;
+// Frontier items claimed per grab/steal. Sized so a chunk's successors
+// (a handful per item) form per-shard intern batches big enough to
+// amortize the shared-lock round per shard across several keys.
+constexpr std::size_t kChunk = 64;
+// kAuto: hand off to a parallel engine once the serial probe holds this many
+// nodes (below it, parallel setup + renumbering overhead beats the win)...
+constexpr std::uint64_t kAutoSwitchNodes = 32768;
+// ...choosing level-synchronous when the handoff frontier is at least this
+// wide per worker (barriers amortize), work-stealing otherwise.
+constexpr std::size_t kAutoWideFrontier = 64;
+
+// Per-worker expansion machinery shared by both parallel engines: expands
+// frontier items in chunks, encodes successor keys straight into a scratch
+// arena, batch-interns them shard by shard, and appends raw edges to the
+// worker's EdgeSink. Single-threaded; one instance per worker.
+class Expander {
+ public:
+  Expander(const sim::Protocol* protocol, BatchTable* table,
+           const Explorer::FlagFn* flag_fn, const sim::Canonicalizer* sym,
+           bool por, std::uint64_t max_nodes, bool allow_truncation,
+           std::atomic<bool>* truncated)
+      : protocol_(protocol),
+        table_(table),
+        flag_fn_(flag_fn),
+        sym_(sym),
+        por_(por),
+        max_nodes_(max_nodes),
+        allow_truncation_(allow_truncation),
+        truncated_(truncated) {}
+
+  // Expands every item of `chunk`, appending one EdgeRange per item to
+  // `sink` and passing each newly-discovered within-budget successor to
+  // `emit` as a WorkItem. Returns false iff the node budget was exceeded
+  // with truncation disallowed (the caller must stop and report
+  // RESOURCE_EXHAUSTED).
+  template <typename Emit>
+  bool expand_chunk(std::span<WorkItem> chunk, EdgeSink* sink, Emit&& emit) {
+    scratch_.reset();
+    pending_.clear();
+    items_.clear();
+    for (const WorkItem& item : chunk) {
+      // The item arrived over a queue or barrier after its inserter
+      // published the node, so this pre-quiescence payload read is ordered
+      // after the config move-in (and entries never relocate).
+      const sim::Config& config = table_->payload(item.id).config;
+      ItemRec rec;
+      rec.id = item.id;
+      rec.begin = static_cast<std::uint32_t>(pending_.size());
+      const int ample =
+          por_ ? select_ample_pid(*protocol_, config, item.flag, *flag_fn_)
+               : -1;
+      if (ample >= 0) {
+        rec.had_ample = 1;
+        rec.skips = static_cast<std::uint32_t>(config.enabled_count() - 1);
+      }
+      const int n = static_cast<int>(config.procs.size());
+      for (int pid = 0; pid < n; ++pid) {
+        if (!config.enabled(pid)) continue;
+        if (ample >= 0 && pid != ample) continue;
+        successors_.clear();
+        sim::enumerate_successors(*protocol_, config, pid, &successors_);
+        for (sim::Successor& succ : successors_) {
+          const std::int64_t next_flag =
+              *flag_fn_ ? (*flag_fn_)(item.flag, succ.step) : item.flag;
+          Pending p;
+          if (sym_ != nullptr) {
+            sym_->canonical_encode_into(succ.config, &sym_key_, &perm_);
+            if (!perm_.empty()) {
+              ++rec.renamed;
+              // Carry (and later expand) the representative, never the raw
+              // successor: expansion must be a pure function of the
+              // interned configuration.
+              const std::vector<int> as_int(perm_.begin(), perm_.end());
+              sim::apply_pid_permutation(*protocol_, as_int, &succ.config);
+            }
+            const std::size_t len = sym_key_.size() + 1;
+            std::int64_t* words = scratch_.alloc(len);
+            std::copy(sym_key_.begin(), sym_key_.end(), words);
+            words[len - 1] = next_flag;
+            p.cand.key = {words, len};
+            p.perm = perm_;
+          } else {
+            const std::size_t len = succ.config.encoded_size() + 1;
+            std::int64_t* words = scratch_.alloc(len);
+            succ.config.encode_to(words);
+            words[len - 1] = next_flag;
+            p.cand.key = {words, len};
+          }
+          p.cand.hash = hash_words_128(p.cand.key);
+          // The config rides in the candidate payload: if this candidate
+          // wins the insertion race it is moved into the entry, otherwise
+          // it is dropped with the candidate.
+          p.cand.payload = NodeMeta{next_flag, item.depth + 1,
+                                    NodeMeta::kFresh, std::move(succ.config)};
+          p.flag = next_flag;
+          p.depth = item.depth + 1;
+          p.step = succ.step;
+          pending_.push_back(std::move(p));
+        }
+      }
+      rec.end = static_cast<std::uint32_t>(pending_.size());
+      items_.push_back(rec);
+    }
+
+    // One probe pass per shard for the whole chunk: bucket, then batch.
+    for (auto& bucket : buckets_) bucket.clear();
+    for (Pending& p : pending_) {
+      buckets_[BatchTable::shard_of(p.cand.hash)].push_back(&p.cand);
+    }
+    for (std::uint32_t s = 0; s < BatchTable::kShardCount; ++s) {
+      if (buckets_[s].empty()) continue;
+      table_->intern_batch(s, buckets_[s], &key_arena_, &tally_);
+      LBSA_OBS_HISTOGRAM_OBSERVE_V("explore.intern.batch_size",
+                                   buckets_[s].size());
+    }
+
+    // Resolve: raw edges in canonical within-node order; fresh discoveries
+    // are queued (or budget-barred) exactly once, by their inserter.
+    bool ok = true;
+    for (const ItemRec& rec : items_) {
+      EdgeRange range;
+      range.id = rec.id;
+      range.renamed = rec.renamed;
+      range.por_skips = rec.skips;
+      range.had_ample = rec.had_ample;
+      range.begin = static_cast<std::uint32_t>(sink->pool.size());
+      for (std::uint32_t i = rec.begin; i < rec.end; ++i) {
+        Pending& p = pending_[i];
+        sink->pool.push_back(RawEdge{p.cand.id, p.step, std::move(p.perm)});
+        if (!p.cand.inserted) continue;
+        // seq reproduces the serial budget cut: the first max_nodes
+        // insertions (in global insertion order) are expandable.
+        if (p.cand.seq > max_nodes_) {
+          if (!allow_truncation_) {
+            ok = false;
+            continue;
+          }
+          table_->payload_mut(p.cand.id).state = NodeMeta::kBeyondBudget;
+          truncated_->store(true, std::memory_order_relaxed);
+          continue;
+        }
+        emit(WorkItem{p.cand.id, p.depth, p.flag});
+      }
+      range.end = static_cast<std::uint32_t>(sink->pool.size());
+      sink->ranges.push_back(range);
+    }
+    return ok;
+  }
+
+  const BatchTable::Tally& tally() const { return tally_; }
+
+
+ private:
+  struct Pending {
+    BatchTable::Candidate cand;
+    sim::Step step;
+    std::vector<std::uint8_t> perm;
+    std::int64_t flag = 0;
+    std::uint32_t depth = 0;
+  };
+  struct ItemRec {
+    std::uint32_t id = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t renamed = 0;
+    std::uint32_t skips = 0;
+    std::uint8_t had_ample = 0;
+  };
+
+  const sim::Protocol* protocol_;
+  BatchTable* table_;
+  const Explorer::FlagFn* flag_fn_;
+  const sim::Canonicalizer* sym_;
+  bool por_;
+  std::uint64_t max_nodes_;
+  bool allow_truncation_;
+  std::atomic<bool>* truncated_;
+  // Receives the interned key words of this worker's winning inserts; must
+  // outlive every read of the table, so it lives with the worker, not the
+  // chunk.
+  WordArena key_arena_{1u << 15};
+  // Per-chunk scratch for candidate keys; reset at every chunk.
+  WordArena scratch_{1u << 14};
+  BatchTable::Tally tally_;
+  std::vector<sim::Successor> successors_;
+  std::vector<std::int64_t> sym_key_;
+  std::vector<std::uint8_t> perm_;
+  std::vector<Pending> pending_;
+  std::vector<ItemRec> items_;
+  std::array<std::vector<BatchTable::Candidate*>, BatchTable::kShardCount>
+      buckets_;
 };
 
-constexpr std::uint32_t kUnassigned = 0xffffffffu;
-constexpr std::size_t kChunk = 16;  // frontier items claimed per steal
+// One worker's whole state, for both engines.
+struct ParallelWorker {
+  explicit ParallelWorker(Expander expander) : ex(std::move(expander)) {}
+  Expander ex;
+  EdgeSink sink;
+  std::vector<WorkItem> next;  // level-sync: next-level discoveries
+  std::uint64_t expanded = 0;
+  std::uint64_t steals = 0;        // work-stealing only
+  std::uint64_t steal_misses = 0;  // full sweeps that found nothing
+};
+
+// The table contents after seeding (root or checkpoint prefix), before any
+// worker runs.
+struct SeedState {
+  std::vector<WorkItem> frontier;
+  // Resume only: prefix_prov[i] is the provisional id of canonical
+  // checkpoint node i; the renumbering walk is seeded with this prefix.
+  std::vector<std::uint32_t> prefix_prov;
+  std::vector<std::uint8_t> root_perm;  // fresh runs: root's canonical perm
+  std::uint32_t root_id = 0;
+  std::uint32_t start_depth = 0;
+  std::uint64_t base_transitions = 0;
+  bool truncated = false;
+};
+
+StatusOr<SeedState> seed_table(const sim::Protocol& protocol,
+                               BatchTable* table, WordArena* seed_arena,
+                               BatchTable::Tally* tally,
+                               const ExploreCheckpoint* resume,
+                               const sim::Canonicalizer* sym,
+                               std::int64_t initial_flag) {
+  SeedState seed;
+  std::vector<std::int64_t> key;
+  if (resume != nullptr) {
+    auto configs_or = decode_checkpoint_configs(*resume);
+    if (!configs_or.is_ok()) return configs_or.status();
+    std::vector<sim::Config>& configs = configs_or.value();
+    const std::size_t n = configs.size();
+    std::vector<std::uint8_t> in_frontier(n, 0);
+    for (std::uint32_t id : resume->frontier) in_frontier[id] = 1;
+    seed.prefix_prov.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      configs[i].encode_into(&key);
+      key.push_back(resume->node_flags[i]);
+      NodeMeta meta;
+      meta.flag = resume->node_flags[i];
+      meta.depth = resume->node_depths[i];
+      meta.state = in_frontier[i] ? NodeMeta::kFresh : NodeMeta::kSeedDone;
+      meta.config = std::move(configs[i]);  // after the encode above
+      const auto res = table->intern(key, std::move(meta), seed_arena, tally);
+      if (!res.inserted) {
+        return invalid_argument("resume: duplicate checkpoint node");
+      }
+      seed.prefix_prov.push_back(res.id);
+    }
+    seed.frontier.reserve(resume->frontier.size());
+    for (std::uint32_t id : resume->frontier) {
+      seed.frontier.push_back(WorkItem{seed.prefix_prov[id],
+                                       resume->node_depths[id],
+                                       resume->node_flags[id]});
+    }
+    seed.start_depth = resume->levels_completed;
+    seed.base_transitions = resume->transition_count;
+    seed.truncated = resume->truncated;
+  } else {
+    sim::Config init = sim::initial_config(protocol);
+    if (sym != nullptr) sym->canonicalize(&init, &seed.root_perm);
+    init.encode_into(&key);
+    key.push_back(initial_flag);
+    const auto res = table->intern(
+        key, NodeMeta{initial_flag, 0, NodeMeta::kFresh, std::move(init)},
+        seed_arena, tally);
+    seed.root_id = res.id;
+    seed.frontier.push_back(WorkItem{res.id, 0, initial_flag});
+  }
+  return seed;
+}
+
+// The canonical graph plus canonical-indexed side data the engines need
+// afterwards (trim pass, stable-counter flush). Valid only at quiescence.
+struct CanonicalBuild {
+  ConfigGraph graph;
+  std::vector<std::uint32_t> canon;  // provisional -> canonical id
+  std::vector<std::uint8_t> state;   // NodeMeta::State per canonical id
+  std::vector<std::uint8_t> expanded;  // expanded THIS session
+  std::vector<std::uint32_t> renamed;  // per-expansion session tallies...
+  std::vector<std::uint32_t> skips;
+  std::vector<std::uint8_t> had_ample;
+};
 
 }  // namespace
+
+namespace internal {
+
+struct GraphBuilder {
+  // Canonical renumbering walk, runnable whenever workers are quiescent.
+  // Configurations come straight from the node payloads: moved out when
+  // take_configs is set (final builds — the table is dead afterwards),
+  // copied when not (mid-run checkpoint snapshots, whose payloads workers
+  // will still expand from).
+  // trust_depths: the level-synchronous engine's stored depths are exact
+  // BFS distances and are checked against the canonical parent; the
+  // work-stealing engine's stored depths are only upper bounds (a steal can
+  // discover a node along a non-shortest path first), so its walk derives
+  // depths from the canonical parents instead.
+  static CanonicalBuild build(BatchTable& table,
+                              const std::vector<ParallelWorker>& workers,
+                              const SeedState& seed,
+                              const ExploreCheckpoint* resume, bool sym_active,
+                              bool trust_depths, bool truncated_flag,
+                              bool take_configs) {
+    struct RawRef {
+      const EdgeSink* sink = nullptr;
+      const EdgeRange* range = nullptr;
+    };
+    std::vector<RawRef> raw(table.id_bound());
+    std::uint64_t session_edges = 0;
+    for (const ParallelWorker& w : workers) {
+      for (const EdgeRange& r : w.sink.ranges) {
+        raw[r.id] = RawRef{&w.sink, &r};
+        session_edges += r.end - r.begin;
+      }
+    }
+
+    CanonicalBuild out;
+    ConfigGraph& graph = out.graph;
+    graph.truncated_ = truncated_flag;
+    graph.transition_count_ = seed.base_transitions + session_edges;
+    const std::size_t total = static_cast<std::size_t>(table.size());
+    graph.nodes_.reserve(total);
+    graph.edges_.reserve(total);
+    graph.parents_.reserve(total);
+    out.canon.assign(table.id_bound(), kUnassigned);
+    std::vector<std::uint32_t> order;  // canonical BFS queue (provisional)
+    order.reserve(total);
+
+    auto node_config = [&](std::uint32_t prov) -> sim::Config {
+      NodeMeta& meta = table.payload_mut(prov);
+      if (take_configs) return std::move(meta.config);
+      return meta.config;
+    };
+
+    if (resume != nullptr) {
+      // The checkpointed prefix IS the canonical prefix: re-seat it
+      // verbatim, then let first-touch discovery number this session's
+      // nodes — it continues the serial numbering exactly (frontier nodes
+      // sit in the prefix; their session edges are walked in canonical
+      // order below).
+      const std::size_t n = seed.prefix_prov.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t prov = seed.prefix_prov[i];
+        out.canon[prov] = static_cast<std::uint32_t>(i);
+        order.push_back(prov);
+        graph.nodes_.push_back(Node{node_config(prov), resume->node_flags[i],
+                                    resume->node_depths[i]});
+        graph.parents_.emplace_back(resume->parents[i],
+                                    resume->parent_steps[i]);
+      }
+      graph.edges_ = resume->edges;
+      graph.discovery_perms_ = resume->discovery_perms;
+    } else {
+      out.canon[seed.root_id] = 0;
+      order.push_back(seed.root_id);
+      graph.nodes_.push_back(Node{node_config(seed.root_id),
+                                  table.payload(seed.root_id).flag, 0});
+      graph.edges_.emplace_back();
+      graph.parents_.emplace_back(0, sim::Step{});
+      if (sym_active) graph.discovery_perms_.push_back(seed.root_perm);
+    }
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::uint32_t u = order[i];
+      const std::uint32_t cu = static_cast<std::uint32_t>(i);
+      const RawRef ref = raw[u];
+      if (ref.range == nullptr) continue;  // not expanded (this session)
+      for (std::uint32_t e = ref.range->begin; e < ref.range->end; ++e) {
+        const RawEdge& edge = ref.sink->pool[e];
+        if (out.canon[edge.to] == kUnassigned) {
+          out.canon[edge.to] = static_cast<std::uint32_t>(graph.nodes_.size());
+          const NodeMeta& meta = table.payload(edge.to);
+          std::uint32_t d;
+          if (trust_depths) {
+            // Level-synchronous discovery makes stored depths exact; the
+            // canonical parent is one level up by construction.
+            d = meta.depth;
+            LBSA_CHECK(d == graph.nodes_[cu].depth + 1);
+          } else {
+            d = graph.nodes_[cu].depth + 1;
+          }
+          graph.nodes_.push_back(Node{node_config(edge.to), meta.flag, d});
+          graph.edges_.emplace_back();
+          graph.parents_.emplace_back(cu, edge.step);
+          // The canonical discovery perm is the first-touch edge's perm
+          // (the racing worker's perm may belong to a different parent
+          // edge).
+          if (sym_active) graph.discovery_perms_.push_back(edge.perm);
+          order.push_back(edge.to);
+        }
+        graph.edges_[cu].push_back(
+            Edge{out.canon[edge.to], edge.step.pid, edge.step.action.kind});
+      }
+    }
+    // Every interned node has an in-edge from an expanded node (or is the
+    // root / checkpoint prefix), so the walk must have covered the table.
+    LBSA_CHECK(graph.nodes_.size() == total);
+    LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
+               graph.nodes_.size() == graph.parents_.size());
+
+    out.state.assign(total, NodeMeta::kFresh);
+    out.expanded.assign(total, 0);
+    out.renamed.assign(total, 0);
+    out.skips.assign(total, 0);
+    out.had_ample.assign(total, 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      out.state[i] = table.payload(order[i]).state;
+    }
+    for (const ParallelWorker& w : workers) {
+      for (const EdgeRange& r : w.sink.ranges) {
+        const std::uint32_t c = out.canon[r.id];
+        out.expanded[c] = 1;
+        out.renamed[c] = r.renamed;
+        out.skips[c] = r.por_skips;
+        out.had_ample[c] = r.had_ample;
+      }
+    }
+    return out;
+  }
+
+  // Work-stealing interruption: trims the walked graph back to the deepest
+  // level L such that every node of depth < L is expanded — exactly the
+  // state a serial run interrupted at boundary L would return (for
+  // non-truncated runs; a truncated prefix is schedule-dependent for every
+  // engine). Returns false (untouched) when the graph is complete. Walk
+  // depths are non-decreasing in canonical id order (FIFO walk), so the
+  // prefix is literally an array prefix.
+  static bool trim_to_complete_prefix(CanonicalBuild* b,
+                                      bool prefix_truncated) {
+    ConfigGraph& graph = b->graph;
+    std::uint32_t level = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
+      if (b->state[i] == NodeMeta::kFresh && !b->expanded[i]) {
+        level = std::min(level, graph.nodes_[i].depth);
+      }
+    }
+    if (level == std::numeric_limits<std::uint32_t>::max()) return false;
+
+    std::size_t keep = graph.nodes_.size();
+    for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
+      if (graph.nodes_[i].depth > level) {
+        keep = i;
+        break;
+      }
+    }
+    graph.nodes_.resize(keep);
+    graph.edges_.resize(keep);
+    graph.parents_.resize(keep);
+    if (!graph.discovery_perms_.empty()) graph.discovery_perms_.resize(keep);
+    graph.pending_frontier_.clear();
+    bool kept_beyond = false;
+    std::uint64_t transitions = 0;
+    for (std::size_t i = 0; i < keep; ++i) {
+      // Depth-L nodes may have been expanded already; a serial run
+      // interrupted at boundary L has not expanded any of them, so their
+      // edges (and everything those edges discovered, dropped by the resize
+      // above) are discarded and they return to the pending frontier.
+      if (graph.nodes_[i].depth == level) graph.edges_[i].clear();
+      transitions += graph.edges_[i].size();
+      if (b->state[i] == NodeMeta::kBeyondBudget) kept_beyond = true;
+      if (graph.nodes_[i].depth == level &&
+          b->state[i] == NodeMeta::kFresh) {
+        graph.pending_frontier_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    graph.transition_count_ = transitions;
+    graph.truncated_ = kept_beyond || prefix_truncated;
+    graph.interrupted_ = true;
+    graph.levels_completed_ = level;
+    return true;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+// Stable explorer counters, derived from the canonical graph so totals are
+// byte-identical to the serial engine no matter how expansion was scheduled —
+// including registration: a counter the serial engine would have ADDed
+// (even with 0) is ADDed here, and one it never touches is not.
+// level_limit bounds which nodes' per-expansion tallies count: UINT32_MAX
+// for complete / level-boundary graphs, the trimmed level for a trimmed
+// work-stealing graph (whose deeper expansions were discarded).
+void add_stable_counters(const CanonicalBuild& b, const ConfigGraph& graph,
+                         const SeedState& seed, bool fresh_run,
+                         std::uint32_t level_limit) {
+  const std::uint64_t prefix = seed.prefix_prov.size();
+  const std::uint64_t new_nodes = graph.nodes().size() - prefix;
+  if (new_nodes > 0) LBSA_OBS_COUNTER_ADD("explore.nodes", new_nodes);
+  const std::uint64_t new_transitions =
+      graph.transition_count() - seed.base_transitions;
+  if (new_transitions > 0) {
+    LBSA_OBS_COUNTER_ADD("explore.transitions", new_transitions);
+  }
+  // The serial engine counts a rename per canonicalized successor (duplicate
+  // or not) plus one for the root of a fresh run.
+  std::uint64_t renamed = fresh_run && !seed.root_perm.empty() ? 1 : 0;
+  std::uint64_t skips = 0;
+  bool any_ample = false;
+  for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+    if (graph.nodes()[i].depth >= level_limit) continue;
+    renamed += b.renamed[i];
+    skips += b.skips[i];
+    any_ample = any_ample || b.had_ample[i] != 0;
+  }
+  if (renamed > 0) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", renamed);
+  if (any_ample) LBSA_OBS_COUNTER_ADD("explore.por.skips", skips);
+}
+
+// Intern-table totals (quiescent). Probe counts depend on the insertion
+// interleaving and the serial engine has no intern table at all, so every
+// explore.intern.* metric is volatile by construction.
+void add_intern_metrics(const BatchTable& table,
+                        const BatchTable::Tally& tally) {
+  if (!obs::metrics_enabled()) return;
+  const auto stats = table.stats();
+  LBSA_OBS_COUNTER_ADD_V("explore.intern.probes", tally.probes);
+  LBSA_OBS_COUNTER_ADD_V("explore.intern.cas_retries", tally.cas_retries);
+  LBSA_OBS_GAUGE_SET_V("explore.intern.entries",
+                       static_cast<std::int64_t>(stats.entries));
+  LBSA_OBS_GAUGE_SET_V("explore.intern.slots",
+                       static_cast<std::int64_t>(stats.slots));
+  LBSA_OBS_GAUGE_SET_V("explore.intern.max_shard_entries",
+                       static_cast<std::int64_t>(stats.max_shard_entries));
+  LBSA_OBS_GAUGE_SET_V("explore.intern.growths",
+                       static_cast<std::int64_t>(stats.growths));
+  LBSA_OBS_HISTOGRAM_OBSERVE_V(
+      "explore.intern.probe_length",
+      stats.entries == 0 ? 0 : tally.probes / stats.entries);
+}
+
+// Canonical ids of the pending frontier (ascending — the serial deque
+// order), from a post-walk canon map.
+std::vector<std::uint32_t> canonical_frontier(
+    const std::vector<WorkItem>& frontier,
+    const std::vector<std::uint32_t>& canon) {
+  std::vector<std::uint32_t> pending;
+  pending.reserve(frontier.size());
+  for (const WorkItem& item : frontier) pending.push_back(canon[item.id]);
+  std::sort(pending.begin(), pending.end());
+  return pending;
+}
+
+void name_trace_lanes(int threads) {
+  if (!obs::tracing_enabled()) return;
+  obs::Tracer::global().set_lane_name(0, "coordinator");
+  for (int t = 0; t < threads; ++t) {
+    obs::Tracer::global().set_lane_name(t + 1, "worker " + std::to_string(t));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Level-synchronous parallel engine.
+// ---------------------------------------------------------------------------
 
 StatusOr<ConfigGraph> Explorer::explore_parallel(
     const ExploreOptions& options, int threads, const FlagFn& flag_fn,
     std::int64_t initial_flag, const sim::Canonicalizer* sym, bool por,
     std::uint64_t fingerprint) const {
   const sim::Protocol& protocol = *protocol_;
-  ShardedInternTable<NodePayload> table;
+  BatchTable table;
   std::atomic<bool> exhausted{false};  // budget hit, truncation not allowed
   std::atomic<bool> truncated{false};
 
-  const ExploreCheckpoint* resume = options.resume;
-  std::vector<WorkItem> frontier;
-  std::uint32_t start_depth = 0;
-  std::uint32_t root_id = 0;
-  std::vector<std::uint8_t> root_perm;
-  // Resume only: prefix_prov[i] is the provisional id the fresh table
-  // assigned to canonical checkpoint node i. The renumbering walk below is
-  // seeded with this prefix, so session discoveries continue the canonical
-  // numbering exactly where the checkpoint left off.
-  std::vector<std::uint32_t> prefix_prov;
+  WordArena seed_arena;
+  BatchTable::Tally seed_tally;
+  auto seed_or = seed_table(protocol, &table, &seed_arena, &seed_tally,
+                            options.resume, sym, initial_flag);
+  if (!seed_or.is_ok()) return seed_or.status();
+  SeedState seed = std::move(seed_or).value();
+  truncated.store(seed.truncated, std::memory_order_relaxed);
+  std::vector<WorkItem> frontier = std::move(seed.frontier);
 
-  if (resume != nullptr) {
-    auto configs_or = decode_checkpoint_configs(*resume);
-    if (!configs_or.is_ok()) return configs_or.status();
-    std::vector<sim::Config>& configs = configs_or.value();
-    const std::size_t n = configs.size();
-    prefix_prov.reserve(n);
-    std::vector<std::int64_t> seed_key;
-    for (std::size_t i = 0; i < n; ++i) {
-      configs[i].encode_into(&seed_key);
-      seed_key.push_back(resume->node_flags[i]);
-      sim::Config copy = configs[i];
-      const auto res = table.intern(seed_key, [&] {
-        return NodePayload{std::move(copy), resume->node_flags[i],
-                           resume->node_depths[i]};
-      });
-      if (!res.inserted) {
-        return invalid_argument("resume: duplicate checkpoint node");
-      }
-      prefix_prov.push_back(res.id);
-    }
-    frontier.reserve(resume->frontier.size());
-    for (std::uint32_t id : resume->frontier) {
-      frontier.push_back(WorkItem{prefix_prov[id], std::move(configs[id]),
-                                  resume->node_flags[id]});
-    }
-    start_depth = resume->levels_completed;
-    truncated.store(resume->truncated, std::memory_order_relaxed);
-  } else {
-    sim::Config init = sim::initial_config(protocol);
-    if (sym != nullptr) {
-      sym->canonicalize(&init, &root_perm);
-      if (!root_perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
-    }
-    std::vector<std::int64_t> root_key;
-    init.encode_into(&root_key);
-    root_key.push_back(initial_flag);
-    sim::Config root_copy = init;
-    root_id = table.intern(root_key, [&] {
-                     return NodePayload{std::move(root_copy), initial_flag, 0};
-                   }).id;
-    LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
-    frontier.push_back(WorkItem{root_id, std::move(init), initial_flag});
+  name_trace_lanes(threads);
+
+  std::vector<ParallelWorker> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(Expander(&protocol, &table, &flag_fn, sym, por,
+                                  options.max_nodes, options.allow_truncation,
+                                  &truncated));
   }
 
-  if (obs::tracing_enabled()) {
-    obs::Tracer::global().set_lane_name(0, "coordinator");
-    for (int t = 0; t < threads; ++t) {
-      obs::Tracer::global().set_lane_name(t + 1,
-                                          "worker " + std::to_string(t));
-    }
-  }
-
-  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(threads));
   std::atomic<std::size_t> cursor{0};
-  std::uint32_t depth = start_depth;  // depth of the level currently expanding
+  std::uint32_t depth = seed.start_depth;  // level currently expanding
   std::atomic<bool> done{false};
 
   std::barrier<> level_start(threads + 1);
   std::barrier<> level_end(threads + 1);
 
-  auto worker = [&](int widx) {
-    // Thread-local scratch, reused across every expansion.
-    std::vector<sim::Successor> successors;
-    std::vector<std::int64_t> key;
-    std::vector<std::uint8_t> perm;
-    WorkerOutput& out = outputs[static_cast<std::size_t>(widx)];
+  auto worker_main = [&](int widx) {
+    ParallelWorker& w = workers[static_cast<std::size_t>(widx)];
     while (true) {
       level_start.arrive_and_wait();
       if (done.load(std::memory_order_acquire)) return;
@@ -523,68 +1083,14 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
             cursor.fetch_add(kChunk, std::memory_order_relaxed);
         if (begin >= frontier.size()) break;
         const std::size_t end = std::min(frontier.size(), begin + kChunk);
-        for (std::size_t i = begin;
-             i < end && !exhausted.load(std::memory_order_relaxed); ++i) {
-          ++expanded;
-          WorkItem& item = frontier[i];
-          std::vector<RawEdge> raw;
-          const int ample =
-              por ? select_ample_pid(protocol, item.config, item.flag, flag_fn)
-                  : -1;
-          if (ample >= 0) {
-            LBSA_OBS_COUNTER_ADD("explore.por.skips",
-                                 item.config.enabled_count() - 1);
-          }
-          const int n = static_cast<int>(item.config.procs.size());
-          for (int pid = 0; pid < n; ++pid) {
-            if (!item.config.enabled(pid)) continue;
-            if (ample >= 0 && pid != ample) continue;
-            successors.clear();
-            sim::enumerate_successors(protocol, item.config, pid,
-                                      &successors);
-            for (sim::Successor& succ : successors) {
-              const std::int64_t next_flag =
-                  flag_fn ? flag_fn(item.flag, succ.step) : item.flag;
-              if (sym != nullptr) {
-                sym->canonical_encode_into(succ.config, &key, &perm);
-                if (!perm.empty()) {
-                  LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
-                  // Store (and later expand) the representative, never the
-                  // raw successor: expansion must be a pure function of the
-                  // interned configuration.
-                  const std::vector<int> as_int(perm.begin(), perm.end());
-                  sim::apply_pid_permutation(protocol, as_int, &succ.config);
-                }
-              } else {
-                succ.config.encode_into(&key);
-              }
-              key.push_back(next_flag);
-              const auto res = table.intern(key, [&] {
-                return NodePayload{succ.config, next_flag, depth + 1};
-              });
-              raw.push_back(RawEdge{res.id, succ.step, perm});
-              ++out.transitions;
-              LBSA_OBS_COUNTER_ADD("explore.transitions", 1);
-              if (!res.inserted) continue;
-              LBSA_OBS_COUNTER_ADD("explore.nodes", 1);
-              if (table.size() > options.max_nodes) {
-                if (!options.allow_truncation) {
-                  exhausted.store(true, std::memory_order_relaxed);
-                  break;
-                }
-                // Keep the node (its edge is already recorded) but never
-                // expand it; see the truncation soundness note in the
-                // ExploreOptions docs.
-                truncated.store(true, std::memory_order_relaxed);
-                continue;
-              }
-              out.next.push_back(
-                  WorkItem{res.id, std::move(succ.config), next_flag});
-            }
-          }
-          out.edges.emplace_back(item.id, std::move(raw));
-        }
+        const bool ok = w.ex.expand_chunk(
+            std::span<WorkItem>(frontier.data() + begin, end - begin),
+            &w.sink,
+            [&w](WorkItem&& item) { w.next.push_back(std::move(item)); });
+        expanded += end - begin;
+        if (!ok) exhausted.store(true, std::memory_order_relaxed);
       }
+      w.expanded += expanded;
       worker_span.arg("expanded", static_cast<std::int64_t>(expanded));
       level_end.arrive_and_wait();
     }
@@ -592,114 +1098,14 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-
-  std::vector<std::pair<std::uint32_t, std::vector<RawEdge>>> all_edges;
-  std::uint64_t transition_count = resume != nullptr ? resume->transition_count : 0;
-
-  // Canonical renumbering walk, runnable at any level boundary (workers
-  // quiescent). final_pass moves configurations out of the intern table and
-  // so may run only once, as the last act; the copy-mode variant backs the
-  // periodic checkpoints. canon_out maps provisional id -> canonical id.
-  auto build_graph = [&](bool final_pass,
-                         std::vector<std::uint32_t>* canon_out) -> ConfigGraph {
-    const std::uint32_t bound = table.id_bound();
-    std::vector<const std::vector<RawEdge>*> raw(bound, nullptr);
-    for (const auto& [id, edges] : all_edges) raw[id] = &edges;
-
-    ConfigGraph graph;
-    graph.truncated_ = truncated.load(std::memory_order_relaxed);
-    graph.transition_count_ = transition_count;
-    const std::size_t total = static_cast<std::size_t>(table.size());
-    graph.nodes_.reserve(total);
-    graph.edges_.reserve(total);
-    graph.parents_.reserve(total);
-
-    std::vector<std::uint32_t>& canon = *canon_out;
-    canon.assign(bound, kUnassigned);
-    std::vector<std::uint32_t> order;  // canonical BFS queue (provisional ids)
-    order.reserve(total);
-    if (resume != nullptr) {
-      // The checkpointed prefix IS the canonical prefix: re-seat it
-      // verbatim, then let first-touch discovery number this session's
-      // nodes — it continues the serial numbering exactly (frontier nodes
-      // sit in the prefix, their session edges are walked in canonical
-      // order below).
-      const std::size_t n = prefix_prov.size();
-      for (std::size_t i = 0; i < n; ++i) {
-        canon[prefix_prov[i]] = static_cast<std::uint32_t>(i);
-        order.push_back(prefix_prov[i]);
-        NodePayload& p = table.payload(prefix_prov[i]);
-        graph.nodes_.push_back(
-            Node{final_pass ? std::move(p.config) : p.config, p.flag,
-                 p.depth});
-        graph.parents_.emplace_back(resume->parents[i],
-                                    resume->parent_steps[i]);
-      }
-      graph.edges_ = resume->edges;
-      graph.discovery_perms_ = resume->discovery_perms;
-    } else {
-      NodePayload& p = table.payload(root_id);
-      canon[root_id] = 0;
-      order.push_back(root_id);
-      graph.nodes_.push_back(
-          Node{final_pass ? std::move(p.config) : p.config, p.flag, 0});
-      graph.edges_.emplace_back();
-      graph.parents_.emplace_back(0, sim::Step{});
-      if (sym != nullptr) {
-        graph.discovery_perms_.push_back(
-            final_pass ? std::move(root_perm) : root_perm);
-      }
-    }
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const std::uint32_t u = order[i];
-      const std::uint32_t cu = static_cast<std::uint32_t>(i);
-      if (raw[u] == nullptr) continue;  // not expanded (this session)
-      for (const RawEdge& e : *raw[u]) {
-        if (canon[e.to] == kUnassigned) {
-          canon[e.to] = static_cast<std::uint32_t>(graph.nodes_.size());
-          NodePayload& p = table.payload(e.to);
-          // Level-synchronous discovery makes stored depths exact; the
-          // canonical parent is one level up by construction.
-          LBSA_CHECK(p.depth == graph.nodes_[cu].depth + 1);
-          graph.nodes_.push_back(
-              Node{final_pass ? std::move(p.config) : p.config, p.flag,
-                   p.depth});
-          graph.edges_.emplace_back();
-          graph.parents_.emplace_back(cu, e.step);
-          // The canonical discovery perm is the first-touch edge's perm
-          // (the racing worker's perm may belong to a different parent
-          // edge).
-          if (sym != nullptr) graph.discovery_perms_.push_back(e.perm);
-          order.push_back(e.to);
-        }
-        graph.edges_[cu].push_back(
-            Edge{canon[e.to], e.step.pid, e.step.action.kind});
-      }
-    }
-    // Every interned node has an in-edge from an expanded node (or is the
-    // root / checkpoint prefix), so the walk must have covered the table.
-    LBSA_CHECK(graph.nodes_.size() == total);
-    LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
-               graph.nodes_.size() == graph.parents_.size());
-    return graph;
-  };
-  // Canonical ids of the pending frontier (ascending — the serial deque
-  // order), from a post-walk canon map.
-  auto canonical_frontier = [&](const std::vector<std::uint32_t>& canon) {
-    std::vector<std::uint32_t> pending;
-    pending.reserve(frontier.size());
-    for (const WorkItem& item : frontier) pending.push_back(canon[item.id]);
-    std::sort(pending.begin(), pending.end());
-    return pending;
-  };
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker_main, t);
 
   bool interrupted = false;
   Status checkpoint_status = Status::ok();
   while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
     // Top of loop == level boundary: workers quiescent, every level < depth
     // fully expanded, `frontier` holding exactly the depth-`depth` nodes.
-    const std::uint32_t session_levels = depth - start_depth;
+    const std::uint32_t session_levels = depth - seed.start_depth;
     if (stop_reason(options, session_levels) != StopReason::kNone) {
       interrupted = true;
       break;
@@ -707,11 +1113,13 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     if (!options.checkpoint_path.empty() &&
         options.checkpoint_every_levels > 0 && session_levels > 0 &&
         session_levels % options.checkpoint_every_levels == 0) {
-      std::vector<std::uint32_t> canon;
-      const ConfigGraph snapshot = build_graph(/*final_pass=*/false, &canon);
+      const CanonicalBuild snapshot = internal::GraphBuilder::build(
+          table, workers, seed, options.resume, sym != nullptr,
+          /*trust_depths=*/true, truncated.load(std::memory_order_relaxed),
+          /*take_configs=*/false);
       checkpoint_status = write_checkpoint(
-          snapshot, canonical_frontier(canon), depth, fingerprint, options,
-          flag_fn != nullptr, initial_flag);
+          snapshot.graph, canonical_frontier(frontier, snapshot.canon), depth,
+          fingerprint, options, flag_fn != nullptr, initial_flag);
       if (!checkpoint_status.is_ok()) break;
     }
     // Mirrors the serial engine's one "explore.level" phase span per level.
@@ -723,16 +1131,11 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     // Workers expand this level...
     level_end.arrive_and_wait();
     std::vector<WorkItem> next;
-    for (WorkerOutput& out : outputs) {
-      // Cross-worker concatenation order is arbitrary; the renumbering
-      // pass below is insensitive to it.
-      std::move(out.next.begin(), out.next.end(), std::back_inserter(next));
-      out.next.clear();
-      std::move(out.edges.begin(), out.edges.end(),
-                std::back_inserter(all_edges));
-      out.edges.clear();
-      transition_count += out.transitions;
-      out.transitions = 0;
+    for (ParallelWorker& w : workers) {
+      // Cross-worker concatenation order is arbitrary; the renumbering pass
+      // is insensitive to it.
+      std::move(w.next.begin(), w.next.end(), std::back_inserter(next));
+      w.next.clear();
     }
     frontier = std::move(next);
     ++depth;
@@ -742,24 +1145,9 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   for (std::thread& t : pool) t.join();
   if (!checkpoint_status.is_ok()) return checkpoint_status;
 
-  // Intern-table occupancy / probe lengths (quiescent). Probe totals depend
-  // on insertion interleaving and the serial engine has no intern table at
-  // all, so every explore.intern.* metric is volatile by construction.
-  if (obs::metrics_enabled()) {
-    const auto table_stats = table.stats();
-    LBSA_OBS_COUNTER_ADD_V("explore.intern.probes", table_stats.probes);
-    LBSA_OBS_GAUGE_SET_V("explore.intern.entries",
-                         static_cast<std::int64_t>(table_stats.entries));
-    LBSA_OBS_GAUGE_SET_V("explore.intern.slots",
-                         static_cast<std::int64_t>(table_stats.slots));
-    LBSA_OBS_GAUGE_SET_V(
-        "explore.intern.max_shard_entries",
-        static_cast<std::int64_t>(table_stats.max_shard_entries));
-    LBSA_OBS_HISTOGRAM_OBSERVE_V("explore.intern.probe_length",
-                                 table_stats.entries == 0
-                                     ? 0
-                                     : table_stats.probes / table_stats.entries);
-  }
+  BatchTable::Tally tally = seed_tally;
+  for (const ParallelWorker& w : workers) tally += w.ex.tally();
+  add_intern_metrics(table, tally);
 
   if (exhausted.load()) {
     return resource_exhausted("explore: node budget exceeded (" +
@@ -767,12 +1155,15 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   }
 
   // --- Canonical renumbering (single-threaded, at quiescence). ---
-  std::vector<std::uint32_t> canon;
-  ConfigGraph graph = build_graph(/*final_pass=*/true, &canon);
+  CanonicalBuild built = internal::GraphBuilder::build(
+      table, workers, seed, options.resume, sym != nullptr,
+      /*trust_depths=*/true, truncated.load(std::memory_order_relaxed),
+      /*take_configs=*/true);
+  ConfigGraph graph = std::move(built.graph);
   if (interrupted) {
     graph.interrupted_ = true;
     graph.levels_completed_ = depth;
-    graph.pending_frontier_ = canonical_frontier(canon);
+    graph.pending_frontier_ = canonical_frontier(frontier, built.canon);
     if (!options.checkpoint_path.empty()) {
       const Status written = write_checkpoint(
           graph, graph.pending_frontier_, depth, fingerprint, options,
@@ -783,6 +1174,185 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     graph.levels_completed_ =
         graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
   }
+  add_stable_counters(built, graph, seed, options.resume == nullptr,
+                      std::numeric_limits<std::uint32_t>::max());
+  record_graph_metrics(graph);
+  return graph;
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing engine.
+// ---------------------------------------------------------------------------
+
+StatusOr<ConfigGraph> Explorer::explore_work_stealing(
+    const ExploreOptions& options, int threads, const FlagFn& flag_fn,
+    std::int64_t initial_flag, const sim::Canonicalizer* sym, bool por,
+    std::uint64_t fingerprint) const {
+  const sim::Protocol& protocol = *protocol_;
+  BatchTable table;
+  std::atomic<bool> exhausted{false};
+  std::atomic<bool> truncated{false};
+
+  WordArena seed_arena;
+  BatchTable::Tally seed_tally;
+  auto seed_or = seed_table(protocol, &table, &seed_arena, &seed_tally,
+                            options.resume, sym, initial_flag);
+  if (!seed_or.is_ok()) return seed_or.status();
+  SeedState seed = std::move(seed_or).value();
+  truncated.store(seed.truncated, std::memory_order_relaxed);
+
+  // max_levels is an expansion-depth bound here: discoveries at the bound
+  // are interned but never queued, and the trim pass reports the level
+  // actually completed.
+  const std::uint32_t depth_bound =
+      options.max_levels > 0
+          ? seed.start_depth + options.max_levels
+          : std::numeric_limits<std::uint32_t>::max();
+
+  name_trace_lanes(threads);
+
+  std::vector<ParallelWorker> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(Expander(&protocol, &table, &flag_fn, sym, por,
+                                  options.max_nodes, options.allow_truncation,
+                                  &truncated));
+  }
+
+  struct WsQueue {
+    std::mutex mu;
+    std::deque<WorkItem> items;
+  };
+  std::deque<WsQueue> queues(static_cast<std::size_t>(threads));
+  // Items discovered but not yet expanded (queued or inside a worker's
+  // chunk). Zero with all queues empty == global termination.
+  std::atomic<std::int64_t> in_flight{0};
+  std::atomic<bool> stop{false};
+
+  {
+    std::size_t t = 0;
+    in_flight.store(static_cast<std::int64_t>(seed.frontier.size()),
+                    std::memory_order_relaxed);
+    for (WorkItem& item : seed.frontier) {
+      queues[t % static_cast<std::size_t>(threads)].items.push_back(
+          std::move(item));
+      ++t;
+    }
+    seed.frontier.clear();
+  }
+
+  auto worker_main = [&](int widx) {
+    ParallelWorker& w = workers[static_cast<std::size_t>(widx)];
+    obs::Span worker_span("explore.worker", obs::kCatWorker, widx + 1);
+    std::vector<WorkItem> chunk;
+    auto emit = [&](WorkItem&& item) {
+      if (item.depth >= depth_bound) return;  // discovered, never expanded
+      in_flight.fetch_add(1, std::memory_order_acq_rel);
+      WsQueue& own = queues[static_cast<std::size_t>(widx)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      own.items.push_back(std::move(item));
+    };
+    while (!stop.load(std::memory_order_relaxed)) {
+      chunk.clear();
+      {
+        WsQueue& own = queues[static_cast<std::size_t>(widx)];
+        std::lock_guard<std::mutex> lock(own.mu);
+        while (!own.items.empty() && chunk.size() < kChunk) {
+          chunk.push_back(std::move(own.items.front()));
+          own.items.pop_front();
+        }
+      }
+      if (chunk.empty() && threads > 1) {
+        // Steal up to half the victim's queue (capped at a chunk), oldest
+        // items first — oldest are shallowest, which keeps expansion close
+        // to BFS order and the eventual trim level deep.
+        for (int off = 1; off < threads && chunk.empty(); ++off) {
+          WsQueue& victim =
+              queues[static_cast<std::size_t>((widx + off) % threads)];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (victim.items.empty()) continue;
+          std::size_t take = std::min(kChunk, (victim.items.size() + 1) / 2);
+          while (take-- > 0) {
+            chunk.push_back(std::move(victim.items.front()));
+            victim.items.pop_front();
+          }
+          ++w.steals;
+        }
+        if (chunk.empty()) ++w.steal_misses;
+      }
+      if (chunk.empty()) {
+        if (in_flight.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+        continue;
+      }
+      // Work-chunk boundary: this engine's one lifecycle poll point
+      // (max_levels is handled by depth_bound above, not here).
+      if ((options.cancel != nullptr && options.cancel->cancelled()) ||
+          deadline_passed(options.deadline)) {
+        // The chunk's items (and everything still queued) simply stay
+        // unexpanded; the trim pass finds the deepest complete level
+        // regardless of where each worker stopped.
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const bool ok =
+          w.ex.expand_chunk(std::span<WorkItem>(chunk), &w.sink, emit);
+      w.expanded += chunk.size();
+      in_flight.fetch_sub(static_cast<std::int64_t>(chunk.size()),
+                          std::memory_order_acq_rel);
+      if (!ok) {
+        exhausted.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    worker_span.arg("expanded", static_cast<std::int64_t>(w.expanded));
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker_main, t);
+  for (std::thread& t : pool) t.join();
+
+  BatchTable::Tally tally = seed_tally;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_misses = 0;
+  for (const ParallelWorker& w : workers) {
+    tally += w.ex.tally();
+    steals += w.steals;
+    steal_misses += w.steal_misses;
+  }
+  add_intern_metrics(table, tally);
+  if (obs::metrics_enabled()) {
+    LBSA_OBS_COUNTER_ADD_V("explore.steal.count", steals);
+    LBSA_OBS_COUNTER_ADD_V("explore.steal.failed", steal_misses);
+  }
+
+  if (exhausted.load()) {
+    return resource_exhausted("explore: node budget exceeded (" +
+                              std::to_string(options.max_nodes) + ")");
+  }
+
+  CanonicalBuild built = internal::GraphBuilder::build(
+      table, workers, seed, options.resume, sym != nullptr,
+      /*trust_depths=*/false, truncated.load(std::memory_order_relaxed),
+      /*take_configs=*/true);
+  const bool trimmed = internal::GraphBuilder::trim_to_complete_prefix(
+      &built, seed.truncated);
+  ConfigGraph graph = std::move(built.graph);
+  if (trimmed) {
+    if (!options.checkpoint_path.empty()) {
+      const Status written = write_checkpoint(
+          graph, graph.pending_frontier_, graph.levels_completed_,
+          fingerprint, options, flag_fn != nullptr, initial_flag);
+      if (!written.is_ok()) return written;
+    }
+  } else {
+    graph.levels_completed_ =
+        graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
+  }
+  add_stable_counters(built, graph, seed, options.resume == nullptr,
+                      trimmed ? graph.levels_completed_
+                              : std::numeric_limits<std::uint32_t>::max());
   record_graph_metrics(graph);
   return graph;
 }
@@ -887,13 +1457,41 @@ StatusOr<Reduction> parse_reduction(const std::string& name) {
                           "' (known: none, symmetry, por, both)");
 }
 
+const char* engine_name(ExploreEngine engine) {
+  switch (engine) {
+    case ExploreEngine::kAuto:
+      return "auto";
+    case ExploreEngine::kSerial:
+      return "serial";
+    case ExploreEngine::kParallel:
+      return "parallel";
+    case ExploreEngine::kWorkStealing:
+      return "workstealing";
+  }
+  return "auto";
+}
+
+StatusOr<ExploreEngine> parse_engine(const std::string& name) {
+  if (name == "auto") return ExploreEngine::kAuto;
+  if (name == "serial") return ExploreEngine::kSerial;
+  if (name == "parallel") return ExploreEngine::kParallel;
+  if (name == "workstealing") return ExploreEngine::kWorkStealing;
+  return invalid_argument(
+      "unknown engine '" + name +
+      "' (known: auto, serial, parallel, workstealing)");
+}
+
 StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
                                         FlagFn flag_fn,
                                         std::int64_t initial_flag) const {
   const int threads = resolve_threads(options);
-  const bool parallel =
-      options.engine == ExploreEngine::kParallel ||
-      (options.engine == ExploreEngine::kAuto && threads > 1);
+  if (options.engine == ExploreEngine::kWorkStealing &&
+      options.checkpoint_every_levels > 0) {
+    return invalid_argument(
+        "explore: the work-stealing engine has no level boundaries and "
+        "cannot honor checkpoint_every_levels; use engine=parallel (or "
+        "auto) for periodic checkpoints");
+  }
 
   const bool want_sym = options.reduction == Reduction::kSymmetry ||
                         options.reduction == Reduction::kBoth;
@@ -979,14 +1577,76 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
 
   LBSA_OBS_COUNTER_ADD("explore.runs", 1);
   LBSA_OBS_SPAN(run_span, "explore.run", obs::kCatTask, /*lane=*/0);
-  StatusOr<ConfigGraph> result =
-      parallel ? explore_parallel(options, threads, flag_fn, initial_flag,
-                                  sym.get(), por, fingerprint)
-               : explore_serial(options, flag_fn, initial_flag, sym.get(), por,
-                                fingerprint);
+
+  ExploreEngine used = options.engine;
+  bool auto_switched = false;
+  StatusOr<ConfigGraph> result = [&]() -> StatusOr<ConfigGraph> {
+    switch (options.engine) {
+      case ExploreEngine::kSerial:
+        return explore_serial(options, flag_fn, initial_flag, sym.get(), por,
+                              fingerprint);
+      case ExploreEngine::kParallel:
+        return explore_parallel(options, threads, flag_fn, initial_flag,
+                                sym.get(), por, fingerprint);
+      case ExploreEngine::kWorkStealing:
+        return explore_work_stealing(options, threads, flag_fn, initial_flag,
+                                     sym.get(), por, fingerprint);
+      case ExploreEngine::kAuto:
+        break;
+    }
+    // kAuto. One thread: nothing to hand off to.
+    if (threads <= 1) {
+      used = ExploreEngine::kSerial;
+      return explore_serial(options, flag_fn, initial_flag, sym.get(), por,
+                            fingerprint);
+    }
+    // Periodic checkpoint cadence is defined by level boundaries, which
+    // only the level-synchronous engine has end to end.
+    if (options.checkpoint_every_levels > 0) {
+      used = ExploreEngine::kParallel;
+      return explore_parallel(options, threads, flag_fn, initial_flag,
+                              sym.get(), por, fingerprint);
+    }
+    // Serial probe: small graphs finish right here with zero parallel
+    // overhead; big ones hand their canonical prefix to a parallel engine
+    // through an in-memory checkpoint.
+    bool switched = false;
+    auto probe = explore_serial(options, flag_fn, initial_flag, sym.get(),
+                                por, fingerprint, kAutoSwitchNodes, &switched);
+    if (!probe.is_ok() || !switched) {
+      used = ExploreEngine::kSerial;
+      return probe;
+    }
+    auto_switched = true;
+    LBSA_OBS_COUNTER_ADD_V("explore.auto.switches", 1);
+    const ConfigGraph& prefix = probe.value();
+    const std::uint32_t probe_levels =
+        prefix.levels_completed() -
+        (options.resume != nullptr ? options.resume->levels_completed : 0);
+    const ExploreCheckpoint handoff = checkpoint_from_graph(
+        prefix, prefix.pending_frontier(), prefix.levels_completed(),
+        fingerprint, options, flag_fn != nullptr, initial_flag);
+    ExploreOptions cont = options;
+    cont.resume = &handoff;
+    // stop_reason() fires before the switch check, so when max_levels is
+    // set the probe stopped strictly short of it: remaining >= 1.
+    if (options.max_levels > 0) cont.max_levels -= probe_levels;
+    if (prefix.pending_frontier().size() >=
+        kAutoWideFrontier * static_cast<std::size_t>(threads)) {
+      used = ExploreEngine::kParallel;
+      return explore_parallel(cont, threads, flag_fn, initial_flag, sym.get(),
+                              por, fingerprint);
+    }
+    used = ExploreEngine::kWorkStealing;
+    return explore_work_stealing(cont, threads, flag_fn, initial_flag,
+                                 sym.get(), por, fingerprint);
+  }();
+
   if (result.is_ok()) {
     ConfigGraph& graph = result.value();
     graph.reduction_ = options.reduction;
+    graph.engine_used_ = used;
+    graph.auto_switched_ = auto_switched;
     graph.canonicalizer_ = std::move(sym);
     graph.lift_protocol_ = protocol_;
   }

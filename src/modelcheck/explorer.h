@@ -31,15 +31,42 @@ namespace lbsa::modelcheck {
 
 struct ExploreCheckpoint;  // modelcheck/checkpoint.h
 
-// Which exploration engine to run. kAuto picks the serial reference
-// implementation for one thread and the parallel engine otherwise; the
-// explicit values exist for equivalence testing and benchmarking (the
-// parallel engine at threads=1 must reproduce the serial graph exactly).
+namespace internal {
+// Grants the explorer's shared canonical-renumbering machinery (explorer.cc)
+// access to ConfigGraph internals; both parallel engines build and trim
+// graphs through it.
+struct GraphBuilder;
+}  // namespace internal
+
+// Which exploration engine to run.
+//   kSerial — the reference implementation; defines the canonical graph.
+//   kParallel — level-synchronous BFS over a worker pool with batched
+//     lock-free interning; best for wide frontiers, and the only parallel
+//     engine with level boundaries (periodic checkpoints).
+//   kWorkStealing — per-worker deques with chunked stealing; keeps every
+//     worker busy on deep/narrow graphs where whole BFS levels are smaller
+//     than the pool. No level boundaries: periodic checkpointing is
+//     rejected, and interruption trims the result back to the deepest
+//     complete level (see docs/checking.md, "Engine selection").
+//   kAuto — starts serial and, once the explored region outgrows a
+//     threshold where parallel overhead pays for itself, hands the run to
+//     kParallel (wide frontier) or kWorkStealing (narrow) via an in-memory
+//     checkpoint. Small graphs never leave the serial fast path.
+// All engines produce bit-identical complete graphs (canonical
+// renumbering); the explicit values exist for equivalence testing and
+// benchmarking.
 enum class ExploreEngine {
   kAuto = 0,
   kSerial,
   kParallel,
+  kWorkStealing,
 };
+
+// Stable short name for CLI flags and run reports: "auto", "serial",
+// "parallel", "workstealing".
+const char* engine_name(ExploreEngine engine);
+// Inverse of engine_name(); INVALID_ARGUMENT on anything else.
+StatusOr<ExploreEngine> parse_engine(const std::string& name);
 
 // State-space reductions (docs/checking.md, "State-space reduction"):
 //   kSymmetry — intern only the lexicographically-minimal pid renaming of
@@ -101,11 +128,14 @@ struct ExploreOptions {
   bool flag_fn_symmetric = false;
 
   // --- run lifecycle (docs/checking.md, "Long runs") ---
-  // All lifecycle conditions are polled ONLY at BFS level boundaries (every
-  // node of the previous depth expanded), the one point where stopping
-  // preserves the canonical-prefix guarantee: an interrupted graph is
-  // bit-identical to the corresponding prefix of an uninterrupted run, for
-  // both engines and every thread count (complete levels only).
+  // The serial and level-synchronous engines poll lifecycle conditions ONLY
+  // at BFS level boundaries (every node of the previous depth expanded),
+  // the one point where stopping preserves the canonical-prefix guarantee:
+  // an interrupted graph is bit-identical to the corresponding prefix of an
+  // uninterrupted run, for every engine and thread count (complete levels
+  // only). The work-stealing engine polls at work-chunk boundaries instead
+  // and restores the same guarantee by trimming its result back to the
+  // deepest fully-expanded level before returning.
   //
   // Cooperative cancellation. Non-owning; may be tripped from a signal
   // handler. When it fires, explore() returns an *interrupted* graph
@@ -117,11 +147,19 @@ struct ExploreOptions {
   // Deterministic interruption: stop (interrupted) once this many NEW
   // levels have completed this session; 0 = unlimited. This is the testable
   // stand-in for a wall-clock deadline — same code path, no timing races.
+  // The work-stealing engine (no level boundaries) treats this as an
+  // expansion-depth bound and may settle on FEWER completed levels (it
+  // trims to the deepest serial-identical prefix); read
+  // ConfigGraph::levels_completed() for the level actually reached.
   std::uint32_t max_levels = 0;
   // When non-empty, a resumable checkpoint is written here (atomically) at
   // every interruption, and additionally every checkpoint_every_levels
   // completed levels when that is non-zero. A failed checkpoint write fails
   // the run (a long run silently losing its safety net is the worse bug).
+  // Periodic checkpoints need level boundaries: combining a non-zero
+  // checkpoint_every_levels with engine == kWorkStealing is
+  // INVALID_ARGUMENT, and kAuto then completes the run on the
+  // level-synchronous parallel engine.
   std::string checkpoint_path;
   std::uint32_t checkpoint_every_levels = 0;
   // Label echoed into checkpoints and error messages (task name); not
@@ -183,6 +221,13 @@ class ConfigGraph {
   }
   // The reduction mode this graph was explored under.
   Reduction reduction() const { return reduction_; }
+  // The engine that actually produced this graph (never kAuto: an auto run
+  // reports the engine it settled on). With auto_switched(), lets reports
+  // attribute nodes/sec to the code path that did the work.
+  ExploreEngine engine_used() const { return engine_used_; }
+  // True iff this was a kAuto run that outgrew the serial probe and handed
+  // off to a parallel engine mid-run.
+  bool auto_switched() const { return auto_switched_; }
   // Non-null iff symmetry reduction was active (non-trivial group).
   const std::shared_ptr<const sim::Canonicalizer>& canonicalizer() const {
     return canonicalizer_;
@@ -205,6 +250,7 @@ class ConfigGraph {
 
  private:
   friend class Explorer;
+  friend struct internal::GraphBuilder;
   std::vector<Node> nodes_;
   std::vector<std::vector<Edge>> edges_;
   // Parent pointers for path reconstruction: (parent id, step taken).
@@ -220,6 +266,8 @@ class ConfigGraph {
   std::uint32_t levels_completed_ = 0;
   std::vector<std::uint32_t> pending_frontier_;
   Reduction reduction_ = Reduction::kNone;
+  ExploreEngine engine_used_ = ExploreEngine::kSerial;
+  bool auto_switched_ = false;
   std::shared_ptr<const sim::Canonicalizer> canonicalizer_;
   // Kept for path lifting and orbit sizing on reduced graphs.
   std::shared_ptr<const sim::Protocol> lift_protocol_;
@@ -252,12 +300,18 @@ class Explorer {
   // The serial reference engine: defines the canonical graph (ids in BFS
   // discovery order). sym is non-null iff symmetry reduction is active;
   // fingerprint stamps any checkpoint written (see checkpoint.h).
+  // switch_after_nodes > 0 is the kAuto probe mode: once the graph holds at
+  // least that many nodes at a level boundary, return the interrupted
+  // prefix (no checkpoint written) with *switched set, for a parallel
+  // engine to resume.
   StatusOr<ConfigGraph> explore_serial(const ExploreOptions& options,
                                        const FlagFn& flag_fn,
                                        std::int64_t initial_flag,
                                        const sim::Canonicalizer* sym,
                                        bool por,
-                                       std::uint64_t fingerprint) const;
+                                       std::uint64_t fingerprint,
+                                       std::uint64_t switch_after_nodes = 0,
+                                       bool* switched = nullptr) const;
   // Level-synchronous parallel engine over `threads` workers; renumbers its
   // result into the canonical order before returning.
   StatusOr<ConfigGraph> explore_parallel(const ExploreOptions& options,
@@ -266,6 +320,16 @@ class Explorer {
                                          const sim::Canonicalizer* sym,
                                          bool por,
                                          std::uint64_t fingerprint) const;
+  // Work-stealing engine: per-worker deques, chunked stealing, a pending
+  // counter for termination. On interruption the canonical result is
+  // trimmed back to the deepest serial-identical prefix.
+  StatusOr<ConfigGraph> explore_work_stealing(const ExploreOptions& options,
+                                              int threads,
+                                              const FlagFn& flag_fn,
+                                              std::int64_t initial_flag,
+                                              const sim::Canonicalizer* sym,
+                                              bool por,
+                                              std::uint64_t fingerprint) const;
 
   std::shared_ptr<const sim::Protocol> protocol_;
 };

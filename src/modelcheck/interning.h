@@ -73,7 +73,7 @@ class ShardedInternTable {
     const std::size_t mask = shard.slots.size() - 1;
     std::size_t idx = (h.lo >> kShardBits) & mask;
     while (true) {
-      ++shard.probes;
+      shard.probes.fetch_add(1, std::memory_order_relaxed);
       Slot& slot = shard.slots[idx];
       if (slot.id == kEmpty) {
         // New key: append to the arena, assign the next local id.
@@ -120,7 +120,7 @@ class ShardedInternTable {
     for (const Shard& shard : shards_) {
       out.entries += shard.used;
       out.slots += shard.slots.size();
-      out.probes += shard.probes;
+      out.probes += shard.probes.load(std::memory_order_relaxed);
       if (shard.used > out.max_shard_entries) out.max_shard_entries = shard.used;
     }
     return out;
@@ -152,7 +152,11 @@ class ShardedInternTable {
     std::vector<std::int64_t> arena;    // pooled key words
     std::deque<Payload> payloads;       // local index -> payload (stable refs)
     std::size_t used = 0;
-    std::uint64_t probes = 0;  // slot inspections, maintained under mu
+    // Slot inspections. Written under mu, but stats() reads it WITHOUT the
+    // shard lock (it is advertised quiescent-only yet callers poll it from
+    // monitoring threads) — relaxed atomic so a concurrent read is a torn-
+    // free lower bound instead of a data race.
+    std::atomic<std::uint64_t> probes{0};
   };
 
   static constexpr std::size_t kInitialSlots = 64;  // power of two

@@ -208,7 +208,19 @@ Status validate_bench_artifact_json(std::string_view json) {
             "none/symmetry/por/both");
       }
     }
-    for (const char* field : {"nodes", "nodes_per_sec", "reduction_ratio"}) {
+    // Engine-sweep rows: "engine" (when present) must be a known engine.
+    if (const JsonValue* engine = row.find("engine"); engine != nullptr) {
+      if (!engine->is_string() || (engine->string_value != "serial" &&
+                                   engine->string_value != "parallel" &&
+                                   engine->string_value != "workstealing" &&
+                                   engine->string_value != "auto")) {
+        return invalid_argument(
+            "bench schema: benchmark engine not one of "
+            "serial/parallel/workstealing/auto");
+      }
+    }
+    for (const char* field : {"nodes", "nodes_per_sec", "reduction_ratio",
+                              "threads", "threads_available"}) {
       if (const JsonValue* v = row.find(field); v != nullptr) {
         if (!v->is_number()) {
           return invalid_argument(std::string("bench schema: benchmark ") +

@@ -26,6 +26,17 @@ void Config::encode_into(std::vector<std::int64_t>* out) const {
   }
 }
 
+std::int64_t* Config::encode_to(std::int64_t* out) const {
+  *out++ = static_cast<std::int64_t>(procs.size());
+  for (const ProcessState& ps : procs) out = ps.encode_to(out);
+  *out++ = static_cast<std::int64_t>(objects.size());
+  for (const auto& obj : objects) {
+    *out++ = static_cast<std::int64_t>(obj.size());
+    for (std::int64_t w : obj) *out++ = w;
+  }
+  return out;
+}
+
 std::vector<std::int64_t> Config::encode() const {
   std::vector<std::int64_t> out;
   encode_into(&out);

@@ -34,6 +34,11 @@ struct Config {
   void encode_into(std::vector<std::int64_t>* out) const;
   // Exact number of words encode() produces.
   std::size_t encoded_size() const;
+  // Writes the same encoding to a raw buffer of at least encoded_size()
+  // words; returns one past the last word written. This is the explorer's
+  // arena fast path: the caller bump-allocates exactly encoded_size() words
+  // and encodes straight into them, no intermediate vector.
+  std::int64_t* encode_to(std::int64_t* out) const;
   std::uint64_t hash() const;
 
   // True iff pid can take a step (running, not crashed/terminated).

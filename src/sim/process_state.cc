@@ -24,6 +24,15 @@ void ProcessState::encode(std::vector<std::int64_t>* out) const {
   out->insert(out->end(), locals.begin(), locals.end());
 }
 
+std::int64_t* ProcessState::encode_to(std::int64_t* out) const {
+  *out++ = static_cast<std::int64_t>(status);
+  *out++ = decision;
+  *out++ = pc;
+  *out++ = static_cast<std::int64_t>(locals.size());
+  for (std::int64_t w : locals) *out++ = w;
+  return out;
+}
+
 std::string ProcessState::to_string() const {
   std::string out = "{";
   out += proc_status_name(status);

@@ -39,6 +39,11 @@ struct ProcessState {
   // Appends a canonical word encoding (for configuration hashing).
   void encode(std::vector<std::int64_t>* out) const;
 
+  // Writes the same encoding to a raw buffer of at least encoded_size()
+  // words; returns one past the last word written. Arena fast path for the
+  // explorer: no vector growth checks per word.
+  std::int64_t* encode_to(std::int64_t* out) const;
+
   // Exact number of words encode() appends — lets callers reserve once.
   std::size_t encoded_size() const { return 4 + locals.size(); }
 

@@ -1,0 +1,227 @@
+// Cross-engine equivalence: the work-stealing engine joins the contract the
+// level-synchronous engine already honors — on complete explorations every
+// engine, at every thread count, under every reduction mode, produces the
+// ConfigGraph bit-identical to the serial reference. Interruption differs
+// by design: work-stealing has no level barriers, so max_levels acts as an
+// expansion-depth bound and an interrupted/bounded run is trimmed back to
+// the deepest fully-expanded level — which must again be the exact serial
+// prefix, and resumable by any engine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "modelcheck/checkpoint.h"
+#include "modelcheck/corpus.h"
+#include "modelcheck/explorer.h"
+
+namespace lbsa::modelcheck {
+namespace {
+
+constexpr Reduction kAllModes[] = {Reduction::kNone, Reduction::kSymmetry,
+                                   Reduction::kPor, Reduction::kBoth};
+
+// Small corpus tasks with distinct shapes: symmetric DACs (non-trivial
+// orbit), a consensus tree, a violation generator with cycles.
+const char* kTasks[] = {"dac3-sym", "dac4-sym", "consensus4-sym",
+                        "strawdac3"};
+
+NamedTask get_task(const std::string& name) {
+  auto task = make_named_task(name);
+  EXPECT_TRUE(task.is_ok()) << task.status().to_string();
+  return task.value();
+}
+
+ConfigGraph explore_or_die(const NamedTask& task, const ExploreOptions& opts) {
+  Explorer explorer(task.protocol);
+  auto graph = explorer.explore(opts);
+  EXPECT_TRUE(graph.is_ok()) << graph.status().to_string();
+  return std::move(graph).value();
+}
+
+void expect_identical(const ConfigGraph& a, const ConfigGraph& b) {
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  EXPECT_EQ(a.transition_count(), b.transition_count());
+  EXPECT_EQ(a.truncated(), b.truncated());
+  EXPECT_EQ(a.interrupted(), b.interrupted());
+  EXPECT_EQ(a.levels_completed(), b.levels_completed());
+  EXPECT_EQ(a.pending_frontier(), b.pending_frontier());
+  for (std::uint32_t id = 0; id < a.nodes().size(); ++id) {
+    ASSERT_TRUE(a.nodes()[id].config == b.nodes()[id].config)
+        << "config mismatch at node " << id;
+    EXPECT_EQ(a.nodes()[id].flag, b.nodes()[id].flag);
+    EXPECT_EQ(a.nodes()[id].depth, b.nodes()[id].depth);
+    ASSERT_EQ(a.edges()[id], b.edges()[id]) << "edges mismatch at " << id;
+    EXPECT_EQ(a.path_to(id), b.path_to(id)) << "path mismatch at " << id;
+  }
+}
+
+TEST(EngineEquivalence, AllEnginesBitIdenticalAcrossReductionsAndThreads) {
+  for (const char* name : kTasks) {
+    SCOPED_TRACE(name);
+    const NamedTask task = get_task(name);
+    for (Reduction reduction : kAllModes) {
+      SCOPED_TRACE(reduction_name(reduction));
+      ExploreOptions base;
+      base.reduction = reduction;
+      base.engine = ExploreEngine::kSerial;
+      const ConfigGraph serial = explore_or_die(task, base);
+      EXPECT_EQ(serial.engine_used(), ExploreEngine::kSerial);
+      for (ExploreEngine engine :
+           {ExploreEngine::kParallel, ExploreEngine::kWorkStealing}) {
+        for (int threads : {1, 2, 8}) {
+          SCOPED_TRACE(std::string(engine_name(engine)) + " t" +
+                       std::to_string(threads));
+          ExploreOptions opts;
+          opts.reduction = reduction;
+          opts.engine = engine;
+          opts.threads = threads;
+          const ConfigGraph graph = explore_or_die(task, opts);
+          EXPECT_EQ(graph.engine_used(), engine);
+          EXPECT_FALSE(graph.auto_switched());
+          expect_identical(serial, graph);
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, WorkStealingMaxLevelsTrimsToSerialPrefix) {
+  // A depth-bounded work-stealing run must land on the same graph as the
+  // serial engine interrupted at the same boundary: same prefix, same
+  // pending frontier, levels_completed == the bound.
+  const NamedTask task = get_task("dac3-sym");
+  for (Reduction reduction : kAllModes) {
+    SCOPED_TRACE(reduction_name(reduction));
+    for (std::uint32_t levels : {1u, 2u, 4u}) {
+      SCOPED_TRACE(levels);
+      ExploreOptions serial_opts;
+      serial_opts.reduction = reduction;
+      serial_opts.engine = ExploreEngine::kSerial;
+      serial_opts.max_levels = levels;
+      const ConfigGraph serial = explore_or_die(task, serial_opts);
+      ASSERT_TRUE(serial.interrupted());
+      for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE(threads);
+        ExploreOptions opts;
+        opts.reduction = reduction;
+        opts.engine = ExploreEngine::kWorkStealing;
+        opts.threads = threads;
+        opts.max_levels = levels;
+        const ConfigGraph ws = explore_or_die(task, opts);
+        EXPECT_TRUE(ws.interrupted());
+        EXPECT_EQ(ws.levels_completed(), levels);
+        expect_identical(serial, ws);
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, ResumeHopsAcrossAllThreeEngines) {
+  // serial (2 levels) -> work-stealing (2 more) -> parallel (to completion):
+  // every hop checkpoints, every hop resumes the previous engine's file, and
+  // the final graph is bit-identical to one uninterrupted serial run.
+  const NamedTask task = get_task("dac4-sym");
+  for (Reduction reduction : {Reduction::kNone, Reduction::kBoth}) {
+    SCOPED_TRACE(reduction_name(reduction));
+    ExploreOptions base;
+    base.reduction = reduction;
+    base.engine = ExploreEngine::kSerial;
+    const ConfigGraph uninterrupted = explore_or_die(task, base);
+
+    const std::string path1 = testing::TempDir() + "/hop1.ckpt";
+    const std::string path2 = testing::TempDir() + "/hop2.ckpt";
+
+    ExploreOptions hop1;
+    hop1.reduction = reduction;
+    hop1.engine = ExploreEngine::kSerial;
+    hop1.max_levels = 2;
+    hop1.checkpoint_path = path1;
+    hop1.checkpoint_label = task.name;
+    const ConfigGraph partial1 = explore_or_die(task, hop1);
+    ASSERT_TRUE(partial1.interrupted());
+    auto cp1 = read_explore_checkpoint(path1);
+    ASSERT_TRUE(cp1.is_ok()) << cp1.status().to_string();
+
+    ExploreOptions hop2;
+    hop2.reduction = reduction;
+    hop2.engine = ExploreEngine::kWorkStealing;
+    hop2.threads = 4;
+    hop2.max_levels = 2;
+    hop2.checkpoint_path = path2;
+    hop2.checkpoint_label = task.name;
+    hop2.resume = &cp1.value();
+    const ConfigGraph partial2 = explore_or_die(task, hop2);
+    ASSERT_TRUE(partial2.interrupted());
+    EXPECT_EQ(partial2.levels_completed(), 4u);
+    auto cp2 = read_explore_checkpoint(path2);
+    ASSERT_TRUE(cp2.is_ok()) << cp2.status().to_string();
+
+    ExploreOptions hop3;
+    hop3.reduction = reduction;
+    hop3.engine = ExploreEngine::kParallel;
+    hop3.threads = 4;
+    hop3.resume = &cp2.value();
+    const ConfigGraph final_graph = explore_or_die(task, hop3);
+    EXPECT_FALSE(final_graph.interrupted());
+    expect_identical(uninterrupted, final_graph);
+  }
+}
+
+TEST(EngineEquivalence, WorkStealingRejectsPeriodicCheckpoints) {
+  const NamedTask task = get_task("dac3-sym");
+  Explorer explorer(task.protocol);
+  ExploreOptions opts;
+  opts.engine = ExploreEngine::kWorkStealing;
+  opts.checkpoint_path = testing::TempDir() + "/never.ckpt";
+  opts.checkpoint_every_levels = 2;
+  const auto graph = explorer.explore(opts);
+  ASSERT_FALSE(graph.is_ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineEquivalence, ParseAndNames) {
+  EXPECT_STREQ(engine_name(ExploreEngine::kAuto), "auto");
+  EXPECT_STREQ(engine_name(ExploreEngine::kSerial), "serial");
+  EXPECT_STREQ(engine_name(ExploreEngine::kParallel), "parallel");
+  EXPECT_STREQ(engine_name(ExploreEngine::kWorkStealing), "workstealing");
+  for (const char* name : {"auto", "serial", "parallel", "workstealing"}) {
+    const auto parsed = parse_engine(name);
+    ASSERT_TRUE(parsed.is_ok()) << name;
+    EXPECT_STREQ(engine_name(parsed.value()), name);
+  }
+  EXPECT_EQ(parse_engine("stealing").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineEquivalence, WorkStealingTruncatedGraphIsConsistent) {
+  // Truncated prefixes are schedule-dependent for every engine; what the
+  // work-stealing engine still owes is internal consistency and replayable
+  // parent chains.
+  const NamedTask task = get_task("strawdac3");
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    ExploreOptions opts;
+    opts.max_nodes = 50;
+    opts.allow_truncation = true;
+    opts.engine = ExploreEngine::kWorkStealing;
+    opts.threads = threads;
+    const ConfigGraph graph = explore_or_die(task, opts);
+    EXPECT_TRUE(graph.truncated());
+    for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {
+      for (const Edge& e : graph.edges()[id]) {
+        ASSERT_LT(e.to, graph.nodes().size());
+      }
+      sim::Config config = sim::initial_config(*task.protocol);
+      for (const sim::Step& step : graph.path_to(id)) {
+        sim::apply_step(*task.protocol, &config, step.pid,
+                        step.outcome_choice);
+      }
+      EXPECT_EQ(config, graph.nodes()[id].config);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsa::modelcheck

@@ -91,6 +91,35 @@ TEST(ObsDeterminism, SerialAndParallelEnginesAgreeOnStableMetrics) {
   EXPECT_EQ(runs[0].task_events, runs[1].task_events);
 }
 
+TEST(ObsDeterminism, WorkStealingEngineAgreesOnStableMetrics) {
+  // The work-stealing engine has no level barriers, so it emits no per-level
+  // phase spans — phase-event counts are an engine property, not part of the
+  // determinism contract. Stable metric totals and the one-task-span rule
+  // still are: they derive from the canonical graph, which is bit-identical.
+  auto task = modelcheck::make_named_task("strawdac3");
+  ASSERT_TRUE(task.is_ok());
+  modelcheck::Explorer explorer(task.value().protocol);
+
+  const RunObservation serial = observe([&] {
+    modelcheck::ExploreOptions options;
+    options.engine = modelcheck::ExploreEngine::kSerial;
+    auto graph = explorer.explore(options);
+    ASSERT_TRUE(graph.is_ok()) << graph.status().to_string();
+  });
+  for (int threads : {1, 4}) {
+    const RunObservation ws = observe([&] {
+      modelcheck::ExploreOptions options;
+      options.engine = modelcheck::ExploreEngine::kWorkStealing;
+      options.threads = threads;
+      auto graph = explorer.explore(options);
+      ASSERT_TRUE(graph.is_ok()) << graph.status().to_string();
+    });
+    EXPECT_EQ(ws.stable_metrics, serial.stable_metrics)
+        << "threads=" << threads;
+    EXPECT_EQ(ws.task_events, serial.task_events) << "threads=" << threads;
+  }
+}
+
 TEST(ObsDeterminism, BlindFuzzStableMetricsIdenticalAcrossThreadCounts) {
   auto task = modelcheck::make_named_task("strawdac3");
   ASSERT_TRUE(task.is_ok());

@@ -2,7 +2,8 @@
 // graph and report its shape, with optional observability artifacts.
 //
 //   ./explorer_cli --list
-//   ./explorer_cli <task> [--threads N] [--engine auto|serial|parallel]
+//   ./explorer_cli <task> [--threads N]
+//                  [--engine auto|serial|parallel|workstealing]
 //                  [--max-nodes N] [--allow-truncation]
 //                  [--reduction none|symmetry|por|both]
 //                  [--deadline-s S] [--max-levels N]
@@ -35,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "modelcheck/cancel.h"
 #include "modelcheck/checkpoint.h"
@@ -50,25 +52,14 @@ int usage() {
       stderr,
       "usage: explorer_cli --list\n"
       "       explorer_cli <task> [--threads N]\n"
-      "                    [--engine auto|serial|parallel] [--max-nodes N]\n"
-      "                    [--allow-truncation]\n"
+      "                    [--engine auto|serial|parallel|workstealing]\n"
+      "                    [--max-nodes N] [--allow-truncation]\n"
       "                    [--reduction none|symmetry|por|both]\n"
       "                    [--deadline-s S] [--max-levels N]\n"
       "                    [--checkpoint PATH] [--checkpoint-every N]\n"
       "                    [--resume PATH]\n"
       "                    [--metrics-json PATH] [--trace-out PATH]\n");
   return 2;
-}
-
-const char* engine_name(lbsa::modelcheck::ExploreEngine engine) {
-  switch (engine) {
-    case lbsa::modelcheck::ExploreEngine::kSerial:
-      return "serial";
-    case lbsa::modelcheck::ExploreEngine::kParallel:
-      return "parallel";
-    default:
-      return "auto";
-  }
 }
 
 lbsa::modelcheck::CancelToken g_cancel;
@@ -134,17 +125,12 @@ int main(int argc, char** argv) {
       }
       options.reduction = reduction.value();
     } else if (!std::strcmp(argv[i], "--engine")) {
-      const char* engine = next_arg("--engine");
-      if (!std::strcmp(engine, "serial")) {
-        options.engine = modelcheck::ExploreEngine::kSerial;
-      } else if (!std::strcmp(engine, "parallel")) {
-        options.engine = modelcheck::ExploreEngine::kParallel;
-      } else if (!std::strcmp(engine, "auto")) {
-        options.engine = modelcheck::ExploreEngine::kAuto;
-      } else {
-        std::fprintf(stderr, "unknown engine '%s'\n", engine);
+      auto engine = modelcheck::parse_engine(next_arg("--engine"));
+      if (!engine.is_ok()) {
+        std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
         return usage();
       }
+      options.engine = engine.value();
     } else if (!std::strcmp(argv[i], "--deadline-s")) {
       const double seconds = std::strtod(next_arg("--deadline-s"), nullptr);
       if (!(seconds > 0.0)) {
@@ -243,7 +229,12 @@ int main(int argc, char** argv) {
   run_report.task = task.name;
   run_report.params = {
       {"threads", std::to_string(options.threads)},
-      {"engine", "\"" + std::string(engine_name(options.engine)) + "\""},
+      // How many cores the host actually had: bench rows that claim a
+      // parallel speedup are uninterpretable without it.
+      {"threads_available",
+       std::to_string(std::thread::hardware_concurrency())},
+      {"engine",
+       "\"" + std::string(modelcheck::engine_name(options.engine)) + "\""},
       {"max_nodes", std::to_string(options.max_nodes)},
       {"allow_truncation", options.allow_truncation ? "true" : "false"},
       {"reduction",
@@ -271,6 +262,12 @@ int main(int argc, char** argv) {
     w.value_uint(graph.levels_completed());
     w.key("reduction");
     w.value_string(modelcheck::reduction_name(graph.reduction()));
+    // The engine that actually ran (kAuto resolves to one of the concrete
+    // engines; auto_switched records a mid-run serial->parallel handoff).
+    w.key("engine_used");
+    w.value_string(modelcheck::engine_name(graph.engine_used()));
+    w.key("auto_switched");
+    w.value_bool(graph.auto_switched());
     // Only on complete graphs (see `complete` above): the schema validator
     // rejects a ratio sitting next to truncated/interrupted = true.
     if (complete && !graph.nodes().empty()) {

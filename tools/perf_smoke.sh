@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# perf_smoke.sh — coarse parallel-vs-serial throughput gate for CI.
+#
+# Runs explorer_cli on dac5 (the smallest task big enough that exploration
+# time dominates engine setup) with the serial engine and with the parallel
+# engines at 4 threads, best-of-3 after a warmup, and fails if the faster
+# parallel engine's nodes/sec falls below MIN_RATIO x serial. This is a
+# 1.0x regression gate on the parallel hot path, not a microbenchmark —
+# scheduler noise on shared CI runners makes tighter ratios flaky.
+#
+# On a single-core host the gate is skipped (exit 0 with a warning): with
+# every thread timesharing one core, parallel throughput measures per-node
+# overhead rather than speedup, and a ">= serial" gate would fail for
+# reasons no code change can fix. The measured ratio is still printed so
+# the log records what the host saw.
+#
+# Usage: tools/perf_smoke.sh [build-dir]
+#   MIN_RATIO   gate threshold (default 1.0)
+#   PERF_TASK   task to run (default dac5)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+EXPLORER="$BUILD_DIR/tools/explorer_cli"
+MIN_RATIO="${MIN_RATIO:-1.0}"
+PERF_TASK="${PERF_TASK:-dac5}"
+
+if [[ ! -x "$EXPLORER" ]]; then
+  echo "error: $EXPLORER not found or not executable; build first" >&2
+  exit 1
+fi
+
+CORES="$(nproc 2>/dev/null || echo 1)"
+
+# best_rate ENGINE THREADS -> best nodes/sec of 3 timed runs (1 warmup).
+best_rate() {
+  local engine="$1" threads="$2" best=0 rate
+  "$EXPLORER" "$PERF_TASK" --engine "$engine" --threads "$threads" \
+      > /dev/null
+  for _ in 1 2 3; do
+    rate="$("$EXPLORER" "$PERF_TASK" --engine "$engine" \
+                --threads "$threads" \
+            | sed -nE 's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p')"
+    if (( rate > best )); then best="$rate"; fi
+  done
+  echo "$best"
+}
+
+SERIAL="$(best_rate serial 1)"
+PARALLEL="$(best_rate parallel 4)"
+WORKSTEALING="$(best_rate workstealing 4)"
+BEST_PAR=$(( PARALLEL > WORKSTEALING ? PARALLEL : WORKSTEALING ))
+
+RATIO="$(awk -v p="$BEST_PAR" -v s="$SERIAL" \
+             'BEGIN { printf("%.2f", (s > 0) ? p / s : 0) }')"
+echo "perf smoke ($PERF_TASK, $CORES cores):" \
+     "serial=$SERIAL parallel(t4)=$PARALLEL workstealing(t4)=$WORKSTEALING" \
+     "best-parallel/serial=${RATIO}x"
+
+if (( CORES < 2 )); then
+  echo "warn: single-core host; parallel-vs-serial gate skipped" >&2
+  exit 0
+fi
+
+if awk -v r="$RATIO" -v m="$MIN_RATIO" 'BEGIN { exit !(r < m) }'; then
+  echo "error: best parallel engine is ${RATIO}x serial (< ${MIN_RATIO}x)" >&2
+  exit 1
+fi
+echo "ok: parallel >= ${MIN_RATIO}x serial"

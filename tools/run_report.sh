@@ -9,12 +9,26 @@
 #                     "nodes_per_sec": R}, ...,
 #                    {"task": "dac4-sym", "threads": 1, "reduction": "both",
 #                     "nodes": N, "nodes_per_sec": R,
-#                     "reduction_ratio": X}, ...],
+#                     "reduction_ratio": X}, ...,
+#                    {"task": "dac5", "engine": "workstealing", "threads": 4,
+#                     "threads_available": C, "reduction": "none",
+#                     "nodes": N, "nodes_per_sec": R}, ...],
 #    "run_reports": {"explorer_cli:dac3:t1": <RunReport>, ...}}
 #
 # The second row shape is the state-space-reduction sweep (docs/checking.md,
 # "State-space reduction"): symmetric corpus tasks explored at every
 # --reduction mode; reduction_ratio is full-graph-nodes / reduced-nodes.
+# The third is the engine sweep (docs/checking.md, "Engine selection"):
+# bench-sized tasks explored by every engine; threads_available records how
+# many cores the host really had, since a parallel-vs-serial comparison from
+# a 1-core CI box measures per-node overhead, not speedup.
+#
+# Noise control: every row is run once as a cache/allocator warmup and then
+# three times, keeping the best nodes_per_sec — wall-clock rates from a
+# single cold run on a shared CI machine swing by 2x and made cross-commit
+# diffs of the rate columns meaningless. Node counts are deterministic and
+# identical across the runs; the stable RunReport sections don't depend on
+# timing at all.
 #
 # and validated with `report_check bench` before the script exits 0. CI
 # archives the artifact per commit; the stable metric sections inside each
@@ -51,6 +65,12 @@ THREADS=(1 2 8)
 # Symmetric tasks for the reduction sweep (declared non-trivial symmetry).
 SYM_TASKS=(dac3-sym dac4-sym)
 REDUCTIONS=(none symmetry por both)
+# Engine sweep: tasks big enough for parallel exploration to amortize its
+# setup, on the engines x reductions the speedup claims are made for.
+PERF_TASKS=(dac5 consensus5)
+PERF_REDUCTIONS=(none symmetry)
+PERF_ENGINES=("serial 1" "parallel 4" "workstealing 4" "auto 4")
+THREADS_AVAILABLE="$(nproc 2>/dev/null || echo 1)"
 
 TMP="$(mktemp -d)"
 # The artifact is staged in $OUT's own directory (a cross-filesystem mv from
@@ -64,8 +84,8 @@ trap 'rm -rf "$TMP" "$STAGED"' EXIT INT TERM
 # a second; a row that hits this is a stall, not a slow run.
 ROW_TIMEOUT="${ROW_TIMEOUT:-120}"
 
-# run_explorer TASK THREADS REDUCTION REPORT_PATH
-# Runs one sweep row under `timeout` with one retry — a transient stall
+# run_explorer_once TASK THREADS REDUCTION ENGINE REPORT_PATH
+# Runs one exploration under `timeout` with one retry — a transient stall
 # (overloaded CI machine) gets a second chance, a repeat failure aborts the
 # script (the EXIT trap discards the partial artifact). Any nonzero exit is
 # a failure here: the sweep uses no node budget, so truncated(3) or
@@ -75,16 +95,16 @@ ROW_TIMEOUT="${ROW_TIMEOUT:-120}"
 #   "  reduction=both: >=441 full-graph nodes, ratio 3.21x"   (reduction only)
 #   "  elapsed 0.012345 s, 35773 nodes/s"
 # and sets $NODES, $NODES_PER_SEC, $RATIO.
-run_explorer() {
-  local task="$1" t="$2" reduction="$3" report="$4" out rc attempt
+run_explorer_once() {
+  local task="$1" t="$2" reduction="$3" engine="$4" report="$5" out rc attempt
   for attempt in 1 2; do
     rc=0
     out="$(timeout "$ROW_TIMEOUT" \
            "$EXPLORER" "$task" --threads "$t" --reduction "$reduction" \
-           --metrics-json "$report")" || rc=$?
+           --engine "$engine" --metrics-json "$report")" || rc=$?
     [[ $rc -eq 0 ]] && break
-    echo "warn: $task threads=$t reduction=$reduction exited $rc" \
-         "(attempt $attempt)" >&2
+    echo "warn: $task threads=$t reduction=$reduction engine=$engine" \
+         "exited $rc (attempt $attempt)" >&2
     if [[ $attempt -eq 2 ]]; then
       echo "error: sweep row failed twice; no artifact written" >&2
       exit 1
@@ -97,12 +117,27 @@ run_explorer() {
   [[ -n "$RATIO" ]] || RATIO=1.00
 }
 
+# run_explorer TASK THREADS REDUCTION ENGINE REPORT_PATH
+# One bench row: warmup run (discarded), then best-of-3 on nodes_per_sec.
+# The report written is the last run's — its stable sections are identical
+# across all four runs.
+run_explorer() {
+  local task="$1" t="$2" reduction="$3" engine="$4" report="$5"
+  local best=0
+  run_explorer_once "$task" "$t" "$reduction" "$engine" "$report"  # warmup
+  for _ in 1 2 3; do
+    run_explorer_once "$task" "$t" "$reduction" "$engine" "$report"
+    if (( NODES_PER_SEC > best )); then best="$NODES_PER_SEC"; fi
+  done
+  NODES_PER_SEC="$best"
+}
+
 {
   printf '{"lbsa_bench_schema":1,"benchmarks":['
   first=1
   for task in "${TASKS[@]}"; do
     for t in "${THREADS[@]}"; do
-      run_explorer "$task" "$t" none "$TMP/$task-t$t.json"
+      run_explorer "$task" "$t" none auto "$TMP/$task-t$t.json"
       [[ $first == 1 ]] || printf ','
       first=0
       printf '{"task":"%s","threads":%d,"nodes":%s,"nodes_per_sec":%s}' \
@@ -112,11 +147,25 @@ run_explorer() {
   for task in "${SYM_TASKS[@]}"; do
     for t in "${THREADS[@]}"; do
       for red in "${REDUCTIONS[@]}"; do
-        run_explorer "$task" "$t" "$red" "$TMP/$task-t$t-$red.json"
+        run_explorer "$task" "$t" "$red" auto "$TMP/$task-t$t-$red.json"
         printf ',{"task":"%s","threads":%d,"reduction":"%s","nodes":%s' \
             "$task" "$t" "$red" "$NODES"
         printf ',"nodes_per_sec":%s,"reduction_ratio":%s}' \
             "$NODES_PER_SEC" "$RATIO"
+      done
+    done
+  done
+  for task in "${PERF_TASKS[@]}"; do
+    for red in "${PERF_REDUCTIONS[@]}"; do
+      for row in "${PERF_ENGINES[@]}"; do
+        read -r engine t <<<"$row"
+        run_explorer "$task" "$t" "$red" "$engine" \
+            "$TMP/$task-$engine-t$t-$red.json"
+        printf ',{"task":"%s","engine":"%s","threads":%d' \
+            "$task" "$engine" "$t"
+        printf ',"threads_available":%d,"reduction":"%s"' \
+            "$THREADS_AVAILABLE" "$red"
+        printf ',"nodes":%s,"nodes_per_sec":%s}' "$NODES" "$NODES_PER_SEC"
       done
     done
   done
@@ -136,6 +185,15 @@ run_explorer() {
       for red in "${REDUCTIONS[@]}"; do
         printf ',"explorer_cli:%s:t%d:%s":' "$task" "$t" "$red"
         tr -d '\n' < "$TMP/$task-t$t-$red.json"
+      done
+    done
+  done
+  for task in "${PERF_TASKS[@]}"; do
+    for red in "${PERF_REDUCTIONS[@]}"; do
+      for row in "${PERF_ENGINES[@]}"; do
+        read -r engine t <<<"$row"
+        printf ',"explorer_cli:%s:%s:t%d:%s":' "$task" "$engine" "$t" "$red"
+        tr -d '\n' < "$TMP/$task-$engine-t$t-$red.json"
       done
     done
   done
