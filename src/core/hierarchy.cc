@@ -5,6 +5,13 @@
 
 namespace lbsa::core {
 
+HierarchyEntry nm_pac_entry(int n, int m, int k_max) {
+  LBSA_CHECK(n >= 2 && m >= 1 && m <= n && k_max >= 1);
+  return {"(n,m)-PAC", name_nm_pac(n, m), static_cast<std::int64_t>(m),
+          "Theorem 5.3: level m regardless of n",
+          power_of_nm_pac(n, m, k_max)};
+}
+
 std::vector<HierarchyEntry> hierarchy_catalog(int n, int k_max) {
   LBSA_CHECK(n >= 2 && k_max >= 1);
   std::vector<HierarchyEntry> catalog;
@@ -19,6 +26,7 @@ std::vector<HierarchyEntry> hierarchy_catalog(int n, int k_max) {
   catalog.push_back({"n-consensus", name_n_consensus(n),
                      static_cast<std::int64_t>(n), "footnote 6",
                      power_of_n_consensus(n, k_max)});
+  catalog.push_back(nm_pac_entry(n + 1, n, k_max));
   catalog.push_back({"O_n", name_o_n(n), static_cast<std::int64_t>(n),
                      "Theorem 5.3 / Observation 6.2",
                      power_of_o_n(n, k_max)});

@@ -24,9 +24,16 @@ struct HierarchyEntry {
   SetAgreementPower power;     // power-sequence prefix
 };
 
+// The parameterized (n,m)-PAC family entry at (n, m): level m (Theorem 5.3,
+// regardless of n). The hierarchy sweep (core/hierarchy_sweep.h) cross-checks
+// its machine-checked verdict for every (n, m) against this declaration.
+HierarchyEntry nm_pac_entry(int n, int m, int k_max);
+
 // The catalog at parameter n (>= 2), power prefixes up to k_max (>= 1).
-// Families included: register, 2-SA, test&set, queue, n-consensus, O_n,
-// O'_n, compare&swap.
+// Families included: register, 2-SA, test&set, queue, n-consensus,
+// (n,m)-PAC (at the (n+1, n) instance), O_n, O'_n, compare&swap. O_n is by
+// definition the (n+1, n)-PAC object, so those two rows carry the same
+// power values under different names and citations.
 std::vector<HierarchyEntry> hierarchy_catalog(int n, int k_max);
 
 // Entries of the catalog at exactly `level` (kLevelInfinity for ∞).

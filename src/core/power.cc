@@ -108,16 +108,36 @@ SetAgreementPower power_of_two_sa(int k_max) {
   return SetAgreementPower("2-SA", std::move(entries));
 }
 
+SetAgreementPower power_of_nm_pac(int n, int m, int k_max) {
+  LBSA_CHECK(n >= 2 && m >= 1 && m <= n && k_max >= 1);
+  std::vector<PowerEntry> entries;
+  entries.push_back(exact(
+      m, "Theorem 5.3: the (n,m)-PAC object is at level m regardless of n"));
+  for (int k = 2; k <= k_max; ++k) {
+    entries.push_back(lower_bound(
+        static_cast<std::int64_t>(k) * m,
+        "partition protocol over the object's m-consensus port; exact value "
+        "not computed in the paper"));
+  }
+  return SetAgreementPower(
+      "(" + std::to_string(n) + "," + std::to_string(m) + ")-PAC",
+      std::move(entries));
+}
+
 SetAgreementPower power_of_o_n(int n, int k_max) {
   LBSA_CHECK(n >= 2 && k_max >= 1);
+  // O_n = (n+1, n)-PAC (Definition 6.1): same sequence, renamed, with the
+  // consensus-number citation widened to the O_n-specific observation.
+  const SetAgreementPower base = power_of_nm_pac(n + 1, n, k_max);
   std::vector<PowerEntry> entries;
   entries.push_back(
       exact(n, "Theorem 5.3 / Observation 6.2: O_n is at level n"));
-  for (int k = 2; k <= k_max; ++k) {
-    entries.push_back(lower_bound(
-        static_cast<std::int64_t>(k) * n,
+  for (int k = 2; k <= base.k_max(); ++k) {
+    PowerEntry e = base.entry(k);
+    e.source =
         "partition protocol over O_n's n-consensus port; exact value not "
-        "computed in the paper"));
+        "computed in the paper";
+    entries.push_back(std::move(e));
   }
   return SetAgreementPower("O_" + std::to_string(n), std::move(entries));
 }

@@ -77,9 +77,16 @@ SetAgreementPower power_of_n_consensus(int m, int k_max);
 // n_k = infinite for k >= 2 (Algorithm 3 serves any number of processes).
 SetAgreementPower power_of_two_sa(int k_max);
 
-// O_n = (n+1, n)-PAC: n_1 = n exact (Theorem 5.3 / Observation 6.2);
-// n_k >= k*n for k >= 2 via the object's n-consensus port (lower bound only
-// — the paper does not compute these entries).
+// (n,m)-PAC objects (Section 5): n_1 = m exact (Theorem 5.3 — level m
+// regardless of n); n_k >= k*m for k >= 2 via the partition construction
+// over the m-consensus port (lower bound only — the paper does not compute
+// these entries). The hierarchy sweep (core/hierarchy_sweep.h) machine-checks
+// the constructive n_1 direction for every 2 <= n <= 6, 1 <= m <= n.
+SetAgreementPower power_of_nm_pac(int n, int m, int k_max);
+
+// O_n = (n+1, n)-PAC (Definition 6.1): exactly the (n,m) family's sequence
+// at (n+1, n), renamed — n_1 = n exact (Theorem 5.3 / Observation 6.2),
+// n_k >= k*n via the object's n-consensus port.
 SetAgreementPower power_of_o_n(int n, int k_max);
 
 // O'_n is *constructed* to embody the power of O_n, so its sequence is the

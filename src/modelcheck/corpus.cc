@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "protocols/ben_or.h"
+#include "protocols/consensus_from_nm_pac.h"
+#include "protocols/dac_from_nm_pac.h"
 #include "protocols/dac_from_pac.h"
 #include "protocols/group_ksa.h"
 #include "protocols/mutants.h"
@@ -132,6 +134,30 @@ const RegistryEntry kRegistry[] = {
            std::make_shared<protocols::BenOrProtocol>(inputs, 40), 1, inputs,
            false);
      }},
+    // The (n,m)-PAC ports of the hierarchy sweep (core/hierarchy_sweep.h):
+    // the consensus port solving m-consensus and the PAC ports solving
+    // n-DAC, both of which must stay clean under fuzzing.
+    {"consensus-from-nmpac42",
+     "2-consensus over the C port of a (4,2)-PAC (Theorem 5.3)",
+     [] {
+       const auto inputs = iota_inputs(2);
+       return k_agreement_task(
+           "consensus-from-nmpac42",
+           "2-consensus over the C port of a (4,2)-PAC (Theorem 5.3)",
+           std::make_shared<protocols::ConsensusFromNmPacProtocol>(4, 2,
+                                                                   inputs),
+           1, inputs, false);
+     }},
+    {"dac-from-nmpac32",
+     "3-DAC over the PAC ports of a (3,2)-PAC (Observation 5.1(b))",
+     [] {
+       const auto inputs = iota_inputs(3);
+       return dac_task(
+           "dac-from-nmpac32",
+           "3-DAC over the PAC ports of a (3,2)-PAC (Observation 5.1(b))",
+           std::make_shared<protocols::DacFromNmPacProtocol>(inputs, 2, 0),
+           0, inputs, false);
+     }},
     // Symmetric instances — equal inputs make the declared symmetry groups
     // non-trivial, so these are the reduction layer's primary subjects (the
     // "-sym" suffix marks them for the cross-validation and bench sweeps).
@@ -228,6 +254,30 @@ const RegistryEntry kRegistry[] = {
            "mutant-2sa4",
            "2-SA mutant: backing object admits 3 values (agreement)",
            protocols::make_overclaimed_two_sa(inputs), 2, inputs, true);
+     }},
+    {"mutant-consensus-from-nmpac22",
+     "consensus port of an overclaimed (2,2)-PAC: C port backed by 3-SA "
+     "(agreement)",
+     [] {
+       const auto inputs = iota_inputs(2);
+       return k_agreement_task(
+           "mutant-consensus-from-nmpac22",
+           "consensus port of an overclaimed (2,2)-PAC: C port backed by "
+           "3-SA (agreement)",
+           protocols::make_overclaimed_consensus_from_nm_pac(2, 2, inputs),
+           1, inputs, true);
+     }},
+    {"mutant-dac-from-nmpac21",
+     "no-adopt DAC mutant over the PAC ports of a (2,1)-PAC (agreement)",
+     [] {
+       const auto inputs = iota_inputs(2);
+       return dac_task(
+           "mutant-dac-from-nmpac21",
+           "no-adopt DAC mutant over the PAC ports of a (2,1)-PAC "
+           "(agreement)",
+           std::make_shared<protocols::MutantDacProtocol>(
+               inputs, 1, protocols::MutantDacProtocol::Bug::kNoAdopt),
+           0, inputs, true);
      }},
     {"mutant-consensus-off-by-one3",
      "consensus mutant: decides winner + 1 (validity)",

@@ -267,6 +267,7 @@ StatusOr<TaskReport> check_k_agreement_task(
   TaskReport report;
   report.node_count = graph.nodes().size();
   report.transition_count = graph.transition_count();
+  report.full_node_estimate = graph.full_node_estimate();
   report.partial = graph.truncated();
 
   const std::set<Value> input_set(inputs.begin(), inputs.end());
@@ -354,6 +355,7 @@ StatusOr<TaskReport> check_dac_task(
   TaskReport report;
   report.node_count = graph.nodes().size();
   report.transition_count = graph.transition_count();
+  report.full_node_estimate = graph.full_node_estimate();
   report.partial = graph.truncated();
 
   for (std::uint32_t id = 0; id < graph.nodes().size(); ++id) {

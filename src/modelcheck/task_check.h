@@ -53,6 +53,12 @@ struct TaskReport {
   std::vector<PropertyViolation> violations;
   std::uint64_t node_count = 0;
   std::uint64_t transition_count = 0;
+  // Sum of orbit sizes over explored nodes: on a complete exploration this
+  // equals the full (unreduced) graph's node count under pure symmetry
+  // reduction and lower-bounds it under POR; equals node_count when no
+  // reduction is enabled. The hierarchy sweep derives reduction ratios from
+  // it without re-exploring the full graph.
+  std::uint64_t full_node_estimate = 0;
   // True iff the underlying exploration was truncated (see
   // ExploreOptions::allow_truncation): violations are real, but a clean
   // report certifies only the explored region.

@@ -244,6 +244,224 @@ Status validate_bench_artifact_json(std::string_view json) {
   return Status::ok();
 }
 
+namespace {
+
+Status hierarchy_error(const std::string& what) {
+  return invalid_argument("hierarchy schema: " + what);
+}
+
+// A required integer field with a lower bound; `where` names the row.
+Status check_hierarchy_int(const JsonValue& obj, const char* field,
+                           std::int64_t min, const std::string& where,
+                           std::int64_t* out = nullptr) {
+  const JsonValue* v = obj.find(field);
+  if (v == nullptr || !v->is_number() || !v->number_is_integer) {
+    return hierarchy_error(where + "." + field + " missing or not an integer");
+  }
+  if (v->int_value < min) {
+    return hierarchy_error(where + "." + field + " < " +
+                           std::to_string(min));
+  }
+  if (out != nullptr) *out = v->int_value;
+  return Status::ok();
+}
+
+Status check_hierarchy_true(const JsonValue& obj, const char* field,
+                            const std::string& where) {
+  const JsonValue* v = obj.find(field);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
+    return hierarchy_error(where + "." + field + " missing or not a bool");
+  }
+  if (!v->bool_value) {
+    return hierarchy_error(where + "." + field + " is false");
+  }
+  return Status::ok();
+}
+
+// One "consensus"/"dac" check object: ok verdict plus sane graph counts.
+Status check_hierarchy_check(const JsonValue& row, const char* field,
+                             std::int64_t expected_processes,
+                             const std::string& where) {
+  const JsonValue* check = row.find(field);
+  const std::string path = where + "." + field;
+  if (check == nullptr || !check->is_object()) {
+    return hierarchy_error(path + " missing or not an object");
+  }
+  if (Status s = check_hierarchy_true(*check, "ok", path); !s.is_ok()) {
+    return s;
+  }
+  std::int64_t processes = 0;
+  if (Status s = check_hierarchy_int(*check, "processes", 1, path, &processes);
+      !s.is_ok()) {
+    return s;
+  }
+  if (processes != expected_processes) {
+    return hierarchy_error(path + ".processes != " +
+                           std::to_string(expected_processes));
+  }
+  std::int64_t nodes = 0;
+  std::int64_t nodes_full = 0;
+  if (Status s = check_hierarchy_int(*check, "nodes", 1, path, &nodes);
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_hierarchy_int(*check, "transitions", 1, path);
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s =
+          check_hierarchy_int(*check, "nodes_full", 1, path, &nodes_full);
+      !s.is_ok()) {
+    return s;
+  }
+  if (nodes_full < nodes) {
+    return hierarchy_error(path + ".nodes_full < nodes");
+  }
+  const JsonValue* ratio = check->find("reduction_ratio");
+  if (ratio == nullptr || !ratio->is_number()) {
+    return hierarchy_error(path + ".reduction_ratio missing or not a number");
+  }
+  if (ratio->number_value < 1.0) {
+    return hierarchy_error(path + ".reduction_ratio < 1.0");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_hierarchy_artifact_json(std::string_view json) {
+  StatusOr<JsonValue> parsed = parse_json(json);
+  if (!parsed.is_ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return hierarchy_error("document not an object");
+  }
+  const JsonValue* version = root.find("lbsa_hierarchy_schema");
+  if (version == nullptr || !version->is_number() ||
+      !version->number_is_integer || version->int_value != 1) {
+    return hierarchy_error("lbsa_hierarchy_schema != 1");
+  }
+  std::int64_t n_min = 0;
+  std::int64_t n_max = 0;
+  if (Status s = check_hierarchy_int(root, "n_min", 2, "root", &n_min);
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_hierarchy_int(root, "n_max", 2, "root", &n_max);
+      !s.is_ok()) {
+    return s;
+  }
+  if (n_max < n_min) return hierarchy_error("n_max < n_min");
+
+  const JsonValue* rows = root.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return hierarchy_error("rows missing or not an array");
+  }
+  // Exact lexicographic coverage of [n_min, n_max] x [1, n].
+  std::size_t index = 0;
+  for (std::int64_t n = n_min; n <= n_max; ++n) {
+    for (std::int64_t m = 1; m <= n; ++m, ++index) {
+      const std::string where =
+          "rows[" + std::to_string(index) + "] (n=" + std::to_string(n) +
+          ",m=" + std::to_string(m) + ")";
+      if (index >= rows->array.size()) {
+        return hierarchy_error(where + " missing: sweep does not cover the "
+                                       "full (n, m) grid");
+      }
+      const JsonValue& row = rows->array[index];
+      if (!row.is_object()) return hierarchy_error(where + " not an object");
+      std::int64_t row_n = 0;
+      std::int64_t row_m = 0;
+      if (Status s = check_hierarchy_int(row, "n", 2, where, &row_n);
+          !s.is_ok()) {
+        return s;
+      }
+      if (Status s = check_hierarchy_int(row, "m", 1, where, &row_m);
+          !s.is_ok()) {
+        return s;
+      }
+      if (row_n != n || row_m != m) {
+        return hierarchy_error(where + " out of lexicographic order");
+      }
+      const JsonValue* object = row.find("object");
+      if (object == nullptr || !object->is_string() ||
+          object->string_value.empty()) {
+        return hierarchy_error(where + ".object missing or empty");
+      }
+      std::int64_t level = 0;
+      if (Status s =
+              check_hierarchy_int(row, "declared_level", 1, where, &level);
+          !s.is_ok()) {
+        return s;
+      }
+      if (level != m) {
+        return hierarchy_error(where + ".declared_level != m (Theorem 5.3)");
+      }
+      const JsonValue* source = row.find("level_source");
+      if (source == nullptr || !source->is_string() ||
+          source->string_value.empty()) {
+        return hierarchy_error(where + ".level_source missing or empty");
+      }
+      if (Status s = check_hierarchy_check(row, "consensus", m, where);
+          !s.is_ok()) {
+        return s;
+      }
+      if (Status s = check_hierarchy_true(row, "consensus_ok_all_p", where);
+          !s.is_ok()) {
+        return s;
+      }
+      if (Status s = check_hierarchy_check(row, "dac", n, where);
+          !s.is_ok()) {
+        return s;
+      }
+      if (Status s = check_hierarchy_true(row, "matches_catalog", where);
+          !s.is_ok()) {
+        return s;
+      }
+    }
+  }
+  if (index != rows->array.size()) {
+    return hierarchy_error("rows has " + std::to_string(rows->array.size()) +
+                           " entries, expected " + std::to_string(index));
+  }
+
+  const JsonValue* provenance = root.find("provenance");
+  if (provenance == nullptr || !provenance->is_object()) {
+    return hierarchy_error("provenance missing or not an object");
+  }
+  const JsonValue* tool = provenance->find("tool");
+  if (tool == nullptr || !tool->is_string() ||
+      tool->string_value != "hierarchy_sweep_cli") {
+    return hierarchy_error("provenance.tool != hierarchy_sweep_cli");
+  }
+  const JsonValue* engine = provenance->find("engine");
+  if (engine == nullptr || !engine->is_string() ||
+      (engine->string_value != "serial" &&
+       engine->string_value != "parallel" &&
+       engine->string_value != "workstealing" &&
+       engine->string_value != "auto")) {
+    return hierarchy_error(
+        "provenance.engine not one of serial/parallel/workstealing/auto");
+  }
+  if (Status s =
+          check_hierarchy_int(*provenance, "threads", 0, "provenance");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_hierarchy_int(*provenance, "threads_available", 1,
+                                     "provenance");
+      !s.is_ok()) {
+    return s;
+  }
+  const JsonValue* reduction = provenance->find("reduction");
+  if (reduction == nullptr || !reduction->is_string() ||
+      reduction->string_value != "symmetry") {
+    return hierarchy_error(
+        "provenance.reduction != symmetry (sweep rows are pinned)");
+  }
+  return Status::ok();
+}
+
 Status write_text_file(const std::string& path, std::string_view text) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {

@@ -60,6 +60,16 @@ Status validate_run_report_json(std::string_view json);
 // "run_reports":{name: <RunReport>, ...}}.
 Status validate_bench_artifact_json(std::string_view json);
 
+// Schema check for the HIERARCHY.json artifact emitted by
+// tools/hierarchy_sweep_cli (core/hierarchy_sweep.h):
+// {"lbsa_hierarchy_schema":1,"n_min":..,"n_max":..,"rows":[...],
+// "provenance":{...}}. Strict: rows must cover exactly every (n, m) with
+// n_min <= n <= n_max, 1 <= m <= n, in lexicographic order; every row must
+// report ok verdicts on both constructive checks, declared_level == m, and
+// matches_catalog == true — an artifact recording a refuted theorem does
+// not validate.
+Status validate_hierarchy_artifact_json(std::string_view json);
+
 // Writes `text` to `path` (INTERNAL on I/O failure).
 Status write_text_file(const std::string& path, std::string_view text);
 

@@ -1,0 +1,55 @@
+#include "protocols/consensus_from_nm_pac.h"
+
+#include <memory>
+#include <string>
+
+#include "base/check.h"
+#include "spec/nm_pac_type.h"
+
+namespace lbsa::protocols {
+
+ConsensusFromNmPacProtocol::ConsensusFromNmPacProtocol(
+    int n, int m, std::vector<Value> inputs)
+    : ProtocolBase("consensus-from-(" + std::to_string(n) + "," +
+                       std::to_string(m) + ")-PAC",
+                   static_cast<int>(inputs.size()),
+                   {std::make_shared<spec::NmPacType>(n, m)}),
+      n_(n),
+      m_(m),
+      inputs_(std::move(inputs)) {
+  LBSA_CHECK(!inputs_.empty());
+  LBSA_CHECK(static_cast<int>(inputs_.size()) <= m_);
+  for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
+}
+
+std::vector<std::int64_t> ConsensusFromNmPacProtocol::initial_locals(
+    int pid) const {
+  return {inputs_[static_cast<size_t>(pid)], kNil};
+}
+
+sim::SymmetrySpec ConsensusFromNmPacProtocol::symmetry() const {
+  return sim::SymmetrySpec::by_value(inputs_, {});
+}
+
+sim::Action ConsensusFromNmPacProtocol::next_action(
+    int /*pid*/, const sim::ProcessState& state) const {
+  switch (state.pc) {
+    case 0:
+      return sim::Action::invoke(0, spec::make_propose_c(state.locals[kInput]));
+    case 1:
+      return sim::Action::decide(state.locals[kResp]);
+    default:
+      LBSA_CHECK_MSG(false, "invalid pc");
+      return sim::Action::abort();
+  }
+}
+
+void ConsensusFromNmPacProtocol::on_response(int /*pid*/,
+                                             sim::ProcessState* state,
+                                             Value response) const {
+  LBSA_CHECK(state->pc == 0);
+  state->locals[kResp] = response;
+  state->pc = 1;
+}
+
+}  // namespace lbsa::protocols

@@ -1,0 +1,52 @@
+// m-consensus through the PROPOSEC port of an (n,m)-PAC object — the
+// constructive half of Theorem 5.3 via Observation 5.1(c): the consensus
+// port alone solves consensus for up to m processes, for every n.
+//
+// Each of the p <= m processes proposes its input on the C port and decides
+// the response; the backing m-consensus component returns the first proposed
+// value to every proposer. This is the protocol the hierarchy sweep
+// (core/hierarchy_sweep.h) explores exhaustively to certify the "level >= m"
+// direction of the consensus-power table row for (n,m)-PAC.
+#ifndef LBSA_PROTOCOLS_CONSENSUS_FROM_NM_PAC_H_
+#define LBSA_PROTOCOLS_CONSENSUS_FROM_NM_PAC_H_
+
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class ConsensusFromNmPacProtocol final : public sim::ProtocolBase {
+ public:
+  // inputs.size() processes (1 <= inputs.size() <= m) share one
+  // (n,m)-PAC object and run consensus over its PROPOSEC port.
+  ConsensusFromNmPacProtocol(int n, int m, std::vector<Value> inputs);
+
+  int n() const { return n_; }
+  int m() const { return m_; }
+  const std::vector<Value>& inputs() const { return inputs_; }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+  // Processes with equal inputs are interchangeable: locals store only
+  // values, and the C-part of the (n,m)-PAC state is value-indexed (the
+  // P-part stays untouched, so NmPacType::rename_pids is a no-op here).
+  sim::SymmetrySpec symmetry() const override;
+
+ private:
+  // locals: [input, resp]; pc: 0 = about to propose on the C port,
+  // 1 = terminal local step (decide resp).
+  static constexpr std::int64_t kInput = 0;
+  static constexpr std::int64_t kResp = 1;
+
+  int n_;
+  int m_;
+  std::vector<Value> inputs_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_CONSENSUS_FROM_NM_PAC_H_

@@ -1,67 +1,28 @@
 #include "protocols/dac_from_nm_pac.h"
 
-#include "base/check.h"
+#include <memory>
+#include <string>
+
 #include "spec/nm_pac_type.h"
 
 namespace lbsa::protocols {
 
 DacFromNmPacProtocol::DacFromNmPacProtocol(std::vector<Value> inputs, int m,
                                            int distinguished_pid)
-    : ProtocolBase("DAC-from-(" + std::to_string(inputs.size()) + "," +
-                       std::to_string(m) + ")-PAC",
-                   static_cast<int>(inputs.size()),
-                   {std::make_shared<spec::NmPacType>(
-                       static_cast<int>(inputs.size()), m)}),
-      inputs_(std::move(inputs)),
-      distinguished_pid_(distinguished_pid) {
-  LBSA_CHECK(inputs_.size() >= 2);
-  LBSA_CHECK(distinguished_pid >= 0 &&
-             distinguished_pid < static_cast<int>(inputs_.size()));
+    : PacPortDacProtocol(
+          "DAC-from-(" + std::to_string(inputs.size()) + "," +
+              std::to_string(m) + ")-PAC",
+          inputs, distinguished_pid,
+          std::make_shared<spec::NmPacType>(static_cast<int>(inputs.size()),
+                                            m)) {}
+
+spec::Operation DacFromNmPacProtocol::propose_op(Value v,
+                                                 std::int64_t label) const {
+  return spec::make_propose_p(v, label);
 }
 
-std::vector<std::int64_t> DacFromNmPacProtocol::initial_locals(int pid) const {
-  return {inputs_[static_cast<size_t>(pid)], kNil};
-}
-
-sim::Action DacFromNmPacProtocol::next_action(
-    int pid, const sim::ProcessState& state) const {
-  const std::int64_t label = pid + 1;
-  switch (state.pc) {
-    case 0:
-      return sim::Action::invoke(
-          0, spec::make_propose_p(state.locals[kInput], label));
-    case 1:
-      return sim::Action::invoke(0, spec::make_decide_p(label));
-    case 2: {
-      const Value temp = state.locals[kTemp];
-      if (temp != kBottom) return sim::Action::decide(temp);
-      LBSA_CHECK(pid == distinguished_pid_);
-      return sim::Action::abort();
-    }
-    default:
-      LBSA_CHECK_MSG(false, "invalid pc");
-      return sim::Action::abort();
-  }
-}
-
-void DacFromNmPacProtocol::on_response(int pid, sim::ProcessState* state,
-                                       Value response) const {
-  switch (state->pc) {
-    case 0:
-      LBSA_CHECK(response == kDone);
-      state->pc = 1;
-      return;
-    case 1:
-      state->locals[kTemp] = response;
-      if (response != kBottom || pid == distinguished_pid_) {
-        state->pc = 2;
-      } else {
-        state->pc = 0;
-      }
-      return;
-    default:
-      LBSA_CHECK_MSG(false, "response delivered at a local step");
-  }
+spec::Operation DacFromNmPacProtocol::decide_op(std::int64_t label) const {
+  return spec::make_decide_p(label);
 }
 
 }  // namespace lbsa::protocols

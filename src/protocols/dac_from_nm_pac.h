@@ -1,38 +1,26 @@
 // Algorithm 2 run through the PAC ports of an (n,m)-PAC object — the
 // task-level face of Observation 5.1(b) and the first step of Theorem 7.1's
 // argument ("the (n+1,m)-PAC object can solve the (n+1)-DAC problem").
-// Identical control flow to DacFromPacProtocol, with PROPOSEP/DECIDEP
-// routed to the combined object.
+// The control flow lives in PacPortDacProtocol; this subclass binds it to an
+// (n,m)-PAC object via the PROPOSEP/DECIDEP port operations.
 #ifndef LBSA_PROTOCOLS_DAC_FROM_NM_PAC_H_
 #define LBSA_PROTOCOLS_DAC_FROM_NM_PAC_H_
 
-#include <memory>
 #include <vector>
 
-#include "sim/protocol.h"
+#include "protocols/dac_via_pac_port.h"
 
 namespace lbsa::protocols {
 
-class DacFromNmPacProtocol final : public sim::ProtocolBase {
+class DacFromNmPacProtocol final : public PacPortDacProtocol {
  public:
   // Solves inputs.size()-DAC using one (inputs.size(), m)-PAC object.
   DacFromNmPacProtocol(std::vector<Value> inputs, int m,
                        int distinguished_pid = 0);
 
-  int distinguished_pid() const { return distinguished_pid_; }
-
-  std::vector<std::int64_t> initial_locals(int pid) const override;
-  sim::Action next_action(int pid, const sim::ProcessState& state)
-      const override;
-  void on_response(int pid, sim::ProcessState* state,
-                   Value response) const override;
-
- private:
-  static constexpr std::int64_t kInput = 0;
-  static constexpr std::int64_t kTemp = 1;
-
-  std::vector<Value> inputs_;
-  int distinguished_pid_;
+ protected:
+  spec::Operation propose_op(Value v, std::int64_t label) const override;
+  spec::Operation decide_op(std::int64_t label) const override;
 };
 
 }  // namespace lbsa::protocols

@@ -1,80 +1,26 @@
 #include "protocols/dac_from_pac.h"
 
-#include "base/check.h"
+#include <memory>
+#include <string>
+
 #include "spec/pac_type.h"
 
 namespace lbsa::protocols {
-namespace {
-
-std::vector<std::shared_ptr<const spec::ObjectType>> make_objects(int n) {
-  return {std::make_shared<spec::PacType>(n)};
-}
-
-}  // namespace
 
 DacFromPacProtocol::DacFromPacProtocol(std::vector<Value> inputs,
                                        int distinguished_pid)
-    : ProtocolBase("DAC-from-" + std::to_string(inputs.size()) + "-PAC",
-                   static_cast<int>(inputs.size()),
-                   make_objects(static_cast<int>(inputs.size()))),
-      inputs_(std::move(inputs)),
-      distinguished_pid_(distinguished_pid) {
-  LBSA_CHECK(inputs_.size() >= 2);
-  LBSA_CHECK(distinguished_pid_ >= 0 &&
-             distinguished_pid_ < static_cast<int>(inputs_.size()));
-  for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
+    : PacPortDacProtocol(
+          "DAC-from-" + std::to_string(inputs.size()) + "-PAC", inputs,
+          distinguished_pid,
+          std::make_shared<spec::PacType>(static_cast<int>(inputs.size()))) {}
+
+spec::Operation DacFromPacProtocol::propose_op(Value v,
+                                               std::int64_t label) const {
+  return spec::make_propose_labeled(v, label);
 }
 
-std::vector<std::int64_t> DacFromPacProtocol::initial_locals(int pid) const {
-  return {inputs_[static_cast<size_t>(pid)], kNil};
-}
-
-sim::SymmetrySpec DacFromPacProtocol::symmetry() const {
-  return sim::SymmetrySpec::by_value(inputs_, {distinguished_pid_});
-}
-
-sim::Action DacFromPacProtocol::next_action(
-    int pid, const sim::ProcessState& state) const {
-  const std::int64_t label = pid + 1;  // PAC labels are 1-based
-  switch (state.pc) {
-    case 0:
-      return sim::Action::invoke(
-          0, spec::make_propose_labeled(state.locals[kInput], label));
-    case 1:
-      return sim::Action::invoke(0, spec::make_decide_labeled(label));
-    case 2: {
-      const Value temp = state.locals[kTemp];
-      if (temp != kBottom) return sim::Action::decide(temp);
-      // Only the distinguished process reaches pc 2 with temp == ⊥ (other
-      // processes loop back to pc 0 instead).
-      LBSA_CHECK(pid == distinguished_pid_);
-      return sim::Action::abort();
-    }
-    default:
-      LBSA_CHECK_MSG(false, "invalid pc");
-      return sim::Action::abort();
-  }
-}
-
-void DacFromPacProtocol::on_response(int pid, sim::ProcessState* state,
-                                     Value response) const {
-  switch (state->pc) {
-    case 0:
-      // PROPOSE acknowledged with "done".
-      LBSA_CHECK(response == kDone);
-      state->pc = 1;
-      return;
-    case 1:
-      state->locals[kTemp] = response;
-      if (response != kBottom || pid == distinguished_pid_) {
-        state->pc = 2;  // decide (or abort, for p)
-      } else {
-        state->pc = 0;  // q != p retries the propose/decide pair
-      }
-      return;
-    default:
-      LBSA_CHECK_MSG(false, "response delivered at a local step");
-  }
+spec::Operation DacFromPacProtocol::decide_op(std::int64_t label) const {
+  return spec::make_decide_labeled(label);
 }
 
 }  // namespace lbsa::protocols

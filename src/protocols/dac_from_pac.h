@@ -1,52 +1,24 @@
 // Algorithm 2 of the paper: solving the n-DAC problem with a single n-PAC
-// object D (Theorem 4.1).
-//
-//   distinguished process p:            every process q != p:
-//     D.PROPOSE(v_p, p)                   while true:
-//     temp <- D.DECIDE(p)                   D.PROPOSE(v_q, q)
-//     if temp != ⊥ decide temp              temp <- D.DECIDE(q)
-//     else abort                            if temp != ⊥: decide temp; break
-//
-// Processes are numbered 0..n-1 and use the 1-based label pid+1 as their
-// private PAC label (the paper numbers processes 1..n and uses the process
-// number itself).
+// object D (Theorem 4.1). The propose/decide/retry loop lives in
+// PacPortDacProtocol; this subclass binds it to a bare n-PAC object via the
+// labeled PROPOSE(v, i) / DECIDE(i) operations.
 #ifndef LBSA_PROTOCOLS_DAC_FROM_PAC_H_
 #define LBSA_PROTOCOLS_DAC_FROM_PAC_H_
 
-#include <memory>
 #include <vector>
 
-#include "sim/protocol.h"
+#include "protocols/dac_via_pac_port.h"
 
 namespace lbsa::protocols {
 
-class DacFromPacProtocol final : public sim::ProtocolBase {
+class DacFromPacProtocol final : public PacPortDacProtocol {
  public:
   // inputs.size() == n (>= 2); distinguished_pid in [0, n).
   DacFromPacProtocol(std::vector<Value> inputs, int distinguished_pid = 0);
 
-  int distinguished_pid() const { return distinguished_pid_; }
-  const std::vector<Value>& inputs() const { return inputs_; }
-
-  std::vector<std::int64_t> initial_locals(int pid) const override;
-  sim::Action next_action(int pid, const sim::ProcessState& state)
-      const override;
-  void on_response(int pid, sim::ProcessState* state,
-                   Value response) const override;
-  // Non-distinguished processes with equal inputs are interchangeable: the
-  // automaton is pid-uniform apart from the PAC label pid+1, which
-  // PacType::rename_pids rewrites. p itself runs a different automaton
-  // (abort arm) and is always fixed.
-  sim::SymmetrySpec symmetry() const override;
-
- private:
-  // locals: [input, temp]; pc: 0 = about to propose, 1 = about to decide on
-  // the PAC, 2 = terminal local step (decide/abort).
-  static constexpr std::int64_t kInput = 0;
-  static constexpr std::int64_t kTemp = 1;
-
-  std::vector<Value> inputs_;
-  int distinguished_pid_;
+ protected:
+  spec::Operation propose_op(Value v, std::int64_t label) const override;
+  spec::Operation decide_op(std::int64_t label) const override;
 };
 
 }  // namespace lbsa::protocols

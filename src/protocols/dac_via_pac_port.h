@@ -1,0 +1,67 @@
+// Algorithm 2 of the paper, factored over the PAC port it drives.
+//
+//   distinguished process p:            every process q != p:
+//     D.PROPOSE(v_p, p)                   while true:
+//     temp <- D.DECIDE(p)                   D.PROPOSE(v_q, q)
+//     if temp != ⊥ decide temp              temp <- D.DECIDE(q)
+//     else abort                            if temp != ⊥: decide temp; break
+//
+// The propose/decide/retry loop is identical whether D is a bare n-PAC
+// object (Theorem 4.1) or the PAC ports of an (n,m)-PAC object
+// (Observation 5.1(b)); only the object and the two port operations differ.
+// Subclasses supply those through propose_op/decide_op.
+//
+// Processes are numbered 0..n-1 and use the 1-based label pid+1 as their
+// private PAC label (the paper numbers processes 1..n and uses the process
+// number itself).
+#ifndef LBSA_PROTOCOLS_DAC_VIA_PAC_PORT_H_
+#define LBSA_PROTOCOLS_DAC_VIA_PAC_PORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.h"
+
+namespace lbsa::protocols {
+
+class PacPortDacProtocol : public sim::ProtocolBase {
+ public:
+  int distinguished_pid() const { return distinguished_pid_; }
+  const std::vector<Value>& inputs() const { return inputs_; }
+
+  std::vector<std::int64_t> initial_locals(int pid) const override;
+  sim::Action next_action(int pid, const sim::ProcessState& state)
+      const override;
+  void on_response(int pid, sim::ProcessState* state,
+                   Value response) const override;
+  // Non-distinguished processes with equal inputs are interchangeable: the
+  // automaton is pid-uniform apart from the PAC label pid+1, which the
+  // object's rename_pids rewrites. p itself runs a different automaton
+  // (abort arm) and is always fixed.
+  sim::SymmetrySpec symmetry() const override;
+
+ protected:
+  // inputs.size() == n (>= 2); distinguished_pid in [0, n); `object` is the
+  // shared object whose PAC port propose_op/decide_op drive.
+  PacPortDacProtocol(std::string name, std::vector<Value> inputs,
+                     int distinguished_pid,
+                     std::shared_ptr<const spec::ObjectType> object);
+
+  // The port operations on the shared object for 1-based label `label`.
+  virtual spec::Operation propose_op(Value v, std::int64_t label) const = 0;
+  virtual spec::Operation decide_op(std::int64_t label) const = 0;
+
+ private:
+  // locals: [input, temp]; pc: 0 = about to propose, 1 = about to decide on
+  // the PAC port, 2 = terminal local step (decide/abort).
+  static constexpr std::int64_t kInput = 0;
+  static constexpr std::int64_t kTemp = 1;
+
+  std::vector<Value> inputs_;
+  int distinguished_pid_;
+};
+
+}  // namespace lbsa::protocols
+
+#endif  // LBSA_PROTOCOLS_DAC_VIA_PAC_PORT_H_

@@ -1,14 +1,16 @@
 #include "protocols/mutants.h"
 
+#include <string>
+
 #include "base/check.h"
+#include "protocols/one_shot.h"
 #include "spec/consensus_type.h"
-#include "spec/ksa_type.h"
-#include "spec/pac_type.h"
+#include "spec/nm_pac_type.h"
 
 namespace lbsa::protocols {
 namespace {
 
-// locals layout shared with DacFromPacProtocol: [input, temp].
+// locals layout shared with PacPortDacProtocol: [input, temp].
 constexpr std::int64_t kInput = 0;
 constexpr std::int64_t kTemp = 1;
 
@@ -16,19 +18,40 @@ const char* bug_name(MutantDacProtocol::Bug bug) {
   return bug == MutantDacProtocol::Bug::kNoAdopt ? "no-adopt" : "wrong-abort";
 }
 
+std::string mutant_dac_name(MutantDacProtocol::Bug bug, size_t n, int m) {
+  std::string name = "mutant-DAC-" + std::string(bug_name(bug)) + "-";
+  if (m >= 1) {
+    name += "(" + std::to_string(n) + "," + std::to_string(m) + ")-PAC";
+  } else {
+    name += std::to_string(n);
+  }
+  return name;
+}
+
+std::shared_ptr<const spec::ObjectType> mutant_dac_object(size_t n, int m) {
+  if (m >= 1) {
+    return std::make_shared<spec::NmPacType>(static_cast<int>(n), m);
+  }
+  return std::make_shared<spec::PacType>(static_cast<int>(n));
+}
+
 }  // namespace
 
 MutantDacProtocol::MutantDacProtocol(std::vector<Value> inputs, Bug bug,
                                      int distinguished_pid)
-    : ProtocolBase("mutant-DAC-" + std::string(bug_name(bug)) + "-" +
-                       std::to_string(inputs.size()),
+    : MutantDacProtocol(std::move(inputs), 0, bug, distinguished_pid) {}
+
+MutantDacProtocol::MutantDacProtocol(std::vector<Value> inputs, int m, Bug bug,
+                                     int distinguished_pid)
+    : ProtocolBase(mutant_dac_name(bug, inputs.size(), m),
                    static_cast<int>(inputs.size()),
-                   {std::make_shared<spec::PacType>(
-                       static_cast<int>(inputs.size()))}),
+                   {mutant_dac_object(inputs.size(), m)}),
       inputs_(std::move(inputs)),
       bug_(bug),
-      distinguished_pid_(distinguished_pid) {
+      distinguished_pid_(distinguished_pid),
+      m_(m) {
   LBSA_CHECK(inputs_.size() >= 2);
+  LBSA_CHECK(m_ >= 0);
   LBSA_CHECK(distinguished_pid_ >= 0 &&
              distinguished_pid_ < static_cast<int>(inputs_.size()));
   for (Value v : inputs_) LBSA_CHECK(is_ordinary(v));
@@ -48,9 +71,12 @@ sim::Action MutantDacProtocol::next_action(
   switch (state.pc) {
     case 0:
       return sim::Action::invoke(
-          0, spec::make_propose_labeled(state.locals[kInput], label));
+          0, m_ >= 1
+                 ? spec::make_propose_p(state.locals[kInput], label)
+                 : spec::make_propose_labeled(state.locals[kInput], label));
     case 1:
-      return sim::Action::invoke(0, spec::make_decide_labeled(label));
+      return sim::Action::invoke(0, m_ >= 1 ? spec::make_decide_p(label)
+                                            : spec::make_decide_labeled(label));
     case 2: {
       const Value temp = state.locals[kTemp];
       if (temp != kBottom) return sim::Action::decide(temp);
@@ -172,6 +198,102 @@ class OverclaimedTwoSaProtocol final : public sim::ProtocolBase {
 };
 
 }  // namespace
+
+OverclaimedNmPacType::OverclaimedNmPacType(int n, int m)
+    : pac_(n), ksa_(spec::kUnboundedPorts, m + 1), m_(m) {
+  LBSA_CHECK(m >= 1);
+}
+
+std::string OverclaimedNmPacType::name() const {
+  return "overclaimed-(" + std::to_string(n()) + "," + std::to_string(m_) +
+         ")-PAC";
+}
+
+std::vector<std::int64_t> OverclaimedNmPacType::initial_state() const {
+  std::vector<std::int64_t> state = pac_.initial_state();
+  const std::vector<std::int64_t> ksa = ksa_.initial_state();
+  state.insert(state.end(), ksa.begin(), ksa.end());
+  return state;
+}
+
+Status OverclaimedNmPacType::validate(const spec::Operation& op) const {
+  switch (op.code) {
+    case spec::OpCode::kProposeC:
+      return ksa_.validate(spec::make_propose(op.arg0));
+    case spec::OpCode::kProposeP:
+      return pac_.validate(spec::make_propose_labeled(op.arg0, op.arg1));
+    case spec::OpCode::kDecideP:
+      return pac_.validate(spec::make_decide_labeled(op.arg0));
+    default:
+      return invalid_argument(
+          "(n,m)-PAC accepts only PROPOSEC / PROPOSEP / DECIDEP");
+  }
+}
+
+void OverclaimedNmPacType::apply(std::span<const std::int64_t> state,
+                                 const spec::Operation& op,
+                                 std::vector<spec::Outcome>* outcomes) const {
+  const size_t pac_size = spec::PacType::state_size(pac_.n());
+  LBSA_CHECK(state.size() == pac_size + ksa_.initial_state().size());
+
+  std::vector<spec::Outcome> sub;
+  if (op.code == spec::OpCode::kProposeC) {
+    // The bug: the C port answers from an (m+1)-SA set, so sub may hold
+    // several outcomes (one per distinct member) instead of one winner.
+    ksa_.apply(state.subspan(pac_size), spec::make_propose(op.arg0), &sub);
+  } else if (op.code == spec::OpCode::kProposeP) {
+    pac_.apply(state.subspan(0, pac_size),
+               spec::make_propose_labeled(op.arg0, op.arg1), &sub);
+  } else {
+    LBSA_CHECK(op.code == spec::OpCode::kDecideP);
+    pac_.apply(state.subspan(0, pac_size),
+               spec::make_decide_labeled(op.arg0), &sub);
+  }
+
+  for (spec::Outcome& o : sub) {
+    std::vector<std::int64_t> next(state.begin(), state.end());
+    if (op.code == spec::OpCode::kProposeC) {
+      std::copy(o.next_state.begin(), o.next_state.end(),
+                next.begin() + static_cast<std::ptrdiff_t>(pac_size));
+    } else {
+      std::copy(o.next_state.begin(), o.next_state.end(), next.begin());
+    }
+    outcomes->push_back(spec::Outcome{o.response, std::move(next)});
+  }
+}
+
+void OverclaimedNmPacType::rename_pids(std::span<const int> perm,
+                                       std::vector<std::int64_t>* state) const {
+  const size_t pac_size = spec::PacType::state_size(pac_.n());
+  LBSA_CHECK(state->size() >= pac_size);
+  LBSA_CHECK(static_cast<int>(perm.size()) <= pac_.n());
+  std::vector<int> padded(perm.begin(), perm.end());
+  for (int p = static_cast<int>(padded.size()); p < pac_.n(); ++p) {
+    padded.push_back(p);
+  }
+  std::vector<std::int64_t> pac_state(
+      state->begin(), state->begin() + static_cast<std::ptrdiff_t>(pac_size));
+  pac_.rename_pids(padded, &pac_state);
+  std::copy(pac_state.begin(), pac_state.end(), state->begin());
+}
+
+std::string OverclaimedNmPacType::state_to_string(
+    std::span<const std::int64_t> state) const {
+  const size_t pac_size = spec::PacType::state_size(pac_.n());
+  return "{P=" + pac_.state_to_string(state.subspan(0, pac_size)) +
+         ", C=" + ksa_.state_to_string(state.subspan(pac_size)) + "}";
+}
+
+std::shared_ptr<const sim::Protocol> make_overclaimed_consensus_from_nm_pac(
+    int n, int m, const std::vector<Value>& inputs) {
+  LBSA_CHECK(static_cast<int>(inputs.size()) <= m);
+  std::vector<spec::Operation> ops;
+  for (Value v : inputs) ops.push_back(spec::make_propose_c(v));
+  return std::make_shared<OneShotProposeProtocol>(
+      "mutant-consensus-from-overclaimed-(" + std::to_string(n) + "," +
+          std::to_string(m) + ")-PAC",
+      std::make_shared<OverclaimedNmPacType>(n, m), std::move(ops));
+}
 
 std::shared_ptr<const sim::Protocol> make_overclaimed_two_sa(
     const std::vector<Value>& inputs) {

@@ -18,6 +18,10 @@
 //   * make_off_by_one_consensus     — consensus that decides response + 1:
 //     everyone agrees on a value nobody proposed. Breaks Validity (and
 //     only Validity — the agreement judge must stay silent).
+//   * OverclaimedNmPacType          — an "(n,m)-PAC" whose consensus port is
+//     secretly backed by an unbounded (m+1)-SA object: up to m+1 distinct
+//     values can be decided on the C port. Breaks the port's Agreement; the
+//     lincheck, fuzz, and exhaustive checkers must all flag it.
 //
 // These protocols must never be used outside tests and the fuzz corpus.
 #ifndef LBSA_PROTOCOLS_MUTANTS_H_
@@ -27,8 +31,40 @@
 #include <vector>
 
 #include "sim/protocol.h"
+#include "spec/ksa_type.h"
+#include "spec/pac_type.h"
 
 namespace lbsa::protocols {
+
+// The composite object behind the overclaimed-consensus mutants: P-part a
+// faithful n-PAC, C-part an unbounded (m+1)-set-agreement object answering
+// PROPOSEC — so the "m-consensus port" admits m+1 distinct decisions.
+// State layout: PacType(n) state followed by KsaType(∞, m+1) state.
+class OverclaimedNmPacType final : public spec::ObjectType {
+ public:
+  OverclaimedNmPacType(int n, int m);
+
+  int n() const { return pac_.n(); }
+  int m() const { return m_; }
+
+  std::string name() const override;
+  std::vector<std::int64_t> initial_state() const override;
+  Status validate(const spec::Operation& op) const override;
+  void apply(std::span<const std::int64_t> state, const spec::Operation& op,
+             std::vector<spec::Outcome>* outcomes) const override;
+  bool deterministic() const override { return false; }
+  // Same composite-renaming rule as the faithful NmPacType: the P-part
+  // stores pid-derived labels, the C-part only values.
+  void rename_pids(std::span<const int> perm,
+                   std::vector<std::int64_t>* state) const override;
+  std::string state_to_string(std::span<const std::int64_t> state)
+      const override;
+
+ private:
+  spec::PacType pac_;
+  spec::KsaType ksa_;
+  int m_;
+};
 
 class MutantDacProtocol final : public sim::ProtocolBase {
  public:
@@ -37,7 +73,12 @@ class MutantDacProtocol final : public sim::ProtocolBase {
     kWrongAbort,  // q != p aborts on ⊥ (only p may abort)
   };
 
+  // Runs Algorithm 2's mutant over a bare inputs.size()-PAC object.
   MutantDacProtocol(std::vector<Value> inputs, Bug bug,
+                    int distinguished_pid = 0);
+  // Runs the same mutant over the PAC ports of an (inputs.size(), m)-PAC
+  // object (m >= 1) — the broken counterpart of DacFromNmPacProtocol.
+  MutantDacProtocol(std::vector<Value> inputs, int m, Bug bug,
                     int distinguished_pid = 0);
 
   std::vector<std::int64_t> initial_locals(int pid) const override;
@@ -55,6 +96,7 @@ class MutantDacProtocol final : public sim::ProtocolBase {
   std::vector<Value> inputs_;
   Bug bug_;
   int distinguished_pid_;
+  int m_;  // 0 = bare n-PAC; >= 1 = PAC ports of an (n,m)-PAC
 };
 
 // "2-SA" one-shot protocol whose backing object actually admits three
@@ -66,6 +108,13 @@ std::shared_ptr<const sim::Protocol> make_overclaimed_two_sa(
 // response + 1 — unanimous agreement on a never-proposed value.
 std::shared_ptr<const sim::Protocol> make_off_by_one_consensus(
     const std::vector<Value>& inputs);
+
+// The overclaimed counterpart of ConsensusFromNmPacProtocol: a one-shot
+// consensus run over the C port of an OverclaimedNmPacType(n, m). With two
+// or more distinct inputs the port can return distinct values, violating
+// Agreement(1). inputs.size() <= m (the port's claimed process bound).
+std::shared_ptr<const sim::Protocol> make_overclaimed_consensus_from_nm_pac(
+    int n, int m, const std::vector<Value>& inputs);
 
 }  // namespace lbsa::protocols
 

@@ -74,6 +74,21 @@ void NmPacType::apply(std::span<const std::int64_t> state, const Operation& op,
   outcomes->push_back(Outcome{sub[0].response, std::move(next)});
 }
 
+void NmPacType::rename_pids(std::span<const int> perm,
+                            std::vector<std::int64_t>* state) const {
+  const size_t pac_size = PacType::state_size(pac_.n());
+  LBSA_CHECK(state->size() == pac_size + 2);
+  LBSA_CHECK(static_cast<int>(perm.size()) <= pac_.n());
+  std::vector<int> padded(perm.begin(), perm.end());
+  for (int p = static_cast<int>(padded.size()); p < pac_.n(); ++p) {
+    padded.push_back(p);
+  }
+  std::vector<std::int64_t> pac_state(
+      state->begin(), state->begin() + static_cast<std::ptrdiff_t>(pac_size));
+  pac_.rename_pids(padded, &pac_state);
+  std::copy(pac_state.begin(), pac_state.end(), state->begin());
+}
+
 std::string NmPacType::state_to_string(
     std::span<const std::int64_t> state) const {
   return "{P=" + pac_.state_to_string(pac_part(state)) +

@@ -29,6 +29,13 @@ class NmPacType final : public ObjectType {
   void apply(std::span<const std::int64_t> state, const Operation& op,
              std::vector<Outcome>* outcomes) const override;
   bool deterministic() const override { return true; }
+  // The P-part stores pid-derived words (the label register L and the
+  // label-indexed V slots); the C-part ([count, winner]) holds only values.
+  // Protocols on the consensus port may run with fewer than n processes, so
+  // the permutation is padded with fixed points up to n before delegating to
+  // the n-PAC renamer.
+  void rename_pids(std::span<const int> perm,
+                   std::vector<std::int64_t>* state) const override;
   std::string state_to_string(std::span<const std::int64_t> state) const override;
 
   // State layout: P's state followed by C's state.

@@ -14,6 +14,8 @@
 #include "concurrent/recording.h"
 #include "concurrent/spec_backed.h"
 #include "lincheck/checker.h"
+#include "protocols/mutants.h"
+#include "spec/nm_pac_type.h"
 #include "spec/pac_type.h"
 
 namespace lbsa::concurrent {
@@ -129,6 +131,62 @@ TEST(LincheckStress, SpinlockPacChaoticAccessStillLinearizes) {
         },
         round);
   }
+}
+
+TEST(LincheckStress, SpinlockNmPacBothPortsLinearize) {
+  // The hierarchy sweep's object, hammered from real threads at every
+  // width 2..8: each thread works its own PAC label (the DAC discipline)
+  // and interleaves proposes on the consensus port. Histories must
+  // linearize against the composite NmPacType spec.
+  for (int threads = 2; threads <= 8; ++threads) {
+    for (int round = 0; round < 6; ++round) {
+      SpinlockSpecObject nm_pac(std::make_shared<spec::NmPacType>(8, 4));
+      stress_round(
+          &nm_pac, threads, 4,
+          [round](int t, int i) {
+            const std::int64_t label = t + 1;
+            switch ((t + i + round) % 3) {
+              case 0:
+                return spec::make_propose_p(100 + t, label);
+              case 1:
+                return spec::make_decide_p(label);
+              default:
+                return spec::make_propose_c(200 + t);
+            }
+          },
+          round);
+    }
+  }
+}
+
+TEST(LincheckStress, OverclaimedNmPacFailsAgainstTheFaithfulSpec) {
+  // The planted bug, caught in the concurrent realm: drive the overclaimed
+  // (2,2)-PAC (its C port secretly a 3-SA) and check the histories against
+  // the FAITHFUL NmPacType. An m-consensus port hands every non-⊥ caller
+  // the same winner, so some round with distinct C-port responses must
+  // refuse to linearize.
+  const spec::NmPacType faithful(2, 2);
+  bool caught = false;
+  for (int round = 0; round < 40 && !caught; ++round) {
+    SpinlockSpecObject overclaimed(
+        std::make_shared<protocols::OverclaimedNmPacType>(2, 2),
+        OutcomePolicy::kSeededRandom, /*seed=*/1000 + round);
+    lincheck::HistoryLog log;
+    RecordingObject recorder(&overclaimed, &log);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back(
+          [&recorder, t] { recorder.apply_as(t, spec::make_propose_c(10 + t)); });
+    }
+    for (auto& w : workers) w.join();
+
+    auto result = lincheck::check_linearizable(faithful, log.snapshot());
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    if (!result.value().linearizable) caught = true;
+  }
+  EXPECT_TRUE(caught)
+      << "overclaimed C port linearized against faithful m-consensus in "
+         "every round";
 }
 
 }  // namespace

@@ -7,7 +7,7 @@ namespace {
 
 TEST(Hierarchy, CatalogHasAllFamilies) {
   const auto catalog = hierarchy_catalog(2, 4);
-  EXPECT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog.size(), 9u);
   for (const auto& entry : catalog) {
     EXPECT_FALSE(entry.family.empty());
     EXPECT_FALSE(entry.level_source.empty());
@@ -32,8 +32,33 @@ TEST(Hierarchy, LevelsMatchPowerSequences) {
 
 TEST(Hierarchy, LevelTwoContainsTheClassicPair) {
   const auto level2 = entries_at_level(2, 3, 2);
-  // At n = 2: test&set, queue, 2-consensus, O_2, O'_2 all sit at level 2.
-  EXPECT_EQ(level2.size(), 5u);
+  // At n = 2: test&set, queue, 2-consensus, (3,2)-PAC, O_2, O'_2 all sit at
+  // level 2.
+  EXPECT_EQ(level2.size(), 6u);
+}
+
+TEST(Hierarchy, NmPacEntryMatchesTheoremFiveThree) {
+  for (int n = 2; n <= 6; ++n) {
+    for (int m = 1; m <= n; ++m) {
+      const HierarchyEntry entry = nm_pac_entry(n, m, 3);
+      EXPECT_EQ(entry.family, "(n,m)-PAC");
+      EXPECT_EQ(entry.level, m) << "n=" << n << " m=" << m;
+      EXPECT_EQ(entry.power.consensus_number(), m);
+    }
+  }
+}
+
+TEST(Hierarchy, OnIsTheNmPacSpecialCase) {
+  // O_n = (n+1, n)-PAC by Definition 6.1: the catalog's family row at
+  // (n+1, n) must carry the same level and power values as the O_n row.
+  for (int n = 2; n <= 4; ++n) {
+    auto nm = find_family(n, 4, "(n,m)-PAC");
+    auto o_n = find_family(n, 4, "O_n");
+    ASSERT_TRUE(nm.has_value());
+    ASSERT_TRUE(o_n.has_value());
+    EXPECT_EQ(nm->level, o_n->level);
+    EXPECT_TRUE(nm->power.values_equal(o_n->power));
+  }
 }
 
 TEST(Hierarchy, SeparationPairSharesLevelAndPower) {

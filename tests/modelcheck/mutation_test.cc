@@ -24,6 +24,11 @@ const Mutant kMutants[] = {
     {"mutant-dac-wrong-abort3", "only-p-aborts"},
     {"mutant-2sa4", "agreement"},
     {"mutant-consensus-off-by-one3", "validity"},
+    // The (n,m)-PAC ports (hierarchy sweep subjects): an overclaimed C port
+    // that admits m + 1 distinct decisions, and the no-adopt bug replayed
+    // over the PAC ports of the combined object.
+    {"mutant-consensus-from-nmpac22", "agreement"},
+    {"mutant-dac-from-nmpac21", "agreement"},
 };
 
 TEST(Mutation, FuzzerFlagsEveryMutant) {
@@ -66,7 +71,8 @@ TEST(Mutation, ExhaustiveCheckerFlagsEveryMutant) {
 TEST(Mutation, CorrectCounterpartsStayClean) {
   // The mutants' unmutated counterparts pass the same fuzz budgets — the
   // mutation tests discriminate, they don't just flag everything.
-  for (const char* name : {"dac3", "twosa4"}) {
+  for (const char* name :
+       {"dac3", "twosa4", "consensus-from-nmpac42", "dac-from-nmpac32"}) {
     SCOPED_TRACE(name);
     auto task = make_named_task(name);
     ASSERT_TRUE(task.is_ok());

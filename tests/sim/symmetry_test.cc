@@ -14,15 +14,20 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "protocols/consensus_from_nm_pac.h"
+#include "protocols/dac_from_nm_pac.h"
 #include "protocols/dac_from_pac.h"
 #include "protocols/one_shot.h"
 #include "protocols/straw_dac.h"
 #include "sim/config.h"
 #include "sim/symmetry.h"
+#include "spec/nm_pac_type.h"
 
 namespace lbsa::sim {
 namespace {
 
+using protocols::ConsensusFromNmPacProtocol;
+using protocols::DacFromNmPacProtocol;
 using protocols::DacFromPacProtocol;
 using protocols::StrawDacFallbackProtocol;
 using protocols::make_consensus_via_n_consensus;
@@ -117,6 +122,14 @@ std::vector<CanonCase> canon_cases() {
       {"consensus3-equal", make_consensus_via_n_consensus({100, 100, 100})},
       {"strawdac3-equal", std::make_shared<StrawDacFallbackProtocol>(
                               std::vector<Value>{100, 100, 100})},
+      // Composite (n,m)-PAC states: the P-part stores pid-derived labels
+      // and V-slots, the C-part only values — NmPacType::rename_pids must
+      // keep every canonicalizer property on both ports.
+      {"dac-nmpac32-equal", std::make_shared<DacFromNmPacProtocol>(
+                                std::vector<Value>{100, 100, 100}, 2)},
+      {"consensus-nmpac32-equal",
+       std::make_shared<ConsensusFromNmPacProtocol>(
+           3, 2, std::vector<Value>{100, 100})},
   };
 }
 
@@ -204,6 +217,56 @@ TEST(Canonicalizer, InitialConfigIsItsOwnOrbitRepresentative) {
     canon.canonicalize(&init);
     EXPECT_EQ(init, before);
   }
+}
+
+TEST(Symmetry, NmPacRenameEquivariance) {
+  // rename(apply(s, op)) == apply(rename(s), rename(op)) on the composite
+  // (n,m)-PAC state: P-port labels are pid-derived (label = pid + 1), C-port
+  // operations carry only values and must pass through untouched.
+  spec::NmPacType type(3, 2);
+  const std::vector<int> perm{1, 0, 2};  // swap pids 0 and 1
+  const std::vector<std::pair<spec::Operation, spec::Operation>> steps{
+      {spec::make_propose_p(700, 2), spec::make_propose_p(700, 1)},
+      {spec::make_decide_p(1), spec::make_decide_p(2)},
+      {spec::make_propose_c(500), spec::make_propose_c(500)},
+  };
+  std::vector<std::int64_t> state = type.initial_state();
+  std::vector<std::int64_t> renamed_run = type.initial_state();
+  for (const auto& [op, renamed_op] : steps) {
+    const auto outcome = type.apply_unique(state, op);
+    const auto renamed_outcome = type.apply_unique(renamed_run, renamed_op);
+    EXPECT_EQ(outcome.response, renamed_outcome.response);
+    state = outcome.next_state;
+    renamed_run = renamed_outcome.next_state;
+
+    std::vector<std::int64_t> renamed_state = state;
+    type.rename_pids(perm, &renamed_state);
+    EXPECT_EQ(renamed_state, renamed_run);
+  }
+}
+
+TEST(Symmetry, NmPacRenamePadsShortPermutations) {
+  // A consensus-port protocol runs p <= m < n processes, so the model
+  // checker hands rename_pids a p-sized permutation: pids beyond it are
+  // fixed points of the padded renaming.
+  spec::NmPacType type(4, 2);
+  const std::vector<int> short_perm{1, 0};
+  std::vector<std::int64_t> state = type.initial_state();
+  for (const auto& op :
+       {spec::make_propose_p(700, 1), spec::make_propose_p(800, 2),
+        spec::make_propose_p(900, 3)}) {
+    state = type.apply_unique(state, op).next_state;
+  }
+  std::vector<std::int64_t> renamed = state;
+  type.rename_pids(short_perm, &renamed);
+
+  std::vector<std::int64_t> expected = type.initial_state();
+  for (const auto& op :
+       {spec::make_propose_p(700, 2), spec::make_propose_p(800, 1),
+        spec::make_propose_p(900, 3)}) {  // labels 1 <-> 2, label 3 fixed
+    expected = type.apply_unique(expected, op).next_state;
+  }
+  EXPECT_EQ(renamed, expected);
 }
 
 TEST(Symmetry, DistinctInputsDeclareTrivialGroups) {

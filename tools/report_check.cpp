@@ -3,6 +3,7 @@
 //
 //   ./report_check run-report FILE...   # --metrics-json RunReport JSON
 //   ./report_check bench FILE...        # tools/run_report.sh BENCH artifact
+//   ./report_check hierarchy FILE...    # tools/hierarchy_report.sh HIERARCHY
 //   ./report_check trace FILE...        # --trace-out chrome://tracing JSON
 //
 // Exits 0 iff every file validates; prints one line per file. Used by
@@ -23,6 +24,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: report_check run-report FILE...\n"
                "       report_check bench FILE...\n"
+               "       report_check hierarchy FILE...\n"
                "       report_check trace FILE...\n");
   return 2;
 }
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const char* mode = argv[1];
   if (std::strcmp(mode, "run-report") != 0 && std::strcmp(mode, "bench") != 0 &&
-      std::strcmp(mode, "trace") != 0) {
+      std::strcmp(mode, "hierarchy") != 0 && std::strcmp(mode, "trace") != 0) {
     return usage();
   }
 
@@ -88,6 +90,8 @@ int main(int argc, char** argv) {
       s = obs::validate_run_report_json(text);
     } else if (!std::strcmp(mode, "bench")) {
       s = obs::validate_bench_artifact_json(text);
+    } else if (!std::strcmp(mode, "hierarchy")) {
+      s = obs::validate_hierarchy_artifact_json(text);
     } else {
       s = validate_trace_json(text);
     }
