@@ -17,6 +17,7 @@
 #include "base/hashing.h"
 #include "modelcheck/batch_intern.h"
 #include "modelcheck/checkpoint.h"
+#include "obs/heartbeat.h"
 #include "obs/obs.h"
 
 namespace lbsa::modelcheck {
@@ -81,6 +82,44 @@ void record_graph_metrics(const ConfigGraph& graph) {
     LBSA_OBS_GAUGE_MAX("explore.max_depth", level_sizes.size() - 1);
   }
 }
+
+// Live telemetry (obs/heartbeat.h). Progress counters are process-cumulative
+// — hierarchy sweeps accumulate across cells, and on resume the CLI seeds
+// the checkpoint's totals before calling explore — so each engine captures
+// the entry values and publishes base + its session's delta through
+// Progress::raise (monotone even when work-stealing workers race stale
+// absolutes). Gated on heartbeat_enabled(): an un-observed run pays one
+// relaxed load at each quiescence point.
+struct LiveProgress {
+  bool on = false;
+  std::uint64_t nodes_base = 0;
+  std::uint64_t transitions_base = 0;
+
+  static LiveProgress capture() {
+    LiveProgress live;
+    live.on = obs::heartbeat_enabled();
+    if (live.on) {
+      obs::Progress& p = obs::Progress::global();
+      live.nodes_base = p.nodes_total.load(std::memory_order_relaxed);
+      live.transitions_base =
+          p.transitions_total.load(std::memory_order_relaxed);
+    }
+    return live;
+  }
+
+  // `session_nodes`/`session_transitions` count work done this session only
+  // (the resumed prefix is already in the base via the CLI's seeding).
+  void publish(std::uint64_t session_nodes, std::uint64_t session_transitions,
+               std::uint64_t levels, std::uint64_t frontier) const {
+    if (!on) return;
+    obs::Progress& p = obs::Progress::global();
+    obs::Progress::raise(p.nodes_total, nodes_base + session_nodes);
+    obs::Progress::raise(p.transitions_total,
+                         transitions_base + session_transitions);
+    p.levels_completed.store(levels, std::memory_order_relaxed);
+    p.frontier_size.store(frontier, std::memory_order_relaxed);
+  }
+};
 
 // Why a run stopped at a level boundary, if it should.
 enum class StopReason { kNone, kCancelled, kDeadline, kMaxLevels };
@@ -159,6 +198,10 @@ Status write_checkpoint(const ConfigGraph& graph,
                         const ExploreOptions& options, bool has_flag_fn,
                         std::int64_t initial_flag) {
   LBSA_OBS_COUNTER_ADD_V("explore.checkpoint.writes", 1);
+  if (obs::heartbeat_enabled()) {
+    obs::Progress::global().checkpoint_writes.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   return write_explore_checkpoint(
       checkpoint_from_graph(graph, frontier, levels_completed, fingerprint,
                             options, has_flag_fn, initial_flag),
@@ -248,6 +291,14 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
     frontier.push_back(0);
   }
 
+  const LiveProgress live = LiveProgress::capture();
+  if (live.on) obs::Progress::global().configure_workers(0);
+  const std::uint64_t prefix_nodes =
+      options.resume != nullptr ? options.resume->node_words.size() : 0;
+  const std::uint64_t prefix_transitions =
+      options.resume != nullptr ? options.resume->transition_count : 0;
+  std::uint64_t pops = 0;
+
   // One "explore.level" phase event per BFS level. The frontier is a FIFO,
   // so popped depths are non-decreasing and a depth change marks a level
   // boundary — matching the parallel engine's one-span-per-level exactly.
@@ -289,6 +340,9 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
       // deque holds exactly the depth-`depth` nodes in ascending id order —
       // the one state a checkpoint can represent and a resume can
       // reproduce. All lifecycle actions happen here and only here.
+      live.publish(graph.nodes_.size() - prefix_nodes,
+                   graph.transition_count_ - prefix_transitions, depth,
+                   frontier.size());
       const std::uint32_t session_levels = depth - start_depth;
       if (stop_reason(options, session_levels) != StopReason::kNone) {
         graph.interrupted_ = true;
@@ -326,6 +380,13 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
       open_level_span(depth);
     }
     frontier.pop_front();
+    // Mid-level cadence so heartbeats move inside long levels; every 4096
+    // pops keeps the relaxed-load guard the only cost when unobserved.
+    if (live.on && (++pops & 0xFFFu) == 0) {
+      live.publish(graph.nodes_.size() - prefix_nodes,
+                   graph.transition_count_ - prefix_transitions, span_depth,
+                   frontier.size());
+    }
     // Copy what we need: intern() may reallocate nodes_.
     const sim::Config config = graph.nodes_[id].config;
     const std::int64_t flag = graph.nodes_[id].flag;
@@ -375,6 +436,9 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
     graph.levels_completed_ =
         graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
   }
+  live.publish(graph.nodes_.size() - prefix_nodes,
+               graph.transition_count_ - prefix_transitions,
+               graph.levels_completed_, graph.pending_frontier_.size());
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
   if (switched == nullptr || !*switched) record_graph_metrics(graph);
@@ -1052,6 +1116,10 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   truncated.store(seed.truncated, std::memory_order_relaxed);
   std::vector<WorkItem> frontier = std::move(seed.frontier);
 
+  const LiveProgress live = LiveProgress::capture();
+  if (live.on) obs::Progress::global().configure_workers(threads);
+  const std::uint64_t prefix_nodes = seed.prefix_prov.size();
+
   name_trace_lanes(threads);
 
   std::vector<ParallelWorker> workers;
@@ -1071,12 +1139,16 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
 
   auto worker_main = [&](int widx) {
     ParallelWorker& w = workers[static_cast<std::size_t>(widx)];
+    obs::Progress::WorkerSlot* slot =
+        live.on ? obs::Progress::global().worker(widx) : nullptr;
+    std::uint64_t seen_cas_retries = 0;
     while (true) {
       level_start.arrive_and_wait();
       if (done.load(std::memory_order_acquire)) return;
       // Per-worker-thread lane; "worker" events scale with the pool size and
       // are excluded from trace-count determinism comparisons.
       obs::Span worker_span("explore.worker", obs::kCatWorker, widx + 1);
+      if (slot != nullptr) slot->busy.store(1, std::memory_order_relaxed);
       std::uint64_t expanded = 0;
       while (!exhausted.load(std::memory_order_relaxed)) {
         const std::size_t begin =
@@ -1088,9 +1160,19 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
             &w.sink,
             [&w](WorkItem&& item) { w.next.push_back(std::move(item)); });
         expanded += end - begin;
+        if (slot != nullptr) {
+          slot->expanded.fetch_add(end - begin, std::memory_order_relaxed);
+        }
         if (!ok) exhausted.store(true, std::memory_order_relaxed);
       }
       w.expanded += expanded;
+      if (slot != nullptr) {
+        slot->busy.store(0, std::memory_order_relaxed);
+        const std::uint64_t cas_retries = w.ex.tally().cas_retries;
+        slot->cas_retries.fetch_add(cas_retries - seen_cas_retries,
+                                    std::memory_order_relaxed);
+        seen_cas_retries = cas_retries;
+      }
       worker_span.arg("expanded", static_cast<std::int64_t>(expanded));
       level_end.arrive_and_wait();
     }
@@ -1105,6 +1187,12 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
     // Top of loop == level boundary: workers quiescent, every level < depth
     // fully expanded, `frontier` holding exactly the depth-`depth` nodes.
+    if (live.on) {
+      std::uint64_t session_edges = 0;
+      for (const ParallelWorker& w : workers) session_edges += w.sink.pool.size();
+      live.publish(table.size() - prefix_nodes, session_edges, depth,
+                   frontier.size());
+    }
     const std::uint32_t session_levels = depth - seed.start_depth;
     if (stop_reason(options, session_levels) != StopReason::kNone) {
       interrupted = true;
@@ -1176,6 +1264,9 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   }
   add_stable_counters(built, graph, seed, options.resume == nullptr,
                       std::numeric_limits<std::uint32_t>::max());
+  live.publish(graph.nodes_.size() - prefix_nodes,
+               graph.transition_count() - seed.base_transitions,
+               graph.levels_completed_, graph.pending_frontier_.size());
   record_graph_metrics(graph);
   return graph;
 }
@@ -1208,6 +1299,10 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
       options.max_levels > 0
           ? seed.start_depth + options.max_levels
           : std::numeric_limits<std::uint32_t>::max();
+
+  const LiveProgress live = LiveProgress::capture();
+  if (live.on) obs::Progress::global().configure_workers(threads);
+  const std::uint64_t prefix_nodes = seed.prefix_prov.size();
 
   name_trace_lanes(threads);
 
@@ -1244,6 +1339,10 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
   auto worker_main = [&](int widx) {
     ParallelWorker& w = workers[static_cast<std::size_t>(widx)];
     obs::Span worker_span("explore.worker", obs::kCatWorker, widx + 1);
+    obs::Progress::WorkerSlot* slot =
+        live.on ? obs::Progress::global().worker(widx) : nullptr;
+    std::uint64_t seen_cas_retries = 0;
+    std::uint64_t seen_edges = 0;
     std::vector<WorkItem> chunk;
     auto emit = [&](WorkItem&& item) {
       if (item.depth >= depth_bound) return;  // discovered, never expanded
@@ -1277,6 +1376,9 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
             victim.items.pop_front();
           }
           ++w.steals;
+          if (slot != nullptr) {
+            slot->steals.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         if (chunk.empty()) ++w.steal_misses;
       }
@@ -1295,11 +1397,36 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
         stop.store(true, std::memory_order_relaxed);
         break;
       }
+      if (slot != nullptr) slot->busy.store(1, std::memory_order_relaxed);
       const bool ok =
           w.ex.expand_chunk(std::span<WorkItem>(chunk), &w.sink, emit);
       w.expanded += chunk.size();
       in_flight.fetch_sub(static_cast<std::int64_t>(chunk.size()),
                           std::memory_order_acq_rel);
+      if (slot != nullptr) {
+        // Work-chunk boundary: this engine's live-publication point. Nodes
+        // go through raise() (concurrent absolute republications of
+        // table.size() race; a stale smaller one must not un-publish) while
+        // transitions accumulate per-worker pool deltas.
+        slot->busy.store(0, std::memory_order_relaxed);
+        slot->expanded.fetch_add(chunk.size(), std::memory_order_relaxed);
+        const std::uint64_t cas_retries = w.ex.tally().cas_retries;
+        slot->cas_retries.fetch_add(cas_retries - seen_cas_retries,
+                                    std::memory_order_relaxed);
+        seen_cas_retries = cas_retries;
+        obs::Progress& p = obs::Progress::global();
+        const std::uint64_t edges = w.sink.pool.size();
+        p.transitions_total.fetch_add(edges - seen_edges,
+                                      std::memory_order_relaxed);
+        seen_edges = edges;
+        obs::Progress::raise(p.nodes_total,
+                             live.nodes_base + table.size() - prefix_nodes);
+        const std::int64_t pending =
+            in_flight.load(std::memory_order_relaxed);
+        p.frontier_size.store(
+            pending > 0 ? static_cast<std::uint64_t>(pending) : 0,
+            std::memory_order_relaxed);
+      }
       if (!ok) {
         exhausted.store(true, std::memory_order_relaxed);
         stop.store(true, std::memory_order_relaxed);
@@ -1353,6 +1480,9 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
   add_stable_counters(built, graph, seed, options.resume == nullptr,
                       trimmed ? graph.levels_completed_
                               : std::numeric_limits<std::uint32_t>::max());
+  live.publish(graph.nodes_.size() - prefix_nodes,
+               graph.transition_count() - seed.base_transitions,
+               graph.levels_completed_, graph.pending_frontier_.size());
   record_graph_metrics(graph);
   return graph;
 }

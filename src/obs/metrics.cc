@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "base/check.h"
 #include "obs/json.h"
@@ -39,6 +41,42 @@ void Histogram::reset() {
       stripe.buckets[b].store(0, std::memory_order_relaxed);
     }
   }
+}
+
+std::uint64_t histogram_bucket_upper_bound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+HistogramQuantiles quantiles_from_buckets(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t count) {
+  HistogramQuantiles q;
+  if (count == 0) return q;
+  // The rank-r sample (1-based) lives in the first bucket whose cumulative
+  // count reaches r; report that bucket's inclusive upper bound.
+  auto value_at_rank = [&](std::uint64_t rank) -> std::uint64_t {
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= rank) {
+        return histogram_bucket_upper_bound(static_cast<int>(b));
+      }
+    }
+    return histogram_bucket_upper_bound(static_cast<int>(buckets.size()) - 1);
+  };
+  // ceil(q * count), clamped to [1, count].
+  auto rank_of = [&](std::uint64_t num, std::uint64_t den) {
+    const std::uint64_t rank = (count * num + den - 1) / den;
+    return rank == 0 ? 1 : rank;
+  };
+  q.p50 = value_at_rank(rank_of(50, 100));
+  q.p90 = value_at_rank(rank_of(90, 100));
+  q.p99 = value_at_rank(rank_of(99, 100));
+  q.max = value_at_rank(count);
+  return q;
 }
 
 Registry& Registry::global() {
@@ -93,8 +131,10 @@ MetricsSnapshot Registry::snapshot() const {
       snap.gauges.push_back({g.name(), g.stability(), g.value()});
     }
     for (const Histogram& h : histograms_) {
-      snap.histograms.push_back(
-          {h.name(), h.stability(), h.count(), h.sum(), h.buckets()});
+      MetricsSnapshot::HistogramRow row{h.name(), h.stability(), h.count(),
+                                        h.sum(), h.buckets(), {}};
+      row.quantiles = quantiles_from_buckets(row.buckets, row.count);
+      snap.histograms.push_back(std::move(row));
     }
   }
   auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
@@ -149,6 +189,17 @@ void write_sections(JsonWriter* w, const MetricsSnapshot& snap,
                w->begin_array();
                for (std::uint64_t b : row.buckets) w->value_uint(b);
                w->end_array();
+               w->key("quantiles");
+               w->begin_object();
+               w->key("p50");
+               w->value_uint(row.quantiles.p50);
+               w->key("p90");
+               w->value_uint(row.quantiles.p90);
+               w->key("p99");
+               w->value_uint(row.quantiles.p99);
+               w->key("max");
+               w->value_uint(row.quantiles.max);
+               w->end_object();
                w->end_object();
              });
 }

@@ -199,6 +199,29 @@ class Histogram {
   Stripe stripes_[kMetricStripes];
 };
 
+// Quantiles extracted from a log2-bucket histogram. Each reported value is
+// the inclusive UPPER bound of the bucket holding the rank-ceil(q*count)
+// sample: bucket 0 reports 0, bucket b in [1, 64) reports 2^b - 1, and the
+// top bucket (64) reports UINT64_MAX (overflow bucket — its upper bound is
+// the domain's). Error bound: a sample in bucket b >= 1 lies in
+// [2^(b-1), 2^b - 1], so exact_q <= reported_q < 2 * exact_q — the reported
+// quantile never understates and overstates by strictly less than 2x. An
+// empty histogram reports all zeros.
+struct HistogramQuantiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+// Inclusive upper bound of log2 bucket `bucket` (see HistogramQuantiles).
+std::uint64_t histogram_bucket_upper_bound(int bucket);
+
+// Quantiles from merged buckets (trailing zeros may be trimmed); `count`
+// must equal the bucket sum (Histogram::count() vs buckets()).
+HistogramQuantiles quantiles_from_buckets(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t count);
+
 // One merged, name-sorted view of every registered metric.
 struct MetricsSnapshot {
   struct CounterRow {
@@ -217,6 +240,7 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::vector<std::uint64_t> buckets;  // trailing zeros trimmed
+    HistogramQuantiles quantiles;        // derived from buckets at snapshot
   };
 
   std::vector<CounterRow> counters;

@@ -44,7 +44,7 @@ Status schema_error(const std::string& what) {
 }
 
 // "counters"/"gauges" must map names to integers; "histograms" maps names to
-// {count, sum, buckets[]} objects.
+// {count, sum, buckets[], quantiles{p50,p90,p99,max}} objects.
 Status check_metric_group(const JsonValue& group, const std::string& where) {
   const JsonValue* counters = group.find("counters");
   if (counters == nullptr || !counters->is_object()) {
@@ -86,6 +86,72 @@ Status check_metric_group(const JsonValue& group, const std::string& where) {
     for (const JsonValue& bucket : buckets->array) {
       if (!bucket.is_number() || !bucket.number_is_integer) {
         return schema_error(path + ".buckets element not an integer");
+      }
+    }
+    const JsonValue* quantiles = value.find("quantiles");
+    if (quantiles == nullptr || !quantiles->is_object()) {
+      return schema_error(path + ".quantiles missing or not an object");
+    }
+    std::int64_t prev = 0;
+    const char* prev_name = nullptr;
+    for (const char* q : {"p50", "p90", "p99", "max"}) {
+      const JsonValue* v = quantiles->find(q);
+      if (v == nullptr || !v->is_number() || !v->number_is_integer) {
+        return schema_error(path + ".quantiles." + q +
+                            " missing or not an integer");
+      }
+      // Upper-bound quantiles from one bucket array are necessarily ordered
+      // (int_value wraps for the top bucket's UINT64_MAX, so compare only
+      // non-negative values — a wrapped max is by construction the largest).
+      if (prev_name != nullptr && v->int_value >= 0 && prev >= 0 &&
+          v->int_value < prev) {
+        return schema_error(path + ".quantiles." + q + " < " + prev_name);
+      }
+      prev = v->int_value;
+      prev_name = q;
+    }
+  }
+  return Status::ok();
+}
+
+// The optional sections.timeseries object mirroring a heartbeat stream:
+// run_id + interval + parallel arrays, one entry per captured tick.
+Status check_timeseries_section(const JsonValue& ts) {
+  if (!ts.is_object()) {
+    return schema_error("sections.timeseries not an object");
+  }
+  const JsonValue* run_id = ts.find("run_id");
+  if (run_id == nullptr || !run_id->is_string() ||
+      run_id->string_value.empty()) {
+    return schema_error("sections.timeseries.run_id missing or empty");
+  }
+  const JsonValue* interval = ts.find("interval_ms");
+  if (interval == nullptr || !interval->is_number() ||
+      !interval->number_is_integer || interval->int_value < 1) {
+    return schema_error(
+        "sections.timeseries.interval_ms missing or not a positive integer");
+  }
+  const JsonValue* ticks = ts.find("ticks");
+  if (ticks == nullptr || !ticks->is_number() || !ticks->number_is_integer ||
+      ticks->int_value < 0) {
+    return schema_error(
+        "sections.timeseries.ticks missing or not a non-negative integer");
+  }
+  for (const char* field :
+       {"uptime_ms", "nodes_total", "frontier_size", "nodes_per_sec"}) {
+    const JsonValue* arr = ts.find(field);
+    if (arr == nullptr || !arr->is_array()) {
+      return schema_error(std::string("sections.timeseries.") + field +
+                          " missing or not an array");
+    }
+    if (arr->array.size() != static_cast<std::size_t>(ticks->int_value)) {
+      return schema_error(std::string("sections.timeseries.") + field +
+                          " length != ticks");
+    }
+    for (const JsonValue& v : arr->array) {
+      if (!v.is_number()) {
+        return schema_error(std::string("sections.timeseries.") + field +
+                            " element not a number");
       }
     }
   }
@@ -134,6 +200,11 @@ Status check_run_report_value(const JsonValue& root) {
   const JsonValue* sections = root.find("sections");
   if (sections == nullptr || !sections->is_object()) {
     return schema_error("sections missing or not an object");
+  }
+  if (const JsonValue* ts = sections->find("timeseries"); ts != nullptr) {
+    if (Status status = check_timeseries_section(*ts); !status.is_ok()) {
+      return status;
+    }
   }
   // The explorer section's full-graph estimate (and the reduction ratio
   // derived from it) only counts visited orbits, so on a truncated or
@@ -217,6 +288,15 @@ Status validate_bench_artifact_json(std::string_view json) {
         return invalid_argument(
             "bench schema: benchmark engine not one of "
             "serial/parallel/workstealing/auto");
+      }
+    }
+    // Obs-overhead rows: "obs" (when present) names which telemetry state
+    // the row was measured under.
+    if (const JsonValue* obs = row.find("obs"); obs != nullptr) {
+      if (!obs->is_string() || (obs->string_value != "heartbeat" &&
+                                obs->string_value != "disabled")) {
+        return invalid_argument(
+            "bench schema: benchmark obs not one of heartbeat/disabled");
       }
     }
     for (const char* field : {"nodes", "nodes_per_sec", "reduction_ratio",
@@ -463,14 +543,24 @@ Status validate_hierarchy_artifact_json(std::string_view json) {
 }
 
 Status write_text_file(const std::string& path, std::string_view text) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Stage in a same-directory temp file, then rename: POSIX rename is
+  // atomic, so a reader (or a second interrupt) never sees a torn artifact.
+  const std::string staging = path + ".tmp";
+  std::FILE* f = std::fopen(staging.c_str(), "wb");
   if (f == nullptr) {
-    return internal_error("obs: cannot open '" + path + "' for writing");
+    return internal_error("obs: cannot open '" + staging + "' for writing");
   }
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flush_ok = std::fflush(f) == 0;
   const bool close_ok = std::fclose(f) == 0;
-  if (written != text.size() || !close_ok) {
-    return internal_error("obs: short write to '" + path + "'");
+  if (written != text.size() || !flush_ok || !close_ok) {
+    std::remove(staging.c_str());
+    return internal_error("obs: short write to '" + staging + "'");
+  }
+  if (std::rename(staging.c_str(), path.c_str()) != 0) {
+    std::remove(staging.c_str());
+    return internal_error("obs: cannot rename '" + staging + "' to '" + path +
+                          "'");
   }
   return Status::ok();
 }

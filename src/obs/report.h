@@ -3,7 +3,7 @@
 // validate_run_report_json and docs/observability.md):
 //
 //   {
-//     "run_report_version": 1,
+//     "run_report_version": 2,
 //     "tool": "explorer_cli",
 //     "task": "dac3",                      // "" when not task-scoped
 //     "params": { "threads": 8, ... },     // tool inputs, for reproduction
@@ -12,12 +12,25 @@
 //       "counters":   { "explore.nodes": 441, ... },      // stable
 //       "gauges":     { "explore.max_depth": 12, ... },
 //       "histograms": { "explore.frontier_size":
-//                         {"count":13,"sum":441,"buckets":[0,3,...]} },
+//                         {"count":13,"sum":441,"buckets":[0,3,...],
+//                          "quantiles":{"p50":7,"p90":63,"p99":63,
+//                                       "max":255}} },
 //       "volatile":   { "counters": {...}, "gauges": {...},
 //                       "histograms": {...} }              // schedule-dep.
 //     },
-//     "sections": { "explorer": { "nodes": 441, ... } }    // tool-specific
+//     "sections": {
+//       "explorer": { "nodes": 441, ... },                 // tool-specific
+//       "timeseries": {                    // only when --heartbeat-out ran
+//         "run_id": "a1b2...", "interval_ms": 1000, "ticks": 3,
+//         "uptime_ms": [...], "nodes_total": [...],
+//         "frontier_size": [...], "nodes_per_sec": [...]
+//       }
+//     }
 //   }
+//
+// v2 (heartbeat PR) added the per-histogram "quantiles" object (upper-bound
+// log2-bucket quantiles, see HistogramQuantiles in obs/metrics.h) and the
+// optional "timeseries" section mirroring the run's heartbeat stream.
 //
 // "params" and "sections" values are raw JSON supplied by the tool (built
 // with obs::JsonWriter). The stable metrics sections are byte-identical
@@ -37,7 +50,7 @@
 namespace lbsa::obs {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   std::string tool;  // required, non-empty
   std::string task;  // optional workload key ("" if none)
@@ -70,7 +83,10 @@ Status validate_bench_artifact_json(std::string_view json);
 // not validate.
 Status validate_hierarchy_artifact_json(std::string_view json);
 
-// Writes `text` to `path` (INTERNAL on I/O failure).
+// Writes `text` to `path` atomically: the bytes land in a same-directory
+// temp file which is then renamed over `path`, so readers (and the file
+// itself, if the process dies mid-write — the interrupted-run exit paths)
+// never observe a torn artifact. INTERNAL on I/O failure.
 Status write_text_file(const std::string& path, std::string_view text);
 
 // Serializes, schema-checks, and writes the report.

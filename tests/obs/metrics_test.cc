@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -144,6 +145,106 @@ TEST(Registry, SnapshotMergeIsDeterministicAcrossThreadCounts) {
       EXPECT_EQ(json, baseline) << "threads=" << threads;
     }
   }
+}
+
+TEST(Quantiles, EmptyHistogramReportsAllZeros) {
+  const HistogramQuantiles q = quantiles_from_buckets({}, 0);
+  EXPECT_EQ(q.p50, 0u);
+  EXPECT_EQ(q.p90, 0u);
+  EXPECT_EQ(q.p99, 0u);
+  EXPECT_EQ(q.max, 0u);
+}
+
+TEST(Quantiles, SingleSampleReportsItsBucketBoundEverywhere) {
+  MetricsEnabledScope on(true);
+  Histogram h("test.q.single", Stability::kStable);
+  h.observe(100);  // bucket 7: [64, 127]
+  const HistogramQuantiles q = quantiles_from_buckets(h.buckets(), h.count());
+  EXPECT_EQ(q.p50, 127u);
+  EXPECT_EQ(q.p90, 127u);
+  EXPECT_EQ(q.p99, 127u);
+  EXPECT_EQ(q.max, 127u);
+  // Error-bound check for this sample: exact <= reported < 2 * exact.
+  EXPECT_LE(100u, q.p50);
+  EXPECT_LT(q.p50, 200u);
+}
+
+TEST(Quantiles, BucketUpperBoundsMatchLog2Scheme) {
+  EXPECT_EQ(histogram_bucket_upper_bound(0), 0u);
+  EXPECT_EQ(histogram_bucket_upper_bound(1), 1u);
+  EXPECT_EQ(histogram_bucket_upper_bound(2), 3u);
+  EXPECT_EQ(histogram_bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(histogram_bucket_upper_bound(63), (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(histogram_bucket_upper_bound(64), ~std::uint64_t{0});
+}
+
+TEST(Quantiles, OverflowTopBucketReportsDomainMax) {
+  MetricsEnabledScope on(true);
+  Histogram h("test.q.top", Stability::kStable);
+  h.observe(1);
+  h.observe(~std::uint64_t{0});  // lands in overflow bucket 64
+  const HistogramQuantiles q = quantiles_from_buckets(h.buckets(), h.count());
+  EXPECT_EQ(q.p50, 1u);
+  EXPECT_EQ(q.max, ~std::uint64_t{0});
+  EXPECT_EQ(q.p99, ~std::uint64_t{0});
+}
+
+TEST(Quantiles, RandomizedP99WithinDocumentedBound) {
+  MetricsEnabledScope on(true);
+  // Deterministic LCG (no seed sensitivity in CI): compare the bucketed p99
+  // against the exact p99 of the same samples; the documented bound is
+  // exact <= reported < 2 * exact for nonzero samples.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int round = 0; round < 10; ++round) {
+    Histogram h("test.q.rand", Stability::kStable);
+    std::vector<std::uint64_t> samples;
+    const int n = 500 + round * 137;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = next() % 100'000;
+      samples.push_back(v);
+      h.observe(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    // rank ceil(0.99 * n), 1-based — mirror the implementation's rank rule.
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, (static_cast<std::uint64_t>(n) * 99 + 99) /
+                                       100);
+    const std::uint64_t exact = samples[rank - 1];
+    const HistogramQuantiles q =
+        quantiles_from_buckets(h.buckets(), h.count());
+    EXPECT_LE(exact, q.p99) << "round " << round;
+    if (exact > 0) {
+      EXPECT_LT(q.p99, 2 * exact) << "round " << round;
+    } else {
+      EXPECT_EQ(q.p99, 0u) << "round " << round;
+    }
+    EXPECT_EQ(q.max, samples.back() == 0
+                         ? 0u
+                         : histogram_bucket_upper_bound(
+                               Histogram::bucket_of(samples.back())))
+        << "round " << round;
+    h.reset();
+  }
+}
+
+TEST(Quantiles, SnapshotRowsCarryQuantiles) {
+  MetricsEnabledScope on(true);
+  Registry r;
+  Histogram* h = r.histogram("q.row");
+  h->observe(5);
+  h->observe(9);
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].quantiles.p50, 7u);   // bucket 3: [4,7]
+  EXPECT_EQ(snap.histograms[0].quantiles.max, 15u);  // bucket 4: [8,15]
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 TEST(Registry, ResetValuesZeroesButKeepsHandles) {

@@ -66,7 +66,9 @@ TEST(RunReportSchema, RejectsMalformedDocuments) {
   // Wrong version.
   RunReport report = sample_report();
   std::string json = report.to_json();
-  const std::string needle = "\"run_report_version\":1";
+  const std::string needle = "\"run_report_version\":" +
+                             std::to_string(RunReport::kSchemaVersion);
+  ASSERT_NE(json.find(needle), std::string::npos);
   json.replace(json.find(needle), needle.size(), "\"run_report_version\":99");
   EXPECT_FALSE(validate_run_report_json(json).is_ok());
   // Empty tool name.
@@ -126,6 +128,64 @@ TEST(RunReportSchema, RejectsReductionRatioOnIncompleteGraphs) {
                     "{\"" + std::string(flag) + "\":true,\"nodes\":79}"))
                     .is_ok());
   }
+}
+
+// v2 additions: every histogram row must carry a quantiles object, and the
+// optional sections.timeseries (heartbeat samples folded into the report)
+// must be internally consistent.
+TEST(RunReportSchema, RequiresHistogramQuantiles) {
+  std::string json = sample_report().to_json();
+  ASSERT_NE(json.find("\"quantiles\""), std::string::npos);
+  // Strip the quantiles object from the histogram row: must now reject.
+  const std::size_t start = json.find(",\"quantiles\":{");
+  ASSERT_NE(start, std::string::npos);
+  const std::size_t end = json.find('}', start);
+  ASSERT_NE(end, std::string::npos);
+  json.erase(start, end - start + 1);
+  const Status s = validate_run_report_json(json);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("quantiles"), std::string::npos)
+      << s.to_string();
+}
+
+TEST(RunReportSchema, RejectsDisorderedQuantiles) {
+  std::string json = sample_report().to_json();
+  // sample_report observes a single 5 → p50=p90=p99=max=7. Force p90 < p50.
+  const std::string needle = "\"p90\":7";
+  ASSERT_NE(json.find(needle), std::string::npos);
+  json.replace(json.find(needle), needle.size(), "\"p90\":3");
+  EXPECT_FALSE(validate_run_report_json(json).is_ok());
+}
+
+TEST(RunReportSchema, AcceptsAndRejectsTimeseriesSection) {
+  auto with_timeseries = [](const std::string& ts_json) {
+    RunReport report = sample_report();
+    report.sections.emplace_back("timeseries", ts_json);
+    return report.to_json();
+  };
+  const Status good = validate_run_report_json(with_timeseries(
+      "{\"run_id\":\"0123456789abcdef\",\"interval_ms\":1000,\"ticks\":2,"
+      "\"uptime_ms\":[1000,2000],\"nodes_total\":[10,20],"
+      "\"frontier_size\":[4,0],\"nodes_per_sec\":[10.0,10.0]}"));
+  EXPECT_TRUE(good.is_ok()) << good.to_string();
+  // Array length disagrees with ticks.
+  EXPECT_FALSE(validate_run_report_json(with_timeseries(
+                   "{\"run_id\":\"0123456789abcdef\",\"interval_ms\":1000,"
+                   "\"ticks\":2,\"uptime_ms\":[1000],\"nodes_total\":[10,20],"
+                   "\"frontier_size\":[4,0],\"nodes_per_sec\":[10.0,10.0]}"))
+                   .is_ok());
+  // Empty run_id.
+  EXPECT_FALSE(validate_run_report_json(with_timeseries(
+                   "{\"run_id\":\"\",\"interval_ms\":1000,\"ticks\":0,"
+                   "\"uptime_ms\":[],\"nodes_total\":[],"
+                   "\"frontier_size\":[],\"nodes_per_sec\":[]}"))
+                   .is_ok());
+  // interval below 1ms.
+  EXPECT_FALSE(validate_run_report_json(with_timeseries(
+                   "{\"run_id\":\"0123456789abcdef\",\"interval_ms\":0,"
+                   "\"ticks\":0,\"uptime_ms\":[],\"nodes_total\":[],"
+                   "\"frontier_size\":[],\"nodes_per_sec\":[]}"))
+                   .is_ok());
 }
 
 TEST(BenchArtifactSchema, AcceptsMergedArtifactAndRejectsBadRows) {

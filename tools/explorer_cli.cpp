@@ -10,9 +10,12 @@
 //                  [--checkpoint PATH] [--checkpoint-every N]
 //                  [--resume PATH]
 //                  [--metrics-json PATH] [--trace-out PATH]
+//                  [--heartbeat-out PATH] [--heartbeat-every S]
 //
 // --metrics-json writes a versioned RunReport (docs/observability.md);
 // --trace-out writes a chrome://tracing timeline with one lane per worker.
+// --heartbeat-out streams one JSON heartbeat line per --heartbeat-every
+// seconds (default 1) while the run is in flight; `lbsa_watch` tails it.
 // Exploration is deterministic for every thread count / engine, so the
 // RunReport's stable metrics compare byte-identical across configurations —
 // the obs determinism test drives this binary at threads=1/2/8 and diffs
@@ -58,7 +61,8 @@ int usage() {
       "                    [--deadline-s S] [--max-levels N]\n"
       "                    [--checkpoint PATH] [--checkpoint-every N]\n"
       "                    [--resume PATH]\n"
-      "                    [--metrics-json PATH] [--trace-out PATH]\n");
+      "                    [--metrics-json PATH] [--trace-out PATH]\n"
+      "                    [--heartbeat-out PATH] [--heartbeat-every S]\n");
   return 2;
 }
 
@@ -172,6 +176,33 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_sigint);
   options.cancel = &g_cancel;
+
+  if (obs_cli.heartbeat_requested()) {
+    if (options.resume != nullptr) {
+      // Seed the cumulative counters with the checkpoint's totals so the
+      // resumed stream continues monotonically from where the interrupted
+      // session's heartbeats left off.
+      obs::Progress& progress = obs::Progress::global();
+      progress.nodes_total.store(checkpoint.node_words.size(),
+                                 std::memory_order_relaxed);
+      progress.transitions_total.store(checkpoint.transition_count,
+                                       std::memory_order_relaxed);
+      progress.levels_completed.store(checkpoint.levels_completed,
+                                      std::memory_order_relaxed);
+      progress.frontier_size.store(checkpoint.frontier.size(),
+                                   std::memory_order_relaxed);
+    }
+    // Stable across engines/threads AND across resume (same task + budget),
+    // so the appended stream validates as a continuation.
+    const std::string run_id = obs::derive_run_id(
+        "explorer_cli", task.name,
+        modelcheck::reduction_name(options.reduction), options.max_nodes);
+    if (const Status s = obs_cli.start_heartbeat(task.name, run_id);
+        !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
 
   modelcheck::Explorer explorer(task.protocol);
   const auto t0 = std::chrono::steady_clock::now();

@@ -10,10 +10,12 @@
 //                     [--checkpoint PATH] [--checkpoint-every N]
 //                     [--resume PATH]
 //                     [--metrics-json PATH] [--trace-out PATH]
+//                     [--heartbeat-out PATH] [--heartbeat-every S]
 //
 // Without --out, found schedules are printed to stdout. --metrics-json
 // writes a versioned RunReport (docs/observability.md); --trace-out writes
-// a chrome://tracing timeline.
+// a chrome://tracing timeline. --heartbeat-out streams one JSON heartbeat
+// line per --heartbeat-every seconds (default 1); `lbsa_watch` tails it.
 //
 // Long campaigns (docs/checking.md, "Long runs"): SIGINT (or --deadline-s /
 // --stop-after-runs) stops the campaign at the next run boundary; with
@@ -54,7 +56,8 @@ int usage() {
       "                       [--deadline-s S] [--stop-after-runs N]\n"
       "                       [--checkpoint PATH] [--checkpoint-every N]\n"
       "                       [--resume PATH]\n"
-      "                       [--metrics-json PATH] [--trace-out PATH]\n");
+      "                       [--metrics-json PATH] [--trace-out PATH]\n"
+      "                       [--heartbeat-out PATH] [--heartbeat-every S]\n");
   return 2;
 }
 
@@ -179,6 +182,19 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_sigint);
   options.cancel = &g_cancel;
 
+  if (obs_cli.heartbeat_requested()) {
+    // Stable across threads and resume: a resumed campaign (same task,
+    // engine, and budget) appends to the same stream as a continuation.
+    const std::string run_id = obs::derive_run_id(
+        "fuzz_shrink_cli", task.name,
+        options.coverage_guided ? "coverage" : "blind", options.runs);
+    if (const Status s = obs_cli.start_heartbeat(task.name, run_id);
+        !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+
   const modelcheck::FuzzReport report =
       modelcheck::fuzz_named_task(task, options);
 
@@ -197,51 +213,6 @@ int main(int argc, char** argv) {
   if (report.interrupted && !options.checkpoint_path.empty() &&
       report.checkpoint_error.empty()) {
     std::printf("  resume with --resume %s\n", options.checkpoint_path.c_str());
-  }
-
-  // Violations found before an interruption are still real findings — emit
-  // them either way.
-  int file_index = 0;
-  for (const modelcheck::FuzzViolation& v : report.violations) {
-    std::printf("  %s: %s — %llu raw steps -> %llu shrunk\n",
-                v.property.c_str(), v.detail.c_str(),
-                static_cast<unsigned long long>(v.raw_steps),
-                static_cast<unsigned long long>(v.shrunk_steps));
-    modelcheck::CorpusCase c;
-    c.task = task.name;
-    c.property = v.property;
-    c.detail = v.detail + " (run_seed " + std::to_string(v.run_seed) +
-               ", raw " + std::to_string(v.raw_steps) + " steps)";
-    c.seed = report.seed;
-    c.engine = report.engine;
-    auto schedule = sim::parse_schedule(v.shrunk_schedule);
-    if (!schedule.is_ok()) {
-      std::fprintf(stderr, "internal error: shrunk schedule unparsable: %s\n",
-                   schedule.status().to_string().c_str());
-      return 1;
-    }
-    c.schedule = schedule.value();
-    const Status replay = modelcheck::replay_corpus_case(c);
-    if (!replay.is_ok()) {
-      std::fprintf(stderr, "internal error: corpus case fails replay: %s\n",
-                   replay.to_string().c_str());
-      return 1;
-    }
-    const std::string text = modelcheck::corpus_case_to_string(c);
-    if (out_dir != nullptr) {
-      const std::string path = std::string(out_dir) + "/" + task.name + "-" +
-                               v.property + "-" +
-                               std::to_string(file_index++) + ".corpus";
-      std::ofstream out(path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return 1;
-      }
-      out << text;
-      std::printf("  wrote %s\n", path.c_str());
-    } else {
-      std::printf("%s", text.c_str());
-    }
   }
 
   // An interrupted campaign is an incomplete sample: don't judge the task
@@ -292,10 +263,59 @@ int main(int argc, char** argv) {
     w.end_object();
     run_report.sections.emplace_back("fuzz", std::move(w).str());
   }
+  // Finalize obs artifacts BEFORE corpus emission: the emission loop has
+  // internal-error exits, and an interrupted/failed campaign must still
+  // leave complete, valid --metrics-json/--trace-out files behind.
   if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
   }
+
+  // Violations found before an interruption are still real findings — emit
+  // them either way.
+  int file_index = 0;
+  for (const modelcheck::FuzzViolation& v : report.violations) {
+    std::printf("  %s: %s — %llu raw steps -> %llu shrunk\n",
+                v.property.c_str(), v.detail.c_str(),
+                static_cast<unsigned long long>(v.raw_steps),
+                static_cast<unsigned long long>(v.shrunk_steps));
+    modelcheck::CorpusCase c;
+    c.task = task.name;
+    c.property = v.property;
+    c.detail = v.detail + " (run_seed " + std::to_string(v.run_seed) +
+               ", raw " + std::to_string(v.raw_steps) + " steps)";
+    c.seed = report.seed;
+    c.engine = report.engine;
+    auto schedule = sim::parse_schedule(v.shrunk_schedule);
+    if (!schedule.is_ok()) {
+      std::fprintf(stderr, "internal error: shrunk schedule unparsable: %s\n",
+                   schedule.status().to_string().c_str());
+      return 1;
+    }
+    c.schedule = schedule.value();
+    const Status replay = modelcheck::replay_corpus_case(c);
+    if (!replay.is_ok()) {
+      std::fprintf(stderr, "internal error: corpus case fails replay: %s\n",
+                   replay.to_string().c_str());
+      return 1;
+    }
+    const std::string text = modelcheck::corpus_case_to_string(c);
+    if (out_dir != nullptr) {
+      const std::string path = std::string(out_dir) + "/" + task.name + "-" +
+                               v.property + "-" +
+                               std::to_string(file_index++) + ".corpus";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << text;
+      std::printf("  wrote %s\n", path.c_str());
+    } else {
+      std::printf("%s", text.c_str());
+    }
+  }
+
   if (!report.checkpoint_error.empty()) {
     std::fprintf(stderr, "%s: checkpoint write failed: %s\n",
                  task.name.c_str(), report.checkpoint_error.c_str());

@@ -10,12 +10,17 @@
 //                         [--threads N] [--max-nodes N]
 //                         [--check-reduction none|por|both]
 //                         [--rows-json PATH] [--out PATH] [--markdown]
+//                         [--metrics-json PATH] [--trace-out PATH]
+//                         [--heartbeat-out PATH] [--heartbeat-every S]
 //
 // --rows-json writes the deterministic rows document (byte-identical across
 // engines, thread counts, and --check-reduction modes); --out writes the
 // full HIERARCHY.json artifact (rows + provenance), schema-checked by
 // `report_check hierarchy`. --markdown prints the consensus-power table.
-// --only N,M checks a single cell and prints its row document.
+// --only N,M checks a single cell and prints its row document. The obs
+// flags match the other tools (shared ObsCli): --heartbeat-out streams live
+// telemetry across the whole sweep — the cumulative node/transition totals
+// accumulate over cells, so `lbsa_watch` shows sweep-wide progress.
 //
 // Exit codes:
 //   0  every requested row verified and matches the catalog
@@ -30,6 +35,8 @@
 
 #include "core/hierarchy_sweep.h"
 #include "modelcheck/explorer.h"
+#include "obs/cli.h"
+#include "obs/json.h"
 #include "obs/report.h"
 
 namespace {
@@ -43,7 +50,10 @@ int usage() {
       "                           [--threads N] [--max-nodes N]\n"
       "                           [--check-reduction none|por|both]\n"
       "                           [--rows-json PATH] [--out PATH] "
-      "[--markdown]\n");
+      "[--markdown]\n"
+      "                           [--metrics-json PATH] [--trace-out PATH]\n"
+      "                           [--heartbeat-out PATH] "
+      "[--heartbeat-every S]\n");
   return 2;
 }
 
@@ -74,6 +84,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool markdown = false;
 
+  obs::ObsCli obs_cli("hierarchy_sweep_cli");
   for (int i = 1; i < argc; ++i) {
     auto next_arg = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -82,7 +93,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--n-min")) {
+    if (obs_cli.consume(argc, argv, &i)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--n-min")) {
       options.n_min =
           static_cast<int>(std::strtol(next_arg("--n-min"), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--n-max")) {
@@ -140,13 +153,58 @@ int main(int argc, char** argv) {
                            "(artifacts must cover the full grid)\n");
       return usage();
     }
+    if (const Status s = obs_cli.start_heartbeat(
+            "hierarchy",
+            obs::derive_run_id(
+                "hierarchy_sweep_cli", "hierarchy",
+                std::to_string(only_n) + "," + std::to_string(only_m),
+                options.max_nodes));
+        !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
     auto row_or = core::run_hierarchy_row(only_n, only_m, options);
     if (!row_or.is_ok()) {
       std::fprintf(stderr, "%s\n", row_or.status().to_string().c_str());
       return 1;
     }
     print_row(row_or.value());
+    obs::RunReport run_report;
+    run_report.task = "hierarchy";
+    run_report.params = {
+        {"n", std::to_string(only_n)},
+        {"m", std::to_string(only_m)},
+        {"threads", std::to_string(options.threads)},
+        {"engine",
+         "\"" + std::string(modelcheck::engine_name(options.engine)) + "\""},
+        {"max_nodes", std::to_string(options.max_nodes)},
+    };
+    {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("rows");
+      w.value_uint(1);
+      w.key("all_ok");
+      w.value_bool(row_or.value().ok());
+      w.end_object();
+      run_report.sections.emplace_back("hierarchy", std::move(w).str());
+    }
+    if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
     return row_or.value().ok() ? 0 : 3;
+  }
+
+  if (const Status s = obs_cli.start_heartbeat(
+          "hierarchy",
+          obs::derive_run_id("hierarchy_sweep_cli", "hierarchy",
+                             std::to_string(options.n_min) + ".." +
+                                 std::to_string(options.n_max),
+                             options.max_nodes));
+      !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
   }
 
   auto result_or = core::run_hierarchy_sweep(options);
@@ -195,6 +253,33 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", s.to_string().c_str());
       return 1;
     }
+  }
+
+  obs::RunReport run_report;
+  run_report.task = "hierarchy";
+  run_report.params = {
+      {"n_min", std::to_string(options.n_min)},
+      {"n_max", std::to_string(options.n_max)},
+      {"threads", std::to_string(options.threads)},
+      {"threads_available",
+       std::to_string(std::thread::hardware_concurrency())},
+      {"engine",
+       "\"" + std::string(modelcheck::engine_name(options.engine)) + "\""},
+      {"max_nodes", std::to_string(options.max_nodes)},
+  };
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("rows");
+    w.value_uint(result.rows.size());
+    w.key("all_ok");
+    w.value_bool(result.all_ok());
+    w.end_object();
+    run_report.sections.emplace_back("hierarchy", std::move(w).str());
+  }
+  if (const Status s = obs_cli.finish(&run_report); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
   }
 
   if (!result.all_ok()) {

@@ -13,6 +13,12 @@
 #      an interrupt leaves a loadable checkpoint behind.
 #   4. Stale/corrupt checkpoints exit 1 with a diagnostic, not a wrong graph.
 #
+# Every interrupted run also carries the full observability flag set
+# (--metrics-json --trace-out --heartbeat-out): an exit-4 run must finalize
+# and atomically write ALL of its artifacts, and a resumed run appending to
+# the same heartbeat stream must validate as one continuous stream
+# (docs/observability.md, "Resume continuity").
+#
 # Usage: tools/interrupt_resume_e2e.sh [build-dir]
 set -euo pipefail
 
@@ -44,17 +50,28 @@ for engine_args in "--engine serial" "--engine parallel --threads 4"; do
     "$EXPLORER" dac4-sym $engine_args --reduction "$red" \
         > "$TMP/base.txt" || fail "baseline run failed ($engine_args $red)"
     rc=0
+    HB="$TMP/hb-${engine_args//[^a-z0-9]/}-$red.jsonl"
     # shellcheck disable=SC2086
     "$EXPLORER" dac4-sym $engine_args --reduction "$red" --max-levels 2 \
         --checkpoint "$TMP/e.ckpt" --metrics-json "$TMP/partial.json" \
+        --trace-out "$TMP/partial.trace.json" \
+        --heartbeat-out "$HB" --heartbeat-every 0.02 \
         > "$TMP/part.txt" || rc=$?
     [[ $rc -eq 4 ]] || fail "interrupt expected exit 4, got $rc"
     grep -q '(interrupted)' "$TMP/part.txt" || fail "no interrupted marker"
+    # Satellite contract: an exit-4 run finalizes every artifact it was
+    # asked for — a valid run report, a valid trace, a valid heartbeat
+    # stream — not torn or missing files.
     "$CHECK" run-report "$TMP/partial.json" > /dev/null \
         || fail "partial RunReport invalid"
+    "$CHECK" trace "$TMP/partial.trace.json" > /dev/null \
+        || fail "partial trace invalid"
+    "$CHECK" heartbeat "$HB" > /dev/null \
+        || fail "partial heartbeat stream invalid"
     # shellcheck disable=SC2086
     "$EXPLORER" dac4-sym $engine_args --reduction "$red" \
         --resume "$TMP/e.ckpt" --metrics-json "$TMP/resumed.json" \
+        --heartbeat-out "$HB" --heartbeat-every 0.02 \
         > "$TMP/res.txt" || fail "resume failed ($engine_args $red)"
     [[ "$(shape "$TMP/base.txt")" == "$(shape "$TMP/res.txt")" ]] \
         || fail "resumed graph differs ($engine_args $red):
@@ -62,9 +79,19 @@ for engine_args in "--engine serial" "--engine parallel --threads 4"; do
   resumed: $(shape "$TMP/res.txt")"
     "$CHECK" run-report "$TMP/resumed.json" > /dev/null \
         || fail "resumed RunReport invalid"
+    # The resumed run appended to the interrupted run's stream: same run_id,
+    # continued sequence numbers, cumulative counters still monotone.
+    "$CHECK" heartbeat "$HB" > /dev/null \
+        || fail "heartbeat splice across resume invalid"
+    runs_ids="$(grep -o '"run_id":"[a-f0-9]*"' "$HB" | sort -u | wc -l)"
+    [[ "$runs_ids" == 1 ]] || fail "run_id changed across resume"
+    finals="$(grep -c '"final":true' "$HB")"
+    [[ "$finals" == 2 ]] \
+        || fail "expected 2 final lines (interrupt + resume), got $finals"
   done
 done
-echo "ok: resumed graphs identical (2 engines x 2 reductions)"
+echo "ok: resumed graphs identical (2 engines x 2 reductions);" \
+     "exit-4 artifacts + heartbeat splices all validate"
 
 echo "== fuzzer interrupt/resume =="
 FUZZ_ARGS=(dac3 --coverage --runs 300 --seed 9)
@@ -85,11 +112,22 @@ echo "== SIGINT smoke =="
 # outcomes are legal — finished before the signal (0) or interrupted at a
 # level boundary (4); anything else is a bug.
 rc=0
-"$EXPLORER" dac6 --checkpoint "$TMP/s.ckpt" > "$TMP/sig.txt" &
+"$EXPLORER" dac6 --checkpoint "$TMP/s.ckpt" \
+    --metrics-json "$TMP/sig.run.json" --trace-out "$TMP/sig.trace.json" \
+    --heartbeat-out "$TMP/sig.hb.jsonl" --heartbeat-every 0.05 \
+    > "$TMP/sig.txt" &
 pid=$!
 sleep 0.2
 kill -INT "$pid" 2>/dev/null || true
 wait "$pid" || rc=$?
+# Whether the run finished (0) or was interrupted (4), every requested
+# artifact must exist and validate — a ^C must never leave torn JSON.
+"$CHECK" run-report "$TMP/sig.run.json" > /dev/null \
+    || fail "RunReport after SIGINT invalid"
+"$CHECK" trace "$TMP/sig.trace.json" > /dev/null \
+    || fail "trace after SIGINT invalid"
+"$CHECK" heartbeat "$TMP/sig.hb.jsonl" > /dev/null \
+    || fail "heartbeat stream after SIGINT invalid"
 if [[ $rc -eq 4 ]]; then
   [[ -f "$TMP/s.ckpt" ]] || fail "interrupted without a checkpoint on disk"
   "$EXPLORER" dac6 --resume "$TMP/s.ckpt" > "$TMP/sigres.txt" \

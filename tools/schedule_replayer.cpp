@@ -5,8 +5,10 @@
 //
 //   ./schedule_replayer <protocol> <schedule-file> [--record <out-file>]
 //                       [--metrics-json PATH] [--trace-out PATH]
+//                       [--heartbeat-out PATH] [--heartbeat-every S]
 //   ./schedule_replayer <protocol> --random <seed> [--record <out-file>]
 //                       [--metrics-json PATH] [--trace-out PATH]
+//                       [--heartbeat-out PATH] [--heartbeat-every S]
 //
 // Protocol names resolve through the modelcheck/corpus.h registry (the same
 // keys tools/fuzz_shrink_cli uses — run `fuzz_shrink_cli --list`); a few
@@ -87,12 +89,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool random_mode = !std::strcmp(argv[2], "--random");
+  if (const lbsa::Status s = obs_cli.start_heartbeat(
+          protocol->name(),
+          lbsa::obs::derive_run_id("schedule_replayer", protocol->name(),
+                                   random_mode ? "random" : "replay", 0));
+      !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+
   lbsa::sim::Simulation* run = nullptr;
   std::optional<lbsa::sim::Simulation> random_run;
   lbsa::StatusOr<lbsa::sim::Simulation> replayed =
       lbsa::invalid_argument("unset");
 
-  if (!std::strcmp(argv[2], "--random")) {
+  if (random_mode) {
     if (argc < 4) return usage();
     const std::uint64_t seed = std::strtoull(argv[3], nullptr, 10);
     random_run.emplace(protocol);
@@ -145,7 +157,7 @@ int main(int argc, char** argv) {
   run_report.task = protocol->name();
   run_report.params = {
       {"protocol", "\"" + lbsa::obs::json_escape(argv[1]) + "\""},
-      {"mode", !std::strcmp(argv[2], "--random") ? "\"random\"" : "\"replay\""},
+      {"mode", random_mode ? "\"random\"" : "\"replay\""},
   };
   {
     lbsa::obs::JsonWriter w;
