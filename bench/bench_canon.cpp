@@ -1,0 +1,155 @@
+// Canonicalization microbenchmark — the per-successor cost symmetry
+// reduction pays at every intern, isolated from the explorer. Three series
+// over the same sampled reachable configurations of the symmetric DAC
+// instance (equal inputs, so the non-distinguished processes form one
+// orbit of size n-1, group order (n-1)!):
+//
+//   * Canon_BruteForce/n: the retained reference — every group element
+//                         applied to a copy, full encodings compared;
+//   * Canon_Pruned/n:     branch-and-bound canonical search, no cache;
+//   * Canon_Cached/n:     branch-and-bound + orbit cache, steady state
+//                         (the corpus fits, so every query after the first
+//                         lap is a hit).
+//
+// The Pruned/BruteForce gap is what made reduction=symmetry beat
+// reduction=none on wall-clock (see tools/perf_smoke.sh's sym gate); the
+// Cached/Pruned gap is what repeated sweeps over one universe buy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "protocols/dac_from_pac.h"
+#include "sim/config.h"
+#include "sim/protocol.h"
+#include "sim/simulation.h"
+#include "sim/symmetry.h"
+
+namespace {
+
+using lbsa::sim::CanonCache;
+using lbsa::sim::CanonScratch;
+using lbsa::sim::Canonicalizer;
+using lbsa::sim::Config;
+using lbsa::sim::Protocol;
+
+std::shared_ptr<const Protocol> symmetric_dac(int n) {
+  return std::make_shared<lbsa::protocols::DacFromPacProtocol>(
+      std::vector<lbsa::Value>(static_cast<std::size_t>(n), 100));
+}
+
+// Random walks from the initial configuration — the same distribution the
+// explorer's intern sites see, minus duplicates the cache would trivially
+// absorb in series that should measure the search.
+std::vector<Config> sample_configs(const Protocol& protocol, int count,
+                                   int steps, std::uint64_t seed) {
+  lbsa::Xoshiro256 rng(seed);
+  std::vector<Config> configs;
+  configs.reserve(static_cast<std::size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    Config config = lbsa::sim::initial_config(protocol);
+    for (int i = 0; i < steps && !config.halted(); ++i) {
+      std::vector<int> enabled;
+      for (int pid = 0; pid < protocol.process_count(); ++pid) {
+        if (config.enabled(pid)) enabled.push_back(pid);
+      }
+      const int pid =
+          enabled[static_cast<std::size_t>(rng.next_below(enabled.size()))];
+      const int choices = lbsa::sim::outcome_count(protocol, config, pid);
+      lbsa::sim::apply_step(protocol, &config, pid,
+                            static_cast<int>(rng.next_below(
+                                static_cast<std::uint64_t>(choices))));
+    }
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+constexpr int kCorpus = 256;
+
+void Canon_BruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto protocol = symmetric_dac(n);
+  const Canonicalizer canon(protocol, protocol->symmetry());
+  const auto configs = sample_configs(*protocol, kCorpus, 4 * n, 42);
+  std::vector<std::int64_t> key;
+  for (auto _ : state) {
+    for (const Config& config : configs) {
+      canon.brute_force_canonical_encode_into(config, &key);
+      benchmark::DoNotOptimize(key);
+    }
+  }
+  state.counters["group"] = static_cast<double>(canon.group_size());
+  state.counters["configs_per_sec"] = benchmark::Counter(
+      static_cast<double>(configs.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(Canon_BruteForce)
+    ->ArgName("n")
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void Canon_Pruned(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto protocol = symmetric_dac(n);
+  const Canonicalizer canon(protocol, protocol->symmetry());
+  const auto configs = sample_configs(*protocol, kCorpus, 4 * n, 42);
+  CanonScratch scratch;  // scratch reuse, no cache attached
+  std::vector<std::int64_t> key;
+  for (auto _ : state) {
+    for (const Config& config : configs) {
+      canon.canonical_encode_into(config, &key, nullptr, &scratch);
+      benchmark::DoNotOptimize(key);
+    }
+  }
+  state.counters["group"] = static_cast<double>(canon.group_size());
+  state.counters["prunes"] = static_cast<double>(scratch.prunes);
+  state.counters["fast_path"] = static_cast<double>(scratch.fast_path);
+  state.counters["configs_per_sec"] = benchmark::Counter(
+      static_cast<double>(configs.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(Canon_Pruned)
+    ->ArgName("n")
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void Canon_Cached(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto protocol = symmetric_dac(n);
+  const Canonicalizer canon(protocol, protocol->symmetry());
+  const auto configs = sample_configs(*protocol, kCorpus, 4 * n, 42);
+  CanonScratch scratch;
+  scratch.attach_cache(std::make_shared<CanonCache>(std::size_t{4} << 20));
+  scratch.cache()->ensure_universe(canon.universe_salt());
+  std::vector<std::int64_t> key;
+  std::vector<std::uint8_t> perm;
+  for (auto _ : state) {
+    for (const Config& config : configs) {
+      canon.canonical_encode_into(config, &key, &perm, &scratch);
+      benchmark::DoNotOptimize(key);
+    }
+  }
+  state.counters["group"] = static_cast<double>(canon.group_size());
+  state.counters["hit_rate"] =
+      scratch.cache_hits + scratch.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(scratch.cache_hits) /
+                static_cast<double>(scratch.cache_hits +
+                                    scratch.cache_misses);
+  state.counters["configs_per_sec"] = benchmark::Counter(
+      static_cast<double>(configs.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(Canon_Cached)
+    ->ArgName("n")
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include "obs/json.h"
 #include "protocols/consensus_from_nm_pac.h"
 #include "protocols/dac_from_nm_pac.h"
+#include "sim/symmetry.h"
 
 namespace lbsa::core {
 namespace {
@@ -34,13 +35,35 @@ std::vector<Value> dac_inputs(int n) {
   return inputs;
 }
 
+// One protocol instance of a sweep cell, pinned so its symmetry-reduced
+// base run and its cross-check re-run share the same precomputed
+// canonicalizer (group + orbit tables built once) and the row's orbit-cache
+// pool. Null canonicalizer == trivial symmetry group (the explorer then
+// ignores both fields).
+struct CellInstance {
+  std::shared_ptr<const sim::Protocol> protocol;
+  std::shared_ptr<const sim::Canonicalizer> canonicalizer;
+  std::shared_ptr<sim::CanonCachePool> pool;
+};
+
+std::shared_ptr<const sim::Canonicalizer> make_canonicalizer(
+    const std::shared_ptr<const sim::Protocol>& protocol) {
+  sim::SymmetrySpec spec = protocol->symmetry();
+  if (spec.trivial()) return nullptr;
+  return std::make_shared<const sim::Canonicalizer>(protocol,
+                                                    std::move(spec));
+}
+
 TaskCheckOptions make_check_options(const SweepOptions& options,
-                                    modelcheck::Reduction reduction) {
+                                    modelcheck::Reduction reduction,
+                                    const CellInstance& cell) {
   TaskCheckOptions check;
   check.explore.engine = options.engine;
   check.explore.threads = options.threads;
   check.explore.max_nodes = options.max_nodes;
   check.explore.reduction = reduction;
+  check.explore.canonicalizer = cell.canonicalizer;
+  check.explore.canon_cache_pool = cell.pool;
   return check;
 }
 
@@ -59,26 +82,42 @@ SweepCheck to_sweep_check(const TaskReport& report, int processes) {
   return check;
 }
 
-StatusOr<TaskReport> check_consensus_instance(int n, int m, int p,
-                                              const SweepOptions& options,
-                                              modelcheck::Reduction reduction) {
-  const std::vector<Value> inputs = distinct_inputs(p);
-  auto protocol =
+CellInstance make_consensus_instance(
+    int n, int m, const std::vector<Value>& inputs,
+    std::shared_ptr<sim::CanonCachePool> pool) {
+  CellInstance cell;
+  cell.protocol =
       std::make_shared<protocols::ConsensusFromNmPacProtocol>(n, m, inputs);
-  return modelcheck::check_consensus_task(std::move(protocol), inputs,
-                                          make_check_options(options,
-                                                             reduction));
+  cell.canonicalizer = make_canonicalizer(cell.protocol);
+  cell.pool = std::move(pool);
+  return cell;
 }
 
-StatusOr<TaskReport> check_dac_instance(int n, int m,
+CellInstance make_dac_instance(int m, const std::vector<Value>& inputs,
+                               std::shared_ptr<sim::CanonCachePool> pool) {
+  CellInstance cell;
+  cell.protocol = std::make_shared<protocols::DacFromNmPacProtocol>(
+      inputs, m, /*distinguished_pid=*/0);
+  cell.canonicalizer = make_canonicalizer(cell.protocol);
+  cell.pool = std::move(pool);
+  return cell;
+}
+
+StatusOr<TaskReport> check_consensus_instance(const CellInstance& cell,
+                                              const std::vector<Value>& inputs,
+                                              const SweepOptions& options,
+                                              modelcheck::Reduction reduction) {
+  return modelcheck::check_consensus_task(
+      cell.protocol, inputs, make_check_options(options, reduction, cell));
+}
+
+StatusOr<TaskReport> check_dac_instance(const CellInstance& cell,
+                                        const std::vector<Value>& inputs,
                                         const SweepOptions& options,
                                         modelcheck::Reduction reduction) {
-  const std::vector<Value> inputs = dac_inputs(n);
-  auto protocol = std::make_shared<protocols::DacFromNmPacProtocol>(
-      inputs, m, /*distinguished_pid=*/0);
-  return modelcheck::check_dac_task(std::move(protocol),
+  return modelcheck::check_dac_task(cell.protocol,
                                     /*distinguished_pid=*/0, inputs,
-                                    make_check_options(options, reduction));
+                                    make_check_options(options, reduction, cell));
 }
 
 // Re-runs `base_ok`'s instance under options.cross_check (if set) and
@@ -181,11 +220,19 @@ StatusOr<SweepRow> run_hierarchy_row(int n, int m,
   row.declared_level = entry.level;
   row.level_source = entry.level_source;
 
+  // One orbit-cache pool for the whole row: its caches are keyed by each
+  // instance's universe salt, so the p-sweep and the dac check reuse the
+  // same memory while never mixing entries across instances.
+  auto pool = std::make_shared<sim::CanonCachePool>(
+      modelcheck::ExploreOptions{}.canon_cache_bytes);
+
   // (a) m-consensus over the C port, for every process count p <= m.
   row.consensus_ok_all_p = true;
   for (int p = 1; p <= m; ++p) {
+    const std::vector<Value> inputs = distinct_inputs(p);
+    const CellInstance cell = make_consensus_instance(n, m, inputs, pool);
     StatusOr<TaskReport> report_or = check_consensus_instance(
-        n, m, p, options, modelcheck::Reduction::kSymmetry);
+        cell, inputs, options, modelcheck::Reduction::kSymmetry);
     if (!report_or.is_ok()) return report_or.status();
     const SweepCheck check = to_sweep_check(report_or.value(), p);
     row.consensus_ok_all_p = row.consensus_ok_all_p && check.ok;
@@ -194,21 +241,23 @@ StatusOr<SweepRow> run_hierarchy_row(int n, int m,
         options, check.ok,
         "consensus p=" + std::to_string(p) + " on " + row.object,
         [&](modelcheck::Reduction r) {
-          return check_consensus_instance(n, m, p, options, r);
+          return check_consensus_instance(cell, inputs, options, r);
         });
     if (!s.is_ok()) return s;
   }
 
   // (b) n-DAC over the PAC ports (Observation 5.1(b)).
-  StatusOr<TaskReport> dac_or =
-      check_dac_instance(n, m, options, modelcheck::Reduction::kSymmetry);
+  const std::vector<Value> inputs = dac_inputs(n);
+  const CellInstance dac_cell = make_dac_instance(m, inputs, pool);
+  StatusOr<TaskReport> dac_or = check_dac_instance(
+      dac_cell, inputs, options, modelcheck::Reduction::kSymmetry);
   if (!dac_or.is_ok()) return dac_or.status();
   row.dac = to_sweep_check(dac_or.value(), n);
-  Status s = cross_check_verdict(options, row.dac.ok,
-                                 "dac on " + row.object,
-                                 [&](modelcheck::Reduction r) {
-                                   return check_dac_instance(n, m, options, r);
-                                 });
+  Status s = cross_check_verdict(
+      options, row.dac.ok, "dac on " + row.object,
+      [&](modelcheck::Reduction r) {
+        return check_dac_instance(dac_cell, inputs, options, r);
+      });
   if (!s.is_ok()) return s;
 
   // (c) the machine-checked verdict equals the catalog's declared level.

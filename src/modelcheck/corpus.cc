@@ -182,6 +182,17 @@ const RegistryEntry kRegistry[] = {
            std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
            inputs, false);
      }},
+    {"dac5-sym",
+     "Algorithm 2: 5-DAC from one 5-PAC, equal inputs (orbit {q1..q4})",
+     [] {
+       const std::vector<Value> inputs{100, 100, 100, 100, 100};
+       return dac_task(
+           "dac5-sym",
+           "Algorithm 2: 5-DAC from one 5-PAC, equal inputs (orbit "
+           "{q1..q4})",
+           std::make_shared<protocols::DacFromPacProtocol>(inputs), 0,
+           inputs, false);
+     }},
     {"consensus4-sym",
      "consensus among 4 via one 4-consensus object, equal inputs (full S_4)",
      [] {

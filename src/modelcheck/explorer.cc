@@ -208,6 +208,37 @@ Status write_checkpoint(const ConfigGraph& graph,
       options.checkpoint_path);
 }
 
+// Attaches the run's per-worker orbit cache (if any) to `scratch`. The pool
+// hands out one single-threaded cache per worker index; caches are keyed by
+// the canonicalizer's universe salt, so a pool shared across hierarchy-sweep
+// cells self-invalidates when the protocol changes.
+void attach_canon_cache(const ExploreOptions& options,
+                        const sim::Canonicalizer* sym, std::size_t worker,
+                        sim::CanonScratch* scratch) {
+  if (sym == nullptr || options.canon_cache_pool == nullptr) return;
+  scratch->attach_cache(
+      options.canon_cache_pool->worker_cache(worker, sym->universe_salt()));
+}
+
+// Publishes the explore.canon.* counters as deltas since the last call (so
+// engines can drain at any quiescence cadence), then advances `seen`.
+// Volatile: hit/prune tallies depend on expansion interleaving and on cache
+// contents carried over from earlier runs sharing the pool.
+struct CanonSeen {
+  std::uint64_t hits = 0, misses = 0, prunes = 0, fast = 0;
+};
+void add_canon_metrics(const sim::CanonScratch& s, CanonSeen* seen) {
+  if (!obs::metrics_enabled()) return;
+  LBSA_OBS_COUNTER_ADD_V("explore.canon.cache_hits",
+                         s.cache_hits - seen->hits);
+  LBSA_OBS_COUNTER_ADD_V("explore.canon.cache_misses",
+                         s.cache_misses - seen->misses);
+  LBSA_OBS_COUNTER_ADD_V("explore.canon.prunes", s.prunes - seen->prunes);
+  LBSA_OBS_COUNTER_ADD_V("explore.canon.fast_path",
+                         s.fast_path - seen->fast);
+  *seen = CanonSeen{s.cache_hits, s.cache_misses, s.prunes, s.fast_path};
+}
+
 // ---------------------------------------------------------------------------
 // Serial reference engine. This is the semantic definition of the canonical
 // graph: node ids in BFS discovery order (frontier in id order; within a
@@ -229,11 +260,14 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
   // Reused scratch: the encoded key only lands in the map on insertion.
   std::vector<std::int64_t> key;
   std::vector<std::uint8_t> perm;
+  sim::CanonScratch canon_scratch;
+  attach_canon_cache(options, sym, /*worker=*/0, &canon_scratch);
+  CanonSeen canon_seen;
   auto intern = [&](sim::Config config, std::int64_t flag,
                     std::uint32_t parent, const sim::Step& step,
                     std::uint32_t depth) -> std::pair<std::uint32_t, bool> {
     if (sym != nullptr) {
-      sym->canonical_encode_into(config, &key, &perm);
+      sym->canonical_encode_into(config, &key, &perm, &canon_scratch);
       if (!perm.empty()) LBSA_OBS_COUNTER_ADD("explore.sym.renamed", 1);
     } else {
       config.encode_into(&key);
@@ -343,6 +377,7 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
       live.publish(graph.nodes_.size() - prefix_nodes,
                    graph.transition_count_ - prefix_transitions, depth,
                    frontier.size());
+      if (sym != nullptr) add_canon_metrics(canon_scratch, &canon_seen);
       const std::uint32_t session_levels = depth - start_depth;
       if (stop_reason(options, session_levels) != StopReason::kNone) {
         graph.interrupted_ = true;
@@ -439,6 +474,7 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
   live.publish(graph.nodes_.size() - prefix_nodes,
                graph.transition_count_ - prefix_transitions,
                graph.levels_completed_, graph.pending_frontier_.size());
+  if (sym != nullptr) add_canon_metrics(canon_scratch, &canon_seen);
   LBSA_CHECK(graph.nodes_.size() == graph.edges_.size() &&
              graph.nodes_.size() == graph.parents_.size());
   if (switched == nullptr || !*switched) record_graph_metrics(graph);
@@ -605,7 +641,8 @@ class Expander {
               *flag_fn_ ? (*flag_fn_)(item.flag, succ.step) : item.flag;
           Pending p;
           if (sym_ != nullptr) {
-            sym_->canonical_encode_into(succ.config, &sym_key_, &perm_);
+            sym_->canonical_encode_into(succ.config, &sym_key_, &perm_,
+                                        &canon_scratch_);
             if (!perm_.empty()) {
               ++rec.renamed;
               // Carry (and later expand) the representative, never the raw
@@ -690,6 +727,11 @@ class Expander {
 
   const BatchTable::Tally& tally() const { return tally_; }
 
+  // The worker's canonicalization scratch (cache attachment + tallies).
+  // Exposed so the engine can attach a per-worker cache after construction
+  // and drain the tallies into counters at its quiescence points.
+  sim::CanonScratch* canon_scratch() { return &canon_scratch_; }
+  const sim::CanonScratch& canon_scratch() const { return canon_scratch_; }
 
  private:
   struct Pending {
@@ -723,6 +765,7 @@ class Expander {
   // Per-chunk scratch for candidate keys; reset at every chunk.
   WordArena scratch_{1u << 14};
   BatchTable::Tally tally_;
+  sim::CanonScratch canon_scratch_;
   std::vector<sim::Successor> successors_;
   std::vector<std::int64_t> sym_key_;
   std::vector<std::uint8_t> perm_;
@@ -1128,6 +1171,8 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     workers.emplace_back(Expander(&protocol, &table, &flag_fn, sym, por,
                                   options.max_nodes, options.allow_truncation,
                                   &truncated));
+    attach_canon_cache(options, sym, static_cast<std::size_t>(t),
+                       workers.back().ex.canon_scratch());
   }
 
   std::atomic<std::size_t> cursor{0};
@@ -1142,6 +1187,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     obs::Progress::WorkerSlot* slot =
         live.on ? obs::Progress::global().worker(widx) : nullptr;
     std::uint64_t seen_cas_retries = 0;
+    CanonSeen canon_seen;
     while (true) {
       level_start.arrive_and_wait();
       if (done.load(std::memory_order_acquire)) return;
@@ -1172,6 +1218,11 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
         slot->cas_retries.fetch_add(cas_retries - seen_cas_retries,
                                     std::memory_order_relaxed);
         seen_cas_retries = cas_retries;
+      }
+      // Level boundary: drain canonicalization tallies so heartbeat
+      // snapshots see them move while the run is live.
+      if (sym != nullptr) {
+        add_canon_metrics(*w.ex.canon_scratch(), &canon_seen);
       }
       worker_span.arg("expanded", static_cast<std::int64_t>(expanded));
       level_end.arrive_and_wait();
@@ -1312,6 +1363,8 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
     workers.emplace_back(Expander(&protocol, &table, &flag_fn, sym, por,
                                   options.max_nodes, options.allow_truncation,
                                   &truncated));
+    attach_canon_cache(options, sym, static_cast<std::size_t>(t),
+                       workers.back().ex.canon_scratch());
   }
 
   struct WsQueue {
@@ -1343,6 +1396,7 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
         live.on ? obs::Progress::global().worker(widx) : nullptr;
     std::uint64_t seen_cas_retries = 0;
     std::uint64_t seen_edges = 0;
+    CanonSeen canon_seen;
     std::vector<WorkItem> chunk;
     auto emit = [&](WorkItem&& item) {
       if (item.depth >= depth_bound) return;  // discovered, never expanded
@@ -1403,6 +1457,11 @@ StatusOr<ConfigGraph> Explorer::explore_work_stealing(
       w.expanded += chunk.size();
       in_flight.fetch_sub(static_cast<std::int64_t>(chunk.size()),
                           std::memory_order_acq_rel);
+      // Chunk boundary: the engine's counter-drain cadence (it has no level
+      // barriers); the final chunk's drain publishes the run totals.
+      if (sym != nullptr) {
+        add_canon_metrics(*w.ex.canon_scratch(), &canon_seen);
+      }
       if (slot != nullptr) {
         // Work-chunk boundary: this engine's live-publication point. Nodes
         // go through raise() (concurrent absolute republications of
@@ -1638,8 +1697,18 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
             "via ExploreOptions::flag_fn_symmetric or drop to "
             "reduction=none/por");
       }
-      sym = std::make_shared<const sim::Canonicalizer>(protocol_,
-                                                       std::move(spec));
+      // Reuse a caller-built canonicalizer (the hierarchy sweep shares one
+      // per cell, with its precomputed group and orbit tables) only when it
+      // was built for this exact protocol instance — the contract on
+      // ExploreOptions::canonicalizer. Anything else falls back to a fresh
+      // build.
+      if (options.canonicalizer != nullptr &&
+          options.canonicalizer->protocol().get() == protocol_.get()) {
+        sym = options.canonicalizer;
+      } else {
+        sym = std::make_shared<const sim::Canonicalizer>(protocol_,
+                                                         std::move(spec));
+      }
       LBSA_OBS_GAUGE_MAX("explore.sym.group_size",
                          static_cast<std::int64_t>(sym->group_size()));
     }
@@ -1708,18 +1777,35 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
   LBSA_OBS_COUNTER_ADD("explore.runs", 1);
   LBSA_OBS_SPAN(run_span, "explore.run", obs::kCatTask, /*lane=*/0);
 
+  // Effective options for the engines: install a private orbit-cache pool
+  // when symmetry is on and the caller did not share one. The pool only
+  // accelerates canonical_encode_into — it never shapes the graph — so it
+  // deliberately stays outside the fingerprint. Small groups are exempt:
+  // below ~64 elements the pruned scan is already cheaper than hashing the
+  // raw encoding plus the hit-verify memcmp, so a cache is pure overhead
+  // (measured on dac5-sym, group 24). Callers that pass an explicit pool —
+  // the hierarchy sweep, the equivalence tests — are always honored.
+  constexpr std::size_t kCanonCacheMinGroup = 64;
+  ExploreOptions opts = options;
+  if (sym != nullptr && opts.canon_cache_pool == nullptr &&
+      opts.canon_cache_bytes > 0 &&
+      sym->group_size() >= kCanonCacheMinGroup) {
+    opts.canon_cache_pool =
+        std::make_shared<sim::CanonCachePool>(opts.canon_cache_bytes);
+  }
+
   ExploreEngine used = options.engine;
   bool auto_switched = false;
   StatusOr<ConfigGraph> result = [&]() -> StatusOr<ConfigGraph> {
-    switch (options.engine) {
+    switch (opts.engine) {
       case ExploreEngine::kSerial:
-        return explore_serial(options, flag_fn, initial_flag, sym.get(), por,
+        return explore_serial(opts, flag_fn, initial_flag, sym.get(), por,
                               fingerprint);
       case ExploreEngine::kParallel:
-        return explore_parallel(options, threads, flag_fn, initial_flag,
+        return explore_parallel(opts, threads, flag_fn, initial_flag,
                                 sym.get(), por, fingerprint);
       case ExploreEngine::kWorkStealing:
-        return explore_work_stealing(options, threads, flag_fn, initial_flag,
+        return explore_work_stealing(opts, threads, flag_fn, initial_flag,
                                      sym.get(), por, fingerprint);
       case ExploreEngine::kAuto:
         break;
@@ -1727,21 +1813,21 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
     // kAuto. One thread: nothing to hand off to.
     if (threads <= 1) {
       used = ExploreEngine::kSerial;
-      return explore_serial(options, flag_fn, initial_flag, sym.get(), por,
+      return explore_serial(opts, flag_fn, initial_flag, sym.get(), por,
                             fingerprint);
     }
     // Periodic checkpoint cadence is defined by level boundaries, which
     // only the level-synchronous engine has end to end.
-    if (options.checkpoint_every_levels > 0) {
+    if (opts.checkpoint_every_levels > 0) {
       used = ExploreEngine::kParallel;
-      return explore_parallel(options, threads, flag_fn, initial_flag,
+      return explore_parallel(opts, threads, flag_fn, initial_flag,
                               sym.get(), por, fingerprint);
     }
     // Serial probe: small graphs finish right here with zero parallel
     // overhead; big ones hand their canonical prefix to a parallel engine
     // through an in-memory checkpoint.
     bool switched = false;
-    auto probe = explore_serial(options, flag_fn, initial_flag, sym.get(),
+    auto probe = explore_serial(opts, flag_fn, initial_flag, sym.get(),
                                 por, fingerprint, kAutoSwitchNodes, &switched);
     if (!probe.is_ok() || !switched) {
       used = ExploreEngine::kSerial;
@@ -1756,7 +1842,9 @@ StatusOr<ConfigGraph> Explorer::explore(const ExploreOptions& options,
     const ExploreCheckpoint handoff = checkpoint_from_graph(
         prefix, prefix.pending_frontier(), prefix.levels_completed(),
         fingerprint, options, flag_fn != nullptr, initial_flag);
-    ExploreOptions cont = options;
+    // The continuation inherits `opts`, pool included: the probe warmed
+    // worker 0's cache and the parallel engine's worker 0 picks it up.
+    ExploreOptions cont = opts;
     cont.resume = &handoff;
     // stop_reason() fires before the switch check, so when max_levels is
     // set the probe stopped strictly short of it: remaining >= 1.

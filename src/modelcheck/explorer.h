@@ -127,6 +127,30 @@ struct ExploreOptions {
   // without this declaration.
   bool flag_fn_symmetric = false;
 
+  // --- canonicalization cache (symmetry reduction only) ---
+  // Per-worker byte budget for the lossy orbit cache that short-circuits
+  // repeated canonical searches (sim::CanonCache; docs/checking.md, "State-
+  // space reduction"). 0 disables caching. Hits are exact (full raw-key
+  // verify), so the cache changes only speed, never the produced graph —
+  // the engine-equivalence matrix runs with it on and off and asserts
+  // bit-identical results. Activity is published as the `explore.canon.*`
+  // counters.
+  std::size_t canon_cache_bytes = std::size_t{4} << 20;  // 4 MiB per worker
+  // Optional shared pool keeping per-worker caches warm across repeated
+  // explorations (the hierarchy sweep's per-cell checks and cross-checks
+  // set one per sweep). Null = a private pool per explore() call.
+  // Universe-fingerprint gating (CanonCache::ensure_universe) makes sharing
+  // across different protocols safe: a universe switch clears, a rerun of
+  // the same universe stays warm.
+  std::shared_ptr<sim::CanonCachePool> canon_cache_pool;
+  // Reuse a pre-built canonicalizer instead of constructing a fresh one
+  // (the hierarchy sweep re-checks the same instance under several modes,
+  // and the soundness gate + group enumeration are pure functions of the
+  // (protocol, spec) pair). Honored only if it was built for this exact
+  // protocol instance with the protocol's declared spec; anything else
+  // falls back to constructing.
+  std::shared_ptr<const sim::Canonicalizer> canonicalizer;
+
   // --- run lifecycle (docs/checking.md, "Long runs") ---
   // The serial and level-synchronous engines poll lifecycle conditions ONLY
   // at BFS level boundaries (every node of the previous depth expanded),

@@ -299,6 +299,16 @@ Status validate_bench_artifact_json(std::string_view json) {
             "bench schema: benchmark obs not one of heartbeat/disabled");
       }
     }
+    // Symmetry-cost rows: "sym_cost" (when present) names which side of the
+    // reduction-off/on wall-clock pair the row is.
+    if (const JsonValue* sym_cost = row.find("sym_cost");
+        sym_cost != nullptr) {
+      if (!sym_cost->is_string() || (sym_cost->string_value != "none" &&
+                                     sym_cost->string_value != "symmetry")) {
+        return invalid_argument(
+            "bench schema: benchmark sym_cost not one of none/symmetry");
+      }
+    }
     for (const char* field : {"nodes", "nodes_per_sec", "reduction_ratio",
                               "threads", "threads_available"}) {
       if (const JsonValue* v = row.find(field); v != nullptr) {

@@ -57,6 +57,7 @@ class OverclaimedNmPacType final : public spec::ObjectType {
   // stores pid-derived labels, the C-part only values.
   void rename_pids(std::span<const int> perm,
                    std::vector<std::int64_t>* state) const override;
+  bool renames_pids() const override { return true; }
   std::string state_to_string(std::span<const std::int64_t> state)
       const override;
 

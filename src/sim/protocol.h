@@ -67,13 +67,22 @@ class Protocol {
   // Rewrites pid-valued words inside a process's locals under the renaming
   // perm (perm[old_pid] = new_pid). The default assumes locals never store
   // pids; protocols whose locals do (labels, process names) must override so
-  // renaming commutes with the automaton. Only relevant with a non-trivial
+  // renaming commutes with the automaton — and must also override
+  // locals_store_pids() to return true. Only relevant with a non-trivial
   // symmetry().
   virtual void rename_locals(std::span<const int> perm,
                              std::vector<std::int64_t>* locals) const {
     (void)perm;
     (void)locals;
   }
+
+  // True iff rename_locals is a real rewrite (locals store pids). Paired
+  // with rename_locals: overriding one without the other breaks the
+  // canonical search, which skips per-permutation locals renaming — and
+  // disables its already-canonical fast path — only when this is false.
+  // The oracle cross-check in tests/sim/symmetry_test.cc catches a
+  // violated pairing for every tested protocol.
+  virtual bool locals_store_pids() const { return false; }
 };
 
 // Convenience base carrying the common plumbing (name, object list, count).

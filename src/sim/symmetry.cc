@@ -1,11 +1,13 @@
 #include "sim/symmetry.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "base/check.h"
 #include "sim/config.h"
 #include "sim/protocol.h"
+#include "spec/object_type.h"
 
 namespace lbsa::sim {
 namespace {
@@ -13,6 +15,12 @@ namespace {
 // Generous backstop against accidental factorial blow-ups (S_8 = 40320 fits;
 // nobody should canonicalize against a larger group element-by-element).
 constexpr std::uint64_t kMaxGroupSize = 100'000;
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  h = hash_combine(h, s.size());
+  for (char c : s) h = hash_combine(h, static_cast<unsigned char>(c));
+  return h;
+}
 
 }  // namespace
 
@@ -94,6 +102,27 @@ std::vector<std::vector<int>> symmetry_group(const SymmetrySpec& spec) {
     buckets[bucket].push_back(p);
   }
 
+  // Non-singleton orbit sizes, for the too-large diagnostic: the group
+  // order is the product of their factorials, so the message names exactly
+  // the numbers whose factorials blew the budget.
+  std::vector<std::size_t> orbit_sizes;
+  for (const std::vector<int>& bucket : buckets) {
+    if (bucket.size() >= 2) orbit_sizes.push_back(bucket.size());
+  }
+  auto too_large_message = [&orbit_sizes]() {
+    std::string msg = "symmetry group too large to enumerate: orbit sizes {";
+    for (std::size_t i = 0; i < orbit_sizes.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += std::to_string(orbit_sizes[i]);
+    }
+    msg += "} give more than " + std::to_string(kMaxGroupSize) +
+           " permutations (the group order is the product of the "
+           "orbit-size factorials); shrink the largest orbit by declaring "
+           "distinct keys or listing more pids as fixed in "
+           "SymmetrySpec::by_value";
+    return msg;
+  };
+
   // For each non-singleton orbit, enumerate all arrangements of its members
   // (std::next_permutation from the sorted arrangement, so the identity
   // arrangement comes first and the order is deterministic).
@@ -106,8 +135,9 @@ std::vector<std::vector<int>> symmetry_group(const SymmetrySpec& spec) {
     std::vector<int> arr = bucket;
     do {
       arrs.push_back(arr);
-      LBSA_CHECK_MSG(total * arrs.size() <= kMaxGroupSize,
-                     "symmetry group too large to enumerate");
+      if (total * arrs.size() > kMaxGroupSize) {
+        LBSA_CHECK_MSG(false, too_large_message().c_str());
+      }
     } while (std::next_permutation(arr.begin(), arr.end()));
     total *= arrs.size();
     members.push_back(bucket);
@@ -157,6 +187,121 @@ void apply_pid_permutation(const Protocol& protocol, std::span<const int> perm,
   }
 }
 
+// ---------------------------------------------------------------------------
+// CanonCache
+
+CanonCache::CanonCache(std::size_t bytes) {
+  constexpr std::size_t kMinBytes = std::size_t{1} << 12;  // 4 KiB floor
+  if (bytes < kMinBytes) bytes = kMinBytes;
+  // Slot headers take a small slice of the budget (~1/16th): zeroing them
+  // is the entire constructor cost — which sits on explore()'s critical
+  // path — and entries are hundreds of words each, so a few thousand slots
+  // already outnumber what the arena can hold. The rest is payload arena.
+  // The slot count rounds to a power of two so fp.lo masks straight in.
+  std::size_t slots = 64;
+  while (slots * 2 * sizeof(Slot) * 16 <= bytes) slots *= 2;
+  slots_.resize(slots);
+  std::size_t arena_words =
+      (bytes - slots * sizeof(Slot)) / sizeof(std::int64_t);
+  if (arena_words < 1024) arena_words = 1024;
+  arena_.reset(new std::int64_t[arena_words]);  // uninitialized on purpose
+  arena_capacity_ = arena_words;
+}
+
+void CanonCache::clear() {
+  for (Slot& s : slots_) s.used = false;
+  arena_used_ = 0;
+}
+
+void CanonCache::ensure_universe(std::uint64_t salt) {
+  if (salt == universe_salt_) return;
+  universe_salt_ = salt;
+  clear();
+}
+
+bool CanonCache::lookup(const Hash128& fp, std::span<const std::int64_t> raw,
+                        std::vector<std::int64_t>* out,
+                        std::vector<std::uint8_t>* perm) const {
+  const Slot& s = slots_[fp.lo & (slots_.size() - 1)];
+  if (!s.used || !(s.fp == fp)) return false;
+  if (s.raw_len != raw.size()) return false;
+  const std::int64_t* base = arena_.get() + s.offset;
+  // Fingerprint equality is probabilistic; the full raw-key verify makes
+  // the hit exact (same policy as the interning table, base/hashing.h).
+  if (!std::equal(raw.begin(), raw.end(), base)) return false;
+  // canon_len == 0 marks a shared entry: the raw words double as the
+  // canonical encoding (identity perm), stored once.
+  const std::int64_t* canon = base + s.raw_len;
+  if (s.canon_len == 0) {
+    out->assign(base, base + s.raw_len);
+  } else {
+    out->assign(canon, canon + s.canon_len);
+  }
+  if (perm != nullptr) {
+    perm->clear();
+    const std::int64_t* pw = canon + s.canon_len;
+    for (std::uint32_t i = 0; i < s.perm_len; ++i) {
+      perm->push_back(static_cast<std::uint8_t>(pw[i]));
+    }
+  }
+  return true;
+}
+
+void CanonCache::insert(const Hash128& fp, std::span<const std::int64_t> raw,
+                        std::span<const std::int64_t> canon,
+                        std::span<const std::uint8_t> perm) {
+  // Already-canonical entries (identity perm, canon == raw word-for-word)
+  // are the common case on reduced frontiers; store the words once and mark
+  // them shared with canon_len == 0. The equality check is a cheap memcmp
+  // next to the 2x copy + arena space it saves.
+  const bool shared = perm.empty() && canon.size() == raw.size() &&
+                      std::equal(raw.begin(), raw.end(), canon.begin());
+  const std::size_t need =
+      raw.size() + (shared ? 0 : canon.size()) + perm.size();
+  if (need > arena_capacity_) return;  // pathological config; skip caching
+  if (arena_used_ + need > arena_capacity_) {
+    // Epoch reset: dropping the whole (lossy) cache is cheaper and simpler
+    // than tracking per-slot liveness, and the hot entries repopulate from
+    // the very next frontier level.
+    clear();
+    ++epoch_resets_;
+  }
+  Slot& s = slots_[fp.lo & (slots_.size() - 1)];
+  std::int64_t* base = arena_.get() + arena_used_;
+  std::copy(raw.begin(), raw.end(), base);
+  if (!shared) std::copy(canon.begin(), canon.end(), base + raw.size());
+  std::int64_t* pw = base + raw.size() + (shared ? 0 : canon.size());
+  for (std::uint8_t p : perm) *pw++ = static_cast<std::int64_t>(p);
+  s.fp = fp;
+  s.offset = static_cast<std::uint32_t>(arena_used_);
+  s.raw_len = static_cast<std::uint32_t>(raw.size());
+  s.canon_len = shared ? 0 : static_cast<std::uint32_t>(canon.size());
+  s.perm_len = static_cast<std::uint32_t>(perm.size());
+  s.used = true;
+  arena_used_ += need;
+}
+
+CanonCachePool::CanonCachePool(std::size_t bytes_per_worker)
+    : bytes_per_worker_(bytes_per_worker) {}
+
+std::shared_ptr<CanonCache> CanonCachePool::worker_cache(std::size_t worker,
+                                                         std::uint64_t salt) {
+  std::shared_ptr<CanonCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (caches_.size() <= worker) caches_.resize(worker + 1);
+    if (caches_[worker] == nullptr) {
+      caches_[worker] = std::make_shared<CanonCache>(bytes_per_worker_);
+    }
+    cache = caches_[worker];
+  }
+  cache->ensure_universe(salt);
+  return cache;
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalizer
+
 Canonicalizer::Canonicalizer(std::shared_ptr<const Protocol> protocol,
                              SymmetrySpec spec)
     : protocol_(std::move(protocol)), spec_(std::move(spec)) {
@@ -164,12 +309,67 @@ Canonicalizer::Canonicalizer(std::shared_ptr<const Protocol> protocol,
   LBSA_CHECK_MSG(spec_.process_count() == protocol_->process_count(),
                  "SymmetrySpec size != protocol process count");
   group_ = symmetry_group(spec_);
+  const int n = spec_.process_count();
+  // Inverse permutations: group_inv_[g][slot] = the pid whose state lands
+  // in `slot` under group_[g] — the order a permuted encoding walks the
+  // original processes in, which is what the incremental search iterates.
+  group_inv_.resize(group_.size());
+  for (std::size_t g = 0; g < group_.size(); ++g) {
+    group_inv_[g].resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      group_inv_[g][static_cast<std::size_t>(group_[g][static_cast<std::size_t>(p)])] = p;
+    }
+  }
+  // Non-singleton orbits as ascending pid lists (already-canonical check).
+  std::vector<int> seen_ids;
+  std::vector<std::vector<int>> buckets;
+  for (int p = 0; p < n; ++p) {
+    const int id = spec_.orbit_of[static_cast<std::size_t>(p)];
+    std::size_t bucket = seen_ids.size();
+    for (std::size_t i = 0; i < seen_ids.size(); ++i) {
+      if (seen_ids[i] == id) {
+        bucket = i;
+        break;
+      }
+    }
+    if (bucket == seen_ids.size()) {
+      seen_ids.push_back(id);
+      buckets.emplace_back();
+    }
+    buckets[bucket].push_back(p);
+  }
+  for (std::vector<int>& bucket : buckets) {
+    if (bucket.size() >= 2) nontrivial_orbits_.push_back(std::move(bucket));
+  }
+  locals_pid_free_ = !protocol_->locals_store_pids();
+  const auto& types = protocol_->objects();
+  object_renames_pids_.reserve(types.size());
+  for (const auto& type : types) {
+    object_renames_pids_.push_back(type->renames_pids());
+  }
+  // Universe fingerprint for CanonCache sharing: protocol name, process
+  // count, orbit partition, and object shapes (type names + initial
+  // states). Two canonicalizers with equal salts canonicalize identically
+  // for every config either could meet, so a cache keyed on it never
+  // serves a stale entry across hierarchy-sweep cells.
+  std::uint64_t h = hash_string(0x5ca1ab1eULL, protocol_->name());
+  h = hash_combine(h, static_cast<std::uint64_t>(n));
+  for (int id : spec_.orbit_of) {
+    h = hash_combine(h, static_cast<std::uint64_t>(id));
+  }
+  h = hash_combine(h, types.size());
+  for (const auto& type : types) {
+    h = hash_string(h, type->name());
+    const std::vector<std::int64_t> init = type->initial_state();
+    h = hash_combine(h, init.size());
+    for (std::int64_t w : init) h = hash_combine(h, static_cast<std::uint64_t>(w));
+  }
+  universe_salt_ = h;
   // Soundness gate: the whole group must fix the initial configuration
   // (otherwise "renamed runs" would be runs of a different instance). The
   // group is generated by transpositions of adjacent orbit members, so
   // checking those suffices — and catches unequal initial locals eagerly.
   const Config initial = initial_config(*protocol_);
-  const int n = spec_.process_count();
   for (int p = 0; p < n; ++p) {
     for (int q = p + 1; q < n; ++q) {
       if (spec_.orbit_of[static_cast<std::size_t>(p)] !=
@@ -191,7 +391,297 @@ Canonicalizer::Canonicalizer(std::shared_ptr<const Protocol> protocol,
   }
 }
 
-void Canonicalizer::canonical_encode_into(
+int Canonicalizer::compare_permuted_(const Config& config, std::size_t g,
+                                     std::span<const std::int64_t> best,
+                                     bool best_is_identity,
+                                     CanonScratch* scratch) const {
+  const std::vector<int>& perm = group_[g];
+  const std::vector<int>& inv = group_inv_[g];
+  const std::int64_t* b = best.data();
+  // Word 0 (procs.size()) is renaming-invariant; start past it. The same
+  // holds for the objects.size() word below. Matching prefixes keep both
+  // walks structurally aligned: a length divergence in a process segment
+  // shows up at its nlocals word (position 3) and in an object segment at
+  // its size word, so every compare below reads `b` in bounds.
+  std::size_t pos = 1;
+  const std::size_t n = config.procs.size();
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const ProcessState& ps =
+        config.procs[static_cast<std::size_t>(inv[slot])];
+    if (best_is_identity && locals_pid_free_ &&
+        inv[slot] == static_cast<int>(slot)) {
+      // `best` is the identity encoding and this permutation does not move
+      // this slot, so (with pid-free locals) the permuted block here is
+      // word-for-word the block already in `best` — skip it. This is the
+      // common big win: a pinned distinguished process's (often largest)
+      // block is never re-compared against itself.
+      pos += 4 + ps.locals.size();
+      continue;
+    }
+    std::int64_t w = static_cast<std::int64_t>(ps.status);
+    if (w != b[pos]) return w < b[pos] ? -1 : 1;
+    ++pos;
+    if (ps.decision != b[pos]) return ps.decision < b[pos] ? -1 : 1;
+    ++pos;
+    if (ps.pc != b[pos]) return ps.pc < b[pos] ? -1 : 1;
+    ++pos;
+    std::span<const std::int64_t> locals = ps.locals;
+    if (!locals_pid_free_) {
+      scratch->loc_scratch_.assign(ps.locals.begin(), ps.locals.end());
+      protocol_->rename_locals(perm, &scratch->loc_scratch_);
+      locals = scratch->loc_scratch_;
+    }
+    w = static_cast<std::int64_t>(locals.size());
+    if (w != b[pos]) return w < b[pos] ? -1 : 1;
+    ++pos;
+    for (std::int64_t lw : locals) {
+      if (lw != b[pos]) return lw < b[pos] ? -1 : 1;
+      ++pos;
+    }
+  }
+  ++pos;  // objects.size(), renaming-invariant
+  const auto& types = protocol_->objects();
+  for (std::size_t i = 0; i < config.objects.size(); ++i) {
+    std::span<const std::int64_t> state = config.objects[i];
+    if (best_is_identity && !object_renames_pids_[i]) {
+      // Same skip as for unmoved process slots: a pid-free object's words
+      // are renaming-invariant, so against the identity encoding they
+      // compare equal by construction.
+      pos += 1 + state.size();
+      continue;
+    }
+    if (object_renames_pids_[i]) {
+      scratch->obj_scratch_.assign(state.begin(), state.end());
+      types[i]->rename_pids(perm, &scratch->obj_scratch_);
+      state = scratch->obj_scratch_;
+    }
+    std::int64_t w = static_cast<std::int64_t>(state.size());
+    if (w != b[pos]) return w < b[pos] ? -1 : 1;
+    ++pos;
+    for (std::int64_t sw : state) {
+      if (sw != b[pos]) return sw < b[pos] ? -1 : 1;
+      ++pos;
+    }
+  }
+  return 0;
+}
+
+void Canonicalizer::encode_permuted_(const Config& config, std::size_t g,
+                                     std::vector<std::int64_t>* out,
+                                     CanonScratch* scratch) const {
+  const std::vector<int>& perm = group_[g];
+  const std::vector<int>& inv = group_inv_[g];
+  out->clear();
+  out->reserve(config.encoded_size());
+  const std::size_t n = config.procs.size();
+  out->push_back(static_cast<std::int64_t>(n));
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const ProcessState& ps =
+        config.procs[static_cast<std::size_t>(inv[slot])];
+    out->push_back(static_cast<std::int64_t>(ps.status));
+    out->push_back(ps.decision);
+    out->push_back(ps.pc);
+    std::span<const std::int64_t> locals = ps.locals;
+    if (!locals_pid_free_) {
+      scratch->loc_scratch_.assign(ps.locals.begin(), ps.locals.end());
+      protocol_->rename_locals(perm, &scratch->loc_scratch_);
+      locals = scratch->loc_scratch_;
+    }
+    out->push_back(static_cast<std::int64_t>(locals.size()));
+    out->insert(out->end(), locals.begin(), locals.end());
+  }
+  out->push_back(static_cast<std::int64_t>(config.objects.size()));
+  const auto& types = protocol_->objects();
+  for (std::size_t i = 0; i < config.objects.size(); ++i) {
+    std::span<const std::int64_t> state = config.objects[i];
+    if (object_renames_pids_[i]) {
+      scratch->obj_scratch_.assign(state.begin(), state.end());
+      types[i]->rename_pids(perm, &scratch->obj_scratch_);
+      state = scratch->obj_scratch_;
+    }
+    out->push_back(static_cast<std::int64_t>(state.size()));
+    out->insert(out->end(), state.begin(), state.end());
+  }
+}
+
+namespace {
+
+// Three-way compare of two per-process encoding blocks in encoding order
+// (status, decision, pc, nlocals, locals...). Only meaningful when locals
+// are pid-free (no renaming can change either block's words).
+int proc_block_cmp(const ProcessState& a, const ProcessState& b) {
+  const std::int64_t sa = static_cast<std::int64_t>(a.status);
+  const std::int64_t sb = static_cast<std::int64_t>(b.status);
+  if (sa != sb) return sa < sb ? -1 : 1;
+  if (a.decision != b.decision) return a.decision < b.decision ? -1 : 1;
+  if (a.pc != b.pc) return a.pc < b.pc ? -1 : 1;
+  if (a.locals.size() != b.locals.size()) {
+    return a.locals.size() < b.locals.size() ? -1 : 1;
+  }
+  const auto mismatch =
+      std::mismatch(a.locals.begin(), a.locals.end(), b.locals.begin());
+  if (mismatch.first == a.locals.end()) return 0;
+  return *mismatch.first < *mismatch.second ? -1 : 1;
+}
+
+}  // namespace
+
+bool Canonicalizer::identity_minimal_(const Config& config) const {
+  // With pid-free locals, a permuted encoding first differs from the
+  // identity encoding at the first *moved* slot p, which (slots before it
+  // being fixed, renamings staying inside orbits) receives an orbit mate
+  // q > p. If per-process encodings are strictly increasing within every
+  // orbit, that difference is strictly greater — for every non-identity
+  // group element — so the identity encoding is the unique minimum.
+  // Strictness matters: equal orbit mates would push the tiebreak into the
+  // object words, which this check never looks at.
+  for (const std::vector<int>& orbit : nontrivial_orbits_) {
+    for (std::size_t j = 1; j < orbit.size(); ++j) {
+      const ProcessState& a =
+          config.procs[static_cast<std::size_t>(orbit[j - 1])];
+      const ProcessState& b =
+          config.procs[static_cast<std::size_t>(orbit[j])];
+      if (proc_block_cmp(a, b) >= 0) return false;  // equal is not strict
+    }
+  }
+  return true;
+}
+
+int Canonicalizer::compare_permuted_identity_(const Config& config,
+                                              std::size_t g,
+                                              CanonScratch* scratch) const {
+  const int n = spec_.process_count();
+  const std::vector<int>& inv = group_inv_[g];
+  // scratch->pair_cmp_ is reset to kUnknown once per canonicalization (see
+  // canonical_encode_into); entries are shared by all rivals of that call.
+  constexpr std::int8_t kUnknown = 2;
+  std::vector<std::int8_t>& memo = scratch->pair_cmp_;
+  for (int slot = 0; slot < n; ++slot) {
+    const int src = inv[static_cast<std::size_t>(slot)];
+    if (src == slot) continue;
+    const std::size_t idx =
+        static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(slot);
+    std::int8_t c = memo[idx];
+    if (c == kUnknown) {
+      c = static_cast<std::int8_t>(
+          proc_block_cmp(config.procs[static_cast<std::size_t>(src)],
+                         config.procs[static_cast<std::size_t>(slot)]));
+      memo[idx] = c;
+      const std::size_t rev =
+          static_cast<std::size_t>(slot) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(src);
+      memo[rev] = static_cast<std::int8_t>(-c);
+    }
+    if (c != 0) return c;
+  }
+  // Every moved slot's blocks tie, so the encodings agree through the whole
+  // process section (equal blocks ⇒ equal lengths ⇒ aligned positions) and
+  // the renaming objects decide. Pid-free objects are renaming-invariant
+  // and compare equal against the identity encoding by construction.
+  const std::vector<int>& perm = group_[g];
+  const auto& types = protocol_->objects();
+  for (std::size_t i = 0; i < config.objects.size(); ++i) {
+    if (!object_renames_pids_[i]) continue;
+    const std::vector<std::int64_t>& state = config.objects[i];
+    scratch->obj_scratch_.assign(state.begin(), state.end());
+    types[i]->rename_pids(perm, &scratch->obj_scratch_);
+    const std::vector<std::int64_t>& renamed = scratch->obj_scratch_;
+    // The encoding prefixes each object with its word count, so a length
+    // divergence decides at that size word.
+    if (renamed.size() != state.size()) {
+      return renamed.size() < state.size() ? -1 : 1;
+    }
+    const auto mismatch =
+        std::mismatch(renamed.begin(), renamed.end(), state.begin());
+    if (mismatch.first != renamed.end()) {
+      return *mismatch.first < *mismatch.second ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void Canonicalizer::canonical_encode_into(const Config& config,
+                                          std::vector<std::int64_t>* out,
+                                          std::vector<std::uint8_t>* perm,
+                                          CanonScratch* scratch) const {
+  if (group_.size() <= 1) {
+    config.encode_into(out);
+    if (perm != nullptr) perm->clear();
+    return;
+  }
+  CanonScratch local;
+  CanonScratch* s = scratch != nullptr ? scratch : &local;
+  // *out starts as the identity encoding and serves as the running best;
+  // the raw key is copied aside only when a cache needs it to outlive the
+  // search.
+  config.encode_into(out);
+  CanonCache* cache = s->cache();
+  Hash128 fp;
+  if (cache != nullptr) {
+    fp = hash_words_128(*out);
+    s->raw_ = *out;
+    if (cache->lookup(fp, s->raw_, out, perm)) {
+      ++s->cache_hits;
+      return;
+    }
+    ++s->cache_misses;
+  }
+  if (perm != nullptr) perm->clear();
+  if (locals_pid_free_ && identity_minimal_(config)) {
+    ++s->fast_path;
+    if (cache != nullptr) cache->insert(fp, s->raw_, *out, {});
+    return;
+  }
+  std::size_t best_g = 0;
+  if (locals_pid_free_) {
+    // Reset the pairwise proc-block memo for this canonicalization (2 marks
+    // "not yet compared"; compares yield -1/0/1).
+    const std::size_t n = static_cast<std::size_t>(spec_.process_count());
+    s->pair_cmp_.assign(n * n, 2);
+  }
+  for (std::size_t g = 1; g < group_.size(); ++g) {
+    const int cmp =
+        best_g == 0 && locals_pid_free_
+            ? compare_permuted_identity_(config, g, s)
+            : compare_permuted_(config, g, *out,
+                                /*best_is_identity=*/best_g == 0, s);
+    if (cmp > 0) {
+      ++s->prunes;
+    } else if (cmp < 0) {
+      // Rare: materialize the new best. Ties (cmp == 0) keep the earlier
+      // winner, preserving the brute-force first-group-element semantics.
+      encode_permuted_(config, g, out, s);
+      best_g = g;
+    }
+  }
+  std::vector<std::uint8_t> perm_local;
+  std::vector<std::uint8_t>* perm_out = perm;
+  if (best_g != 0) {
+    if (perm_out == nullptr) perm_out = &perm_local;
+    perm_out->assign(group_[best_g].begin(), group_[best_g].end());
+  }
+  if (cache != nullptr) {
+    cache->insert(fp, s->raw_, *out,
+                  best_g != 0 ? std::span<const std::uint8_t>(*perm_out)
+                              : std::span<const std::uint8_t>());
+  }
+}
+
+void Canonicalizer::canonicalize(Config* config,
+                                 std::vector<std::uint8_t>* perm,
+                                 CanonScratch* scratch) const {
+  std::vector<std::int64_t> best;
+  std::vector<std::uint8_t> best_perm;
+  canonical_encode_into(*config, &best, &best_perm, scratch);
+  if (!best_perm.empty()) {
+    std::vector<int> as_int(best_perm.begin(), best_perm.end());
+    apply_pid_permutation(*protocol_, as_int, config);
+  }
+  if (perm != nullptr) *perm = std::move(best_perm);
+}
+
+void Canonicalizer::brute_force_canonical_encode_into(
     const Config& config, std::vector<std::int64_t>* out,
     std::vector<std::uint8_t>* perm) const {
   config.encode_into(out);
@@ -212,33 +702,23 @@ void Canonicalizer::canonical_encode_into(
   }
 }
 
-void Canonicalizer::canonicalize(Config* config,
-                                 std::vector<std::uint8_t>* perm) const {
-  std::vector<std::int64_t> best;
-  std::vector<std::uint8_t> best_perm;
-  canonical_encode_into(*config, &best, &best_perm);
-  if (!best_perm.empty()) {
-    std::vector<int> as_int(best_perm.begin(), best_perm.end());
-    apply_pid_permutation(*protocol_, as_int, config);
-  }
-  if (perm != nullptr) *perm = std::move(best_perm);
-}
-
 std::uint64_t Canonicalizer::orbit_size(const Config& config) const {
   if (group_.size() <= 1) return 1;
-  std::vector<std::vector<std::int64_t>> images;
-  images.reserve(group_.size());
-  std::vector<std::int64_t> enc;
-  Config scratch;
-  for (const std::vector<int>& perm : group_) {
-    scratch = config;
-    apply_pid_permutation(*protocol_, perm, &scratch);
-    scratch.encode_into(&enc);
-    images.push_back(enc);
+  // Orbit–stabilizer: |orbit| = |G| / |Stab|, and the stabilizer members
+  // are exactly the group elements whose image encodes equal to the
+  // identity image — detected by the same early-exit comparator the
+  // canonical search uses (a non-member typically disagrees within a few
+  // words).
+  CanonScratch scratch;
+  config.encode_into(&scratch.raw_);
+  std::uint64_t stabilizer = 1;  // identity
+  for (std::size_t g = 1; g < group_.size(); ++g) {
+    if (compare_permuted_(config, g, scratch.raw_, /*best_is_identity=*/true,
+                          &scratch) == 0) {
+      ++stabilizer;
+    }
   }
-  std::sort(images.begin(), images.end());
-  return static_cast<std::uint64_t>(
-      std::unique(images.begin(), images.end()) - images.begin());
+  return group_.size() / stabilizer;
 }
 
 }  // namespace lbsa::sim

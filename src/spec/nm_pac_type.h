@@ -36,6 +36,7 @@ class NmPacType final : public ObjectType {
   // the n-PAC renamer.
   void rename_pids(std::span<const int> perm,
                    std::vector<std::int64_t>* state) const override;
+  bool renames_pids() const override { return true; }
   std::string state_to_string(std::span<const std::int64_t> state) const override;
 
   // State layout: P's state followed by C's state.

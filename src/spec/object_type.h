@@ -124,6 +124,14 @@ class ObjectType {
     (void)state;
   }
 
+  // True iff rename_pids is a real rewrite (the state stores pids). Paired
+  // with rename_pids: types overriding one must override the other. The
+  // canonical search compares pid-free object states in place (no copy, no
+  // virtual call per permutation) when this is false; the oracle
+  // cross-check in tests/sim/symmetry_test.cc catches a violated pairing
+  // for every tested type.
+  virtual bool renames_pids() const { return false; }
+
   // Diagnostics.
   virtual std::string operation_to_string(const Operation& op) const;
   virtual std::string state_to_string(

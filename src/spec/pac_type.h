@@ -43,6 +43,7 @@ class PacType final : public ObjectType {
   // protocols derive from pids (label = pid + 1 in Algorithm 2).
   void rename_pids(std::span<const int> perm,
                    std::vector<std::int64_t>* state) const override;
+  bool renames_pids() const override { return true; }
   std::string state_to_string(std::span<const std::int64_t> state) const override;
 
   // State layout: [upset, L, val, V[1], ..., V[n]] (labels are 1-based as in

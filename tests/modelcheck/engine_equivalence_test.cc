@@ -15,6 +15,7 @@
 #include "modelcheck/checkpoint.h"
 #include "modelcheck/corpus.h"
 #include "modelcheck/explorer.h"
+#include "sim/symmetry.h"
 
 namespace lbsa::modelcheck {
 namespace {
@@ -58,6 +59,16 @@ void expect_identical(const ConfigGraph& a, const ConfigGraph& b) {
 }
 
 TEST(EngineEquivalence, AllEnginesBitIdenticalAcrossReductionsAndThreads) {
+  // The orbit cache is declared a pure accelerator: the cache-off column is
+  // the reference and every cache-on run must reproduce it bit for bit.
+  // Cache-on runs pass an explicit pool — explore() only auto-creates one
+  // for groups of 64+, and these corpus tasks are all smaller, so relying
+  // on canon_cache_bytes alone would quietly test nothing.
+  auto fresh_pool = [] {
+    return std::make_shared<sim::CanonCachePool>(
+        ExploreOptions{}.canon_cache_bytes);
+  };
+  const bool kCacheModes[] = {false, true};
   for (const char* name : kTasks) {
     SCOPED_TRACE(name);
     const NamedTask task = get_task(name);
@@ -66,24 +77,55 @@ TEST(EngineEquivalence, AllEnginesBitIdenticalAcrossReductionsAndThreads) {
       ExploreOptions base;
       base.reduction = reduction;
       base.engine = ExploreEngine::kSerial;
+      base.canon_cache_bytes = 0;  // uncached serial reference
       const ConfigGraph serial = explore_or_die(task, base);
       EXPECT_EQ(serial.engine_used(), ExploreEngine::kSerial);
+      ExploreOptions cached = base;
+      cached.canon_cache_bytes = ExploreOptions{}.canon_cache_bytes;
+      cached.canon_cache_pool = fresh_pool();
+      expect_identical(serial, explore_or_die(task, cached));
       for (ExploreEngine engine :
            {ExploreEngine::kParallel, ExploreEngine::kWorkStealing}) {
         for (int threads : {1, 2, 8}) {
-          SCOPED_TRACE(std::string(engine_name(engine)) + " t" +
-                       std::to_string(threads));
-          ExploreOptions opts;
-          opts.reduction = reduction;
-          opts.engine = engine;
-          opts.threads = threads;
-          const ConfigGraph graph = explore_or_die(task, opts);
-          EXPECT_EQ(graph.engine_used(), engine);
-          EXPECT_FALSE(graph.auto_switched());
-          expect_identical(serial, graph);
+          for (bool use_cache : kCacheModes) {
+            SCOPED_TRACE(std::string(engine_name(engine)) + " t" +
+                         std::to_string(threads) +
+                         (use_cache ? " cache" : " nocache"));
+            ExploreOptions opts;
+            opts.reduction = reduction;
+            opts.engine = engine;
+            opts.threads = threads;
+            if (use_cache) opts.canon_cache_pool = fresh_pool();
+            const ConfigGraph graph = explore_or_die(task, opts);
+            EXPECT_EQ(graph.engine_used(), engine);
+            EXPECT_FALSE(graph.auto_switched());
+            expect_identical(serial, graph);
+          }
         }
       }
     }
+  }
+}
+
+TEST(EngineEquivalence, SharedWarmCachePoolKeepsGraphsIdentical) {
+  // The hierarchy-sweep pattern: one pool reused across runs, so later
+  // runs answer mostly from a warm cache — and must still reproduce the
+  // uncached reference exactly, serial and parallel alike.
+  const NamedTask task = get_task("dac4-sym");
+  ExploreOptions base;
+  base.reduction = Reduction::kSymmetry;
+  base.engine = ExploreEngine::kSerial;
+  base.canon_cache_bytes = 0;
+  const ConfigGraph reference = explore_or_die(task, base);
+  auto pool = std::make_shared<sim::CanonCachePool>(std::size_t{1} << 20);
+  for (int run = 0; run < 3; ++run) {
+    SCOPED_TRACE(run);
+    ExploreOptions opts;
+    opts.reduction = Reduction::kSymmetry;
+    opts.engine = run == 2 ? ExploreEngine::kParallel : ExploreEngine::kSerial;
+    opts.threads = run == 2 ? 4 : 1;
+    opts.canon_cache_pool = pool;
+    expect_identical(reference, explore_or_die(task, opts));
   }
 }
 

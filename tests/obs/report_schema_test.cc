@@ -241,5 +241,29 @@ TEST(BenchArtifactSchema, ChecksReductionSweepRows) {
                    .is_ok());
 }
 
+TEST(BenchArtifactSchema, ChecksSymCostRows) {
+  // The symmetry-cost pair's row shape (tools/run_report.sh): serial
+  // wall-clock with reduction off vs on, tagged by which side the row is.
+  const Status good = validate_bench_artifact_json(
+      "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+      "{\"task\":\"dac5-sym\",\"sym_cost\":\"none\",\"threads\":1,"
+      "\"nodes\":19221,\"nodes_per_sec\":250000},"
+      "{\"task\":\"dac5-sym\",\"sym_cost\":\"symmetry\",\"threads\":1,"
+      "\"nodes\":1513,\"nodes_per_sec\":190000}],"
+      "\"run_reports\":{}}");
+  EXPECT_TRUE(good.is_ok()) << good.to_string();
+  // sym_cost only names the two sides of the pair.
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+                   "{\"task\":\"dac5\",\"sym_cost\":\"por\"}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+  EXPECT_FALSE(validate_bench_artifact_json(
+                   "{\"lbsa_bench_schema\":1,\"benchmarks\":["
+                   "{\"task\":\"dac5\",\"sym_cost\":1}],"
+                   "\"run_reports\":{}}")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace lbsa::obs

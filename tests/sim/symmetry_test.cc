@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/hashing.h"
 #include "base/rng.h"
 #include "protocols/consensus_from_nm_pac.h"
 #include "protocols/dac_from_nm_pac.h"
@@ -267,6 +268,128 @@ TEST(Symmetry, NmPacRenamePadsShortPermutations) {
     expected = type.apply_unique(expected, op).next_state;
   }
   EXPECT_EQ(renamed, expected);
+}
+
+// --- Pruned / cached canonical search vs the brute-force oracle ----------
+
+// The production path (branch-and-bound, fast path, orbit cache) must match
+// the retained brute-force reference bit for bit — key AND discovery perm.
+// This is also the pairing-contract net for locals_store_pids /
+// renames_pids: a type that rewrites pids while claiming it doesn't would
+// make the pruned comparator diverge from the oracle here.
+TEST(Canonicalizer, PrunedAndCachedSearchMatchesBruteForceOracle) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    CanonScratch scratch;
+    scratch.attach_cache(std::make_shared<CanonCache>(std::size_t{1} << 16));
+    Xoshiro256 rng(2026);
+    std::vector<std::int64_t> pruned, oracle;
+    std::vector<std::uint8_t> pruned_perm, oracle_perm;
+    for (int trial = 0; trial < 150; ++trial) {
+      const Config config = random_reachable_config(*c.protocol, 20, &rng);
+      canon.brute_force_canonical_encode_into(config, &oracle, &oracle_perm);
+      canon.canonical_encode_into(config, &pruned, &pruned_perm, &scratch);
+      ASSERT_EQ(pruned, oracle);
+      ASSERT_EQ(pruned_perm, oracle_perm);
+      // Ask again: the second query answers from the cache and must agree.
+      canon.canonical_encode_into(config, &pruned, &pruned_perm, &scratch);
+      ASSERT_EQ(pruned, oracle);
+      ASSERT_EQ(pruned_perm, oracle_perm);
+    }
+    EXPECT_GT(scratch.cache_hits, 0u);
+    EXPECT_GT(scratch.cache_misses, 0u);
+  }
+}
+
+TEST(Canonicalizer, IdempotentWithCacheEnabled) {
+  for (const CanonCase& c : canon_cases()) {
+    SCOPED_TRACE(c.name);
+    const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+    CanonScratch scratch;
+    scratch.attach_cache(std::make_shared<CanonCache>(std::size_t{1} << 16));
+    Xoshiro256 rng(9);
+    std::vector<std::int64_t> once, twice;
+    std::vector<std::uint8_t> perm;
+    for (int trial = 0; trial < 80; ++trial) {
+      const Config config = random_reachable_config(*c.protocol, 20, &rng);
+      canon.canonical_encode_into(config, &once, &perm, &scratch);
+      Config rep = config;
+      canon.canonicalize(&rep, &perm, &scratch);
+      // canon(canon(x)) == canon(x), with the cache live on both queries.
+      canon.canonical_encode_into(rep, &twice, &perm, &scratch);
+      EXPECT_EQ(twice, once);
+      EXPECT_TRUE(perm.empty()) << "representative got renamed again";
+    }
+  }
+}
+
+// A cache far too small for the working set epoch-resets instead of
+// evicting; correctness must be untouched (it is lossy, never wrong).
+TEST(Canonicalizer, TinyCacheEpochResetsStayCorrect) {
+  const CanonCase c = canon_cases().front();
+  const Canonicalizer canon(c.protocol, c.protocol->symmetry());
+  CanonScratch scratch;
+  // Below the clamp floor: the smallest cache the class will build.
+  auto cache = std::make_shared<CanonCache>(1);
+  scratch.attach_cache(cache);
+  Xoshiro256 rng(17);
+  std::vector<std::int64_t> got, oracle;
+  std::vector<std::uint8_t> got_perm, oracle_perm;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Config config = random_reachable_config(*c.protocol, 25, &rng);
+    canon.canonical_encode_into(config, &got, &got_perm, &scratch);
+    canon.brute_force_canonical_encode_into(config, &oracle, &oracle_perm);
+    ASSERT_EQ(got, oracle);
+    ASSERT_EQ(got_perm, oracle_perm);
+  }
+}
+
+TEST(CanonCache, ExactKeyVerifyAndUniverseInvalidation) {
+  CanonCache cache(std::size_t{1} << 14);
+  cache.ensure_universe(1);
+  const std::vector<std::int64_t> raw{4, 1, 2, 3};
+  const std::vector<std::int64_t> canonical{4, 1, 1, 9};
+  const std::vector<std::uint8_t> perm{0, 2, 1};
+  const Hash128 fp = hash_words_128(raw);
+  std::vector<std::int64_t> out;
+  std::vector<std::uint8_t> perm_out;
+  EXPECT_FALSE(cache.lookup(fp, raw, &out, &perm_out));
+  cache.insert(fp, raw, canonical, perm);
+  ASSERT_TRUE(cache.lookup(fp, raw, &out, &perm_out));
+  EXPECT_EQ(out, canonical);
+  EXPECT_EQ(perm_out, perm);
+  // Hits verify the full raw key, not just the fingerprint: a different
+  // raw with a forged matching fingerprint must miss.
+  const std::vector<std::int64_t> other{4, 1, 2, 7};
+  EXPECT_FALSE(cache.lookup(fp, other, &out, &perm_out));
+  // A universe change drops the entries for good.
+  cache.ensure_universe(2);
+  EXPECT_FALSE(cache.lookup(fp, raw, &out, &perm_out));
+  cache.ensure_universe(2);  // same salt again: still empty, no flapping
+  EXPECT_FALSE(cache.lookup(fp, raw, &out, &perm_out));
+}
+
+TEST(CanonCachePool, OneCachePerWorkerKeptAcrossCalls) {
+  CanonCachePool pool(std::size_t{1} << 14);
+  const auto w0 = pool.worker_cache(0, /*salt=*/5);
+  const auto w1 = pool.worker_cache(1, /*salt=*/5);
+  EXPECT_NE(w0, nullptr);
+  EXPECT_NE(w0, w1);
+  // Same worker, same salt: the same warm cache comes back.
+  EXPECT_EQ(pool.worker_cache(0, /*salt=*/5), w0);
+}
+
+using SymmetryGroupDeathTest = ::testing::Test;
+
+TEST(SymmetryGroupDeathTest, TooLargeGroupNamesOrbitSizesAndByValueFix) {
+  // Two orbits of six (720 * 720 arrangements) blow the enumeration cap;
+  // the abort message must name the orbit sizes and point at by_value.
+  std::vector<Value> inputs(12, 100);
+  for (int i = 6; i < 12; ++i) inputs[static_cast<std::size_t>(i)] = 200;
+  const SymmetrySpec spec = SymmetrySpec::by_value(inputs, {});
+  EXPECT_DEATH(symmetry_group(spec),
+               "orbit sizes \\{6, 6\\}.*SymmetrySpec::by_value");
 }
 
 TEST(Symmetry, DistinctInputsDeclareTrivialGroups) {

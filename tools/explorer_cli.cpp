@@ -6,6 +6,7 @@
 //                  [--engine auto|serial|parallel|workstealing]
 //                  [--max-nodes N] [--allow-truncation]
 //                  [--reduction none|symmetry|por|both]
+//                  [--canon-cache-bytes N]
 //                  [--deadline-s S] [--max-levels N]
 //                  [--checkpoint PATH] [--checkpoint-every N]
 //                  [--resume PATH]
@@ -58,6 +59,7 @@ int usage() {
       "                    [--engine auto|serial|parallel|workstealing]\n"
       "                    [--max-nodes N] [--allow-truncation]\n"
       "                    [--reduction none|symmetry|por|both]\n"
+      "                    [--canon-cache-bytes N]\n"
       "                    [--deadline-s S] [--max-levels N]\n"
       "                    [--checkpoint PATH] [--checkpoint-every N]\n"
       "                    [--resume PATH]\n"
@@ -148,6 +150,9 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--max-levels")) {
       options.max_levels = static_cast<std::uint32_t>(
           std::strtoul(next_arg("--max-levels"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--canon-cache-bytes")) {
+      options.canon_cache_bytes =
+          std::strtoull(next_arg("--canon-cache-bytes"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--checkpoint")) {
       options.checkpoint_path = next_arg("--checkpoint");
     } else if (!std::strcmp(argv[i], "--checkpoint-every")) {

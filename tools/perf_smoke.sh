@@ -20,10 +20,21 @@
 # sampler reads relaxed atomics the engines publish at quiescence points,
 # so the expected cost is well under a percent; 2% leaves room for noise.
 #
+# A third gate asserts that symmetry reduction pays at wall-clock: the same
+# task explored serially with --reduction symmetry must finish strictly
+# faster than with --reduction none (docs/checking.md, "State-space
+# reduction"). Serial and single-threaded on both sides, so this gate runs
+# on single-core hosts too. It protects the pruned canonical search and
+# orbit cache from regressing back to "reduction costs more than it saves".
+#
 # Usage: tools/perf_smoke.sh [build-dir]
 #   MIN_RATIO             parallel gate threshold (default 1.0)
 #   PERF_TASK             task to run (default dac5)
 #   MAX_OBS_OVERHEAD_PCT  heartbeat overhead gate (default 2)
+#   SYM_TASK              symmetry-pays gate task (default dac5-sym; must
+#                         have a nontrivial symmetry group — plain dac5 has
+#                         distinct inputs, so its group is trivial and
+#                         reduction=symmetry is pure overhead there)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -79,28 +90,37 @@ MAX_OBS_OVERHEAD_PCT="${MAX_OBS_OVERHEAD_PCT:-2}"
 HB_TMP="$(mktemp -d)"
 trap 'rm -rf "$HB_TMP"' EXIT INT TERM
 
-# best_rate_obs MODE -> best nodes/sec of 3 timed runs (1 warmup), with the
-# heartbeat sampler attached (mode=heartbeat, fresh stream per run) or the
-# runtime kill switch set (mode=disabled).
-best_rate_obs() {
-  local mode="$1" best=0 rate run
-  for run in 0 1 2 3; do
-    if [[ "$mode" == heartbeat ]]; then
-      rate="$("$EXPLORER" "$PERF_TASK" --threads 4 \
-                  --heartbeat-out "$HB_TMP/$mode-$run.jsonl" \
-                  --heartbeat-every 1 \
-              | sed -nE 's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p')"
-    else
-      rate="$(LBSA_OBS_DISABLED=1 "$EXPLORER" "$PERF_TASK" --threads 4 \
-              | sed -nE 's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p')"
-    fi
-    if [[ $run -gt 0 ]] && (( rate > best )); then best="$rate"; fi
-  done
-  echo "$best"
+# rate_obs MODE RUN -> nodes/sec of one run, with the heartbeat sampler
+# attached (mode=heartbeat, fresh stream per run) or the runtime kill
+# switch set (mode=disabled).
+rate_obs() {
+  local mode="$1" run="$2"
+  if [[ "$mode" == heartbeat ]]; then
+    "$EXPLORER" "$PERF_TASK" --threads 4 \
+        --heartbeat-out "$HB_TMP/$mode-$run.jsonl" \
+        --heartbeat-every 1 \
+      | sed -nE 's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p'
+  else
+    LBSA_OBS_DISABLED=1 "$EXPLORER" "$PERF_TASK" --threads 4 \
+      | sed -nE 's/^ *elapsed [0-9.]+ s, ([0-9]+) nodes\/s$/\1/p'
+  fi
 }
 
-HB_RATE="$(best_rate_obs heartbeat)"
-OFF_RATE="$(best_rate_obs disabled)"
+# Best-of-3 per mode after one warmup each, with the two modes interleaved
+# within each round: loaded CI hosts drift through fast and slow windows
+# lasting longer than a whole batch, so back-to-back batches of one mode
+# each can land in different windows and report phantom overhead. Pairing
+# the modes per round keeps both sides in the same window.
+rate_obs heartbeat 0 > /dev/null
+rate_obs disabled 0 > /dev/null
+HB_RATE=0
+OFF_RATE=0
+for run in 1 2 3; do
+  r="$(rate_obs heartbeat "$run")"
+  if (( r > HB_RATE )); then HB_RATE="$r"; fi
+  r="$(rate_obs disabled "$run")"
+  if (( r > OFF_RATE )); then OFF_RATE="$r"; fi
+done
 OVERHEAD="$(awk -v h="$HB_RATE" -v o="$OFF_RATE" \
                 'BEGIN { printf("%.2f", (o > 0) ? (o - h) * 100.0 / o : 0) }')"
 echo "obs overhead ($PERF_TASK): heartbeat=$HB_RATE disabled=$OFF_RATE" \
@@ -112,3 +132,36 @@ if awk -v x="$OVERHEAD" -v m="$MAX_OBS_OVERHEAD_PCT" \
   exit 1
 fi
 echo "ok: heartbeat overhead <= ${MAX_OBS_OVERHEAD_PCT}%"
+
+# --- symmetry-pays gate -----------------------------------------------------
+SYM_TASK="${SYM_TASK:-dac5-sym}"
+
+# best_elapsed REDUCTION -> smallest elapsed seconds of 3 timed runs
+# (1 warmup), serial engine, one thread. The gate is on wall-clock, not
+# nodes/sec: the two reductions explore different numbers of nodes, so only
+# elapsed time compares them fairly.
+best_elapsed() {
+  local reduction="$1" best="" t
+  "$EXPLORER" "$SYM_TASK" --engine serial --threads 1 \
+      --reduction "$reduction" > /dev/null
+  for _ in 1 2 3; do
+    t="$("$EXPLORER" "$SYM_TASK" --engine serial --threads 1 \
+             --reduction "$reduction" \
+         | sed -nE 's/^ *elapsed ([0-9.]+) s, [0-9]+ nodes\/s$/\1/p')"
+    if [[ -z "$best" ]] || awk -v t="$t" -v b="$best" \
+           'BEGIN { exit !(t < b) }'; then
+      best="$t"
+    fi
+  done
+  echo "$best"
+}
+
+NONE_S="$(best_elapsed none)"
+SYM_S="$(best_elapsed symmetry)"
+echo "sym cost ($SYM_TASK, serial t1): none=${NONE_S}s symmetry=${SYM_S}s"
+if awk -v s="$SYM_S" -v n="$NONE_S" 'BEGIN { exit !(s >= n) }'; then
+  echo "error: reduction=symmetry (${SYM_S}s) is not faster than" \
+       "reduction=none (${NONE_S}s)" >&2
+  exit 1
+fi
+echo "ok: symmetry reduction beats reduction=none on wall-clock"

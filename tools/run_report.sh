@@ -68,7 +68,7 @@ done
 TASKS=(dac3 strawdac3 mutant-dac-no-adopt3)
 THREADS=(1 2 8)
 # Symmetric tasks for the reduction sweep (declared non-trivial symmetry).
-SYM_TASKS=(dac3-sym dac4-sym)
+SYM_TASKS=(dac3-sym dac4-sym dac5-sym)
 REDUCTIONS=(none symmetry por both)
 # Engine sweep: tasks big enough for parallel exploration to amortize its
 # setup, on the engines x reductions the speedup claims are made for.
@@ -174,6 +174,18 @@ run_explorer() {
       done
     done
   done
+  # Symmetry-cost pair (tools/perf_smoke.sh gates the same comparison): the
+  # bench-sized symmetric task explored serially with reduction off and on —
+  # same host, same engine, one thread. The honest wall-clock question for
+  # the reduction: does canonicalization pay for the nodes it removes?
+  # Wall-clock per row is nodes / nodes_per_sec, so the pair also records
+  # whether symmetry finished strictly faster.
+  SYM_COST_TASK="${SYM_COST_TASK:-dac5-sym}"
+  for red in none symmetry; do
+    run_explorer "$SYM_COST_TASK" 1 "$red" serial "$TMP/symcost-$red.json"
+    printf ',{"task":"%s","sym_cost":"%s","threads":1' "$SYM_COST_TASK" "$red"
+    printf ',"nodes":%s,"nodes_per_sec":%s}' "$NODES" "$NODES_PER_SEC"
+  done
   # Obs-overhead pair: dac5 with a live 1s heartbeat vs the kill switch.
   # Each timed run streams to a fresh file (appending across runs would mix
   # unrelated sessions); the last stream is schema-checked so the row also
@@ -235,6 +247,10 @@ run_explorer() {
         tr -d '\n' < "$TMP/$task-$engine-t$t-$red.json"
       done
     done
+  done
+  for red in none symmetry; do
+    printf ',"explorer_cli:%s:symcost:%s":' "$SYM_COST_TASK" "$red"
+    tr -d '\n' < "$TMP/symcost-$red.json"
   done
   printf '}'
   if [[ $WITH_BENCH == 1 ]]; then
