@@ -1,11 +1,12 @@
 // Cooperative cancellation and deadlines for long-running checks.
 //
-// Both exploration engines and both fuzz engines poll a CancelToken at
-// their natural quiescent points (BFS level boundaries, fuzz run
-// boundaries), so a tripped token stops the run with everything completed
-// so far still valid — the partial graph keeps the bit-identical canonical
-// prefix guarantee and the partial fuzz report aggregates a deterministic
-// run prefix. The token is safe to trip from a signal handler (a lock-free
+// The exploration engines poll a CancelToken inside every per-worker
+// expansion chunk (kChunk items) and the fuzz engines at run boundaries;
+// on a trip the exploration engines roll back to the last completed BFS
+// level, so the run stops promptly even mid-way through a wide level while
+// everything kept is still valid — the partial graph keeps the
+// bit-identical canonical prefix guarantee and the partial fuzz report
+// aggregates a deterministic run prefix. The token is safe to trip from a signal handler (a lock-free
 // atomic store), which is exactly how the CLIs wire Ctrl-C to a clean
 // "interrupted, resumable" exit.
 #ifndef LBSA_MODELCHECK_CANCEL_H_

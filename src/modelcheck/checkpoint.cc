@@ -1,5 +1,8 @@
 #include "modelcheck/checkpoint.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -198,7 +201,13 @@ class WordReader {
 // Writes [magic, version, payload count, payload hash, payload] to a
 // same-directory temp file, then renames over `path`. rename(2) is atomic
 // on POSIX, so readers only ever see a complete old file or a complete new
-// one — an interrupted write leaves at worst a stray ".tmp".
+// one — an interrupted write leaves at worst a stray temp file.
+//
+// The temp name carries a pid + per-process-counter suffix: two writers
+// staging the same `path` concurrently (two server requests sharing a
+// checkpoint path, or two CLI runs) each stage a private file, so neither
+// can truncate or rename the other's half-written bytes — the last rename
+// wins with a complete file either way.
 Status write_words_atomic(std::uint64_t magic,
                           const std::vector<std::int64_t>& payload,
                           const std::string& path) {
@@ -210,7 +219,11 @@ Status write_words_atomic(std::uint64_t magic,
   file.push_back(as_word(hash_words(payload)));
   file.insert(file.end(), payload.begin(), payload.end());
 
-  const std::string tmp = path + ".tmp";
+  static std::atomic<std::uint64_t> stage_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
+      "." + std::to_string(stage_counter.fetch_add(1,
+                                                   std::memory_order_relaxed));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return internal_error("cannot open checkpoint temp file: " + tmp);

@@ -121,6 +121,15 @@ struct LiveProgress {
   }
 };
 
+// Frontier items claimed per grab/steal in the parallel engines. Sized so
+// a chunk's successors (a handful per item) form per-shard intern batches
+// big enough to amortize the shared-lock round per shard across several
+// keys. Doubles as the mid-level lifecycle polling cadence in all three
+// engines: every kChunk expansions each engine re-checks cancel/deadline,
+// so one huge level (the dac5/dac6 tails) cannot blow past a request
+// deadline by more than a bounded amount of work.
+constexpr std::size_t kChunk = 64;
+
 // Why a run stopped at a level boundary, if it should.
 enum class StopReason { kNone, kCancelled, kDeadline, kMaxLevels };
 
@@ -363,6 +372,33 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
   };
   open_level_span(start_depth);
 
+  // Mid-level lifecycle polling: when a cancel token or deadline is armed,
+  // the pop loop below re-checks it every kChunk pops and, on a trip, rolls
+  // the graph back to the last level-boundary snapshot — so the interrupted
+  // result is still an exact level prefix (the only state a checkpoint can
+  // represent) but one huge level can no longer blow past a deadline.
+  // The snapshot is the frontier ids plus three scalars, refreshed once per
+  // level, and taken only while armed.
+  const bool lifecycle_armed =
+      options.cancel != nullptr || options.deadline != Deadline{};
+  struct LevelSnapshot {
+    std::vector<std::uint32_t> frontier;
+    std::size_t nodes = 0;
+    std::uint64_t transitions = 0;
+    bool truncated = false;
+    std::uint32_t depth = 0;
+  };
+  LevelSnapshot snap;
+  auto take_snapshot = [&](std::uint32_t d) {
+    if (!lifecycle_armed) return;
+    snap.frontier.assign(frontier.begin(), frontier.end());
+    snap.nodes = graph.nodes_.size();
+    snap.transitions = graph.transition_count_;
+    snap.truncated = graph.truncated_;
+    snap.depth = d;
+  };
+  take_snapshot(start_depth);
+
   std::vector<sim::Successor> successors;
   while (!frontier.empty()) {
     const std::uint32_t id = frontier.front();
@@ -413,14 +449,45 @@ StatusOr<ConfigGraph> Explorer::explore_serial(
         if (!written.is_ok()) return written;
       }
       open_level_span(depth);
+      take_snapshot(depth);
     }
     frontier.pop_front();
-    // Mid-level cadence so heartbeats move inside long levels; every 4096
-    // pops keeps the relaxed-load guard the only cost when unobserved.
-    if (live.on && (++pops & 0xFFFu) == 0) {
+    ++pops;
+    // Mid-level cadence so heartbeats move inside long levels; every 512
+    // pops keeps the relaxed-load guard the only cost when unobserved and
+    // bounds the publication lag behind actual interning to well under the
+    // parallel engines' per-worker chunk cadence times their pool width.
+    if (live.on && (pops & 0x1FFu) == 0) {
       live.publish(graph.nodes_.size() - prefix_nodes,
                    graph.transition_count_ - prefix_transitions, span_depth,
                    frontier.size());
+    }
+    // Mid-level lifecycle poll, every kChunk pops (matching the parallel
+    // engines' work-chunk cadence). max_levels stays level-granular; only
+    // cancel/deadline — the request-lifecycle knobs — trip mid-level.
+    if (lifecycle_armed && (pops & (kChunk - 1)) == 0 &&
+        ((options.cancel != nullptr && options.cancel->cancelled()) ||
+         deadline_passed(options.deadline))) {
+      // Roll back to the level-start snapshot: drop every node discovered
+      // during this partial level and the edges its expansions emitted, so
+      // the result is the same graph a boundary-time stop would produce.
+      graph.nodes_.resize(snap.nodes);
+      graph.edges_.resize(snap.nodes);
+      graph.parents_.resize(snap.nodes);
+      if (sym != nullptr) graph.discovery_perms_.resize(snap.nodes);
+      for (const std::uint32_t fid : snap.frontier) graph.edges_[fid].clear();
+      graph.transition_count_ = snap.transitions;
+      graph.truncated_ = snap.truncated;
+      graph.interrupted_ = true;
+      graph.levels_completed_ = snap.depth;
+      graph.pending_frontier_ = std::move(snap.frontier);
+      if (!options.checkpoint_path.empty()) {
+        const Status written = write_checkpoint(
+            graph, graph.pending_frontier_, snap.depth, fingerprint, options,
+            flag_fn != nullptr, initial_flag);
+        if (!written.is_ok()) return written;
+      }
+      break;
     }
     // Copy what we need: intern() may reallocate nodes_.
     const sim::Config config = graph.nodes_[id].config;
@@ -575,10 +642,6 @@ struct WorkItem {
 };
 
 constexpr std::uint32_t kUnassigned = 0xffffffffu;
-// Frontier items claimed per grab/steal. Sized so a chunk's successors
-// (a handful per item) form per-shard intern batches big enough to
-// amortize the shared-lock round per shard across several keys.
-constexpr std::size_t kChunk = 64;
 // kAuto: hand off to a parallel engine once the serial probe holds this many
 // nodes (below it, parallel setup + renumbering overhead beats the win)...
 constexpr std::uint64_t kAutoSwitchNodes = 32768;
@@ -1178,6 +1241,14 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   std::atomic<std::size_t> cursor{0};
   std::uint32_t depth = seed.start_depth;  // level currently expanding
   std::atomic<bool> done{false};
+  // Mid-level lifecycle stop: workers poll cancel/deadline at every chunk
+  // claim (the coordinator only looks at level boundaries) and raise this
+  // flag, so one huge level cannot blow past a request deadline. The
+  // partially expanded level is discarded by the trim pass below — the
+  // result is the deepest complete level prefix, same as a boundary stop.
+  const bool lifecycle_armed =
+      options.cancel != nullptr || options.deadline != Deadline{};
+  std::atomic<bool> lifecycle_stop{false};
 
   std::barrier<> level_start(threads + 1);
   std::barrier<> level_end(threads + 1);
@@ -1187,6 +1258,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     obs::Progress::WorkerSlot* slot =
         live.on ? obs::Progress::global().worker(widx) : nullptr;
     std::uint64_t seen_cas_retries = 0;
+    std::uint64_t seen_edges = 0;
     CanonSeen canon_seen;
     while (true) {
       level_start.arrive_and_wait();
@@ -1196,10 +1268,18 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
       obs::Span worker_span("explore.worker", obs::kCatWorker, widx + 1);
       if (slot != nullptr) slot->busy.store(1, std::memory_order_relaxed);
       std::uint64_t expanded = 0;
-      while (!exhausted.load(std::memory_order_relaxed)) {
+      while (!exhausted.load(std::memory_order_relaxed) &&
+             !lifecycle_stop.load(std::memory_order_relaxed)) {
         const std::size_t begin =
             cursor.fetch_add(kChunk, std::memory_order_relaxed);
         if (begin >= frontier.size()) break;
+        // Work-chunk boundary lifecycle poll (every kChunk items).
+        if (lifecycle_armed &&
+            ((options.cancel != nullptr && options.cancel->cancelled()) ||
+             deadline_passed(options.deadline))) {
+          lifecycle_stop.store(true, std::memory_order_relaxed);
+          break;
+        }
         const std::size_t end = std::min(frontier.size(), begin + kChunk);
         const bool ok = w.ex.expand_chunk(
             std::span<WorkItem>(frontier.data() + begin, end - begin),
@@ -1207,7 +1287,18 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
             [&w](WorkItem&& item) { w.next.push_back(std::move(item)); });
         expanded += end - begin;
         if (slot != nullptr) {
+          // Work-chunk boundary: live-publish mid-level so heartbeats keep
+          // moving through a huge level (mirrors the work-stealing engine).
+          // Concurrent absolute republications of table.size() race; a
+          // stale smaller one must not un-publish, hence raise().
           slot->expanded.fetch_add(end - begin, std::memory_order_relaxed);
+          obs::Progress& p = obs::Progress::global();
+          const std::uint64_t edges = w.sink.pool.size();
+          p.transitions_total.fetch_add(edges - seen_edges,
+                                        std::memory_order_relaxed);
+          seen_edges = edges;
+          obs::Progress::raise(p.nodes_total,
+                               live.nodes_base + table.size() - prefix_nodes);
         }
         if (!ok) exhausted.store(true, std::memory_order_relaxed);
       }
@@ -1234,6 +1325,7 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker_main, t);
 
   bool interrupted = false;
+  bool midlevel = false;  // interruption landed inside a level
   Status checkpoint_status = Status::ok();
   while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
     // Top of loop == level boundary: workers quiescent, every level < depth
@@ -1269,6 +1361,14 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
     level_start.arrive_and_wait();
     // Workers expand this level...
     level_end.arrive_and_wait();
+    if (lifecycle_stop.load(std::memory_order_relaxed)) {
+      // A worker tripped cancel/deadline mid-level: this level is partially
+      // expanded, so skip the merge and let the trim pass roll the build
+      // back to the last complete level boundary.
+      interrupted = true;
+      midlevel = true;
+      break;
+    }
     std::vector<WorkItem> next;
     for (ParallelWorker& w : workers) {
       // Cross-worker concatenation order is arbitrary; the renumbering pass
@@ -1298,15 +1398,31 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
       table, workers, seed, options.resume, sym != nullptr,
       /*trust_depths=*/true, truncated.load(std::memory_order_relaxed),
       /*take_configs=*/true);
+  // A mid-level stop leaves the current level partially expanded; trim back
+  // to the last complete level boundary (same state a boundary-time stop
+  // would have produced). Level-synchronous expansion keeps stored depths
+  // exact, so the trimmed prefix is an array prefix here too.
+  bool trimmed = false;
+  if (midlevel) {
+    trimmed =
+        internal::GraphBuilder::trim_to_complete_prefix(&built, seed.truncated);
+  }
   ConfigGraph graph = std::move(built.graph);
+  if (midlevel && !trimmed) {
+    // The poll tripped after every frontier node was already expanded: the
+    // graph is complete after all.
+    interrupted = false;
+  }
   if (interrupted) {
-    graph.interrupted_ = true;
-    graph.levels_completed_ = depth;
-    graph.pending_frontier_ = canonical_frontier(frontier, built.canon);
+    if (!midlevel) {
+      graph.interrupted_ = true;
+      graph.levels_completed_ = depth;
+      graph.pending_frontier_ = canonical_frontier(frontier, built.canon);
+    }  // else: trim_to_complete_prefix already set the interruption state.
     if (!options.checkpoint_path.empty()) {
       const Status written = write_checkpoint(
-          graph, graph.pending_frontier_, depth, fingerprint, options,
-          flag_fn != nullptr, initial_flag);
+          graph, graph.pending_frontier_, graph.levels_completed_, fingerprint,
+          options, flag_fn != nullptr, initial_flag);
       if (!written.is_ok()) return written;
     }
   } else {
@@ -1314,7 +1430,8 @@ StatusOr<ConfigGraph> Explorer::explore_parallel(
         graph.nodes_.empty() ? 0 : graph.nodes_.back().depth + 1;
   }
   add_stable_counters(built, graph, seed, options.resume == nullptr,
-                      std::numeric_limits<std::uint32_t>::max());
+                      trimmed ? graph.levels_completed_
+                              : std::numeric_limits<std::uint32_t>::max());
   live.publish(graph.nodes_.size() - prefix_nodes,
                graph.transition_count() - seed.base_transitions,
                graph.levels_completed_, graph.pending_frontier_.size());

@@ -152,14 +152,18 @@ struct ExploreOptions {
   std::shared_ptr<const sim::Canonicalizer> canonicalizer;
 
   // --- run lifecycle (docs/checking.md, "Long runs") ---
-  // The serial and level-synchronous engines poll lifecycle conditions ONLY
-  // at BFS level boundaries (every node of the previous depth expanded),
-  // the one point where stopping preserves the canonical-prefix guarantee:
-  // an interrupted graph is bit-identical to the corresponding prefix of an
-  // uninterrupted run, for every engine and thread count (complete levels
-  // only). The work-stealing engine polls at work-chunk boundaries instead
-  // and restores the same guarantee by trimming its result back to the
-  // deepest fully-expanded level before returning.
+  // All three engines poll cancel/deadline INSIDE levels, at work-chunk
+  // boundaries (every kChunk expansions per worker), so a trip stops the
+  // run promptly even mid-way through a wide level. Stopping still only
+  // ever happens at a BFS level boundary — the one point that preserves the
+  // canonical-prefix guarantee: the serial engine rolls partially-expanded
+  // work back to the last completed level, the level-synchronous parallel
+  // engine trims the partial level before renumbering, and the
+  // work-stealing engine trims its result back to the deepest
+  // fully-expanded level. An interrupted graph is therefore bit-identical
+  // to the corresponding prefix of an uninterrupted run, for every engine
+  // and thread count (complete levels only). max_levels and periodic
+  // checkpoints remain level-boundary conditions.
   //
   // Cooperative cancellation. Non-owning; may be tripped from a signal
   // handler. When it fires, explore() returns an *interrupted* graph

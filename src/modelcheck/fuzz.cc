@@ -634,6 +634,28 @@ SafetyPredicate dac_safety(int distinguished_pid, std::vector<Value> inputs) {
   };
 }
 
+Status validate_fuzz_options(const FuzzOptions& options) {
+  if (options.coverage_guided) return Status::ok();
+  if (!options.checkpoint_path.empty()) {
+    return invalid_argument(
+        "fuzz: checkpoint_path is set but the blind engine cannot checkpoint "
+        "(its claim order is thread-scheduling dependent); pass "
+        "coverage_guided=true or drop checkpoint_path");
+  }
+  if (options.resume != nullptr) {
+    return invalid_argument(
+        "fuzz: resume is set but the blind engine cannot resume a "
+        "checkpoint; pass coverage_guided=true or drop resume");
+  }
+  if (options.stop_after_runs != 0) {
+    return invalid_argument(
+        "fuzz: stop_after_runs is set but the blind engine has no "
+        "deterministic run boundary to stop at; pass coverage_guided=true "
+        "or drop stop_after_runs");
+  }
+  return Status::ok();
+}
+
 FuzzReport fuzz_safety(std::shared_ptr<const sim::Protocol> protocol,
                        const SafetyPredicate& judge,
                        const FuzzOptions& options) {

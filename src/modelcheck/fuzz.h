@@ -139,6 +139,17 @@ struct FuzzReport {
   bool violates(const std::string& property) const;
 };
 
+// Rejects engine/knob combinations the blind engine cannot honor instead
+// of silently dropping them: checkpoint_path, resume, and stop_after_runs
+// all require coverage_guided (the blind engine's claim order is
+// thread-scheduling dependent, so there is no resumable run boundary).
+// INVALID_ARGUMENT names the offending knob, in the same style as the
+// checkpoint wrong-run errors. fuzz_safety itself treats a bad combination
+// as a contract violation (LBSA_CHECK); callers that accept external
+// options (the CLIs, the serve facade) validate here first and surface the
+// Status.
+Status validate_fuzz_options(const FuzzOptions& options);
+
 // Safety predicate factories (shared by the fuzzers, the shrinker, and the
 // corpus replayer). k_agreement_safety judges agreement(k), validity, and
 // absence of aborts; dac_safety judges agreement, validity w.r.t.

@@ -113,8 +113,16 @@ class Progress {
 // explored by any engine is the same run — and a resume passes the same
 // inputs (enforced by the checkpoint fingerprint for the explorer), so the
 // id survives checkpoint/resume.
+//
+// `nonce` disambiguates otherwise-identical runs sharing one stream
+// namespace: two concurrent server requests for the same (task, budget)
+// would collide without it and validate_heartbeat_stream would conflate
+// their streams. The caller keeps the nonce stable across checkpoint/
+// resume of the same logical request so continuation still works. An
+// empty nonce is not hashed, so ids from pre-nonce callers are unchanged.
 std::string derive_run_id(std::string_view tool, std::string_view task,
-                          std::string_view mode, std::uint64_t budget);
+                          std::string_view mode, std::uint64_t budget,
+                          std::string_view nonce = {});
 
 struct HeartbeatOptions {
   std::string path;  // JSONL stream, opened in append mode
@@ -125,6 +133,12 @@ struct HeartbeatOptions {
   // Injectable monotonic clock (milliseconds); tests pin this to a fake so
   // tick contents are deterministic. Defaults to steady_clock.
   std::function<std::uint64_t()> clock_ms;
+  // When set, each heartbeat line (strict JSON, no trailing newline) goes
+  // to this callback instead of a file and `path` is ignored — the server
+  // frames lines onto client sockets this way. The sink is invoked under
+  // the sampler's tick lock, so it must not re-enter the sampler; there is
+  // no continuation check (the caller owns the transport's history).
+  std::function<void(std::string_view)> sink;
 };
 
 // Appends one strict-JSON heartbeat line per tick. Two driving modes:
@@ -158,7 +172,7 @@ class HeartbeatSampler {
   const std::vector<Tick>& ticks() const { return ticks_; }
   const std::string& run_id() const { return options_.run_id; }
   std::uint64_t interval_ms() const { return options_.interval_ms; }
-  bool opened() const { return file_ != nullptr; }
+  bool opened() const { return file_ != nullptr || sink_open_; }
 
  private:
   void write_tick(bool final);
@@ -166,6 +180,8 @@ class HeartbeatSampler {
 
   HeartbeatOptions options_;
   std::FILE* file_ = nullptr;
+  bool sink_open_ = false;     // sink-mode stream is live
+  bool enabled_held_ = false;  // this sampler holds a heartbeat_enabled ref
   std::uint64_t next_seq_ = 0;
   std::uint64_t start_ms_ = 0;
   std::vector<Tick> ticks_;  // manual + timed ticks, excludes the final line

@@ -1,0 +1,177 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace lbsa::serve {
+
+// One accepted client connection. The fd is owned by this struct and closed
+// by the destructor — sinks for in-flight requests hold a shared_ptr, so
+// the fd outlives the reader thread until the last response is framed.
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(std::string_view line) {
+    if (dead.load(std::memory_order_relaxed)) return;
+    std::string framed(line);
+    framed += '\n';
+    std::lock_guard<std::mutex> lock(write_mu);
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the server.
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        dead.store(true, std::memory_order_relaxed);
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> dead{false};
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    return invalid_argument("serve: socket path too long: " +
+                            options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  // A stale socket file from a dead server would make bind fail forever;
+  // only an actual socket is unlinked (a regular file at the path is a
+  // caller mistake worth surfacing).
+  struct stat st{};
+  if (::lstat(options_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return invalid_argument("serve: " + options_.socket_path +
+                              " exists and is not a socket");
+    }
+    ::unlink(options_.socket_path.c_str());
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return internal_error(std::string("serve: socket: ") +
+                          std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return internal_error("serve: bind " + options_.socket_path + ": " +
+                          std::strerror(err));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return internal_error(std::string("serve: listen: ") +
+                          std::strerror(err));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return Status::ok();
+}
+
+void Server::accept_main() {
+  for (;;) {
+    // Re-load each iteration: stop() exchanges the fd to -1 concurrently,
+    // and accept(-1) fails with EBADF, ending the loop.
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal — either way, done
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Raced with stop(): refuse rather than leak a reader thread that
+      // nobody will join.
+      continue;  // ~Connection closes the fd
+    }
+    connections_.push_back(conn);
+    readers_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { connection_main(conn); });
+  }
+}
+
+void Server::connection_main(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF or error: client is gone
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty()) {
+        service_.submit_line(
+            line, [conn](std::string_view out) { conn->write_line(out); });
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    // Unblock accept(); shutdown alone does not wake accept on all
+    // platforms, so close outright — accept_main exits on the error.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain the service first so every accepted request is answered, then
+  // hang up readers still blocked on idle connections.
+  service_.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& weak : connections_) {
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : readers_) t.join();
+  readers_.clear();
+  connections_.clear();
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+}  // namespace lbsa::serve

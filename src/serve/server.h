@@ -1,0 +1,75 @@
+// AF_UNIX front end for CheckService: accepts local stream connections,
+// reads newline-delimited protocol.h request lines, and frames the
+// service's response lines back onto the connection (one line each,
+// newline-terminated). Responses for a connection's concurrent requests
+// interleave; every line carries its request_id, so clients demultiplex by
+// id, never by order.
+//
+// Threading: one accept thread, one reader thread per connection. Writes
+// are serialized per connection (service workers and heartbeat samplers
+// share the socket); a write error marks the connection dead and later
+// lines are dropped — the workload still completes and populates the
+// result cache.
+#ifndef LBSA_SERVE_SERVER_H_
+#define LBSA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace lbsa::serve {
+
+struct ServerOptions {
+  // Path for the listening socket; bound fresh (an existing file at the
+  // path is an error unless it is a stale socket left by a dead server,
+  // which is unlinked and replaced).
+  std::string socket_path;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the accept thread. INTERNAL on socket
+  // errors (path too long for sockaddr_un, bind/listen failure).
+  Status start();
+
+  // Stops accepting, shuts down live connections (in-flight requests are
+  // drained by the service first, so every accepted request is answered),
+  // joins all threads, unlinks the socket. Idempotent.
+  void stop();
+
+  CheckService& service() { return service_; }
+
+ private:
+  struct Connection;
+
+  void accept_main();
+  void connection_main(std::shared_ptr<Connection> conn);
+
+  const ServerOptions options_;
+  CheckService service_;
+
+  // Atomic: stop() claims the fd (exchange to -1) concurrently with the
+  // accept loop re-reading it between accept() calls.
+  std::atomic<int> listen_fd_{-1};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace lbsa::serve
+
+#endif  // LBSA_SERVE_SERVER_H_

@@ -1,0 +1,134 @@
+// CheckService — the reentrant heart of lbsa_serverd: a shared worker pool
+// multiplexing check/explore/fuzz requests over the registered named tasks,
+// with per-request lifecycle (Deadline from deadline_ms, a CancelToken the
+// cancel op can trip mid-flight) and a fingerprint-keyed result cache.
+//
+// Transport-agnostic: the server hands each request a ResponseSink (one
+// protocol.h response line per call, no trailing newline) and the service
+// never touches sockets, so the e2e tests drive it in-process.
+//
+// Determinism contract (what makes the cache sound): run_*_task outputs —
+// human summary, exit code, RunReport skeleton — are pure functions of the
+// request for deterministic workloads (explore graphs are engine/thread
+// invariant, coverage fuzz is seed-deterministic). Report bytes are
+// serialized with tool="lbsa_serverd", wall_seconds=0, and an empty metrics
+// snapshot, so a cache hit replays byte-identical lines. Blind fuzz is
+// thread-schedule dependent only in its error paths' timing, but its report
+// IS deterministic per (seed, threads); it is still never cached —
+// eligibility is conservative: report_valid, exit_code != 4 (interrupted
+// runs are request-lifecycle artifacts, not task results), coverage mode
+// only for fuzz, and no checkpoint side effects.
+#ifndef LBSA_SERVE_SERVICE_H_
+#define LBSA_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace lbsa::serve {
+
+struct ServiceOptions {
+  // Worker threads draining the request queue; 0 = one per hardware thread
+  // (each workload may itself be multi-threaded via the request's
+  // `threads` knob, so the default server pins workloads to threads=1
+  // unless the client asks otherwise).
+  int workers = 0;
+  // Result-cache entries (LRU); 0 disables caching.
+  std::size_t cache_capacity = 256;
+};
+
+class CheckService {
+ public:
+  // One response line (strict JSON, no trailing newline). Invoked from the
+  // submitting thread (inline ops, parse errors) AND from worker threads
+  // (reports, heartbeats), possibly concurrently with other requests
+  // sharing the sink — the sink must be thread-safe.
+  using ResponseSink = std::function<void(std::string_view line)>;
+
+  explicit CheckService(ServiceOptions options);
+  ~CheckService();
+
+  CheckService(const CheckService&) = delete;
+  CheckService& operator=(const CheckService&) = delete;
+
+  // Parses and dispatches one request line. Parse errors, status, and
+  // cancel are answered inline before returning; check/explore/fuzz are
+  // queued and answered from a worker. The deadline clock starts HERE
+  // (queue wait counts against deadline_ms — a server melting down must
+  // shed load, not stretch deadlines).
+  void submit_line(std::string_view line, ResponseSink sink);
+
+  // Same, for an already-parsed request.
+  void submit(ServeRequest request, ResponseSink sink);
+
+  // Stops accepting, fails queued-but-unstarted requests with
+  // FAILED_PRECONDITION, lets in-flight workloads finish, joins workers.
+  // Idempotent; the destructor calls it.
+  void shutdown();
+
+  // The status-op stats object (strict JSON), also exposed for the bench
+  // harness: request counts by op, cache hit/miss/size, queue depth,
+  // active count, and end-to-end latency quantiles (microseconds,
+  // log2-bucket upper bounds — obs/metrics.h semantics).
+  std::string stats_json() const;
+
+ private:
+  struct Request;  // one queued/in-flight request (service.cc)
+
+  void worker_main();
+  void run_request(const std::shared_ptr<Request>& req);
+  void finish_request(const std::shared_ptr<Request>& req,
+                      std::string_view line);
+  void record_latency(std::uint64_t us);
+
+  const ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool quit_ = false;
+  std::deque<std::shared_ptr<Request>> queue_;
+  // Active = submitted and not yet answered; the cancel op resolves its
+  // target here. Keyed by request id (last submit wins on a duplicate id).
+  std::unordered_map<std::string, std::shared_ptr<Request>> active_;
+  std::vector<std::thread> workers_;
+
+  // LRU result cache: key -> (exit_code, human, report bytes).
+  struct CachedResult {
+    int exit_code = 0;
+    std::string human;
+    std::string report_json;
+  };
+  std::list<std::pair<std::string, CachedResult>> cache_lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, CachedResult>>::iterator>
+      cache_index_;
+
+  // Stats (all under mu_ except where noted).
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t requests_check_ = 0;
+  std::uint64_t requests_explore_ = 0;
+  std::uint64_t requests_fuzz_ = 0;
+  std::uint64_t requests_rejected_ = 0;  // parse/validation errors
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cancelled_ = 0;  // cancel ops that found their target
+  // End-to-end latency (submit -> final response), microseconds, log2
+  // buckets (obs/metrics.h bucketing: bucket 0 = 0, bucket 1+floor(log2)).
+  std::vector<std::uint64_t> latency_buckets_;
+  std::uint64_t latency_count_ = 0;
+};
+
+}  // namespace lbsa::serve
+
+#endif  // LBSA_SERVE_SERVICE_H_

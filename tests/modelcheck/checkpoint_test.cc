@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "modelcheck/cancel.h"
@@ -25,6 +26,7 @@
 #include "modelcheck/corpus.h"
 #include "modelcheck/explorer.h"
 #include "modelcheck/fuzz.h"
+#include "obs/heartbeat.h"
 
 namespace lbsa::modelcheck {
 namespace {
@@ -434,6 +436,146 @@ TEST(FuzzCheckpoint, StaleFuzzCheckpointRejected) {
   small.runs = 5;
   EXPECT_EQ(validate_fuzz_resume(*task.protocol, small, cp.value()).code(),
             StatusCode::kFailedPrecondition);
+}
+
+// Regression (serving PR): the BFS engines must poll cancellation and
+// deadlines INSIDE per-worker expansion chunks, not just at level
+// boundaries. Before the fix, a cancel landing mid-level ran to the end of
+// the level — on a wide level, thousands of expansions after the request.
+// The watcher trips the token from live Progress (not wall clock), so the
+// test is schedule-robust: it cancels once exploration is provably inside
+// the widest level, then asserts the engine stopped well before finishing
+// it, AND that the rolled-back result is bit-identical to a fresh run
+// stopped at the same level boundary.
+TEST(Lifecycle, MidLevelCancelBoundsWorkAndRollsBackCleanly) {
+  const NamedTask task = get_task("dac5");
+  const ConfigGraph full = explore_or_die(task, {});
+
+  // Cumulative node count by depth; pick the depth whose EXPANSION yields
+  // the most new nodes — the widest window for a mid-level cancel.
+  std::vector<std::uint64_t> count;
+  for (const Node& node : full.nodes()) {
+    if (node.depth >= count.size()) count.resize(node.depth + 1, 0);
+    ++count[node.depth];
+  }
+  std::size_t widest = 0;  // expanding level `widest` interns count[widest+1]
+  for (std::size_t d = 0; d + 1 < count.size(); ++d) {
+    if (count[d + 1] > count[widest + 1]) widest = d;
+  }
+  std::uint64_t before = 0;  // nodes interned when level `widest` opens
+  for (std::size_t d = 0; d <= widest; ++d) before += count[d];
+  const std::uint64_t yield = count[widest + 1];
+  ASSERT_GT(yield, 4000u) << "task too small to expose mid-level latency";
+  // Cancel once exploration is provably inside the widest level.
+  const std::uint64_t threshold = before + 500;
+  // Work tolerated AFTER the cancel store is visible: per-worker chunk
+  // granularity plus the engines' publication lag (serial publishes every
+  // 512 pops, the parallel engines every 64-item chunk per worker). The
+  // pre-fix engines ran to the end of the level — `yield` more nodes, an
+  // order of magnitude past this. Measured against the progress counter AT
+  // the cancel, the bound is independent of how promptly the watcher
+  // thread got scheduled.
+  const std::uint64_t kPostCancelSlack = 2500;
+  ASSERT_GT(yield, kPostCancelSlack + 1500u);
+
+  for (const auto engine :
+       {ExploreEngine::kSerial, ExploreEngine::kParallel,
+        ExploreEngine::kWorkStealing}) {
+    SCOPED_TRACE(static_cast<int>(engine));
+    obs::Progress& progress = obs::Progress::global();
+    progress.reset();
+    obs::set_heartbeat_enabled(true);  // engines publish live Progress
+
+    CancelToken cancel;
+    ExploreOptions opts;
+    opts.engine = engine;
+    opts.threads = engine == ExploreEngine::kSerial ? 1 : 4;
+    opts.cancel = &cancel;
+    StatusOr<ConfigGraph> partial_or = internal_error("run never finished");
+    std::thread runner([&] {
+      Explorer explorer(task.protocol);
+      partial_or = explorer.explore(opts);
+    });
+    // Spin until the engine is provably mid-level, then cancel. Terminates
+    // even without the fix: nodes_total is monotone and reaches the full
+    // graph size, which exceeds the threshold.
+    while (progress.nodes_total.load(std::memory_order_relaxed) < threshold) {
+      std::this_thread::yield();
+    }
+    cancel.cancel();
+    const std::uint64_t at_cancel =
+        progress.nodes_total.load(std::memory_order_relaxed);
+    runner.join();
+    const std::uint64_t interned =
+        progress.nodes_total.load(std::memory_order_relaxed);
+    obs::set_heartbeat_enabled(false);
+
+    ASSERT_TRUE(partial_or.is_ok()) << partial_or.status().to_string();
+    const ConfigGraph& partial = partial_or.value();
+    ASSERT_TRUE(partial.interrupted());
+    // The regression bite: a level-boundary-only poll keeps interning until
+    // the level is done — `yield`-ish nodes past the cancel. The fixed
+    // engines stop within a chunk per worker.
+    EXPECT_LE(interned - at_cancel, kPostCancelSlack)
+        << "engine kept expanding a wide level after cancellation"
+        << " (at_cancel=" << at_cancel << " final=" << interned << ")";
+
+    // Rollback correctness: the interrupted graph is the exact result of
+    // stopping at the same level boundary on purpose.
+    ExploreOptions replay;
+    replay.max_levels = partial.levels_completed();
+    const ConfigGraph expected = explore_or_die(task, replay);
+    ASSERT_TRUE(expected.interrupted());
+    EXPECT_EQ(expected.levels_completed(), partial.levels_completed());
+    expect_identical(partial, expected);
+    EXPECT_EQ(partial.pending_frontier(), expected.pending_frontier());
+  }
+}
+
+// Regression (serving PR): checkpoint staging used a PREDICTABLE temp name
+// (path + ".tmp"), so two writers targeting the same path could truncate
+// each other's staging file or lose the rename race — a torn or missing
+// checkpoint. Staging now carries a per-process + per-write unique suffix:
+// every concurrent write must succeed and the surviving file must read
+// back as one writer's complete checkpoint.
+TEST(Checkpoint, ConcurrentWritersNeverTearTheFile) {
+  const NamedTask task = get_task("dac3-sym");
+  const std::string seed_path = temp_path("concurrent-seed.ckpt");
+  ExploreCheckpoint cp =
+      interrupt_and_read(task, Reduction::kNone, 2, seed_path);
+
+  const std::string path = temp_path("concurrent-writers.ckpt");
+  constexpr int kWriters = 8;
+  constexpr int kWritesEach = 25;
+  std::vector<Status> failures(kWriters, Status::ok());
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Distinct payloads per writer so a torn interleaving cannot pass as
+      // a valid file by accident (the format is checksummed end to end).
+      ExploreCheckpoint mine = cp;
+      mine.task_label = "writer-" + std::to_string(w);
+      for (int i = 0; i < kWritesEach; ++i) {
+        const Status s = write_explore_checkpoint(mine, path);
+        if (!s.is_ok()) {
+          failures[w] = s;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_TRUE(failures[w].is_ok())
+        << "writer " << w << ": " << failures[w].to_string();
+  }
+  // The surviving file is some writer's complete, checksum-valid write.
+  auto survivor = read_explore_checkpoint(path);
+  ASSERT_TRUE(survivor.is_ok()) << survivor.status().to_string();
+  EXPECT_EQ(survivor.value().task_label.rfind("writer-", 0), 0u);
+  EXPECT_EQ(survivor.value().fingerprint, cp.fingerprint);
+  EXPECT_EQ(survivor.value().frontier, cp.frontier);
 }
 
 TEST(FuzzCheckpoint, CancelInterruptsBlindAndCoverage) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "modelcheck/checkpoint.h"
 #include "protocols/ben_or.h"
 #include "protocols/dac_from_pac.h"
 #include "protocols/group_ksa.h"
@@ -198,6 +199,51 @@ TEST(Fuzz, ViolationsCarryRawAndShrunkSchedules) {
     ASSERT_TRUE(replayed.is_ok()) << replayed.status().to_string();
     EXPECT_GE(replayed.value().distinct_decisions().size(), 2u);
   }
+}
+
+// Regression (serving PR): the blind engine used to silently IGNORE the
+// run-boundary lifecycle knobs (its claim order is thread-scheduling
+// dependent, so it has no resumable boundary) — a blind campaign launched
+// with a checkpoint_path ran to completion with no checkpoint and no
+// error. External callers (the CLIs, the serve facade) now validate first
+// and must get INVALID_ARGUMENT naming the offending knob.
+TEST(Fuzz, ValidateOptionsRejectsBlindLifecycleKnobs) {
+  FuzzOptions blind;
+  blind.coverage_guided = false;
+
+  {
+    FuzzOptions o = blind;
+    o.checkpoint_path = "/tmp/whatever.ckpt";
+    const Status s = validate_fuzz_options(o);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.to_string();
+    EXPECT_NE(s.message().find("checkpoint_path"), std::string::npos)
+        << s.to_string();
+  }
+  {
+    FuzzCheckpoint cp;
+    FuzzOptions o = blind;
+    o.resume = &cp;
+    const Status s = validate_fuzz_options(o);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.to_string();
+    EXPECT_NE(s.message().find("resume"), std::string::npos) << s.to_string();
+  }
+  {
+    FuzzOptions o = blind;
+    o.stop_after_runs = 10;
+    const Status s = validate_fuzz_options(o);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.to_string();
+    EXPECT_NE(s.message().find("stop_after_runs"), std::string::npos)
+        << s.to_string();
+  }
+
+  // The same knobs are fine on the coverage engine, and a blind campaign
+  // without them is fine too.
+  FuzzOptions coverage;
+  coverage.coverage_guided = true;
+  coverage.checkpoint_path = "/tmp/whatever.ckpt";
+  coverage.stop_after_runs = 10;
+  EXPECT_TRUE(validate_fuzz_options(coverage).is_ok());
+  EXPECT_TRUE(validate_fuzz_options(blind).is_ok());
 }
 
 TEST(Fuzz, ShrinkingCanBeDisabled) {

@@ -1,0 +1,458 @@
+// lbsa_client — load generator and correctness probe for lbsa_serverd
+// (docs/serving.md). Opens --concurrency connections, issues --requests
+// identical workload requests with distinct request ids, and verifies every
+// answer: responses parse, the RunReport payload passes the schema check,
+// and every report for the identical request shape is byte-identical to the
+// first one seen (cached answers must replay fresh bytes exactly).
+//
+//   ./lbsa_client --socket PATH --task NAME [--op check|explore|fuzz]
+//                 [--requests N] [--concurrency C]
+//                 [--threads N] [--engine E] [--reduction R] [--max-nodes N]
+//                 [--runs N] [--seed N] [--coverage]
+//                 [--deadline-ms N] [--heartbeat-ms N]
+//                 [--summary-json PATH] [--no-verify]
+//   ./lbsa_client --socket PATH --status
+//
+// The summary reports client-measured end-to-end latency quantiles from the
+// obs log2-bucket histogram (upper-bound semantics, obs/metrics.h) plus
+// throughput — the numbers run_report.sh lifts into BENCH_modelcheck.json.
+//
+// Exit codes: 0 all requests answered and verified, 1 any failure or
+// byte mismatch, 2 usage error.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace lbsa;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lbsa_client --socket PATH --task NAME [--op check|explore|fuzz]\n"
+      "                   [--requests N] [--concurrency C]\n"
+      "                   [--threads N] [--engine E] [--reduction R]\n"
+      "                   [--max-nodes N] [--runs N] [--seed N] [--coverage]\n"
+      "                   [--deadline-ms N] [--heartbeat-ms N]\n"
+      "                   [--summary-json PATH] [--no-verify]\n"
+      "       lbsa_client --socket PATH --status\n");
+  return 2;
+}
+
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Buffered newline-delimited reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+  // False on EOF/error before a complete line.
+  bool next(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+struct ClientConfig {
+  std::string socket_path;
+  std::string task;
+  std::string op = "check";
+  std::uint64_t requests = 100;
+  int concurrency = 4;
+  int threads = 1;
+  std::string engine = "auto";
+  std::string reduction = "none";
+  std::uint64_t max_nodes = 0;
+  std::uint64_t runs = 200;
+  std::uint64_t seed = 1;
+  bool coverage = false;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t heartbeat_ms = 0;
+  std::string summary_json;
+  bool verify = true;
+  bool status_only = false;
+};
+
+std::string request_line(const ClientConfig& cfg, const std::string& id) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("serve_version");
+  w.value_uint(serve::kServeSchemaVersion);
+  w.key("op");
+  w.value_string(cfg.op);
+  w.key("id");
+  w.value_string(id);
+  w.key("task");
+  w.value_string(cfg.task);
+  if (cfg.deadline_ms > 0) {
+    w.key("deadline_ms");
+    w.value_uint(cfg.deadline_ms);
+  }
+  if (cfg.heartbeat_ms > 0) {
+    w.key("heartbeat_ms");
+    w.value_uint(cfg.heartbeat_ms);
+  }
+  if (cfg.op == "fuzz") {
+    w.key("runs");
+    w.value_uint(cfg.runs);
+    w.key("seed");
+    w.value_uint(cfg.seed);
+    w.key("coverage");
+    w.value_bool(cfg.coverage);
+  } else {
+    w.key("threads");
+    w.value_int(cfg.threads);
+    w.key("engine");
+    w.value_string(cfg.engine);
+    w.key("reduction");
+    w.value_string(cfg.reduction);
+    if (cfg.max_nodes > 0) {
+      w.key("max_nodes");
+      w.value_uint(cfg.max_nodes);
+    }
+  }
+  w.end_object();
+  std::string line = std::move(w).str();
+  line += '\n';
+  return line;
+}
+
+struct SharedState {
+  std::atomic<std::uint64_t> next_request{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> cached{0};
+  std::atomic<std::uint64_t> heartbeats{0};
+  std::mutex mu;
+  // First report's (human, report bytes) — the golden answer every other
+  // response must match byte for byte.
+  bool have_golden = false;
+  std::string golden_human;
+  std::string golden_report;
+  int golden_exit = 0;
+  std::vector<std::uint64_t> latency_buckets =
+      std::vector<std::uint64_t>(obs::kHistogramBuckets, 0);
+  std::uint64_t latency_count = 0;
+};
+
+void fail(SharedState* state, const char* fmt, const std::string& detail) {
+  state->failures.fetch_add(1);
+  std::fprintf(stderr, fmt, detail.c_str());
+}
+
+void worker_main(const ClientConfig& cfg, int worker_index,
+                 SharedState* state) {
+  const int fd = connect_to(cfg.socket_path);
+  if (fd < 0) {
+    fail(state, "lbsa_client: connect failed: %s\n", cfg.socket_path);
+    return;
+  }
+  LineReader reader(fd);
+  std::string line;
+  for (;;) {
+    const std::uint64_t n = state->next_request.fetch_add(1);
+    if (n >= cfg.requests) break;
+    const std::string id =
+        "c" + std::to_string(worker_index) + "-" + std::to_string(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!send_all(fd, request_line(cfg, id))) {
+      fail(state, "lbsa_client: send failed for request %s\n", id);
+      break;
+    }
+    // Consume this request's stream: heartbeats until the report/error.
+    bool answered = false;
+    while (!answered) {
+      if (!reader.next(&line)) {
+        fail(state, "lbsa_client: connection closed awaiting %s\n", id);
+        ::close(fd);
+        return;
+      }
+      auto resp_or = serve::parse_response(line);
+      if (!resp_or.is_ok()) {
+        fail(state, "lbsa_client: bad response line: %s\n",
+             resp_or.status().to_string());
+        continue;
+      }
+      const serve::ServeResponse& resp = resp_or.value();
+      if (resp.request_id != id) {
+        fail(state, "lbsa_client: response for unexpected id %s\n",
+             resp.request_id);
+        continue;
+      }
+      if (resp.type == "heartbeat") {
+        state->heartbeats.fetch_add(1);
+        continue;
+      }
+      answered = true;
+      if (resp.type == "error") {
+        fail(state, "lbsa_client: server error: %s\n",
+             resp.status_code + ": " + resp.message);
+        break;
+      }
+      if (resp.type != "report") {
+        fail(state, "lbsa_client: unexpected response type %s\n", resp.type);
+        break;
+      }
+      if (resp.cached) state->cached.fetch_add(1);
+      if (cfg.verify) {
+        if (const Status s = obs::validate_run_report_json(resp.data);
+            !s.is_ok()) {
+          fail(state, "lbsa_client: invalid RunReport: %s\n", s.to_string());
+          break;
+        }
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->have_golden) {
+          state->have_golden = true;
+          state->golden_human = resp.human;
+          state->golden_report = resp.data;
+          state->golden_exit = resp.exit_code;
+        } else if (resp.human != state->golden_human ||
+                   resp.data != state->golden_report ||
+                   resp.exit_code != state->golden_exit) {
+          fail(state,
+               "lbsa_client: response bytes diverge from first answer "
+               "(request %s)\n",
+               id);
+          break;
+        }
+      }
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      const std::uint64_t v = us > 0 ? static_cast<std::uint64_t>(us) : 0;
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->latency_buckets[v == 0 ? 0 : std::bit_width(v)];
+      ++state->latency_count;
+    }
+  }
+  ::close(fd);
+}
+
+int run_status(const ClientConfig& cfg) {
+  const int fd = connect_to(cfg.socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "lbsa_client: connect failed: %s\n",
+                 cfg.socket_path.c_str());
+    return 1;
+  }
+  std::string line = "{\"serve_version\":1,\"op\":\"status\",\"id\":\"s\"}\n";
+  if (!send_all(fd, line)) {
+    std::fprintf(stderr, "lbsa_client: send failed\n");
+    ::close(fd);
+    return 1;
+  }
+  LineReader reader(fd);
+  if (!reader.next(&line)) {
+    std::fprintf(stderr, "lbsa_client: no response\n");
+    ::close(fd);
+    return 1;
+  }
+  ::close(fd);
+  auto resp_or = serve::parse_response(line);
+  if (!resp_or.is_ok() || resp_or.value().type != "status") {
+    std::fprintf(stderr, "lbsa_client: bad status response: %s\n",
+                 line.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp_or.value().data.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--socket")) {
+      cfg.socket_path = next_arg("--socket");
+    } else if (!std::strcmp(argv[i], "--task")) {
+      cfg.task = next_arg("--task");
+    } else if (!std::strcmp(argv[i], "--op")) {
+      cfg.op = next_arg("--op");
+    } else if (!std::strcmp(argv[i], "--requests")) {
+      cfg.requests = std::strtoull(next_arg("--requests"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--concurrency")) {
+      cfg.concurrency = static_cast<int>(
+          std::strtol(next_arg("--concurrency"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      cfg.threads =
+          static_cast<int>(std::strtol(next_arg("--threads"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--engine")) {
+      cfg.engine = next_arg("--engine");
+    } else if (!std::strcmp(argv[i], "--reduction")) {
+      cfg.reduction = next_arg("--reduction");
+    } else if (!std::strcmp(argv[i], "--max-nodes")) {
+      cfg.max_nodes = std::strtoull(next_arg("--max-nodes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--runs")) {
+      cfg.runs = std::strtoull(next_arg("--runs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      cfg.seed = std::strtoull(next_arg("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--coverage")) {
+      cfg.coverage = true;
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      cfg.deadline_ms = std::strtoull(next_arg("--deadline-ms"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--heartbeat-ms")) {
+      cfg.heartbeat_ms =
+          std::strtoull(next_arg("--heartbeat-ms"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--summary-json")) {
+      cfg.summary_json = next_arg("--summary-json");
+    } else if (!std::strcmp(argv[i], "--no-verify")) {
+      cfg.verify = false;
+    } else if (!std::strcmp(argv[i], "--status")) {
+      cfg.status_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (cfg.socket_path.empty()) return usage();
+  if (cfg.status_only) return run_status(cfg);
+  if (cfg.task.empty()) return usage();
+  if (cfg.op != "check" && cfg.op != "explore" && cfg.op != "fuzz") {
+    std::fprintf(stderr, "--op must be check|explore|fuzz\n");
+    return usage();
+  }
+  if (cfg.concurrency < 1) cfg.concurrency = 1;
+
+  SharedState state;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.concurrency));
+  for (int i = 0; i < cfg.concurrency; ++i) {
+    workers.emplace_back(
+        [&cfg, i, &state] { worker_main(cfg, i, &state); });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::uint64_t failures = state.failures.load();
+  const std::uint64_t answered = state.latency_count;
+  const obs::HistogramQuantiles q =
+      obs::quantiles_from_buckets(state.latency_buckets, state.latency_count);
+  const double rps = wall > 0.0 ? static_cast<double>(answered) / wall : 0.0;
+  std::printf(
+      "lbsa_client: %s %s: %llu answered, %llu failures, %llu cached, "
+      "%llu heartbeats, %d conns, %.1f req/s\n",
+      cfg.op.c_str(), cfg.task.c_str(),
+      static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(state.cached.load()),
+      static_cast<unsigned long long>(state.heartbeats.load()),
+      cfg.concurrency, rps);
+  std::printf(
+      "  latency_us: p50<=%llu p90<=%llu p99<=%llu max<=%llu\n",
+      static_cast<unsigned long long>(q.p50),
+      static_cast<unsigned long long>(q.p90),
+      static_cast<unsigned long long>(q.p99),
+      static_cast<unsigned long long>(q.max));
+
+  if (!cfg.summary_json.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("client_summary_version");
+    w.value_uint(1);
+    w.key("task");
+    w.value_string(cfg.task);
+    w.key("op");
+    w.value_string(cfg.op);
+    w.key("requests");
+    w.value_uint(cfg.requests);
+    w.key("concurrency");
+    w.value_int(cfg.concurrency);
+    w.key("answered");
+    w.value_uint(answered);
+    w.key("failures");
+    w.value_uint(failures);
+    w.key("cached");
+    w.value_uint(state.cached.load());
+    w.key("throughput_rps");
+    w.value_double(rps);
+    w.key("latency_us");
+    w.begin_object();
+    w.key("count");
+    w.value_uint(state.latency_count);
+    w.key("p50");
+    w.value_uint(q.p50);
+    w.key("p90");
+    w.value_uint(q.p90);
+    w.key("p99");
+    w.value_uint(q.p99);
+    w.key("max");
+    w.value_uint(q.max);
+    w.end_object();
+    w.end_object();
+    if (const lbsa::Status s =
+            obs::write_text_file(cfg.summary_json, std::move(w).str());
+        !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  return (failures == 0 && answered == cfg.requests) ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// lbsa_serverd — agreement checking as a local service: accepts concurrent
+// newline-delimited JSON requests (docs/serving.md) over an AF_UNIX socket
+// and runs check / explore / fuzz workloads against the registered named
+// tasks on a shared worker pool. Each request gets its own Deadline and
+// CancelToken (the `cancel` op trips it mid-flight), an optional heartbeat
+// stream, and a final schema-valid RunReport; repeated identical requests
+// are answered byte-identically from the fingerprint-keyed result cache.
+//
+//   ./lbsa_serverd --socket PATH [--workers N] [--cache-capacity N]
+//
+// Prints "listening on PATH" once ready (scripts wait for that line).
+// SIGINT/SIGTERM drain in-flight requests and exit 0.
+//
+// Exit codes: 0 clean shutdown, 1 startup error, 2 usage error.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lbsa_serverd --socket PATH [--workers N]\n"
+               "                    [--cache-capacity N]\n");
+  return 2;
+}
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbsa;
+
+  serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--socket")) {
+      options.socket_path = next_arg("--socket");
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      options.service.workers =
+          static_cast<int>(std::strtol(next_arg("--workers"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--cache-capacity")) {
+      options.service.cache_capacity = static_cast<std::size_t>(
+          std::strtoull(next_arg("--cache-capacity"), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (options.socket_path.empty()) return usage();
+
+  const std::string socket_path = options.socket_path;
+  serve::Server server(std::move(options));
+  if (const Status s = server.start(); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("lbsa_serverd: listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::printf("lbsa_serverd: drained, final stats %s\n",
+              server.service().stats_json().c_str());
+  return 0;
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# server_smoke_e2e.sh — agreement-as-a-service end to end through the real
+# binaries (docs/serving.md): lbsa_serverd on an AF_UNIX socket, lbsa_client
+# hammering it with concurrent check / explore / fuzz requests. The client
+# exits nonzero unless every request is answered with a schema-valid
+# RunReport AND all responses for one request shape are byte-identical (the
+# determinism + cache contract), so this script mostly orchestrates:
+#   * ~100 requests (REQUESTS env overrides) across the three ops,
+#   * heartbeat streaming on the explore leg,
+#   * a status op afterwards — cache hits and latency quantiles must be
+#     there and sane,
+#   * SIGINT drain: the server must answer everything in flight and exit 0.
+#
+# Usage: tools/server_smoke_e2e.sh [build-dir]
+#   REQUESTS      total requests on the main check leg (default 60)
+#   CONCURRENCY   concurrent client connections (default 8)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVERD="$BUILD_DIR/tools/lbsa_serverd"
+CLIENT="$BUILD_DIR/tools/lbsa_client"
+REQUESTS="${REQUESTS:-60}"
+CONCURRENCY="${CONCURRENCY:-8}"
+
+for bin in "$SERVERD" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found or not executable; build first" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+SOCK="$TMP/serve.sock"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVERD" --socket "$SOCK" > "$TMP/serverd.out" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints "listening on PATH" once the socket accepts.
+for _ in $(seq 1 200); do
+  grep -q "listening on" "$TMP/serverd.out" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "error: lbsa_serverd died during startup" >&2
+    cat "$TMP/serverd.out" >&2
+    exit 1
+  }
+  sleep 0.05
+done
+grep -q "listening on" "$TMP/serverd.out" || {
+  echo "error: lbsa_serverd never reported readiness" >&2
+  exit 1
+}
+
+echo "--- check leg: $REQUESTS requests x $CONCURRENCY connections"
+"$CLIENT" --socket "$SOCK" --task dac3-sym --op check \
+    --requests "$REQUESTS" --concurrency "$CONCURRENCY" \
+    --summary-json "$TMP/check_summary.json"
+
+echo "--- explore leg: heartbeat streaming"
+"$CLIENT" --socket "$SOCK" --task dac4-sym --op explore \
+    --requests 20 --concurrency 4 --heartbeat-ms 5 \
+    --summary-json "$TMP/explore_summary.json"
+
+echo "--- fuzz leg: coverage-guided, seed-deterministic"
+"$CLIENT" --socket "$SOCK" --task dac3 --op fuzz --coverage \
+    --runs 100 --requests 20 --concurrency 4 \
+    --summary-json "$TMP/fuzz_summary.json"
+
+echo "--- status"
+"$CLIENT" --socket "$SOCK" --task dac3 --status | tee "$TMP/status.json"
+
+# The cache must have absorbed the repeats: every leg repeated one request
+# shape, so hits dominate. Be conservative — just require SOME hits and
+# that every latency quantile is populated.
+grep -q '"hits":0,' "$TMP/status.json" && {
+  echo "error: result cache saw no hits across repeated identical requests" >&2
+  exit 1
+}
+grep -Eq '"p99":[1-9][0-9]*' "$TMP/status.json" || {
+  echo "error: latency quantiles missing from server stats" >&2
+  exit 1
+}
+
+echo "--- drain"
+kill -INT "$SERVER_PID"
+for _ in $(seq 1 200); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "error: lbsa_serverd did not drain within 10s of SIGINT" >&2
+  exit 1
+fi
+wait "$SERVER_PID" && SERVER_EXIT=0 || SERVER_EXIT=$?
+SERVER_PID=""
+if [[ "$SERVER_EXIT" != 0 ]]; then
+  echo "error: lbsa_serverd exited $SERVER_EXIT" >&2
+  cat "$TMP/serverd.out" >&2
+  exit 1
+fi
+grep -q "drained, final stats" "$TMP/serverd.out" || {
+  echo "error: missing final stats line after drain" >&2
+  exit 1
+}
+
+total=$((REQUESTS + 40))
+echo "ok: $total requests answered byte-identically across 3 ops;" \
+     "cache hit, heartbeats streamed, clean SIGINT drain"
